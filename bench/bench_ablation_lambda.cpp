@@ -1,0 +1,55 @@
+// Ablation of the selection objective's lambda (Sec. 4.2): lambda weighs
+// pre-routing length mismatch against Steiner-tree overlap (Eqs. 2-3).
+// The paper fixes lambda = 0.1, prioritizing routability; the sweep shows
+// how matched clusters and wirelength respond across the range.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "chip/generator.hpp"
+#include "pacor/pipeline.hpp"
+
+namespace {
+
+void printLambdaSweep() {
+  std::printf("\n=== Ablation: selection weight lambda (4 stress seeds, aggregated) ===\n");
+  std::printf("%-8s %10s %14s %12s\n", "lambda", "#matched", "total_len", "complete");
+  for (const double lambda : {0.0, 0.1, 0.3, 0.5, 0.7, 0.9, 1.0}) {
+    pacor::core::PacorConfig cfg;
+    cfg.lambda = lambda;
+    int matched = 0;
+    long long total = 0;
+    bool complete = true;
+    for (const std::uint32_t seed : {3u, 5u, 6u, 8u}) {
+      const auto chip = pacor::chip::generateChip(pacor::chip::stressParams(seed));
+      const auto r = routeChip(chip, cfg);
+      matched += r.matchedClusterCount;
+      total += r.totalChannelLength;
+      complete &= r.complete;
+    }
+    std::printf("%-8.2f %7d/48 %14lld %12s\n", lambda, matched, total,
+                complete ? "yes" : "NO");
+  }
+  std::printf("\n");
+}
+
+void BM_SelectionSolve(benchmark::State& state) {
+  const auto chip = pacor::chip::generateChip(pacor::chip::s4Params());
+  pacor::core::PacorConfig cfg;
+  cfg.lambda = static_cast<double>(state.range(0)) / 10.0;
+  for (auto _ : state) {
+    auto r = routeChip(chip, cfg);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_SelectionSolve)->Arg(0)->Arg(1)->Arg(5)->Arg(10)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printLambdaSweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Ablation of the negotiation-based router (Sec. 4.3 / Alg. 1): how the
+// iteration budget gamma and the history parameters affect routability on
+// a synthetic congestion stress (many parallel demands through a narrow
+// region) -- the PathFinder effect in miniature.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "grid/obstacle_map.hpp"
+#include "route/negotiation.hpp"
+
+namespace {
+
+using pacor::geom::Point;
+
+/// K edges that all want to cross a 3-cell-wide bottleneck.
+std::vector<pacor::route::NegotiationEdge> bottleneckCase(int k,
+                                                          pacor::grid::ObstacleMap& obs) {
+  const auto& g = obs.grid();
+  // Walls above and below a 6-wide slit in the middle column.
+  const std::int32_t mid = g.width() / 2;
+  for (std::int32_t y = 0; y < g.height(); ++y) {
+    if (y >= g.height() / 2 - 3 && y < g.height() / 2 + 3) continue;
+    obs.addObstacle({mid, y});
+  }
+  std::vector<pacor::route::NegotiationEdge> edges(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    edges[static_cast<std::size_t>(i)].a = {Point{2, 2 + 3 * i}};
+    edges[static_cast<std::size_t>(i)].b = {Point{g.width() - 3, 2 + 3 * i}};
+    edges[static_cast<std::size_t>(i)].group = i;
+  }
+  return edges;
+}
+
+void printGammaSweep() {
+  std::printf("\n=== Ablation: negotiation iterations gamma (bottleneck stress) ===\n");
+  std::printf("%-8s %10s %12s\n", "gamma", "routed", "iterations");
+  for (const int gamma : {1, 2, 4, 6, 10}) {
+    pacor::grid::ObstacleMap obs{pacor::grid::Grid(48, 24)};
+    const auto edges = bottleneckCase(5, obs);
+    pacor::route::NegotiationConfig cfg;
+    cfg.maxIterations = gamma;
+    const auto r = negotiatedRoute(obs, edges, cfg);
+    int routed = 0;
+    for (const bool ok : r.routed) routed += ok;
+    std::printf("%-8d %7d/%zu %12d\n", gamma, routed, edges.size(), r.iterations);
+  }
+  std::printf("\n");
+}
+
+void BM_NegotiationBottleneck(benchmark::State& state) {
+  for (auto _ : state) {
+    pacor::grid::ObstacleMap obs{pacor::grid::Grid(48, 24)};
+    const auto edges = bottleneckCase(static_cast<int>(state.range(0)), obs);
+    auto r = negotiatedRoute(obs, edges);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_NegotiationBottleneck)->Arg(2)->Arg(4)->Arg(6);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printGammaSweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

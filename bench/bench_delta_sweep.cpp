@@ -1,0 +1,76 @@
+// Delta sweep + detour-strategy ablation. The paper fixes the
+// length-matching threshold delta = 1 (the tightest grid-feasible window:
+// parity guarantees exactly one reachable length in [maxL-1, maxL]); this
+// harness shows how matched clusters and total wirelength respond as the
+// window loosens, and what the minimum-length bounded A* contributes over
+// pure serpentine bump insertion.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "chip/generator.hpp"
+#include "pacor/pipeline.hpp"
+
+namespace {
+
+void printDeltaSweep() {
+  std::printf("\n=== Delta sweep (4 stress seeds, aggregated) ===\n");
+  std::printf("%-8s %10s %14s %12s\n", "delta", "#matched", "total_len", "complete");
+  for (const std::int64_t delta : {0, 1, 2, 4, 8, 16}) {
+    int matched = 0;
+    long long total = 0;
+    bool complete = true;
+    for (const std::uint32_t seed : {3u, 5u, 6u, 8u}) {
+      auto chip = pacor::chip::generateChip(pacor::chip::stressParams(seed));
+      chip.delta = delta;
+      const auto r = pacor::core::routeChip(chip);
+      matched += r.matchedClusterCount;
+      total += r.totalChannelLength;
+      complete &= r.complete;
+    }
+    std::printf("%-8lld %7d/48 %14lld %12s\n", static_cast<long long>(delta), matched,
+                total, complete ? "yes" : "NO");
+  }
+  std::printf("\n");
+}
+
+void printDetourStrategyAblation() {
+  std::printf("=== Detour strategy: bounded A* + bumps vs bumps only ===\n");
+  std::printf("%-22s %10s %14s\n", "strategy", "#matched", "total_len");
+  for (const bool bounded : {true, false}) {
+    int matched = 0;
+    long long total = 0;
+    for (const std::uint32_t seed : {3u, 5u, 6u, 8u}) {
+      const auto chip = pacor::chip::generateChip(pacor::chip::stressParams(seed));
+      pacor::core::PacorConfig cfg;
+      cfg.useBoundedDetour = bounded;
+      const auto r = routeChip(chip, cfg);
+      matched += r.matchedClusterCount;
+      total += r.totalChannelLength;
+    }
+    std::printf("%-22s %7d/48 %14lld\n",
+                bounded ? "bounded A* + bumps" : "bumps only", matched, total);
+  }
+  std::printf("\n");
+}
+
+void BM_DeltaEffect(benchmark::State& state) {
+  auto chip = pacor::chip::generateChip(pacor::chip::stressParams(5));
+  chip.delta = state.range(0);
+  for (auto _ : state) {
+    auto r = pacor::core::routeChip(chip);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_DeltaEffect)->Arg(1)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printDeltaSweep();
+  printDetourStrategyAblation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Reproduces Figure 2 of the paper as an instrumented run: the stage-by-
+// stage pipeline trace (valve clustering, length-matching cluster routing,
+// MST routing, escape routing, de-clustering, detouring) with per-stage
+// wall-clock shares on each design.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "chip/generator.hpp"
+#include "pacor/pipeline.hpp"
+
+namespace {
+
+void printFlowTrace() {
+  std::printf("\n=== Figure 2: flow stages (per-stage runtime share) ===\n");
+  std::printf("%-8s %10s %12s %10s %10s %8s %8s %10s\n", "Design", "cluster(s)",
+              "lm+mst(s)", "escape(s)", "detour(s)", "rounds", "declust", "matched");
+  for (const auto& params : pacor::chip::table1Designs()) {
+    const auto chip = pacor::chip::generateChip(params);
+    const auto r = pacor::core::routeChip(chip);
+    std::printf("%-8s %10.4f %12.4f %10.4f %10.4f %8d %8d %6d/%d\n",
+                r.design.c_str(), r.times.clustering, r.times.clusterRouting,
+                r.times.escape, r.times.detour, r.escapeRounds, r.declusteredCount,
+                r.matchedClusterCount, r.multiValveClusterCount);
+  }
+  std::printf("\n");
+}
+
+void BM_StageBreakdownS3(benchmark::State& state) {
+  const auto chip = pacor::chip::generateChip(pacor::chip::s3Params());
+  double escape = 0.0;
+  double total = 0.0;
+  for (auto _ : state) {
+    const auto r = pacor::core::routeChip(chip);
+    escape += r.times.escape;
+    total += r.times.total;
+    benchmark::DoNotOptimize(r.totalChannelLength);
+  }
+  state.counters["escape_share"] = total > 0 ? escape / total : 0.0;
+}
+BENCHMARK(BM_StageBreakdownS3)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printFlowTrace();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

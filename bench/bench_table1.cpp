@@ -1,0 +1,46 @@
+// Reproduces Table 1 of the paper: the design parameters of the seven
+// benchmark instances (two real-chip-scale designs + five synthetic).
+// The rows are regenerated from the seeded generators and printed in the
+// paper's layout; google-benchmark additionally times instance synthesis.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "chip/generator.hpp"
+
+namespace {
+
+void printTable1() {
+  std::printf("\n=== Table 1: Design parameters ===\n");
+  std::printf("%-8s %-10s %8s %8s %8s\n", "Design", "Size", "#Valves", "#CP", "#Obs");
+  for (const auto& params : pacor::chip::table1Designs()) {
+    const auto chip = pacor::chip::generateChip(params);
+    char size[24];
+    std::snprintf(size, sizeof size, "%dx%d", chip.routingGrid.width(),
+                  chip.routingGrid.height());
+    std::printf("%-8s %-10s %8zu %8zu %8zu\n", chip.name.c_str(), size,
+                chip.valves.size(), chip.pins.size(), chip.obstacles.size());
+  }
+  std::printf("\n");
+}
+
+void BM_GenerateDesign(benchmark::State& state) {
+  const auto designs = pacor::chip::table1Designs();
+  const auto& params = designs[static_cast<std::size_t>(state.range(0))];
+  for (auto _ : state) {
+    auto chip = pacor::chip::generateChip(params);
+    benchmark::DoNotOptimize(chip);
+  }
+  state.SetLabel(params.name);
+}
+BENCHMARK(BM_GenerateDesign)->DenseRange(0, 6);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printTable1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

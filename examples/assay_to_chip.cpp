@@ -1,0 +1,122 @@
+// Full front-to-back demo: start from what a biochip designer actually
+// has -- a flow layer (channels + components) and a scheduled bioassay --
+// synthesize the control-layer routing instance (activation sequences via
+// control synthesis, obstacles from the flow layer), and run PACOR on it.
+//
+// Layout (20x26 die):
+//
+//   reservoir A     reservoir B
+//        |    \      /   |
+//        |     mixer      |          flow channels run vertically,
+//        |    (coil)      |          gate valves sit on the channels,
+//        |      |         |          the mixer's two gates must act
+//        +---> out <------+          simultaneously (length-matched).
+
+#include <iostream>
+
+#include "chip/chip.hpp"
+#include "chip/flow_layer.hpp"
+#include "chip/schedule.hpp"
+#include "pacor/drc.hpp"
+#include "pacor/pipeline.hpp"
+#include "pacor/report.hpp"
+#include "viz/svg.hpp"
+
+int main() {
+  using namespace pacor;
+  using geom::Point;
+
+  const grid::Grid die(26, 20);
+
+  // --- Flow layer ---------------------------------------------------------
+  chip::FlowLayer flow;
+  // Two inlet channels feeding a central mixer, one outlet channel.
+  flow.channels.push_back({{{5, 17}, {5, 10}, {10, 10}}});    // inlet A
+  flow.channels.push_back({{{21, 17}, {21, 10}, {16, 10}}});  // inlet B
+  flow.channels.push_back({{{13, 8}, {13, 3}}});              // outlet
+  flow.components.push_back({"mixer", {{10, 9}, {16, 11}}});  // mixing coil
+  flow.components.push_back({"reservoirA", {{3, 17}, {7, 18}}});
+  flow.components.push_back({"reservoirB", {{19, 17}, {23, 18}}});
+
+  // --- Valves: two mixer gates (synchronized) + two inlet gates ------------
+  //    v0 gates inlet A into the mixer, v1 gates inlet B (both sitting on
+  //    the horizontal channel runs, clear of the mixer footprint): they
+  //    define the mixing volume and must close at exactly the same instant.
+  const std::vector<Point> valveSites{{8, 10}, {18, 10}, {5, 14}, {21, 14}};
+
+  // --- Bioassay schedule ----------------------------------------------------
+  chip::AssaySchedule assay;
+  assay.horizon = 8;
+  assay.operations = {
+      {"load", 0, 3, /*open*/ {2, 3}, /*closed*/ {0, 1}},   // fill inlets
+      {"meter", 3, 5, /*open*/ {0, 1}, /*closed*/ {2, 3}},  // gate the plug
+      {"mix", 5, 8, /*open*/ {}, /*closed*/ {0, 1}},        // seal the coil
+  };
+
+  std::string conflict;
+  const auto sequences = chip::synthesizeSequences(assay, valveSites.size(), &conflict);
+  if (!sequences) {
+    std::cerr << "schedule conflict: " << conflict << '\n';
+    return 2;
+  }
+  std::cout << "control synthesis produced activation sequences:\n";
+  for (std::size_t v = 0; v < sequences->size(); ++v)
+    std::cout << "  valve " << v << ": " << (*sequences)[v].str() << '\n';
+
+  // --- Assemble the routing instance ---------------------------------------
+  chip::Chip biochip;
+  biochip.name = "assay-demo";
+  biochip.routingGrid = die;
+  biochip.delta = 1;
+  for (std::size_t v = 0; v < valveSites.size(); ++v)
+    biochip.valves.push_back(
+        {static_cast<chip::ValveId>(v), valveSites[v], (*sequences)[v]});
+  biochip.obstacles = chip::controlObstacles(flow, die, valveSites);
+  // Candidate pins on all four edges, as a fabricated chip would have.
+  int pinId = 0;
+  for (int i = 0; i < 8; ++i)
+    biochip.pins.push_back({pinId++, Point{2 + 3 * i, 0}});
+  for (int i = 0; i < 8; ++i)
+    biochip.pins.push_back({pinId++, Point{1 + 3 * i, 19}});
+  for (int i = 0; i < 4; ++i) {
+    biochip.pins.push_back({pinId++, Point{0, 3 + 4 * i}});
+    biochip.pins.push_back({pinId++, Point{25, 3 + 4 * i}});
+  }
+  // The mixer gates are compatible (both sequences XX011 11) and must be
+  // length-matched; the inlet gates are compatible with each other too.
+  biochip.givenClusters = {{{0, 1}, /*lengthMatched=*/true}};
+
+  if (const auto err = biochip.validate()) {
+    std::cerr << "instance invalid: " << *err << '\n';
+    return 2;
+  }
+  std::cout << "\nflow layer induces " << biochip.obstacles.size()
+            << " blocked control cells\n\n";
+
+  // --- Route ---------------------------------------------------------------
+  const auto result = core::routeChip(biochip);
+  std::cout << core::describeResult(result);
+  const auto drc = core::checkSolution(biochip, result);
+  std::cout << drc.str();
+
+  for (const auto& c : result.clusters) {
+    if (!c.lengthMatchRequested) continue;
+    std::cout << "mixer gates -> pin " << c.pin << ", lengths";
+    for (const auto l : c.valveLengths) std::cout << ' ' << l;
+    std::cout << (c.lengthMatched ? "  (synchronized)" : "  (NOT matched)") << '\n';
+  }
+
+  // Two-layer rendering: flow layer underneath the routed control layer.
+  std::vector<viz::DrawnNet> nets;
+  for (std::size_t i = 0; i < result.clusters.size(); ++i) {
+    viz::DrawnNet net;
+    net.colorIndex = static_cast<int>(i);
+    net.label = "control net " + std::to_string(i);
+    net.paths = result.clusters[i].treePaths;
+    net.paths.push_back(result.clusters[i].escapePath);
+    nets.push_back(std::move(net));
+  }
+  viz::writeSvgFileWithFlow("assay_demo.svg", biochip, flow, nets, 14);
+  std::cout << "wrote assay_demo.svg (flow + control layers)\n";
+  return result.complete && drc.clean() ? 0 : 1;
+}

@@ -1,0 +1,75 @@
+// Pressure-propagation demo: why length matching matters physically.
+// Routes the same two-valve synchronized cluster twice -- once with the
+// detour stage enabled (matched) and once disabled -- and simulates the
+// RC pressure transient to show the actuation-time skew difference.
+
+#include <iostream>
+
+#include "chip/chip.hpp"
+#include "pacor/pipeline.hpp"
+#include "sim/pressure.hpp"
+
+namespace {
+
+pacor::chip::Chip makeChip() {
+  using pacor::geom::Point;
+  pacor::chip::Chip c;
+  c.name = "pressure-demo";
+  c.routingGrid = pacor::grid::Grid(26, 26);
+  c.delta = 1;
+  // Deliberately asymmetric: valve 1 sits much closer to the likely pin.
+  c.valves = {{0, Point{4, 13}, pacor::chip::ActivationSequence("0101")},
+              {1, Point{20, 13}, pacor::chip::ActivationSequence("01X1")}};
+  c.pins = {{0, Point{25, 13}}, {1, Point{0, 13}}, {2, Point{13, 0}}};
+  c.givenClusters = {{{0, 1}, true}};
+  return c;
+}
+
+double clusterSkew(const pacor::chip::Chip& chip,
+                   const pacor::core::RoutedCluster& cluster) {
+  std::vector<pacor::route::Path> paths = cluster.treePaths;
+  paths.push_back(cluster.escapePath);
+  std::vector<pacor::geom::Point> valves;
+  for (const auto v : cluster.valves) valves.push_back(chip.valve(v).pos);
+  const auto tree =
+      pacor::sim::ChannelTree::build(chip.pin(cluster.pin).pos, paths, valves);
+  if (!tree) return -1.0;
+  const auto times = tree->actuationTimes(valves, 0.02, 50000.0);
+  double lo = 1e18, hi = -1e18;
+  for (const double t : times) {
+    if (t < 0) return -1.0;
+    lo = std::min(lo, t);
+    hi = std::max(hi, t);
+  }
+  return hi - lo;
+}
+
+}  // namespace
+
+int main() {
+  const auto chip = makeChip();
+
+  // Matched: the full flow honors the cluster's constraint. Unmatched: the
+  // same pair routed as an ordinary (plain) cluster -- the escape can then
+  // attach anywhere on the tree and the two arms end up unequal.
+  auto plainChip = chip;
+  plainChip.givenClusters[0].lengthMatched = false;
+
+  const auto matched = pacor::core::routeChip(chip);
+  const auto raw = pacor::core::routeChip(plainChip);
+
+  const auto& mc = matched.clusters.front();
+  const auto& rc = raw.clusters.front();
+
+  std::cout << "with detouring:    lengths";
+  for (const auto l : mc.valveLengths) std::cout << ' ' << l;
+  std::cout << " -> actuation skew " << clusterSkew(chip, mc) << " a.u.\n";
+
+  std::cout << "without detouring: lengths";
+  for (const auto l : rc.valveLengths) std::cout << ' ' << l;
+  std::cout << " -> actuation skew " << clusterSkew(chip, rc) << " a.u.\n";
+
+  std::cout << "\nmatched channels reach the valves simultaneously; unmatched "
+               "channels leave the farther valve switching late.\n";
+  return matched.complete && raw.complete ? 0 : 1;
+}

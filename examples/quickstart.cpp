@@ -1,0 +1,48 @@
+// Quickstart: build a small chip by hand, run the full PACOR flow, and
+// inspect the routing result. This is the 60-second tour of the public
+// API: chip::Chip -> core::routeChip -> core::PacorResult.
+
+#include <iostream>
+
+#include "chip/chip.hpp"
+#include "pacor/pipeline.hpp"
+#include "pacor/report.hpp"
+
+int main() {
+  using namespace pacor;
+
+  // A 24x24 control layer with four valves: one synchronized pair (a
+  // mixer's gate valves -- they must switch simultaneously, so their
+  // channels to the shared pin must have matching length) and two
+  // independent valves.
+  chip::Chip myChip;
+  myChip.name = "quickstart";
+  myChip.routingGrid = grid::Grid(24, 24);
+  myChip.delta = 1;  // allowed channel-length difference, in grid units
+  myChip.valves = {
+      {0, {6, 10}, chip::ActivationSequence("0101")},
+      {1, {16, 10}, chip::ActivationSequence("01X1")},
+      {2, {8, 18}, chip::ActivationSequence("1100")},
+      {3, {15, 17}, chip::ActivationSequence("0011")},
+  };
+  // Candidate control pins on the chip boundary (pressure-source ports).
+  myChip.pins = {{0, {0, 5}}, {1, {23, 12}}, {2, {10, 0}}, {3, {12, 23}}, {4, {0, 16}}};
+  // Valves 0 and 1 must actuate together: one cluster, length-matched.
+  myChip.givenClusters = {{{0, 1}, /*lengthMatched=*/true}};
+
+  const core::PacorResult result = core::routeChip(myChip);
+
+  std::cout << core::describeResult(result);
+  std::cout << "\nmatched " << result.matchedClusterCount << " of "
+            << result.multiValveClusterCount << " constrained cluster(s), total channel length "
+            << result.totalChannelLength << " grid units\n";
+
+  for (const auto& cluster : result.clusters) {
+    if (!cluster.lengthMatchRequested) continue;
+    std::cout << "synchronized pair -> pin " << cluster.pin << ", lengths";
+    for (const auto l : cluster.valveLengths) std::cout << ' ' << l;
+    std::cout << " (spread " << cluster.lengthSpread() << " <= delta " << myChip.delta
+              << ")\n";
+  }
+  return result.complete ? 0 : 1;
+}

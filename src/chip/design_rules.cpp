@@ -1,0 +1,2 @@
+// DesignRules is header-only; this TU anchors the target.
+#include "chip/design_rules.hpp"

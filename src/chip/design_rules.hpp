@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+
+namespace pacor::chip {
+
+/// Physical design rules of the control layer, in micrometers. The router
+/// works on a uniform grid whose pitch is derived from these rules (paper
+/// Sec. 4.1: "routing grids ... partitioned according to the minimum
+/// channel width and spacing design rule"): one channel per cell plus the
+/// mandatory spacing on each side.
+struct DesignRules {
+  /// Minimum control channel width (um). Unger-style PDMS valves give
+  /// ~10 um channels; defaults follow mVLSI practice.
+  std::int32_t minChannelWidthUm = 10;
+  /// Minimum spacing between adjacent control channels (um).
+  std::int32_t minChannelSpacingUm = 10;
+
+  /// Grid pitch: a channel centered in a cell of this size can never
+  /// violate spacing against a channel in any other cell.
+  std::int32_t gridPitchUm() const noexcept {
+    return minChannelWidthUm + minChannelSpacingUm;
+  }
+
+  /// Physical chip dimension (um) -> routing grid cells (floor).
+  std::int32_t umToCells(std::int64_t um) const noexcept {
+    return static_cast<std::int32_t>(um / gridPitchUm());
+  }
+
+  /// Grid cells -> channel length in micrometers.
+  std::int64_t cellsToUm(std::int64_t cells) const noexcept {
+    return cells * gridPitchUm();
+  }
+
+  bool valid() const noexcept {
+    return minChannelWidthUm > 0 && minChannelSpacingUm > 0;
+  }
+};
+
+}  // namespace pacor::chip

@@ -1,0 +1,69 @@
+#include "chip/flow_layer.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace pacor::chip {
+
+std::optional<std::string> FlowLayer::validate(const grid::Grid& grid) const {
+  for (std::size_t c = 0; c < channels.size(); ++c) {
+    const auto& wp = channels[c].waypoints;
+    if (wp.size() < 2) return "flow channel " + std::to_string(c) + " has < 2 waypoints";
+    for (std::size_t i = 0; i < wp.size(); ++i) {
+      if (!grid.inBounds(wp[i]))
+        return "flow channel " + std::to_string(c) + " leaves the grid at " +
+               wp[i].str();
+      if (i > 0 && wp[i - 1].x != wp[i].x && wp[i - 1].y != wp[i].y)
+        return "flow channel " + std::to_string(c) + " has a non-rectilinear segment";
+    }
+  }
+  for (std::size_t k = 0; k < components.size(); ++k) {
+    const geom::Rect& r = components[k].footprint;
+    if (r.empty() || !grid.inBounds(r.lo) || !grid.inBounds(r.hi))
+      return "component " + std::to_string(k) + " footprint out of bounds";
+  }
+  return std::nullopt;
+}
+
+std::vector<geom::Point> traceChannel(const FlowChannel& channel) {
+  std::vector<geom::Point> cells;
+  const auto& wp = channel.waypoints;
+  for (std::size_t i = 0; i + 1 < wp.size(); ++i) {
+    geom::Point a = wp[i];
+    const geom::Point b = wp[i + 1];
+    const geom::Point d{b.x > a.x ? 1 : (b.x < a.x ? -1 : 0),
+                        b.y > a.y ? 1 : (b.y < a.y ? -1 : 0)};
+    for (;; a = a + d) {
+      cells.push_back(a);
+      if (a == b) break;
+      if (d.x == 0 && d.y == 0) break;  // degenerate segment
+    }
+  }
+  // Joints between segments appear twice; dedupe preserving nothing
+  // special about order (callers sort anyway).
+  std::sort(cells.begin(), cells.end());
+  cells.erase(std::unique(cells.begin(), cells.end()), cells.end());
+  return cells;
+}
+
+std::vector<geom::Point> controlObstacles(const FlowLayer& flow, const grid::Grid& grid,
+                                          std::span<const geom::Point> valveSites) {
+  std::unordered_set<geom::Point> valves(valveSites.begin(), valveSites.end());
+  std::unordered_set<geom::Point> cells;
+
+  for (const FlowComponent& comp : flow.components) {
+    const geom::Rect r = comp.footprint.intersectWith(grid.bounds());
+    for (std::int32_t y = r.lo.y; y <= r.hi.y; ++y)
+      for (std::int32_t x = r.lo.x; x <= r.hi.x; ++x)
+        if (!valves.contains({x, y})) cells.insert({x, y});
+  }
+  for (const FlowChannel& channel : flow.channels)
+    for (const geom::Point p : traceChannel(channel))
+      if (grid.inBounds(p) && !valves.contains(p)) cells.insert(p);
+
+  std::vector<geom::Point> out(cells.begin(), cells.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace pacor::chip

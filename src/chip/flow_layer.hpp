@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "geom/point.hpp"
+#include "geom/rect.hpp"
+#include "grid/grid.hpp"
+
+namespace pacor::chip {
+
+/// A flow-layer channel as a rectilinear polyline of grid waypoints
+/// (consecutive waypoints share a row or column).
+struct FlowChannel {
+  std::vector<geom::Point> waypoints;
+};
+
+/// A flow-layer component (chamber, mixer coil, reservoir): its footprint
+/// is opaque to the control layer (bonding area / multi-height features).
+struct FlowComponent {
+  std::string kind;
+  geom::Rect footprint;
+};
+
+/// The flow layer of a two-layer PDMS chip. PACOR never routes flow
+/// channels (see Lin et al., DAC'14 for that problem) but the control
+/// layer inherits its obstacles from here: this model is where the
+/// "#Obs" column of Table 1 physically comes from.
+struct FlowLayer {
+  std::vector<FlowChannel> channels;
+  std::vector<FlowComponent> components;
+
+  /// Structural check: waypoints rectilinear and in bounds, footprints in
+  /// bounds. Returns the first problem found.
+  std::optional<std::string> validate(const grid::Grid& grid) const;
+};
+
+/// Rasterizes the control-layer blockage induced by a flow layer.
+/// Component footprints always block. Flow channel cells block
+/// *conservatively* (a control channel running along a flow channel would
+/// act as an unintended valve membrane), except at declared valve sites
+/// -- the one place a control channel is supposed to meet a flow channel.
+/// Cells are returned sorted and deduplicated.
+std::vector<geom::Point> controlObstacles(const FlowLayer& flow, const grid::Grid& grid,
+                                          std::span<const geom::Point> valveSites);
+
+/// Cells covered by one rectilinear channel (its full polyline trace).
+std::vector<geom::Point> traceChannel(const FlowChannel& channel);
+
+}  // namespace pacor::chip

@@ -1,0 +1,301 @@
+#include "chip/generator.hpp"
+
+#include <algorithm>
+#include <random>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace pacor::chip {
+namespace {
+
+/// Deterministic uniform int in [lo, hi] (modulo; bias irrelevant for
+/// benchmark synthesis and stable across standard libraries, unlike
+/// std::uniform_int_distribution).
+std::int32_t randInt(std::mt19937& rng, std::int32_t lo, std::int32_t hi) {
+  return lo + static_cast<std::int32_t>(rng() % static_cast<std::uint32_t>(hi - lo + 1));
+}
+
+class Builder {
+ public:
+  explicit Builder(const GeneratorParams& p) : p_(p), rng_(p.seed) {
+    if (p.width < 8 || p.height < 8)
+      throw std::invalid_argument("generator: chip must be at least 8x8");
+    std::int64_t clusteredValves = 0;
+    for (const auto s : p.lmClusterSizes) {
+      if (s < 2) throw std::invalid_argument("generator: cluster sizes must be >= 2");
+      clusteredValves += s;
+    }
+    for (const auto s : p.plainClusterSizes) {
+      if (s < 2) throw std::invalid_argument("generator: cluster sizes must be >= 2");
+      clusteredValves += s;
+    }
+    if (clusteredValves > p.valveCount)
+      throw std::invalid_argument("generator: cluster sizes exceed valve count");
+    const std::int64_t interior =
+        static_cast<std::int64_t>(p.width - 2 * kMargin) * (p.height - 2 * kMargin);
+    if (p.valveCount * 4 + p.obstacleCellCount > interior)
+      throw std::invalid_argument("generator: chip too small for valves + obstacles");
+    const std::int64_t boundary = 2 * (static_cast<std::int64_t>(p.width) + p.height) - 4;
+    if (p.pinCount > boundary)
+      throw std::invalid_argument("generator: more pins than boundary cells");
+  }
+
+  Chip build() {
+    Chip chip;
+    chip.name = p_.name;
+    chip.routingGrid = grid::Grid(p_.width, p_.height);
+    chip.delta = 1;
+
+    placePins(chip);
+    placeValves(chip);
+    placeObstacles(chip);
+    assignSequences(chip);
+
+    if (const auto err = chip.validate())
+      throw std::logic_error("generator produced invalid chip: " + *err);
+    return chip;
+  }
+
+ private:
+  static constexpr std::int32_t kMargin = 2;  ///< valve/obstacle keep-out ring
+
+  bool isInterior(Point q) const {
+    return q.x >= kMargin && q.x < p_.width - kMargin && q.y >= kMargin &&
+           q.y < p_.height - kMargin;
+  }
+
+  Point randomInterior() {
+    return {randInt(rng_, kMargin, p_.width - 1 - kMargin),
+            randInt(rng_, kMargin, p_.height - 1 - kMargin)};
+  }
+
+  /// Min Chebyshev distance from q to all placed valve cells.
+  std::int64_t distToValves(Point q) const {
+    std::int64_t best = std::numeric_limits<std::int64_t>::max();
+    for (const Point v : valveCells_) best = std::min(best, geom::chebyshev(q, v));
+    return best;
+  }
+
+  void placePins(Chip& chip) {
+    const auto boundary = chip.routingGrid.boundaryCells();
+    const std::size_t n = boundary.size();
+    const std::size_t offset = rng_() % n;
+    for (std::int32_t i = 0; i < p_.pinCount; ++i) {
+      // Evenly spread with a random rotation; indices are distinct because
+      // pinCount <= n (checked in the constructor).
+      const std::size_t idx =
+          (offset + static_cast<std::size_t>(i) * n / static_cast<std::size_t>(p_.pinCount)) % n;
+      chip.pins.push_back({static_cast<PinId>(i), boundary[idx]});
+    }
+  }
+
+  /// Picks a free interior cell maximizing min distance to `centers`
+  /// (best-of-k sampling) so clusters spread over the chip.
+  Point pickSpreadCenter(const std::vector<Point>& centers) {
+    Point best = randomInterior();
+    std::int64_t bestScore = -1;
+    for (int tries = 0; tries < 24; ++tries) {
+      const Point q = randomInterior();
+      std::int64_t score = std::numeric_limits<std::int64_t>::max();
+      for (const Point c : centers) score = std::min(score, geom::chebyshev(q, c));
+      if (centers.empty()) score = 0;
+      if (score > bestScore) {
+        bestScore = score;
+        best = q;
+      }
+    }
+    return best;
+  }
+
+  /// Places `size` valves within an expanding Chebyshev radius of a fresh
+  /// cluster center, pairwise separation >= 2 so no valve is boxed in.
+  std::vector<ValveId> placeClusterValves(Chip& chip, std::int32_t size,
+                                          std::vector<Point>& centers) {
+    const Point center = pickSpreadCenter(centers);
+    centers.push_back(center);
+    std::vector<ValveId> members;
+    std::int32_t radius = std::max<std::int32_t>(2, p_.clusterRadius);
+    int attempts = 0;
+    while (static_cast<std::int32_t>(members.size()) < size) {
+      if (++attempts > 4000) {
+        radius += 2;  // dense chip: widen the cluster footprint
+        attempts = 0;
+        if (radius > std::max(p_.width, p_.height))
+          throw std::invalid_argument("generator: cannot place cluster valves");
+      }
+      Point q = {center.x + randInt(rng_, -radius, radius),
+                 center.y + randInt(rng_, -radius, radius)};
+      if (!isInterior(q)) continue;
+      if (distToValves(q) < 2) continue;
+      members.push_back(addValve(chip, q));
+    }
+    return members;
+  }
+
+  ValveId addValve(Chip& chip, Point q) {
+    const auto id = static_cast<ValveId>(chip.valves.size());
+    chip.valves.push_back({id, q, ActivationSequence()});
+    valveCells_.push_back(q);
+    return id;
+  }
+
+  void placeValves(Chip& chip) {
+    std::vector<Point> centers;
+    for (const std::int32_t size : p_.lmClusterSizes)
+      chip.givenClusters.push_back({placeClusterValves(chip, size, centers), true});
+    for (const std::int32_t size : p_.plainClusterSizes)
+      chip.givenClusters.push_back({placeClusterValves(chip, size, centers), false});
+
+    // Remaining valves are singletons scattered across the chip.
+    int attempts = 0;
+    while (static_cast<std::int32_t>(chip.valves.size()) < p_.valveCount) {
+      if (++attempts > 100000)
+        throw std::invalid_argument("generator: cannot place singleton valves");
+      const Point q = randomInterior();
+      if (distToValves(q) < 2) continue;
+      addValve(chip, q);
+    }
+  }
+
+  void placeObstacles(Chip& chip) {
+    std::unordered_set<Point> cells;
+    int attempts = 0;
+    while (static_cast<std::int32_t>(cells.size()) < p_.obstacleCellCount) {
+      if (++attempts > 200000)
+        throw std::invalid_argument("generator: cannot place obstacles");
+      const Point q = randomInterior();
+      // Keep a free ring around every valve so terminals stay reachable.
+      if (distToValves(q) < 2) continue;
+      // Short horizontal/vertical strips emulate flow-layer via blockages.
+      const std::int32_t len = randInt(rng_, 1, 3);
+      const bool horizontal = (rng_() & 1u) != 0;
+      for (std::int32_t k = 0; k < len; ++k) {
+        const Point c = horizontal ? Point{q.x + k, q.y} : Point{q.x, q.y + k};
+        if (!isInterior(c) || distToValves(c) < 2) break;
+        if (static_cast<std::int32_t>(cells.size()) >= p_.obstacleCellCount) break;
+        cells.insert(c);
+      }
+    }
+    chip.obstacles.assign(cells.begin(), cells.end());
+    std::sort(chip.obstacles.begin(), chip.obstacles.end());
+  }
+
+  void assignSequences(Chip& chip) {
+    // Group id per valve: each given cluster is one group; each singleton
+    // its own group. Groups get unique binary codes on the leading steps,
+    // making cross-group valves provably incompatible and group members
+    // compatible (code + shared random base, X's elsewhere).
+    std::vector<std::size_t> groupOf(chip.valves.size());
+    std::size_t groups = 0;
+    {
+      std::vector<bool> inCluster(chip.valves.size(), false);
+      for (const auto& cluster : chip.givenClusters) {
+        for (const ValveId v : cluster.valves) {
+          groupOf[static_cast<std::size_t>(v)] = groups;
+          inCluster[static_cast<std::size_t>(v)] = true;
+        }
+        ++groups;
+      }
+      for (std::size_t v = 0; v < chip.valves.size(); ++v)
+        if (!inCluster[v]) groupOf[v] = groups++;
+    }
+
+    std::int32_t codeLen = 1;
+    while ((std::size_t{1} << codeLen) < groups) ++codeLen;
+    const std::int32_t seqLen = std::max(p_.sequenceLength, codeLen + 2);
+
+    std::vector<std::string> base(groups);
+    for (std::size_t g = 0; g < groups; ++g) {
+      std::string s(static_cast<std::size_t>(seqLen), '0');
+      for (std::int32_t b = 0; b < codeLen; ++b)
+        s[static_cast<std::size_t>(b)] = ((g >> b) & 1) ? '1' : '0';
+      for (std::int32_t i = codeLen; i < seqLen; ++i)
+        s[static_cast<std::size_t>(i)] = (rng_() & 1u) ? '1' : '0';
+      base[g] = std::move(s);
+    }
+    for (auto& valve : chip.valves) {
+      std::string s = base[groupOf[static_cast<std::size_t>(valve.id)]];
+      for (std::int32_t i = codeLen; i < seqLen; ++i)
+        if (rng_() % 4 == 0) s[static_cast<std::size_t>(i)] = 'X';
+      valve.sequence = ActivationSequence(s);
+    }
+  }
+
+  const GeneratorParams& p_;
+  std::mt19937 rng_;
+  std::vector<Point> valveCells_;
+};
+
+GeneratorParams preset(std::string name, std::int32_t w, std::int32_t h,
+                       std::int32_t valves, std::int32_t pins, std::int32_t obs,
+                       std::vector<std::int32_t> lmSizes, std::int32_t radius,
+                       std::uint32_t seed) {
+  GeneratorParams p;
+  p.name = std::move(name);
+  p.width = w;
+  p.height = h;
+  p.valveCount = valves;
+  p.pinCount = pins;
+  p.obstacleCellCount = obs;
+  p.lmClusterSizes = std::move(lmSizes);
+  p.clusterRadius = radius;
+  p.seed = seed;
+  return p;
+}
+
+/// `count` cluster sizes drawn from a fixed pattern (mostly pairs, some
+/// triples/quads), matching the papers' mix of functional units.
+std::vector<std::int32_t> patternSizes(std::size_t count) {
+  static constexpr std::int32_t kPattern[] = {2, 2, 3, 2, 2, 4, 2, 3, 2, 2};
+  std::vector<std::int32_t> sizes(count);
+  for (std::size_t i = 0; i < count; ++i) sizes[i] = kPattern[i % std::size(kPattern)];
+  return sizes;
+}
+
+}  // namespace
+
+Chip generateChip(const GeneratorParams& params) { return Builder(params).build(); }
+
+GeneratorParams chip1Params() {
+  return preset("Chip1", 179, 413, 176, 556, 1800, patternSizes(40), 6, 20151);
+}
+
+GeneratorParams chip2Params() {
+  // The paper notes Chip2 contains only two-valve clusters.
+  return preset("Chip2", 231, 265, 56, 495, 1863, std::vector<std::int32_t>(22, 2), 6,
+                20152);
+}
+
+GeneratorParams s1Params() {
+  return preset("S1", 12, 12, 5, 14, 9, {2, 2}, 3, 101);
+}
+
+GeneratorParams s2Params() {
+  return preset("S2", 22, 22, 10, 40, 54, {3, 2}, 4, 102);
+}
+
+GeneratorParams s3Params() {
+  return preset("S3", 52, 52, 15, 93, 0, {2, 2, 3, 2, 2}, 5, 103);
+}
+
+GeneratorParams s4Params() {
+  return preset("S4", 72, 72, 20, 139, 27, {2, 3, 2, 2, 3, 2, 2}, 5, 104);
+}
+
+GeneratorParams s5Params() {
+  return preset("S5", 152, 152, 40, 306, 135, patternSizes(13), 6, 105);
+}
+
+std::vector<GeneratorParams> table1Designs() {
+  return {chip1Params(), chip2Params(), s1Params(), s2Params(),
+          s3Params(),    s4Params(),    s5Params()};
+}
+
+GeneratorParams stressParams(std::uint32_t seed) {
+  GeneratorParams p =
+      preset("Stress" + std::to_string(seed), 64, 64, 44, 40, 320,
+             {3, 4, 3, 2, 3, 4, 2, 3, 3, 2, 4, 3}, 5, 7'000 + seed);
+  return p;
+}
+
+}  // namespace pacor::chip

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chip/chip.hpp"
+
+namespace pacor::chip {
+
+/// Parameters of the synthetic benchmark generator.
+///
+/// The paper evaluates on two real biochips (Chip1, Chip2) and five
+/// synthesized testcases (S1-S5) whose instance statistics are published
+/// in Table 1 but whose netlists are not. The generator reproduces every
+/// published statistic — grid size, valve count, candidate control pin
+/// count, obstructed cell count, and the Table 2 cluster counts — with a
+/// deterministic seeded layout, so the router sees instances of the same
+/// shape and difficulty.
+struct GeneratorParams {
+  std::string name = "synthetic";
+  std::int32_t width = 32;
+  std::int32_t height = 32;
+  std::int32_t valveCount = 8;
+  std::int32_t pinCount = 16;
+  std::int32_t obstacleCellCount = 0;
+  /// Sizes of the length-matching clusters (each >= 2); members become
+  /// pairwise compatible and carry the length-matching constraint.
+  std::vector<std::int32_t> lmClusterSizes;
+  /// Sizes of additional compatible groups *without* the constraint;
+  /// exercises the MST-based cluster routing path.
+  std::vector<std::int32_t> plainClusterSizes;
+  std::int32_t sequenceLength = 16;
+  std::int32_t clusterRadius = 6;  ///< Chebyshev spread of a cluster's valves
+  std::uint32_t seed = 1;
+};
+
+/// Builds a chip instance from the parameters. The result always passes
+/// Chip::validate(). Throws std::invalid_argument when the parameters are
+/// infeasible (e.g. more valves than interior cells).
+Chip generateChip(const GeneratorParams& params);
+
+/// Table 1 presets. Cluster counts follow Table 2 (Chip1: 40, Chip2: 22
+/// two-valve clusters, S1: 2, S2: 2, S3: 5, S4: 7, S5: 13).
+GeneratorParams chip1Params();
+GeneratorParams chip2Params();
+GeneratorParams s1Params();
+GeneratorParams s2Params();
+GeneratorParams s3Params();
+GeneratorParams s4Params();
+GeneratorParams s5Params();
+
+/// All seven Table 1 designs in paper order.
+std::vector<GeneratorParams> table1Designs();
+
+/// Congestion stress instance: many length-matching clusters packed into
+/// a small die with scattered blockages and a modest pin budget. The
+/// Table 1 regenerations are routable enough that all flow variants
+/// saturate; these instances make the paper's Table 2 ordering (selection
+/// helps matching, detour-first trades matches for wirelength) visible.
+/// Different seeds give independent instances for aggregate comparisons.
+GeneratorParams stressParams(std::uint32_t seed);
+
+}  // namespace pacor::chip

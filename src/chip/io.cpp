@@ -1,0 +1,190 @@
+#include "chip/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pacor::chip {
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("chip io: " + what);
+}
+
+/// Next non-comment, non-blank line; false on EOF.
+bool nextLine(std::istream& is, std::string& line) {
+  while (std::getline(is, line)) {
+    const auto pos = line.find_first_not_of(" \t\r");
+    if (pos == std::string::npos || line[pos] == '#') continue;
+    return true;
+  }
+  return false;
+}
+
+std::istringstream expectLine(std::istream& is, const std::string& context) {
+  std::string line;
+  if (!nextLine(is, line)) fail("unexpected end of file while reading " + context);
+  return std::istringstream(line);
+}
+
+
+/// Rejects absurd record counts before any allocation (a corrupted count
+/// must fail cleanly, not throw std::length_error out of vector).
+std::size_t checkedCount(std::size_t n, const char* what) {
+  constexpr std::size_t kMaxRecords = 16'777'216;
+  if (n > kMaxRecords) fail(std::string("implausible count for ") + what);
+  return n;
+}
+
+template <typename T>
+T parseField(std::istringstream& ls, const std::string& context) {
+  T value{};
+  if (!(ls >> value)) fail("malformed " + context);
+  return value;
+}
+
+}  // namespace
+
+void writeChip(std::ostream& os, const Chip& chip) {
+  os << "pacor-chip 1\n";
+  os << "name " << chip.name << '\n';
+  os << "grid " << chip.routingGrid.width() << ' ' << chip.routingGrid.height() << '\n';
+  os << "rules " << chip.rules.minChannelWidthUm << ' ' << chip.rules.minChannelSpacingUm
+     << '\n';
+  os << "delta " << chip.delta << '\n';
+  os << "valves " << chip.valves.size() << '\n';
+  for (const Valve& v : chip.valves)
+    os << v.id << ' ' << v.pos.x << ' ' << v.pos.y << ' ' << v.sequence.str() << '\n';
+  os << "pins " << chip.pins.size() << '\n';
+  for (const ControlPin& p : chip.pins) os << p.id << ' ' << p.pos.x << ' ' << p.pos.y << '\n';
+  os << "obstacles " << chip.obstacles.size() << '\n';
+  for (const Point o : chip.obstacles) os << o.x << ' ' << o.y << '\n';
+  os << "clusters " << chip.givenClusters.size() << '\n';
+  for (const ValveCluster& c : chip.givenClusters) {
+    os << (c.lengthMatched ? 1 : 0) << ' ' << c.valves.size();
+    for (const ValveId v : c.valves) os << ' ' << v;
+    os << '\n';
+  }
+  if (!os) fail("write failure");
+}
+
+Chip readChip(std::istream& is) {
+  Chip chip;
+  {
+    auto ls = expectLine(is, "header");
+    std::string magic;
+    int version = 0;
+    ls >> magic >> version;
+    if (magic != "pacor-chip" || version != 1) fail("bad header (want 'pacor-chip 1')");
+  }
+  {
+    auto ls = expectLine(is, "name");
+    std::string key;
+    ls >> key >> chip.name;
+    if (key != "name") fail("expected 'name'");
+  }
+  {
+    auto ls = expectLine(is, "grid");
+    std::string key;
+    std::int32_t w = 0, h = 0;
+    ls >> key >> w >> h;
+    if (key != "grid" || w <= 0 || h <= 0) fail("bad grid line");
+    chip.routingGrid = grid::Grid(w, h);
+  }
+  {
+    auto ls = expectLine(is, "rules");
+    std::string key;
+    ls >> key >> chip.rules.minChannelWidthUm >> chip.rules.minChannelSpacingUm;
+    if (key != "rules" || !chip.rules.valid()) fail("bad rules line");
+  }
+  {
+    auto ls = expectLine(is, "delta");
+    std::string key;
+    ls >> key >> chip.delta;
+    if (key != "delta" || chip.delta < 0) fail("bad delta line");
+  }
+  {
+    auto ls = expectLine(is, "valves count");
+    std::string key;
+    std::size_t n = 0;
+    ls >> key >> n;
+    if (key != "valves") fail("expected 'valves'");
+    chip.valves.reserve(checkedCount(n, "valves"));
+    for (std::size_t i = 0; i < n; ++i) {
+      auto vl = expectLine(is, "valve");
+      Valve v;
+      std::string seq;
+      vl >> v.id >> v.pos.x >> v.pos.y >> seq;
+      if (vl.fail()) fail("malformed valve line");
+      v.sequence = ActivationSequence(seq);
+      chip.valves.push_back(std::move(v));
+    }
+  }
+  {
+    auto ls = expectLine(is, "pins count");
+    std::string key;
+    std::size_t n = 0;
+    ls >> key >> n;
+    if (key != "pins") fail("expected 'pins'");
+    chip.pins.reserve(checkedCount(n, "pins"));
+    for (std::size_t i = 0; i < n; ++i) {
+      auto pl = expectLine(is, "pin");
+      ControlPin p;
+      pl >> p.id >> p.pos.x >> p.pos.y;
+      if (pl.fail()) fail("malformed pin line");
+      chip.pins.push_back(p);
+    }
+  }
+  {
+    auto ls = expectLine(is, "obstacles count");
+    std::string key;
+    std::size_t n = 0;
+    ls >> key >> n;
+    if (key != "obstacles") fail("expected 'obstacles'");
+    chip.obstacles.reserve(checkedCount(n, "obstacles"));
+    for (std::size_t i = 0; i < n; ++i) {
+      auto ol = expectLine(is, "obstacle");
+      Point o;
+      ol >> o.x >> o.y;
+      if (ol.fail()) fail("malformed obstacle line");
+      chip.obstacles.push_back(o);
+    }
+  }
+  {
+    auto ls = expectLine(is, "clusters count");
+    std::string key;
+    std::size_t n = 0;
+    ls >> key >> n;
+    if (key != "clusters") fail("expected 'clusters'");
+    chip.givenClusters.reserve(checkedCount(n, "clusters"));
+    for (std::size_t i = 0; i < n; ++i) {
+      auto cl = expectLine(is, "cluster");
+      int lm = 0;
+      std::size_t k = 0;
+      cl >> lm >> k;
+      if (cl.fail()) fail("malformed cluster line");
+      ValveCluster c;
+      c.lengthMatched = lm != 0;
+      c.valves.resize(checkedCount(k, "cluster members"));
+      for (std::size_t j = 0; j < k; ++j) cl >> c.valves[j];
+      if (cl.fail()) fail("malformed cluster members");
+      chip.givenClusters.push_back(std::move(c));
+    }
+  }
+  if (const auto err = chip.validate()) fail("invalid chip: " + *err);
+  return chip;
+}
+
+void writeChipFile(const std::string& path, const Chip& chip) {
+  std::ofstream os(path);
+  if (!os) fail("cannot open for writing: " + path);
+  writeChip(os, chip);
+}
+
+Chip readChipFile(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) fail("cannot open for reading: " + path);
+  return readChip(is);
+}
+
+}  // namespace pacor::chip

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "chip/chip.hpp"
+
+namespace pacor::chip {
+
+/// Plain-text chip instance format, one section per entity kind:
+///
+///   pacor-chip 1
+///   name <string>
+///   grid <width> <height>
+///   rules <channel_width_um> <channel_spacing_um>
+///   delta <grid units>
+///   valves <n>
+///   <id> <x> <y> <01X-sequence>      (n lines)
+///   pins <n>
+///   <id> <x> <y>                     (n lines)
+///   obstacles <n>
+///   <x> <y>                          (n lines)
+///   clusters <n>
+///   <lm 0|1> <k> <v1> ... <vk>       (n lines)
+///
+/// Lines starting with '#' are comments. Both functions throw
+/// std::runtime_error on malformed input / IO failure.
+void writeChip(std::ostream& os, const Chip& chip);
+Chip readChip(std::istream& is);
+
+void writeChipFile(const std::string& path, const Chip& chip);
+Chip readChipFile(const std::string& path);
+
+}  // namespace pacor::chip

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chip/activation.hpp"
+
+namespace pacor::chip {
+
+/// One scheduled fluidic operation: during time steps [start, end) the
+/// listed valves must be held open ('0') resp. closed ('1'). This is the
+/// output shape of the binding & scheduling stage the paper builds on
+/// (Minhass et al., ASP-DAC'13): PACOR's activation sequences "are
+/// obtained by the resource binding and scheduling process".
+struct ScheduledOperation {
+  std::string name;
+  std::int32_t start = 0;
+  std::int32_t end = 0;  ///< exclusive
+  std::vector<std::int32_t> openValves;
+  std::vector<std::int32_t> closedValves;
+};
+
+/// A bioassay schedule over a fixed horizon of time steps.
+struct AssaySchedule {
+  std::int32_t horizon = 0;
+  std::vector<ScheduledOperation> operations;
+
+  /// First structural problem found, or nullopt: windows inside the
+  /// horizon, start < end, no valve listed both open and closed in one
+  /// operation.
+  std::optional<std::string> validate(std::size_t valveCount) const;
+};
+
+/// Control synthesis, step 1: per-valve activation sequences. A time step
+/// covered by an operation pins the valve to '0'/'1'; anything not
+/// demanded stays 'X' (don't care) -- exactly the freedom the broadcast
+/// addressing scheme later exploits to share control pins. Returns
+/// nullopt (with `conflict` filled) when two operations demand opposite
+/// states of one valve in the same step: the schedule itself is invalid.
+std::optional<std::vector<ActivationSequence>> synthesizeSequences(
+    const AssaySchedule& schedule, std::size_t valveCount,
+    std::string* conflict = nullptr);
+
+/// Synthetic bioassay generator: `groups` valve groups act as functional
+/// units (mixer/pump-like), each driven together by a few operations in
+/// disjoint or overlapping windows. Deterministic per seed; always
+/// produces a conflict-free schedule.
+AssaySchedule synthesizeAssay(std::size_t valveCount, std::int32_t horizon,
+                              std::size_t groups, std::uint32_t seed);
+
+}  // namespace pacor::chip

@@ -1,0 +1,70 @@
+#include "chip/stats.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <ostream>
+
+namespace pacor::chip {
+
+ChipStats computeStats(const Chip& chip) {
+  ChipStats stats;
+  stats.name = chip.name;
+  stats.width = chip.routingGrid.width();
+  stats.height = chip.routingGrid.height();
+  stats.valveCount = chip.valves.size();
+  stats.pinCount = chip.pins.size();
+  stats.obstacleCount = chip.obstacles.size();
+
+  const auto cells = static_cast<double>(chip.routingGrid.cellCount());
+  stats.obstacleDensity = cells > 0 ? static_cast<double>(chip.obstacles.size()) / cells : 0;
+  stats.valveDensity = cells > 0 ? static_cast<double>(chip.valves.size()) / cells : 0;
+
+  double diameterSum = 0.0;
+  for (const ValveCluster& c : chip.givenClusters) {
+    ++stats.clusterCount;
+    if (c.lengthMatched) ++stats.matchedClusterCount;
+    stats.largestClusterSize = std::max(stats.largestClusterSize, c.valves.size());
+    std::int64_t diameter = 0;
+    for (std::size_t i = 0; i < c.valves.size(); ++i)
+      for (std::size_t j = i + 1; j < c.valves.size(); ++j)
+        diameter = std::max(diameter, geom::manhattan(chip.valve(c.valves[i]).pos,
+                                                      chip.valve(c.valves[j]).pos));
+    diameterSum += static_cast<double>(diameter);
+  }
+  if (stats.clusterCount > 0)
+    stats.meanClusterDiameter = diameterSum / static_cast<double>(stats.clusterCount);
+
+  std::size_t compatiblePairs = 0;
+  std::size_t pairs = 0;
+  for (std::size_t i = 0; i < chip.valves.size(); ++i)
+    for (std::size_t j = i + 1; j < chip.valves.size(); ++j) {
+      ++pairs;
+      if (chip.valves[i].sequence.compatibleWith(chip.valves[j].sequence))
+        ++compatiblePairs;
+    }
+  stats.compatibilityDensity =
+      pairs > 0 ? static_cast<double>(compatiblePairs) / static_cast<double>(pairs) : 0;
+
+  std::int64_t minDist = std::numeric_limits<std::int64_t>::max();
+  for (const Valve& v : chip.valves)
+    for (const ControlPin& p : chip.pins)
+      minDist = std::min(minDist, geom::manhattan(v.pos, p.pos));
+  stats.minValveToPinDistance =
+      (chip.valves.empty() || chip.pins.empty()) ? 0 : minDist;
+  return stats;
+}
+
+std::ostream& operator<<(std::ostream& os, const ChipStats& stats) {
+  os << "design " << stats.name << ": " << stats.width << 'x' << stats.height << ", "
+     << stats.valveCount << " valves, " << stats.pinCount << " candidate pins, "
+     << stats.obstacleCount << " blocked cells\n";
+  os << "  clusters: " << stats.clusterCount << " (" << stats.matchedClusterCount
+     << " length-matched, largest " << stats.largestClusterSize
+     << " valves, mean diameter " << stats.meanClusterDiameter << ")\n";
+  os << "  densities: obstacles " << stats.obstacleDensity << ", valves "
+     << stats.valveDensity << ", compatibility " << stats.compatibilityDensity << '\n';
+  os << "  nearest valve-to-pin distance: " << stats.minValveToPinDistance << '\n';
+  return os;
+}
+
+}  // namespace pacor::chip

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "chip/chip.hpp"
+
+namespace pacor::chip {
+
+/// Instance statistics of a routing problem, in the spirit of the paper's
+/// Table 1 plus derived difficulty indicators. Used by `pacor info` and
+/// the benchmark reports.
+struct ChipStats {
+  std::string name;
+  std::int32_t width = 0;
+  std::int32_t height = 0;
+  std::size_t valveCount = 0;
+  std::size_t pinCount = 0;
+  std::size_t obstacleCount = 0;
+
+  std::size_t clusterCount = 0;         ///< given clusters (>= 2 valves)
+  std::size_t matchedClusterCount = 0;  ///< of which length-matched
+  std::size_t largestClusterSize = 0;
+
+  double obstacleDensity = 0.0;  ///< blocked cells / total cells
+  double valveDensity = 0.0;     ///< valves / total cells
+
+  /// Mean Manhattan diameter of the given clusters (0 when none); larger
+  /// diameters mean longer trees and harder matching.
+  double meanClusterDiameter = 0.0;
+
+  /// Compatibility-graph edge density among all valves (how much pin
+  /// sharing the broadcast addressing scheme can exploit).
+  double compatibilityDensity = 0.0;
+
+  /// Min Manhattan distance from any valve to the nearest candidate pin
+  /// (a lower bound witness for the shortest possible escape).
+  std::int64_t minValveToPinDistance = 0;
+};
+
+ChipStats computeStats(const Chip& chip);
+
+std::ostream& operator<<(std::ostream& os, const ChipStats& stats);
+
+}  // namespace pacor::chip

@@ -1,0 +1,225 @@
+#include "chip/synth_spec.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pacor::chip {
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("synth spec: " + what);
+}
+
+std::istringstream lineFor(std::istream& is, const char* key) {
+  std::string line;
+  while (std::getline(is, line)) {
+    const auto pos = line.find_first_not_of(" \t\r");
+    if (pos == std::string::npos || line[pos] == '#') continue;
+    std::istringstream ls(line);
+    std::string k;
+    ls >> k;
+    if (k != key) fail(std::string("expected '") + key + "', got '" + k + "'");
+    return ls;
+  }
+  fail(std::string("unexpected EOF, wanted '") + key + "'");
+}
+
+std::size_t countFor(std::istream& is, const char* key) {
+  auto ls = lineFor(is, key);
+  std::size_t n = 0;
+  if (!(ls >> n)) fail(std::string("malformed count for '") + key + "'");
+  constexpr std::size_t kMaxRecords = 16'777'216;
+  if (n > kMaxRecords) fail(std::string("implausible count for '") + key + "'");
+  return n;
+}
+
+/// Next non-comment record line (no leading keyword).
+std::istringstream recordLine(std::istream& is, const char* context) {
+  std::string line;
+  while (std::getline(is, line)) {
+    const auto pos = line.find_first_not_of(" \t\r");
+    if (pos == std::string::npos || line[pos] == '#') continue;
+    return std::istringstream(line);
+  }
+  fail(std::string("unexpected EOF while reading ") + context);
+}
+
+}  // namespace
+
+std::optional<std::string> SynthSpec::validate() const {
+  if (die.width() <= 0 || die.height() <= 0) return "die has non-positive size";
+  for (const geom::Point v : valveSites)
+    if (!die.inBounds(v)) return "valve site " + v.str() + " out of bounds";
+  if (const auto err = flow.validate(die)) return err;
+  for (const geom::Point p : pinSites)
+    if (!die.onBoundary(p)) return "pin " + p.str() + " not on the boundary";
+  std::vector<int> seen(valveSites.size(), 0);
+  for (const ValveCluster& c : clusters) {
+    if (c.valves.size() < 2) return "clusters need >= 2 valves";
+    for (const ValveId v : c.valves) {
+      if (v < 0 || static_cast<std::size_t>(v) >= valveSites.size())
+        return "cluster references unknown valve " + std::to_string(v);
+      if (++seen[static_cast<std::size_t>(v)] > 1)
+        return "valve " + std::to_string(v) + " in two clusters";
+    }
+  }
+  if (const auto err = assay.validate(valveSites.size())) return err;
+  return std::nullopt;
+}
+
+Chip buildChip(const SynthSpec& spec) {
+  if (const auto err = spec.validate()) fail("invalid spec: " + *err);
+
+  std::string conflict;
+  const auto sequences = synthesizeSequences(spec.assay, spec.valveSites.size(), &conflict);
+  if (!sequences) fail("schedule conflict: " + conflict);
+
+  Chip chip;
+  chip.name = spec.name;
+  chip.routingGrid = spec.die;
+  chip.delta = spec.delta;
+  for (std::size_t v = 0; v < spec.valveSites.size(); ++v)
+    chip.valves.push_back(
+        {static_cast<ValveId>(v), spec.valveSites[v], (*sequences)[v]});
+  chip.obstacles = controlObstacles(spec.flow, spec.die, spec.valveSites);
+  for (std::size_t p = 0; p < spec.pinSites.size(); ++p)
+    chip.pins.push_back({static_cast<PinId>(p), spec.pinSites[p]});
+  chip.givenClusters = spec.clusters;
+
+  if (const auto err = chip.validate()) fail("assembled chip invalid: " + *err);
+  return chip;
+}
+
+void writeSynthSpec(std::ostream& os, const SynthSpec& spec) {
+  os << "pacor-synth 1\n";
+  os << "name " << spec.name << '\n';
+  os << "grid " << spec.die.width() << ' ' << spec.die.height() << '\n';
+  os << "delta " << spec.delta << '\n';
+  os << "valves " << spec.valveSites.size() << '\n';
+  for (const geom::Point v : spec.valveSites) os << v.x << ' ' << v.y << '\n';
+  os << "channels " << spec.flow.channels.size() << '\n';
+  for (const FlowChannel& c : spec.flow.channels) {
+    os << c.waypoints.size();
+    for (const geom::Point w : c.waypoints) os << ' ' << w.x << ' ' << w.y;
+    os << '\n';
+  }
+  os << "components " << spec.flow.components.size() << '\n';
+  for (const FlowComponent& c : spec.flow.components)
+    os << c.kind << ' ' << c.footprint.lo.x << ' ' << c.footprint.lo.y << ' '
+       << c.footprint.hi.x << ' ' << c.footprint.hi.y << '\n';
+  os << "pins " << spec.pinSites.size() << '\n';
+  for (const geom::Point p : spec.pinSites) os << p.x << ' ' << p.y << '\n';
+  os << "clusters " << spec.clusters.size() << '\n';
+  for (const ValveCluster& c : spec.clusters) {
+    os << (c.lengthMatched ? 1 : 0) << ' ' << c.valves.size();
+    for (const ValveId v : c.valves) os << ' ' << v;
+    os << '\n';
+  }
+  os << "horizon " << spec.assay.horizon << '\n';
+  os << "operations " << spec.assay.operations.size() << '\n';
+  for (const ScheduledOperation& op : spec.assay.operations) {
+    os << op.name << ' ' << op.start << ' ' << op.end << ' ' << op.openValves.size();
+    for (const auto v : op.openValves) os << ' ' << v;
+    os << ' ' << op.closedValves.size();
+    for (const auto v : op.closedValves) os << ' ' << v;
+    os << '\n';
+  }
+  if (!os) fail("write failure");
+}
+
+SynthSpec readSynthSpec(std::istream& is) {
+  SynthSpec spec;
+  {
+    auto ls = lineFor(is, "pacor-synth");
+    int version = 0;
+    ls >> version;
+    if (version != 1) fail("unsupported version");
+  }
+  {
+    auto ls = lineFor(is, "name");
+    ls >> spec.name;
+  }
+  {
+    auto ls = lineFor(is, "grid");
+    std::int32_t w = 0, h = 0;
+    if (!(ls >> w >> h) || w <= 0 || h <= 0) fail("bad grid");
+    spec.die = grid::Grid(w, h);
+  }
+  {
+    auto ls = lineFor(is, "delta");
+    if (!(ls >> spec.delta)) fail("bad delta");
+  }
+  spec.valveSites.resize(countFor(is, "valves"));
+  for (auto& v : spec.valveSites) {
+    auto ls = recordLine(is, "valve site");
+    if (!(ls >> v.x >> v.y)) fail("malformed valve site");
+  }
+  spec.flow.channels.resize(countFor(is, "channels"));
+  for (auto& c : spec.flow.channels) {
+    auto ls = recordLine(is, "channel");
+    std::size_t k = 0;
+    if (!(ls >> k) || k < 2 || k > 65536) fail("malformed channel");
+    c.waypoints.resize(k);
+    for (auto& w : c.waypoints)
+      if (!(ls >> w.x >> w.y)) fail("malformed channel waypoint");
+  }
+  spec.flow.components.resize(countFor(is, "components"));
+  for (auto& c : spec.flow.components) {
+    auto ls = recordLine(is, "component");
+    if (!(ls >> c.kind >> c.footprint.lo.x >> c.footprint.lo.y >> c.footprint.hi.x >>
+          c.footprint.hi.y))
+      fail("malformed component");
+  }
+  spec.pinSites.resize(countFor(is, "pins"));
+  for (auto& p : spec.pinSites) {
+    auto ls = recordLine(is, "pin");
+    if (!(ls >> p.x >> p.y)) fail("malformed pin");
+  }
+  spec.clusters.resize(countFor(is, "clusters"));
+  for (auto& c : spec.clusters) {
+    auto ls = recordLine(is, "cluster");
+    int lm = 0;
+    std::size_t k = 0;
+    if (!(ls >> lm >> k) || k > 65536) fail("malformed cluster");
+    c.lengthMatched = lm != 0;
+    c.valves.resize(k);
+    for (auto& v : c.valves)
+      if (!(ls >> v)) fail("malformed cluster member");
+  }
+  {
+    auto ls = lineFor(is, "horizon");
+    if (!(ls >> spec.assay.horizon)) fail("bad horizon");
+  }
+  spec.assay.operations.resize(countFor(is, "operations"));
+  for (auto& op : spec.assay.operations) {
+    auto ls = recordLine(is, "operation");
+    std::size_t no = 0;
+    if (!(ls >> op.name >> op.start >> op.end >> no) || no > 65536)
+      fail("malformed operation");
+    op.openValves.resize(no);
+    for (auto& v : op.openValves)
+      if (!(ls >> v)) fail("malformed open valve list");
+    std::size_t nc = 0;
+    if (!(ls >> nc) || nc > 65536) fail("malformed operation");
+    op.closedValves.resize(nc);
+    for (auto& v : op.closedValves)
+      if (!(ls >> v)) fail("malformed closed valve list");
+  }
+  if (const auto err = spec.validate()) fail("invalid spec: " + *err);
+  return spec;
+}
+
+void writeSynthSpecFile(const std::string& path, const SynthSpec& spec) {
+  std::ofstream os(path);
+  if (!os) fail("cannot open for writing: " + path);
+  writeSynthSpec(os, spec);
+}
+
+SynthSpec readSynthSpecFile(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) fail("cannot open for reading: " + path);
+  return readSynthSpec(is);
+}
+
+}  // namespace pacor::chip

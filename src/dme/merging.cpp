@@ -1,0 +1,66 @@
+#include "dme/merging.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pacor::dme {
+
+std::int64_t MergePlan::maxSkewSlack(const Topology& topo) const {
+  std::int64_t worst = 0;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    (void)topo;
+    worst = std::max(worst, nodes[i].skewSlack);
+  }
+  return worst;
+}
+
+MergePlan computeMergePlan(const Topology& topo, std::span<const Point> sinks) {
+  MergePlan plan;
+  plan.nodes.resize(topo.nodes.size());
+
+  // Topology nodes are emitted children-first by the builder, so a single
+  // forward pass is bottom-up; assert the invariant instead of sorting.
+  for (std::size_t i = 0; i < topo.nodes.size(); ++i) {
+    const TopologyNode& t = topo.nodes[i];
+    MergeNode& m = plan.nodes[i];
+    if (t.isLeaf()) {
+      const Point doubled = sinks[static_cast<std::size_t>(t.sink)] * 2;
+      m.region = geom::TiltedRect::fromXY(doubled);
+      m.delay = 0;
+      continue;
+    }
+    assert(t.left >= 0 && static_cast<std::size_t>(t.left) < i);
+    assert(t.right >= 0 && static_cast<std::size_t>(t.right) < i);
+    const MergeNode& l = plan.nodes[static_cast<std::size_t>(t.left)];
+    const MergeNode& r = plan.nodes[static_cast<std::size_t>(t.right)];
+
+    const std::int64_t d = geom::chebyshevGap(l.region, r.region);
+    // Zero skew: delay(l) + el == delay(r) + er with el + er minimal
+    // (= d when balanced; the clamped side detours otherwise).
+    const std::int64_t num = d + r.delay - l.delay;
+    std::int64_t el;
+    std::int64_t er;
+    std::int64_t slack = 0;  // integer flooring remainder (doubled units)
+    if (num <= 0) {
+      el = 0;
+      er = l.delay - r.delay;  // >= d, detour wire on the right side
+    } else if (num >= 2 * d) {
+      er = 0;
+      el = r.delay - l.delay;
+    } else {
+      el = num / 2;
+      er = d - el;
+      slack = num - 2 * el;  // 0 or 1: the odd-parity half unit of Lemma 1
+    }
+    m.edgeLeft = el;
+    m.edgeRight = er;
+    m.region = l.region.inflated(el).intersectWith(r.region.inflated(er));
+    assert(!m.region.empty());
+    m.delay = std::max(l.delay + el, r.delay + er);
+    m.skewSlack = std::max(l.skewSlack, r.skewSlack) + slack;
+    plan.totalTargetWire += el + er;
+  }
+  return plan;
+}
+
+}  // namespace pacor::dme

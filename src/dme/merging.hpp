@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dme/topology.hpp"
+#include "geom/tilted.hpp"
+
+namespace pacor::dme {
+
+/// Bottom-up DME state for one topology node, in *doubled* tilted space:
+/// sink coordinates are multiplied by 2 before the tilted transform so the
+/// half-unit merging segments of odd-distance merges (paper Lemma 1) stay
+/// exactly representable as integers.
+struct MergeNode {
+  geom::TiltedRect region;        ///< merging region (doubled tilted coords)
+  std::int64_t delay = 0;         ///< target region->sink distance (doubled)
+  std::int64_t edgeLeft = 0;      ///< target wire to left child (doubled)
+  std::int64_t edgeRight = 0;     ///< target wire to right child (doubled)
+  std::int64_t skewSlack = 0;     ///< accumulated integer-floor skew (doubled)
+};
+
+/// Result of the bottom-up merging phase over a topology.
+struct MergePlan {
+  std::vector<MergeNode> nodes;   ///< aligned with Topology::nodes
+  std::int64_t totalTargetWire = 0;  ///< sum of edge targets (doubled)
+
+  /// Worst-case accumulated skew from integer flooring, over all sinks
+  /// (doubled units); 0 whenever all merges were parity-exact.
+  std::int64_t maxSkewSlack(const Topology& topo) const;
+};
+
+/// Bottom-up merging-segment computation (paper Sec. 4.1). Zero-skew
+/// balancing: at each internal node with child delays dl, dr and region
+/// gap d, the wire split is el = (d + dr - dl) / 2 clamped to [0, inf)
+/// (the clamped side detours, el + er >= d), and the merging region is
+/// inflate(left, el) n inflate(right, er). Exact in doubled tilted space
+/// up to integer flooring, which is tracked per node in skewSlack.
+MergePlan computeMergePlan(const Topology& topo, std::span<const Point> sinks);
+
+}  // namespace pacor::dme

@@ -1,0 +1,143 @@
+#include "dme/topology.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace pacor::dme {
+
+std::size_t Topology::leafCount() const noexcept {
+  std::size_t n = 0;
+  for (const TopologyNode& node : nodes)
+    if (node.isLeaf()) ++n;
+  return n;
+}
+
+bool Topology::coversAllSinks(std::size_t sinkCount) const {
+  std::vector<int> seen(sinkCount, 0);
+  std::vector<int> stack;
+  if (root < 0) return sinkCount == 0;
+  stack.push_back(root);
+  while (!stack.empty()) {
+    const int v = stack.back();
+    stack.pop_back();
+    if (v < 0 || static_cast<std::size_t>(v) >= nodes.size()) return false;
+    const TopologyNode& node = nodes[static_cast<std::size_t>(v)];
+    if (node.isLeaf()) {
+      if (static_cast<std::size_t>(node.sink) >= sinkCount) return false;
+      ++seen[static_cast<std::size_t>(node.sink)];
+    } else {
+      if (node.left < 0 || node.right < 0) return false;
+      stack.push_back(node.left);
+      stack.push_back(node.right);
+    }
+  }
+  return std::all_of(seen.begin(), seen.end(), [](int c) { return c == 1; });
+}
+
+std::int64_t manhattanDiameter(std::span<const Point> points) {
+  std::int64_t best = 0;
+  for (std::size_t i = 0; i < points.size(); ++i)
+    for (std::size_t j = i + 1; j < points.size(); ++j)
+      best = std::max(best, geom::manhattan(points[i], points[j]));
+  return best;
+}
+
+namespace {
+
+/// Exhaustive-search cutoff: C(11, 5) masks at n = 12 are still trivial.
+constexpr std::size_t kExactCutoff = 12;
+
+struct Builder {
+  std::span<const Point> sinks;
+  Topology topo;
+
+  int build(std::vector<std::size_t> idx) {
+    if (idx.size() == 1) {
+      topo.nodes.push_back({-1, -1, static_cast<int>(idx.front())});
+      return static_cast<int>(topo.nodes.size()) - 1;
+    }
+    auto [a, b] = bipartition(idx);
+    const int left = build(std::move(a));
+    const int right = build(std::move(b));
+    topo.nodes.push_back({left, right, -1});
+    return static_cast<int>(topo.nodes.size()) - 1;
+  }
+
+  std::pair<std::vector<std::size_t>, std::vector<std::size_t>> bipartition(
+      const std::vector<std::size_t>& idx) const {
+    const std::size_t n = idx.size();
+    const std::size_t half = (n + 1) / 2;
+    if (n <= kExactCutoff) return exactBipartition(idx, half);
+    return medianBipartition(idx, half);
+  }
+
+  /// Minimum sum-of-diameters over all balanced splits; side A is pinned
+  /// to contain idx[0] to kill the mirror symmetry.
+  std::pair<std::vector<std::size_t>, std::vector<std::size_t>> exactBipartition(
+      const std::vector<std::size_t>& idx, std::size_t half) const {
+    const std::size_t n = idx.size();
+    std::int64_t bestScore = std::numeric_limits<std::int64_t>::max();
+    std::uint32_t bestMask = 0;
+    for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+      if (!(mask & 1u)) continue;
+      const auto cnt = static_cast<std::size_t>(__builtin_popcount(mask));
+      if (cnt != half) continue;
+      std::vector<Point> a, b;
+      for (std::size_t i = 0; i < n; ++i)
+        ((mask >> i) & 1u ? a : b).push_back(sinks[idx[i]]);
+      const std::int64_t score = manhattanDiameter(a) + manhattanDiameter(b);
+      if (score < bestScore) {
+        bestScore = score;
+        bestMask = mask;
+      }
+    }
+    std::vector<std::size_t> a, b;
+    for (std::size_t i = 0; i < n; ++i)
+      ((bestMask >> i) & 1u ? a : b).push_back(idx[i]);
+    return {std::move(a), std::move(b)};
+  }
+
+  /// Large sets: split at the median of the longer bounding-box axis,
+  /// evaluated on both axes, keeping the smaller diameter sum.
+  std::pair<std::vector<std::size_t>, std::vector<std::size_t>> medianBipartition(
+      const std::vector<std::size_t>& idx, std::size_t half) const {
+    auto splitBy = [&](bool byX) {
+      std::vector<std::size_t> sorted = idx;
+      std::stable_sort(sorted.begin(), sorted.end(), [&](std::size_t a, std::size_t b) {
+        return byX ? sinks[a].x < sinks[b].x : sinks[a].y < sinks[b].y;
+      });
+      std::vector<std::size_t> a(sorted.begin(),
+                                 sorted.begin() + static_cast<std::ptrdiff_t>(half));
+      std::vector<std::size_t> b(sorted.begin() + static_cast<std::ptrdiff_t>(half),
+                                 sorted.end());
+      return std::make_pair(std::move(a), std::move(b));
+    };
+    auto score = [&](const auto& pair) {
+      std::vector<Point> a, b;
+      for (const std::size_t i : pair.first) a.push_back(sinks[i]);
+      for (const std::size_t i : pair.second) b.push_back(sinks[i]);
+      return manhattanDiameter(a) + manhattanDiameter(b);
+    };
+    auto sx = splitBy(true);
+    auto sy = splitBy(false);
+    return score(sx) <= score(sy) ? std::move(sx) : std::move(sy);
+  }
+};
+
+}  // namespace
+
+Topology balancedBipartition(std::span<const Point> sinks) {
+  Topology topo;
+  if (sinks.empty()) return topo;
+  Builder builder{sinks, {}};
+  std::vector<std::size_t> all(sinks.size());
+  std::iota(all.begin(), all.end(), 0);
+  builder.topo.nodes.reserve(2 * sinks.size());
+  const int root = builder.build(std::move(all));
+  topo = std::move(builder.topo);
+  topo.root = root;
+  return topo;
+}
+
+}  // namespace pacor::dme

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geom/point.hpp"
+
+namespace pacor::dme {
+
+using geom::Point;
+
+/// Node of a binary connection topology over a cluster's valves (sinks).
+/// Leaves reference a sink index; internal nodes have two children.
+struct TopologyNode {
+  int left = -1;
+  int right = -1;
+  int sink = -1;  ///< leaf: index into the sink array; -1 for internal
+
+  bool isLeaf() const noexcept { return sink >= 0; }
+};
+
+/// Binary tree over sinks; node 0..n-1 storage with an explicit root.
+struct Topology {
+  std::vector<TopologyNode> nodes;
+  int root = -1;
+
+  std::size_t size() const noexcept { return nodes.size(); }
+  std::size_t leafCount() const noexcept;
+  /// Depth-first check: every sink appears exactly once below the root.
+  bool coversAllSinks(std::size_t sinkCount) const;
+};
+
+/// Balanced-bipartition topology generation (paper Sec. 4.1; Chao et al.'s
+/// BB approach with unit sink capacitance): recursively split the sink set
+/// into two halves of near-equal cardinality minimizing the sum of the
+/// halves' Manhattan diameters. Exact (exhaustive) below a size cutoff,
+/// median-axis split above it. The result is a balanced binary tree when
+/// the sink count is a power of two.
+Topology balancedBipartition(std::span<const Point> sinks);
+
+/// Manhattan diameter of a point set (max pairwise distance).
+std::int64_t manhattanDiameter(std::span<const Point> points);
+
+}  // namespace pacor::dme

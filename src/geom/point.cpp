@@ -1,0 +1,18 @@
+#include "geom/point.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace pacor::geom {
+
+std::string Point::str() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, Point p) {
+  return os << '(' << p.x << ',' << p.y << ')';
+}
+
+}  // namespace pacor::geom

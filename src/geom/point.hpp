@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+namespace pacor::geom {
+
+/// Integer lattice point on the routing grid (or, in DME, on the doubled
+/// half-unit grid). All routing geometry in PACOR is Manhattan.
+struct Point {
+  std::int32_t x = 0;
+  std::int32_t y = 0;
+
+  friend constexpr bool operator==(Point a, Point b) noexcept = default;
+  /// Lexicographic (y-major) order so sorted point sets scan row by row.
+  friend constexpr bool operator<(Point a, Point b) noexcept {
+    return a.y != b.y ? a.y < b.y : a.x < b.x;
+  }
+
+  constexpr Point operator+(Point o) const noexcept { return {x + o.x, y + o.y}; }
+  constexpr Point operator-(Point o) const noexcept { return {x - o.x, y - o.y}; }
+  constexpr Point operator*(std::int32_t k) const noexcept { return {x * k, y * k}; }
+
+  std::string str() const;
+};
+
+/// Manhattan (L1) distance — the channel-length metric on the routing grid.
+constexpr std::int64_t manhattan(Point a, Point b) noexcept {
+  return static_cast<std::int64_t>(std::abs(a.x - b.x)) + std::abs(a.y - b.y);
+}
+
+/// Chebyshev (L-inf) distance; equals Manhattan distance of the preimage
+/// under the tilted-space transform (see tilted.hpp).
+constexpr std::int64_t chebyshev(Point a, Point b) noexcept {
+  const std::int64_t dx = std::abs(a.x - b.x);
+  const std::int64_t dy = std::abs(a.y - b.y);
+  return dx > dy ? dx : dy;
+}
+
+/// Parity of a point: (x + y) mod 2. Any grid path between two points has
+/// length congruent to the parity difference mod 2 — the invariant that
+/// makes delta-length detouring with even increments well-defined.
+constexpr int parity(Point p) noexcept {
+  return static_cast<int>(((p.x + p.y) % 2 + 2) % 2);
+}
+
+std::ostream& operator<<(std::ostream& os, Point p);
+
+}  // namespace pacor::geom
+
+template <>
+struct std::hash<pacor::geom::Point> {
+  std::size_t operator()(pacor::geom::Point p) const noexcept {
+    // 2D -> 1D mix; grids are far below 2^32 per axis.
+    const std::uint64_t ux = static_cast<std::uint32_t>(p.x);
+    const std::uint64_t uy = static_cast<std::uint32_t>(p.y);
+    std::uint64_t v = (ux << 32) | uy;
+    v ^= v >> 33;
+    v *= 0xff51afd7ed558ccdULL;
+    v ^= v >> 33;
+    return static_cast<std::size_t>(v);
+  }
+};

@@ -1,0 +1,27 @@
+#include "geom/rect.hpp"
+
+#include <ostream>
+
+namespace pacor::geom {
+
+Rect Rect::unionWith(const Rect& r) const noexcept {
+  if (empty()) return r;
+  if (r.empty()) return *this;
+  return {{std::min(lo.x, r.lo.x), std::min(lo.y, r.lo.y)},
+          {std::max(hi.x, r.hi.x), std::max(hi.y, r.hi.y)}};
+}
+
+Rect Rect::intersectWith(const Rect& r) const noexcept {
+  return {{std::max(lo.x, r.lo.x), std::max(lo.y, r.lo.y)},
+          {std::min(hi.x, r.hi.x), std::min(hi.y, r.hi.y)}};
+}
+
+std::int64_t Rect::manhattanTo(Point p) const noexcept {
+  return manhattan(p, clamp(p));
+}
+
+std::ostream& operator<<(std::ostream& os, const Rect& r) {
+  return os << '[' << r.lo << ".." << r.hi << ']';
+}
+
+}  // namespace pacor::geom

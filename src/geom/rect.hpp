@@ -1,0 +1,72 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+
+#include "geom/point.hpp"
+
+namespace pacor::geom {
+
+/// Closed axis-aligned integer rectangle [lo.x, hi.x] x [lo.y, hi.y].
+/// A degenerate rect (point or segment) is valid; an empty rect is
+/// represented by lo > hi on some axis and reports empty().
+struct Rect {
+  Point lo;
+  Point hi;
+
+  static constexpr Rect fromPoint(Point p) noexcept { return {p, p}; }
+  static constexpr Rect fromCorners(Point a, Point b) noexcept {
+    return {{std::min(a.x, b.x), std::min(a.y, b.y)},
+            {std::max(a.x, b.x), std::max(a.y, b.y)}};
+  }
+
+  friend constexpr bool operator==(const Rect&, const Rect&) noexcept = default;
+
+  constexpr bool empty() const noexcept { return lo.x > hi.x || lo.y > hi.y; }
+  constexpr std::int64_t width() const noexcept {
+    return empty() ? 0 : static_cast<std::int64_t>(hi.x) - lo.x + 1;
+  }
+  constexpr std::int64_t height() const noexcept {
+    return empty() ? 0 : static_cast<std::int64_t>(hi.y) - lo.y + 1;
+  }
+  /// Number of lattice points covered (inclusive-area semantics used by
+  /// the Steiner-tree overlap cost, Eq. 4 of the paper).
+  constexpr std::int64_t area() const noexcept { return width() * height(); }
+
+  constexpr bool contains(Point p) const noexcept {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+  }
+  constexpr bool containsRect(const Rect& r) const noexcept {
+    return r.empty() || (contains(r.lo) && contains(r.hi));
+  }
+
+  /// Minkowski grow by r on every side (r >= 0).
+  constexpr Rect inflated(std::int32_t r) const noexcept {
+    return {{lo.x - r, lo.y - r}, {hi.x + r, hi.y + r}};
+  }
+
+  /// Smallest rect covering both (treats empty operands as identity).
+  Rect unionWith(const Rect& r) const noexcept;
+
+  /// Intersection; empty rect when disjoint.
+  Rect intersectWith(const Rect& r) const noexcept;
+
+  /// Closest point inside the rect to p (p itself when contained).
+  constexpr Point clamp(Point p) const noexcept {
+    return {std::clamp(p.x, lo.x, hi.x), std::clamp(p.y, lo.y, hi.y)};
+  }
+
+  /// Manhattan distance from p to the rect (0 when inside).
+  std::int64_t manhattanTo(Point p) const noexcept;
+};
+
+/// Bounding box of a grid edge (two endpoints); used by the overlap cost.
+constexpr Rect boundingBox(Point a, Point b) noexcept {
+  return Rect::fromCorners(a, b);
+}
+
+std::ostream& operator<<(std::ostream& os, const Rect& r);
+
+}  // namespace pacor::geom

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace pacor::graph {
+
+/// Dense undirected graph over n vertices stored as packed bit rows.
+/// Used for compatibility graphs (valve clustering) and the candidate
+/// Steiner tree conflict graph (MWCP selection).
+class AdjacencyMatrix {
+ public:
+  AdjacencyMatrix() = default;
+  explicit AdjacencyMatrix(std::size_t n)
+      : n_(n), words_((n + 63) / 64), bits_(n * words_, 0) {}
+
+  std::size_t size() const noexcept { return n_; }
+
+  void addEdge(std::size_t a, std::size_t b) {
+    assert(a < n_ && b < n_ && a != b);
+    bits_[a * words_ + b / 64] |= (std::uint64_t{1} << (b % 64));
+    bits_[b * words_ + a / 64] |= (std::uint64_t{1} << (a % 64));
+  }
+
+  bool hasEdge(std::size_t a, std::size_t b) const noexcept {
+    assert(a < n_ && b < n_);
+    return (bits_[a * words_ + b / 64] >> (b % 64)) & 1;
+  }
+
+  std::size_t degree(std::size_t v) const noexcept {
+    std::size_t d = 0;
+    for (std::size_t w = 0; w < words_; ++w)
+      d += static_cast<std::size_t>(__builtin_popcountll(bits_[v * words_ + w]));
+    return d;
+  }
+
+  /// True when v is adjacent to every vertex in `clique`.
+  bool adjacentToAll(std::size_t v, const std::vector<std::size_t>& clique) const noexcept {
+    for (const std::size_t u : clique)
+      if (!hasEdge(v, u)) return false;
+    return true;
+  }
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t words_ = 0;
+  std::vector<std::uint64_t> bits_;
+};
+
+}  // namespace pacor::graph

@@ -1,0 +1,110 @@
+#include "graph/clique_partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace pacor::graph {
+
+std::vector<std::vector<std::size_t>> cliquePartition(const AdjacencyMatrix& g) {
+  const std::size_t n = g.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  // Seed cliques from high-degree vertices: they have the most room to
+  // grow, which empirically yields fewer cliques.
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return g.degree(a) > g.degree(b);
+  });
+
+  std::vector<bool> assigned(n, false);
+  std::vector<std::vector<std::size_t>> cliques;
+  for (const std::size_t seed : order) {
+    if (assigned[seed]) continue;
+    std::vector<std::size_t> clique{seed};
+    assigned[seed] = true;
+    // Grow greedily in degree order; candidates must be adjacent to the
+    // whole clique so the invariant holds by construction.
+    for (const std::size_t v : order) {
+      if (assigned[v]) continue;
+      if (g.adjacentToAll(v, clique)) {
+        clique.push_back(v);
+        assigned[v] = true;
+      }
+    }
+    cliques.push_back(std::move(clique));
+  }
+  return cliques;
+}
+
+std::vector<std::vector<std::size_t>> cliquePartitionExact(const AdjacencyMatrix& g) {
+  const std::size_t n = g.size();
+  if (n == 0) return {};
+  if (n > 20)  // 3^n subset DP: refuse absurd inputs
+    return cliquePartition(g);
+
+  // Adjacency as bitmasks.
+  std::vector<std::uint32_t> adj(n, 0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      if (i != j && g.hasEdge(i, j)) adj[i] |= (1u << j);
+
+  const std::uint32_t full = n == 32 ? ~0u : ((1u << n) - 1);
+  // isClique[m]: drop the lowest vertex v; m is a clique iff m\{v} is a
+  // clique and v is adjacent to all of m\{v}.
+  std::vector<char> isClique(full + 1, 0);
+  isClique[0] = 1;
+  for (std::uint32_t m = 1; m <= full; ++m) {
+    const auto v = static_cast<std::size_t>(__builtin_ctz(m));
+    const std::uint32_t rest = m & (m - 1);
+    isClique[m] = isClique[rest] && ((adj[v] & rest) == rest);
+  }
+
+  // f[S] = minimum cliques covering S; branch on the clique containing
+  // S's lowest vertex (every cover has one), enumerated as submasks.
+  constexpr std::uint16_t kInf = 0xFFFF;
+  std::vector<std::uint16_t> f(full + 1, kInf);
+  std::vector<std::uint32_t> pick(full + 1, 0);
+  f[0] = 0;
+  for (std::uint32_t S = 1; S <= full; ++S) {
+    const auto v = static_cast<std::size_t>(__builtin_ctz(S));
+    const std::uint32_t withoutV = S & (S - 1);
+    // Enumerate submasks of withoutV; clique candidate = sub | {v}.
+    for (std::uint32_t sub = withoutV;; sub = (sub - 1) & withoutV) {
+      const std::uint32_t clique = sub | (1u << v);
+      if (isClique[clique] && f[S ^ clique] + 1 < f[S]) {
+        f[S] = static_cast<std::uint16_t>(f[S ^ clique] + 1);
+        pick[S] = clique;
+      }
+      if (sub == 0) break;
+    }
+  }
+
+  std::vector<std::vector<std::size_t>> out;
+  for (std::uint32_t S = full; S != 0; S ^= pick[S]) {
+    std::vector<std::size_t> clique;
+    for (std::uint32_t m = pick[S]; m != 0; m &= m - 1)
+      clique.push_back(static_cast<std::size_t>(__builtin_ctz(m)));
+    out.push_back(std::move(clique));
+  }
+  return out;
+}
+
+std::vector<std::vector<std::size_t>> cliquePartitionAuto(const AdjacencyMatrix& g,
+                                                          std::size_t exactLimit) {
+  return g.size() <= exactLimit ? cliquePartitionExact(g) : cliquePartition(g);
+}
+
+bool isValidCliquePartition(const AdjacencyMatrix& g,
+                            const std::vector<std::vector<std::size_t>>& partition) {
+  std::vector<int> seen(g.size(), 0);
+  for (const auto& clique : partition) {
+    for (std::size_t i = 0; i < clique.size(); ++i) {
+      if (clique[i] >= g.size()) return false;
+      ++seen[clique[i]];
+      for (std::size_t j = i + 1; j < clique.size(); ++j)
+        if (!g.hasEdge(clique[i], clique[j])) return false;
+    }
+  }
+  return std::all_of(seen.begin(), seen.end(), [](int c) { return c == 1; });
+}
+
+}  // namespace pacor::graph

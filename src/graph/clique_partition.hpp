@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/adjacency.hpp"
+
+namespace pacor::graph {
+
+/// Partitions the vertices of a compatibility graph into cliques,
+/// heuristically minimizing the clique count (the valve-clustering step of
+/// the paper's flow: each clique of pairwise-compatible valves shares one
+/// control pin; minimum clique partition is NP-complete, so a greedy
+/// max-clique extraction heuristic is used, as in the paper Sec. 3).
+///
+/// Returns cliques as vertex-index lists; every vertex appears in exactly
+/// one clique and every returned group is pairwise adjacent.
+std::vector<std::vector<std::size_t>> cliquePartition(const AdjacencyMatrix& g);
+
+/// Validates that `partition` covers each vertex exactly once and each
+/// group is a clique of g. Used by tests and by PACOR input validation.
+bool isValidCliquePartition(const AdjacencyMatrix& g,
+                            const std::vector<std::vector<std::size_t>>& partition);
+
+/// Exact minimum clique partition by subset dynamic programming over the
+/// complement coloring (O(3^n) worst case; practical to n ~ 18). Used when
+/// the free-valve count is small enough that the extra control pins saved
+/// by an optimal partition matter; the greedy heuristic covers the rest.
+std::vector<std::vector<std::size_t>> cliquePartitionExact(const AdjacencyMatrix& g);
+
+/// Convenience: exact below `exactLimit` vertices, greedy otherwise.
+std::vector<std::vector<std::size_t>> cliquePartitionAuto(const AdjacencyMatrix& g,
+                                                          std::size_t exactLimit = 16);
+
+}  // namespace pacor::graph

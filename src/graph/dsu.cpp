@@ -1,0 +1,2 @@
+// Dsu is header-only; this TU anchors the target.
+#include "graph/dsu.hpp"

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace pacor::graph {
+
+/// Disjoint-set union with path halving + union by size.
+class Dsu {
+ public:
+  explicit Dsu(std::size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  std::size_t find(std::size_t x) noexcept {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Merges the sets of a and b; returns false when already joined.
+  bool unite(std::size_t a, std::size_t b) noexcept {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+    return true;
+  }
+
+  bool connected(std::size_t a, std::size_t b) noexcept { return find(a) == find(b); }
+  std::size_t setSize(std::size_t x) noexcept { return size_[find(x)]; }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+};
+
+}  // namespace pacor::graph

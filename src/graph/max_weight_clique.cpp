@@ -1,0 +1,99 @@
+#include "graph/max_weight_clique.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace pacor::graph {
+namespace {
+
+class Solver {
+ public:
+  Solver(const AdjacencyMatrix& g, const std::vector<double>& w) : g_(g), w_(w) {
+    order_.resize(g.size());
+    std::iota(order_.begin(), order_.end(), 0);
+    // Heavier vertices first so the incumbent improves early and the
+    // additive bound tightens.
+    std::stable_sort(order_.begin(), order_.end(),
+                     [&](std::size_t a, std::size_t b) { return w_[a] > w_[b]; });
+  }
+
+  CliqueResult solve() {
+    std::vector<std::size_t> cands = order_;
+    expand(cands, {}, 0.0);
+    std::sort(best_.vertices.begin(), best_.vertices.end());
+    return best_;
+  }
+
+ private:
+  void expand(const std::vector<std::size_t>& cands, std::vector<std::size_t> cur,
+              double curWeight) {
+    if (curWeight > best_.weight) best_ = {cur, curWeight};
+    double optimistic = curWeight;
+    for (const std::size_t v : cands)
+      if (w_[v] > 0) optimistic += w_[v];
+    if (optimistic <= best_.weight) return;
+
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+      const std::size_t v = cands[i];
+      // Re-check the bound as candidates are consumed left to right.
+      double rest = curWeight;
+      for (std::size_t j = i; j < cands.size(); ++j)
+        if (w_[cands[j]] > 0) rest += w_[cands[j]];
+      if (rest <= best_.weight) return;
+
+      std::vector<std::size_t> next;
+      next.reserve(cands.size() - i);
+      for (std::size_t j = i + 1; j < cands.size(); ++j)
+        if (g_.hasEdge(v, cands[j])) next.push_back(cands[j]);
+      cur.push_back(v);
+      expand(next, cur, curWeight + w_[v]);
+      cur.pop_back();
+    }
+  }
+
+  const AdjacencyMatrix& g_;
+  const std::vector<double>& w_;
+  std::vector<std::size_t> order_;
+  CliqueResult best_;  // empty clique, weight 0 — valid baseline
+};
+
+}  // namespace
+
+CliqueResult maxWeightClique(const AdjacencyMatrix& g, const std::vector<double>& weights) {
+  assert(g.size() == weights.size());
+  return Solver(g, weights).solve();
+}
+
+CliqueResult maxWeightCliqueGreedy(const AdjacencyMatrix& g,
+                                   const std::vector<double>& weights) {
+  assert(g.size() == weights.size());
+  CliqueResult best;
+  for (std::size_t seed = 0; seed < g.size(); ++seed) {
+    std::vector<std::size_t> clique{seed};
+    double total = weights[seed];
+    while (true) {
+      std::size_t pick = g.size();
+      double pickW = 0.0;
+      for (std::size_t v = 0; v < g.size(); ++v) {
+        if (weights[v] <= 0) continue;
+        if (std::find(clique.begin(), clique.end(), v) != clique.end()) continue;
+        if (!g.adjacentToAll(v, clique)) continue;
+        if (pick == g.size() || weights[v] > pickW) {
+          pick = v;
+          pickW = weights[v];
+        }
+      }
+      if (pick == g.size()) break;
+      clique.push_back(pick);
+      total += pickW;
+    }
+    if (total > best.weight) {
+      std::sort(clique.begin(), clique.end());
+      best = {std::move(clique), total};
+    }
+  }
+  return best;
+}
+
+}  // namespace pacor::graph

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/adjacency.hpp"
+
+namespace pacor::graph {
+
+/// Result of a maximum-weight clique search.
+struct CliqueResult {
+  std::vector<std::size_t> vertices;  ///< clique members, ascending
+  double weight = 0.0;                ///< sum of member weights
+};
+
+/// Exact maximum-(vertex-)weight clique by branch-and-bound with a
+/// sum-of-positive-candidates bound. Exponential worst case; intended for
+/// the candidate-tree conflict graphs of this paper (hundreds of vertices,
+/// sparse positive structure). Vertices with non-positive weight may still
+/// be picked when they enable heavier neighbours.
+///
+/// This is the "graph-based algorithm" variant of the paper's Sec. 4.2;
+/// the production selection path (selection.hpp) replaces the paper's
+/// Gurobi ILP with a dedicated exact semi-assignment branch-and-bound.
+CliqueResult maxWeightClique(const AdjacencyMatrix& g,
+                             const std::vector<double>& weights);
+
+/// Greedy maximum-weight clique (seed best vertex, grow by best marginal
+/// weight). Fast lower bound / fallback for large graphs.
+CliqueResult maxWeightCliqueGreedy(const AdjacencyMatrix& g,
+                                   const std::vector<double>& weights);
+
+}  // namespace pacor::graph

@@ -1,0 +1,98 @@
+#include "graph/min_cost_flow.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <queue>
+
+namespace pacor::graph {
+
+namespace {
+constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
+}
+
+MinCostFlow::MinCostFlow(std::size_t nodeCount)
+    : head_(nodeCount), potential_(nodeCount, 0) {}
+
+std::size_t MinCostFlow::addEdge(std::size_t u, std::size_t v, std::int64_t capacity,
+                                 std::int64_t cost) {
+  assert(u < head_.size() && v < head_.size());
+  assert(capacity >= 0 && cost >= 0);
+  const std::size_t id = edgeRef_.size();
+  head_[u].push_back({v, head_[v].size(), capacity, cost});
+  head_[v].push_back({u, head_[u].size() - 1, 0, -cost});
+  edgeRef_.emplace_back(u, head_[u].size() - 1);
+  originalCap_.push_back(capacity);
+  return id;
+}
+
+MinCostFlow::Result MinCostFlow::run(std::size_t s, std::size_t t,
+                                     std::int64_t maxFlow) {
+  Result result;
+  const std::size_t n = head_.size();
+  std::vector<std::int64_t> dist(n);
+  std::vector<std::size_t> prevNode(n), prevArc(n);
+  std::vector<bool> done(n);
+
+  while (result.flow < maxFlow) {
+    // Dijkstra on reduced costs, stopping as soon as the sink settles.
+    std::fill(dist.begin(), dist.end(), kInf);
+    std::fill(done.begin(), done.end(), false);
+    using QItem = std::pair<std::int64_t, std::size_t>;
+    std::priority_queue<QItem, std::vector<QItem>, std::greater<>> pq;
+    dist[s] = 0;
+    pq.emplace(0, s);
+    while (!pq.empty()) {
+      const auto [d, u] = pq.top();
+      pq.pop();
+      if (done[u]) continue;
+      done[u] = true;
+      if (u == t) break;  // settled: the shortest augmenting path is known
+      for (std::size_t i = 0; i < head_[u].size(); ++i) {
+        const Arc& a = head_[u][i];
+        if (a.cap <= 0 || done[a.to]) continue;
+        const std::int64_t nd = d + a.cost + potential_[u] - potential_[a.to];
+        assert(nd >= d && "reduced cost must be non-negative");
+        if (nd < dist[a.to]) {
+          dist[a.to] = nd;
+          prevNode[a.to] = u;
+          prevArc[a.to] = i;
+          pq.emplace(nd, a.to);
+        }
+      }
+    }
+    if (!done[t]) break;  // no augmenting path
+
+    // Potential update with early termination: every node whose true
+    // distance is below dist[t] is settled (pops are monotone), so
+    // clamping all other labels -- including unlabeled nodes -- to
+    // dist[t] keeps every residual reduced cost non-negative.
+    for (std::size_t v = 0; v < n; ++v)
+      potential_[v] += std::min(dist[v], dist[t]);
+
+    // Bottleneck along the path.
+    std::int64_t push = maxFlow - result.flow;
+    for (std::size_t v = t; v != s; v = prevNode[v])
+      push = std::min(push, head_[prevNode[v]][prevArc[v]].cap);
+    for (std::size_t v = t; v != s; v = prevNode[v]) {
+      Arc& a = head_[prevNode[v]][prevArc[v]];
+      a.cap -= push;
+      head_[a.to][a.rev].cap += push;
+      result.cost += push * a.cost;
+    }
+    result.flow += push;
+  }
+  return result;
+}
+
+std::int64_t MinCostFlow::flowOn(std::size_t edgeId) const {
+  const auto [u, slot] = edgeRef_[edgeId];
+  return originalCap_[edgeId] - head_[u][slot].cap;
+}
+
+std::int64_t MinCostFlow::residual(std::size_t edgeId) const {
+  const auto [u, slot] = edgeRef_[edgeId];
+  return head_[u][slot].cap;
+}
+
+}  // namespace pacor::graph

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pacor::graph {
+
+/// Successive-shortest-path min-cost max-flow with Dijkstra + Johnson
+/// potentials. Integral capacities and non-negative costs.
+///
+/// This replaces the paper's Gurobi LP for the escape-routing formulation
+/// (Sec. 5): the constraint matrix there is a network-flow matrix, hence
+/// totally unimodular, so the LP optimum is attained at an integral
+/// vertex — which is exactly what this solver computes. Maximizing the
+/// routed-path count with the beta-dominant reward term is equivalent to
+/// the lexicographic (max flow, then min cost) objective realized by
+/// min-cost *max*-flow.
+class MinCostFlow {
+ public:
+  explicit MinCostFlow(std::size_t nodeCount);
+
+  std::size_t nodeCount() const noexcept { return head_.size(); }
+
+  /// Adds a directed edge u -> v. Returns an edge id usable with flowOn().
+  std::size_t addEdge(std::size_t u, std::size_t v, std::int64_t capacity,
+                      std::int64_t cost);
+
+  struct Result {
+    std::int64_t flow = 0;
+    std::int64_t cost = 0;
+  };
+
+  /// Sends up to `maxFlow` units from s to t along successively cheapest
+  /// augmenting paths. May be called repeatedly; flow accumulates.
+  Result run(std::size_t s, std::size_t t,
+             std::int64_t maxFlow = std::int64_t{1} << 60);
+
+  /// Flow currently on edge `edgeId` (as returned by addEdge).
+  std::int64_t flowOn(std::size_t edgeId) const;
+
+  /// Residual capacity of edge `edgeId`.
+  std::int64_t residual(std::size_t edgeId) const;
+
+ private:
+  struct Arc {
+    std::size_t to;
+    std::size_t rev;  ///< index of the reverse arc in adj_[to]
+    std::int64_t cap;
+    std::int64_t cost;
+  };
+
+  std::vector<std::vector<Arc>> head_;
+  std::vector<std::pair<std::size_t, std::size_t>> edgeRef_;  ///< id -> (u, slot)
+  std::vector<std::int64_t> originalCap_;
+  std::vector<std::int64_t> potential_;
+};
+
+}  // namespace pacor::graph

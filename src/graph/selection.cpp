@@ -1,0 +1,191 @@
+#include "graph/selection.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <numeric>
+
+namespace pacor::graph {
+
+std::size_t SelectionProblem::addCandidate(std::size_t cluster, double nodeWeight) {
+  if (cluster >= clusters_.size()) clusters_.resize(cluster + 1);
+  const std::size_t id = clusterOf_.size();
+  clusters_[cluster].push_back(id);
+  clusterOf_.push_back(cluster);
+  nodeWeight_.push_back(nodeWeight);
+  for (auto& row : pair_) row.push_back(0.0);
+  pair_.emplace_back(clusterOf_.size(), 0.0);
+  return id;
+}
+
+void SelectionProblem::setPairWeight(std::size_t a, std::size_t b, double w) {
+  assert(a < candidateCount() && b < candidateCount());
+  assert(clusterOf_[a] != clusterOf_[b]);
+  pair_[a][b] = w;
+  pair_[b][a] = w;
+}
+
+double SelectionProblem::pairWeight(std::size_t a, std::size_t b) const {
+  return pair_[a][b];
+}
+
+double SelectionProblem::objective(const std::vector<std::size_t>& chosen) const {
+  double total = 0.0;
+  for (std::size_t i = 0; i < chosen.size(); ++i) {
+    total += nodeWeight_[chosen[i]];
+    for (std::size_t j = i + 1; j < chosen.size(); ++j)
+      total += pair_[chosen[i]][chosen[j]];
+  }
+  return total;
+}
+
+namespace {
+
+struct BnB {
+  const SelectionProblem& p;
+  const std::vector<std::vector<std::size_t>>& clusters;
+  std::size_t budget;
+  std::size_t explored = 0;
+  bool exhausted = false;
+
+  std::vector<std::size_t> cur;
+  std::vector<std::size_t> best;
+  double bestObj = -std::numeric_limits<double>::infinity();
+
+  // ub[k] = best-case (node weight only) contribution of cluster order[k].
+  std::vector<std::size_t> order;
+  std::vector<double> suffixUb;
+
+  void run(std::vector<std::size_t> incumbent, double incumbentObj) {
+    best = std::move(incumbent);
+    bestObj = incumbentObj;
+
+    const std::size_t k = clusters.size();
+    order.resize(k);
+    std::iota(order.begin(), order.end(), 0);
+    // Branch on small clusters first: narrow top levels shrink the tree.
+    std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return clusters[a].size() < clusters[b].size();
+    });
+    suffixUb.assign(k + 1, 0.0);
+    for (std::size_t i = k; i-- > 0;) {
+      double mx = -std::numeric_limits<double>::infinity();
+      for (const std::size_t c : clusters[order[i]])
+        mx = std::max(mx, p.nodeWeight(c));
+      suffixUb[i] = suffixUb[i + 1] + mx;  // edges <= 0: node-only bound is admissible
+    }
+    cur.clear();
+    descend(0, 0.0);
+  }
+
+  void descend(std::size_t level, double score) {
+    if (exhausted) return;
+    if (++explored > budget) {
+      exhausted = true;
+      return;
+    }
+    if (level == order.size()) {
+      if (score > bestObj) {
+        bestObj = score;
+        // cur is ordered by `order`; scatter back to cluster index order.
+        best.assign(order.size(), 0);
+        for (std::size_t i = 0; i < order.size(); ++i) best[order[i]] = cur[i];
+      }
+      return;
+    }
+    if (score + suffixUb[level] <= bestObj) return;
+
+    // Try candidates of this cluster best-first by marginal gain.
+    const auto& cands = clusters[order[level]];
+    std::vector<std::pair<double, std::size_t>> ranked;
+    ranked.reserve(cands.size());
+    for (const std::size_t c : cands) {
+      double gain = p.nodeWeight(c);
+      for (const std::size_t prev : cur) gain += p.pairWeight(c, prev);
+      ranked.emplace_back(gain, c);
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    for (const auto& [gain, c] : ranked) {
+      if (score + gain + suffixUb[level + 1] <= bestObj) break;  // sorted: rest worse
+      cur.push_back(c);
+      descend(level + 1, score + gain);
+      cur.pop_back();
+      if (exhausted) return;
+    }
+  }
+};
+
+}  // namespace
+
+SelectionProblem::Solution SelectionProblem::solveGreedy() const {
+  const std::size_t k = clusters_.size();
+  Solution sol;
+  sol.exact = false;
+  if (k == 0) return sol;
+  for (const auto& c : clusters_) {
+    assert(!c.empty() && "every cluster needs at least one candidate");
+    (void)c;
+  }
+
+  // Greedy: clusters in input order, pick max marginal gain.
+  std::vector<std::size_t> chosen;
+  chosen.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    std::size_t pick = clusters_[i].front();
+    double pickGain = -std::numeric_limits<double>::infinity();
+    for (const std::size_t c : clusters_[i]) {
+      double gain = nodeWeight_[c];
+      for (const std::size_t prev : chosen) gain += pair_[c][prev];
+      if (gain > pickGain) {
+        pickGain = gain;
+        pick = c;
+      }
+    }
+    chosen.push_back(pick);
+  }
+
+  // Local search: re-pick one cluster at a time until fixpoint.
+  bool improved = true;
+  std::size_t rounds = 0;
+  while (improved && rounds < 100) {
+    improved = false;
+    ++rounds;
+    for (std::size_t i = 0; i < k; ++i) {
+      double curContrib = nodeWeight_[chosen[i]];
+      for (std::size_t j = 0; j < k; ++j)
+        if (j != i) curContrib += pair_[chosen[i]][chosen[j]];
+      for (const std::size_t c : clusters_[i]) {
+        if (c == chosen[i]) continue;
+        double contrib = nodeWeight_[c];
+        for (std::size_t j = 0; j < k; ++j)
+          if (j != i) contrib += pair_[c][chosen[j]];
+        if (contrib > curContrib + 1e-12) {
+          chosen[i] = c;
+          curContrib = contrib;
+          improved = true;
+        }
+      }
+    }
+  }
+
+  sol.chosen = std::move(chosen);
+  sol.objective = objective(sol.chosen);
+  return sol;
+}
+
+SelectionProblem::Solution SelectionProblem::solveExact(std::size_t nodeBudget) const {
+  Solution greedy = solveGreedy();
+  if (clusters_.empty()) return {{}, 0.0, true};
+
+  BnB bnb{*this, clusters_, nodeBudget, 0, false, {}, {}, -std::numeric_limits<double>::infinity(), {}, {}};
+  bnb.run(greedy.chosen, greedy.objective);
+
+  Solution sol;
+  sol.chosen = bnb.best;
+  sol.objective = bnb.bestObj;
+  sol.exact = !bnb.exhausted;
+  return sol;
+}
+
+}  // namespace pacor::graph

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace pacor::graph {
+
+/// One-candidate-per-cluster selection with pairwise interaction weights —
+/// the combinatorial core of the paper's candidate Steiner tree selection
+/// (Sec. 4.2). The paper builds a graph whose vertices are candidate trees
+/// (node weight = length-mismatch cost, Eq. 2) and whose edges connect
+/// candidates of *different* clusters (edge weight = overlap cost, Eq. 3),
+/// then solves maximum weight clique with Gurobi ILP. Because candidates
+/// of one cluster are never adjacent, a maximum clique that covers every
+/// cluster is exactly a choice of one candidate per cluster maximizing
+///   sum(node weights) + sum(pairwise weights of chosen pairs).
+///
+/// This class is the offline substitute for that ILP: an exact
+/// branch-and-bound (all interaction weights <= 0 gives an additive upper
+/// bound) plus a greedy + single-swap local search fallback for instances
+/// above the exact-size cutoff.
+class SelectionProblem {
+ public:
+  /// Registers a candidate for `cluster` (clusters must be dense indices
+  /// 0..K-1) with its node weight. Returns the global candidate id.
+  std::size_t addCandidate(std::size_t cluster, double nodeWeight);
+
+  /// Sets the symmetric interaction weight between candidates a and b.
+  /// Candidates must belong to different clusters. Weights are expected
+  /// to be <= 0 (overlap penalties); positive weights still solve but may
+  /// weaken the exact bound.
+  void setPairWeight(std::size_t a, std::size_t b, double w);
+
+  std::size_t clusterCount() const noexcept { return clusters_.size(); }
+  std::size_t candidateCount() const noexcept { return clusterOf_.size(); }
+  double nodeWeight(std::size_t cand) const { return nodeWeight_[cand]; }
+  double pairWeight(std::size_t a, std::size_t b) const;
+
+  /// Objective value of a full assignment (chosen[i] = candidate id of
+  /// cluster i).
+  double objective(const std::vector<std::size_t>& chosen) const;
+
+  /// Exact optimum via branch-and-bound. `nodeBudget` caps the number of
+  /// explored B&B nodes; on exhaustion the best incumbent (>= greedy) is
+  /// returned and `exact` is set false.
+  struct Solution {
+    std::vector<std::size_t> chosen;  ///< candidate id per cluster
+    double objective = 0.0;
+    bool exact = true;
+  };
+  Solution solveExact(std::size_t nodeBudget = 20'000'000) const;
+
+  /// Greedy construction + iterated single-cluster local search.
+  Solution solveGreedy() const;
+
+ private:
+  std::vector<std::vector<std::size_t>> clusters_;  ///< cluster -> candidate ids
+  std::vector<std::size_t> clusterOf_;              ///< candidate -> cluster
+  std::vector<double> nodeWeight_;
+  std::vector<std::vector<double>> pair_;  ///< dense symmetric matrix
+};
+
+}  // namespace pacor::graph

@@ -1,0 +1,78 @@
+#include "graph/steiner.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace pacor::graph {
+namespace {
+
+std::int64_t mstCostOf(const std::vector<geom::Point>& pts) {
+  return totalCost(manhattanMst(pts));
+}
+
+}  // namespace
+
+std::int64_t mstCost(std::span<const geom::Point> terminals) {
+  return totalCost(manhattanMst(terminals));
+}
+
+SteinerTree iteratedOneSteiner(std::span<const geom::Point> terminals) {
+  SteinerTree tree;
+  std::vector<geom::Point> nodes(terminals.begin(), terminals.end());
+  if (nodes.size() < 3) {
+    tree.edges = manhattanMst(nodes);
+    tree.cost = totalCost(tree.edges);
+    return tree;
+  }
+
+  std::int64_t best = mstCostOf(nodes);
+  while (true) {
+    // Hanan grid of the current node set (terminals + added points).
+    std::unordered_set<std::int32_t> xsSet, ysSet;
+    for (const geom::Point p : nodes) {
+      xsSet.insert(p.x);
+      ysSet.insert(p.y);
+    }
+    const std::vector<std::int32_t> xs(xsSet.begin(), xsSet.end());
+    const std::vector<std::int32_t> ys(ysSet.begin(), ysSet.end());
+    const std::unordered_set<geom::Point> present(nodes.begin(), nodes.end());
+
+    geom::Point bestCandidate{};
+    std::int64_t bestGainCost = best;
+    for (const std::int32_t x : xs)
+      for (const std::int32_t y : ys) {
+        const geom::Point cand{x, y};
+        if (present.contains(cand)) continue;
+        nodes.push_back(cand);
+        const std::int64_t withCand = mstCostOf(nodes);
+        nodes.pop_back();
+        if (withCand < bestGainCost) {
+          bestGainCost = withCand;
+          bestCandidate = cand;
+        }
+      }
+    if (bestGainCost >= best) break;
+    best = bestGainCost;
+    nodes.push_back(bestCandidate);
+    tree.steinerPoints.push_back(bestCandidate);
+  }
+
+  // Prune degree-<=2 Steiner points that stopped paying for themselves
+  // (a point of degree 2 on a straight line adds nothing; MST cost check
+  // keeps it simple: drop any added point whose removal doesn't hurt).
+  for (std::size_t i = tree.steinerPoints.size(); i-- > 0;) {
+    std::vector<geom::Point> without = nodes;
+    without.erase(std::find(without.begin(), without.end(), tree.steinerPoints[i]));
+    if (mstCostOf(without) <= best) {
+      nodes = std::move(without);
+      tree.steinerPoints.erase(tree.steinerPoints.begin() +
+                               static_cast<std::ptrdiff_t>(i));
+    }
+  }
+
+  tree.edges = manhattanMst(nodes);
+  tree.cost = totalCost(tree.edges);
+  return tree;
+}
+
+}  // namespace pacor::graph

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geom/point.hpp"
+#include "graph/mst.hpp"
+
+namespace pacor::graph {
+
+/// Result of a rectilinear Steiner minimal tree heuristic.
+struct SteinerTree {
+  /// Added Steiner points (subset of the Hanan grid of the terminals).
+  std::vector<geom::Point> steinerPoints;
+  /// Tree edges over the concatenation [terminals..., steinerPoints...].
+  std::vector<WeightedEdge> edges;
+  std::int64_t cost = 0;
+};
+
+/// Iterated 1-Steiner heuristic (Kahng/Robins): repeatedly add the Hanan
+/// grid point that reduces the Manhattan-MST cost the most, until no
+/// candidate improves. Within ~1.5x of optimal in theory, typically a few
+/// percent above on routing-sized inputs; O(n^4)-ish, fine for cluster
+/// sizes. Provided as the wirelength-oriented alternative to the plain
+/// MST topology for clusters without the length-matching constraint
+/// (matched clusters need DME's equidistance, not minimal length).
+SteinerTree iteratedOneSteiner(std::span<const geom::Point> terminals);
+
+/// Cost of the plain Manhattan MST over the terminals (for comparison).
+std::int64_t mstCost(std::span<const geom::Point> terminals);
+
+}  // namespace pacor::graph

@@ -1,0 +1,41 @@
+#include "grid/obstacle_map.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pacor::grid {
+
+void ObstacleMap::blockRect(const geom::Rect& r) {
+  const geom::Rect clipped = r.intersectWith(grid_.bounds());
+  for (std::int32_t y = clipped.lo.y; y <= clipped.hi.y; ++y)
+    for (std::int32_t x = clipped.lo.x; x <= clipped.hi.x; ++x)
+      owner_[grid_.index({x, y})] = kObstacle;
+}
+
+void ObstacleMap::occupy(std::span<const Point> path, NetId net) {
+  assert(net >= 0);
+  for (const Point p : path) {
+    NetId& o = owner_[grid_.index(p)];
+    assert(o == kFreeCell || o == net);
+    o = net;
+  }
+}
+
+void ObstacleMap::release(NetId net) {
+  assert(net >= 0);
+  std::replace(owner_.begin(), owner_.end(), net, kFreeCell);
+}
+
+void ObstacleMap::releasePath(std::span<const Point> path, NetId net) {
+  assert(net >= 0);
+  for (const Point p : path) {
+    NetId& o = owner_[grid_.index(p)];
+    if (o == net) o = kFreeCell;
+  }
+}
+
+std::int64_t ObstacleMap::countOwnedBy(NetId net) const noexcept {
+  return std::count(owner_.begin(), owner_.end(), net);
+}
+
+}  // namespace pacor::grid

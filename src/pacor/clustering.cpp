@@ -1,0 +1,48 @@
+#include "pacor/clustering.hpp"
+
+#include <algorithm>
+
+#include "graph/clique_partition.hpp"
+
+namespace pacor::core {
+
+std::vector<ClusterSpec> clusterValves(const chip::Chip& chip) {
+  std::vector<ClusterSpec> out;
+  std::vector<bool> taken(chip.valves.size(), false);
+
+  // Given clusters (with or without the constraint) pass through intact.
+  for (const chip::ValveCluster& given : chip.givenClusters) {
+    ClusterSpec spec;
+    spec.valves = given.valves;
+    spec.lengthMatched = given.lengthMatched;
+    for (const chip::ValveId v : given.valves) taken[static_cast<std::size_t>(v)] = true;
+    out.push_back(std::move(spec));
+  }
+
+  // Remaining valves: clique partition of the induced compatibility graph.
+  std::vector<chip::ValveId> rest;
+  for (std::size_t v = 0; v < chip.valves.size(); ++v)
+    if (!taken[v]) rest.push_back(static_cast<chip::ValveId>(v));
+  if (rest.empty()) return out;
+
+  graph::AdjacencyMatrix sub(rest.size());
+  for (std::size_t i = 0; i < rest.size(); ++i)
+    for (std::size_t j = i + 1; j < rest.size(); ++j) {
+      const auto& a = chip.valve(rest[i]).sequence;
+      const auto& b = chip.valve(rest[j]).sequence;
+      if (a.compatibleWith(b)) sub.addEdge(i, j);
+    }
+
+  // Few enough free valves: solve minimum clique partition exactly (each
+  // clique saved is a control pin saved); greedy heuristic otherwise.
+  for (const auto& clique : graph::cliquePartitionAuto(sub)) {
+    ClusterSpec spec;
+    spec.valves.reserve(clique.size());
+    for (const std::size_t local : clique) spec.valves.push_back(rest[local]);
+    std::sort(spec.valves.begin(), spec.valves.end());
+    out.push_back(std::move(spec));
+  }
+  return out;
+}
+
+}  // namespace pacor::core

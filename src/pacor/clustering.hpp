@@ -1,0 +1,24 @@
+#pragma once
+
+#include <vector>
+
+#include "chip/chip.hpp"
+
+namespace pacor::core {
+
+/// A cluster scheduled for routing: valve ids plus whether it carries the
+/// length-matching constraint. Produced by valve clustering, consumed by
+/// the routing stages; the escape stage may split (de-cluster) entries.
+struct ClusterSpec {
+  std::vector<chip::ValveId> valves;
+  bool lengthMatched = false;
+};
+
+/// Valve clustering under the broadcast addressing scheme (paper Fig. 2,
+/// first stage): the chip's given length-matching clusters are preserved
+/// verbatim; all remaining valves are partitioned into a heuristically
+/// minimal number of pairwise-compatible cliques (each clique shares one
+/// control pin, minimizing the pin count). Singleton clusters are valid.
+std::vector<ClusterSpec> clusterValves(const chip::Chip& chip);
+
+}  // namespace pacor::core

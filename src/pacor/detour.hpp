@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "grid/obstacle_map.hpp"
+#include "pacor/work.hpp"
+
+namespace pacor::core {
+
+/// Channel lengths from `origin` to each valve of the cluster, measured
+/// along the routed paths: consecutive path cells are connected, and two
+/// paths join only where they share a cell (channels merely running
+/// adjacent stay hydraulically separate). Returns -1 for unreachable
+/// valves. `origin` is the control pin cell in the final flow, or the tap
+/// cell for detour-first matching.
+std::vector<std::int64_t> measureValveLengths(const chip::Chip& chip,
+                                              const WorkCluster& wc, Point origin);
+
+/// Rebuilds the cluster's detour structure (treePaths split into segments
+/// between junctions + leaf-first sink sequences) from its routed
+/// geometry, rooted at the escape anchor (escapePath.front()). Needed
+/// after a wide-tap escape: when the escape attaches away from the DME
+/// root, the original root-relative sequences no longer describe which
+/// segments lie on a sink's pin path. Returns false when the geometry is
+/// not a tree containing the anchor and every valve; the cluster keeps
+/// its old structure in that case.
+bool rebuildDetourStructure(const chip::Chip& chip, WorkCluster& wc);
+
+struct DetourStats {
+  int reroutes = 0;       ///< successful bounded-length reroutes
+  int bumpFallbacks = 0;  ///< of which via bump insertion
+  int iterations = 0;     ///< Alg. 2 outer rounds used
+};
+
+/// Path detouring for length matching (Algorithm 2): while some full path
+/// is shorter than maxL - delta, walk its path sequence leaf-first and
+/// lengthen the first not-yet-detoured path into the window
+/// [maxL - delta, maxL] using minimum-length bounded A* with a bump-
+/// insertion fallback. On a sink that cannot be detoured this round the
+/// cluster's paths are restored to their pre-detour state and false is
+/// returned; true means the cluster's valve lengths (from `origin`) ended
+/// within delta. Requires wc.lmStructured.
+bool detourClusterForMatching(const chip::Chip& chip, grid::ObstacleMap& obstacles,
+                              WorkCluster& wc, Point origin, std::int64_t delta,
+                              int maxRounds, DetourStats* stats = nullptr,
+                              bool useBoundedRoute = true);
+
+}  // namespace pacor::core

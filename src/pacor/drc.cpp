@@ -1,0 +1,188 @@
+#include "pacor/drc.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace pacor::core {
+namespace {
+
+using geom::Point;
+
+/// Path-graph BFS lengths from `origin` (channels join only at shared
+/// cells); mirrors the router's measurement but derived from the result.
+std::unordered_map<Point, std::int64_t> channelDistances(const RoutedCluster& cluster,
+                                                         Point origin) {
+  std::unordered_map<Point, std::vector<Point>> adj;
+  const auto addPath = [&](const route::Path& p) {
+    if (p.size() == 1) adj.try_emplace(p[0]);
+    for (std::size_t i = 1; i < p.size(); ++i) {
+      adj[p[i - 1]].push_back(p[i]);
+      adj[p[i]].push_back(p[i - 1]);
+    }
+  };
+  for (const route::Path& p : cluster.treePaths) addPath(p);
+  addPath(cluster.escapePath);
+
+  std::unordered_map<Point, std::int64_t> dist;
+  if (!adj.contains(origin)) return dist;
+  std::queue<Point> frontier;
+  frontier.push(origin);
+  dist.emplace(origin, 0);
+  while (!frontier.empty()) {
+    const Point p = frontier.front();
+    frontier.pop();
+    const std::int64_t d = dist.at(p);
+    for (const Point q : adj.at(p)) {
+      if (dist.contains(q)) continue;
+      dist.emplace(q, d + 1);
+      frontier.push(q);
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+std::string kindName(DrcViolation::Kind kind) {
+  switch (kind) {
+    case DrcViolation::Kind::kUnroutedValve: return "unrouted-valve";
+    case DrcViolation::Kind::kBrokenPath: return "broken-path";
+    case DrcViolation::Kind::kOutOfBounds: return "out-of-bounds";
+    case DrcViolation::Kind::kOnObstacle: return "on-obstacle";
+    case DrcViolation::Kind::kCellConflict: return "cell-conflict";
+    case DrcViolation::Kind::kPinConflict: return "pin-conflict";
+    case DrcViolation::Kind::kPinNotOnBoundary: return "pin-not-candidate";
+    case DrcViolation::Kind::kIncompatibleValves: return "incompatible-valves";
+    case DrcViolation::Kind::kEscapeDetached: return "escape-detached";
+    case DrcViolation::Kind::kMatchViolated: return "match-violated";
+    case DrcViolation::Kind::kLengthMismatchReport: return "length-report-mismatch";
+  }
+  return "unknown";
+}
+
+std::string DrcReport::str() const {
+  std::ostringstream os;
+  if (clean()) {
+    os << "DRC clean\n";
+    return os.str();
+  }
+  os << violations.size() << " violation(s):\n";
+  for (const DrcViolation& v : violations)
+    os << "  [" << kindName(v.kind) << "] cluster " << v.cluster << ": " << v.detail
+       << '\n';
+  return os.str();
+}
+
+DrcReport checkSolution(const chip::Chip& chip, const PacorResult& result) {
+  DrcReport report;
+  const auto add = [&](DrcViolation::Kind kind, std::size_t cluster, std::string detail) {
+    report.violations.push_back({kind, cluster, std::move(detail)});
+  };
+
+  const grid::ObstacleMap obstacles = chip.makeObstacleMap();
+  std::unordered_map<Point, std::size_t> cellOwner;
+  std::unordered_map<chip::PinId, std::size_t> pinOwner;
+
+  for (std::size_t ci = 0; ci < result.clusters.size(); ++ci) {
+    const RoutedCluster& c = result.clusters[ci];
+
+    // Per-path structural checks.
+    std::vector<const route::Path*> paths;
+    for (const route::Path& p : c.treePaths) paths.push_back(&p);
+    if (!c.escapePath.empty()) paths.push_back(&c.escapePath);
+    std::unordered_set<Point> cells;
+    for (const route::Path* p : paths) {
+      if (p->size() > 1 && !route::isValidChannel(*p))
+        add(DrcViolation::Kind::kBrokenPath, ci, "path disconnected or self-crossing");
+      for (const Point cell : *p) {
+        cells.insert(cell);
+        if (!chip.routingGrid.inBounds(cell))
+          add(DrcViolation::Kind::kOutOfBounds, ci, cell.str());
+        else if (obstacles.isObstacle(cell))
+          add(DrcViolation::Kind::kOnObstacle, ci, cell.str());
+      }
+    }
+    for (const Point cell : cells) {
+      const auto [it, fresh] = cellOwner.emplace(cell, ci);
+      if (!fresh && it->second != ci)
+        add(DrcViolation::Kind::kCellConflict, ci,
+            cell.str() + " also used by cluster " + std::to_string(it->second));
+    }
+
+    // Pin assignment.
+    if (c.pin < 0) {
+      add(DrcViolation::Kind::kUnroutedValve, ci, "no control pin assigned");
+      continue;
+    }
+    if (static_cast<std::size_t>(c.pin) >= chip.pins.size()) {
+      add(DrcViolation::Kind::kPinNotOnBoundary, ci,
+          "pin id " + std::to_string(c.pin) + " unknown");
+      continue;
+    }
+    const auto [pinIt, pinFresh] = pinOwner.emplace(c.pin, ci);
+    if (!pinFresh)
+      add(DrcViolation::Kind::kPinConflict, ci,
+          "pin " + std::to_string(c.pin) + " also drives cluster " +
+              std::to_string(pinIt->second));
+
+    // Compatibility of all valves sharing the pin (constraint ii).
+    for (std::size_t i = 0; i < c.valves.size(); ++i)
+      for (std::size_t j = i + 1; j < c.valves.size(); ++j)
+        if (!chip.valve(c.valves[i])
+                 .sequence.compatibleWith(chip.valve(c.valves[j]).sequence))
+          add(DrcViolation::Kind::kIncompatibleValves, ci,
+              "valves " + std::to_string(c.valves[i]) + " and " +
+                  std::to_string(c.valves[j]));
+
+    // Escape attachment + connectivity + lengths, all from geometry.
+    const Point pinCell = chip.pin(c.pin).pos;
+    const auto dist = channelDistances(c, pinCell);
+    if (!c.escapePath.empty()) {
+      std::unordered_set<Point> treeCells;
+      for (const route::Path& p : c.treePaths) treeCells.insert(p.begin(), p.end());
+      for (const chip::ValveId v : c.valves) treeCells.insert(chip.valve(v).pos);
+      const bool attached =
+          std::any_of(c.escapePath.begin(), c.escapePath.end(),
+                      [&](Point cell) { return treeCells.contains(cell); });
+      if (!attached)
+        add(DrcViolation::Kind::kEscapeDetached, ci, "escape never touches the tree");
+    }
+
+    std::vector<std::int64_t> lengths;
+    bool allRouted = true;
+    for (const chip::ValveId v : c.valves) {
+      const auto it = dist.find(chip.valve(v).pos);
+      if (it == dist.end()) {
+        add(DrcViolation::Kind::kUnroutedValve, ci,
+            "valve " + std::to_string(v) + " unreachable from pin");
+        allRouted = false;
+      } else {
+        lengths.push_back(it->second);
+      }
+    }
+
+    if (allRouted && !c.valveLengths.empty()) {
+      for (std::size_t i = 0; i < lengths.size(); ++i)
+        if (c.valveLengths[i] != lengths[i]) {
+          add(DrcViolation::Kind::kLengthMismatchReport, ci,
+              "valve " + std::to_string(c.valves[i]) + " reported " +
+                  std::to_string(c.valveLengths[i]) + " measured " +
+                  std::to_string(lengths[i]));
+          break;
+        }
+    }
+    if (allRouted && c.lengthMatchRequested && c.lengthMatched && !lengths.empty()) {
+      const auto [lo, hi] = std::minmax_element(lengths.begin(), lengths.end());
+      if (*hi - *lo > chip.delta)
+        add(DrcViolation::Kind::kMatchViolated, ci,
+            "spread " + std::to_string(*hi - *lo) + " > delta " +
+                std::to_string(chip.delta));
+    }
+  }
+  return report;
+}
+
+}  // namespace pacor::core

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "chip/chip.hpp"
+#include "pacor/result.hpp"
+
+namespace pacor::core {
+
+/// One design-rule / consistency violation found in a routed solution.
+struct DrcViolation {
+  enum class Kind {
+    kUnroutedValve,        ///< a valve has no channel to a pin
+    kBrokenPath,           ///< a path is disconnected or self-intersecting
+    kOutOfBounds,          ///< a channel cell outside the routing grid
+    kOnObstacle,           ///< a channel cell on a blocked cell
+    kCellConflict,         ///< two clusters share a channel cell
+    kPinConflict,          ///< two clusters share a control pin
+    kPinNotOnBoundary,     ///< assigned pin is not a candidate pin cell
+    kIncompatibleValves,   ///< valves on one pin are not pairwise compatible
+    kEscapeDetached,       ///< escape path does not touch the cluster tree
+    kMatchViolated,        ///< a cluster reported matched exceeds delta
+    kLengthMismatchReport, ///< reported valveLengths disagree with geometry
+  };
+  Kind kind;
+  std::size_t cluster = 0;  ///< index into PacorResult::clusters
+  std::string detail;
+};
+
+/// Result of a full design-rule check.
+struct DrcReport {
+  std::vector<DrcViolation> violations;
+  bool clean() const noexcept { return violations.empty(); }
+  std::string str() const;
+};
+
+/// Independent verifier for a routed solution: re-derives every claim of
+/// the result (connectivity, disjointness, compatibility, pin assignment,
+/// length matching) from the geometry alone, without trusting the
+/// router's bookkeeping. Run by tests after every pipeline run and by the
+/// `pacor check` CLI subcommand.
+DrcReport checkSolution(const chip::Chip& chip, const PacorResult& result);
+
+std::string kindName(DrcViolation::Kind kind);
+
+}  // namespace pacor::core

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "grid/obstacle_map.hpp"
+#include "pacor/work.hpp"
+
+namespace pacor::core {
+
+/// Outcome of one simultaneous escape-routing pass.
+struct EscapeOutcome {
+  int requested = 0;
+  int routedCount = 0;
+  std::vector<std::size_t> failed;  ///< indices into the cluster span
+  std::int64_t flowCost = 0;        ///< total channel length of escape paths
+};
+
+/// Simultaneous escape routing of all internally-routed clusters to the
+/// control pins via the paper's min-cost flow formulation (Sec. 5):
+/// routing cells are node-split with unit capacity (constraint 12 -- no
+/// crossings), each cluster feeds flow out of its tap cells (constraints
+/// 6/10: the Steiner root for matched trees, the middle point for matched
+/// pairs, any tree cell for plain clusters), non-pin boundary cells are
+/// blocked (constraint 8), and every control pin accepts at most one path.
+/// Min-cost max-flow realizes the beta-dominant objective exactly:
+/// maximize the routed count, then minimize total channel length.
+///
+/// Successful clusters get escapePath (tap ... pin) committed into
+/// `obstacles` and their pin assigned. Already-escaped clusters (pin >= 0)
+/// are left untouched and their pins stay reserved.
+EscapeOutcome escapeRoute(const chip::Chip& chip, grid::ObstacleMap& obstacles,
+                          std::span<WorkCluster*> clusters);
+
+/// Sequential greedy baseline for the same problem: clusters escape one at
+/// a time via multi-target A* to the nearest free pin, each committed path
+/// becoming an obstacle for the rest. This is what the paper's min-cost
+/// flow formulation replaces -- the greedy order can block later clusters
+/// and pick globally suboptimal pins; used by the escape ablation bench.
+EscapeOutcome escapeRouteSequential(const chip::Chip& chip,
+                                    grid::ObstacleMap& obstacles,
+                                    std::span<WorkCluster*> clusters);
+
+}  // namespace pacor::core

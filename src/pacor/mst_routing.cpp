@@ -1,0 +1,112 @@
+#include "pacor/mst_routing.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "route/astar.hpp"
+
+namespace pacor::core {
+
+bool routePlainCluster(const chip::Chip& chip, grid::ObstacleMap& obstacles,
+                       WorkCluster& wc) {
+  wc.treePaths.clear();
+  wc.tapCells.clear();
+
+  std::vector<Point> valveCells;
+  valveCells.reserve(wc.spec.valves.size());
+  for (const chip::ValveId v : wc.spec.valves) valveCells.push_back(chip.valve(v).pos);
+
+  if (valveCells.size() == 1) {
+    wc.tap = valveCells[0];
+    wc.tapCells = valveCells;
+    wc.internallyRouted = true;
+    return true;
+  }
+
+  // Grow the routed component: repeatedly connect the nearest unconnected
+  // valve to the current tree (point-to-path A*; the multi-target search
+  // picks the cheapest valve, which is exactly Prim's selection rule on
+  // routed distances).
+  std::unordered_set<Point> treeCells{valveCells[0]};
+  std::vector<Point> pending(valveCells.begin() + 1, valveCells.end());
+
+  while (!pending.empty()) {
+    route::AStarRequest req;
+    req.sources.assign(treeCells.begin(), treeCells.end());
+    req.targets = pending;
+    req.net = wc.net;
+    const auto found = route::aStarRoute(obstacles, req);
+    if (!found.success) {
+      // Roll back: release everything this cluster routed so far (valve
+      // cells stay owned -- they were occupied before routing began).
+      for (const route::Path& p : wc.treePaths) obstacles.releasePath(p, wc.net);
+      for (const Point v : valveCells)
+        obstacles.occupy(std::span<const Point>(&v, 1), wc.net);
+      wc.treePaths.clear();
+      return false;
+    }
+    const Point reached = found.path.back();
+    pending.erase(std::find(pending.begin(), pending.end(), reached));
+    obstacles.occupy(found.path, wc.net);
+    treeCells.insert(found.path.begin(), found.path.end());
+    wc.treePaths.push_back(found.path);
+  }
+
+  wc.tapCells.assign(treeCells.begin(), treeCells.end());
+  std::sort(wc.tapCells.begin(), wc.tapCells.end());
+  wc.tap = valveCells[0];
+  wc.internallyRouted = true;
+  return true;
+}
+
+std::vector<WorkCluster> routeWithDeclustering(const chip::Chip& chip,
+                                               grid::ObstacleMap& obstacles,
+                                               WorkCluster wc,
+                                               const std::function<grid::NetId()>& allocateNet,
+                                               int* declusterCount) {
+  if (routePlainCluster(chip, obstacles, wc)) return {std::move(wc)};
+  if (wc.spec.valves.size() == 1) {
+    // A singleton cannot fail internal routing (no edges); defensive.
+    wc.internallyRouted = true;
+    return {std::move(wc)};
+  }
+  if (declusterCount != nullptr) ++declusterCount[0];
+
+  // Median split along the axis with the larger spread keeps the halves
+  // geometrically coherent (smaller trees route more easily).
+  std::vector<chip::ValveId> sorted = wc.spec.valves;
+  geom::Rect box = geom::Rect::fromPoint(chip.valve(sorted[0]).pos);
+  for (const chip::ValveId v : sorted)
+    box = box.unionWith(geom::Rect::fromPoint(chip.valve(v).pos));
+  const bool byX = box.width() >= box.height();
+  std::stable_sort(sorted.begin(), sorted.end(), [&](chip::ValveId a, chip::ValveId b) {
+    const Point pa = chip.valve(a).pos;
+    const Point pb = chip.valve(b).pos;
+    return byX ? pa.x < pb.x : pa.y < pb.y;
+  });
+  const std::size_t half = sorted.size() / 2;
+
+  // Release the old net entirely; the halves re-own their valve cells.
+  obstacles.release(wc.net);
+
+  std::vector<WorkCluster> out;
+  for (int part = 0; part < 2; ++part) {
+    WorkCluster sub;
+    sub.spec.lengthMatched = false;
+    sub.spec.valves.assign(sorted.begin() + (part == 0 ? 0 : static_cast<std::ptrdiff_t>(half)),
+                           part == 0 ? sorted.begin() + static_cast<std::ptrdiff_t>(half)
+                                     : sorted.end());
+    sub.net = allocateNet();
+    sub.wasDemoted = wc.wasDemoted;
+    for (const chip::ValveId v : sub.spec.valves) {
+      const Point cell = chip.valve(v).pos;
+      obstacles.occupy(std::span<const Point>(&cell, 1), sub.net);
+    }
+    auto routedParts = routeWithDeclustering(chip, obstacles, std::move(sub), allocateNet,
+                                             declusterCount);
+    for (auto& p : routedParts) out.push_back(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace pacor::core

@@ -1,0 +1,416 @@
+#include "pacor/pipeline.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "pacor/cluster_routing.hpp"
+#include "pacor/clustering.hpp"
+#include "pacor/detour.hpp"
+#include "pacor/escape.hpp"
+#include "pacor/mst_routing.hpp"
+
+namespace pacor::core {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+/// Splits a plain multi-valve cluster in half and re-routes the parts
+/// (used by the rip-up rounds when a whole routed tree blocks escapes).
+std::vector<WorkCluster> forceSplit(const chip::Chip& chip, grid::ObstacleMap& obstacles,
+                                    WorkCluster wc,
+                                    const std::function<grid::NetId()>& allocateNet,
+                                    int* declusterCount) {
+  if (wc.spec.valves.size() < 2) return {std::move(wc)};
+  obstacles.release(wc.net);
+  if (declusterCount != nullptr) ++*declusterCount;
+
+  std::vector<chip::ValveId> sorted = wc.spec.valves;
+  geom::Rect box = geom::Rect::fromPoint(chip.valve(sorted[0]).pos);
+  for (const chip::ValveId v : sorted)
+    box = box.unionWith(geom::Rect::fromPoint(chip.valve(v).pos));
+  const bool byX = box.width() >= box.height();
+  std::stable_sort(sorted.begin(), sorted.end(), [&](chip::ValveId a, chip::ValveId b) {
+    const geom::Point pa = chip.valve(a).pos;
+    const geom::Point pb = chip.valve(b).pos;
+    return byX ? pa.x < pb.x : pa.y < pb.y;
+  });
+  const std::size_t half = sorted.size() / 2;
+
+  std::vector<WorkCluster> out;
+  for (int part = 0; part < 2; ++part) {
+    WorkCluster sub;
+    sub.spec.lengthMatched = false;
+    sub.wasDemoted = wc.wasDemoted;
+    sub.spec.valves.assign(
+        sorted.begin() + (part == 0 ? 0 : static_cast<std::ptrdiff_t>(half)),
+        part == 0 ? sorted.begin() + static_cast<std::ptrdiff_t>(half) : sorted.end());
+    sub.net = allocateNet();
+    for (const chip::ValveId v : sub.spec.valves) {
+      const geom::Point cell = chip.valve(v).pos;
+      obstacles.occupy(std::span<const geom::Point>(&cell, 1), sub.net);
+    }
+    auto parts = routeWithDeclustering(chip, obstacles, std::move(sub), allocateNet,
+                                       declusterCount);
+    for (auto& p : parts) out.push_back(std::move(p));
+  }
+  return out;
+}
+
+/// Releases every escape path and pin so the next flow pass re-decides
+/// all pin assignments globally.
+void ripAllEscapes(grid::ObstacleMap& obstacles, std::vector<WorkCluster>& clusters) {
+  for (WorkCluster& wc : clusters) {
+    if (wc.pin < 0) continue;
+    if (wc.escapePath.size() > 1)
+      obstacles.releasePath(
+          std::span<const geom::Point>(wc.escapePath.data() + 1, wc.escapePath.size() - 1),
+          wc.net);
+    wc.escapePath.clear();
+    wc.pin = -1;
+  }
+}
+
+/// Nearest plain (or, failing that, matched) multi-valve cluster to a
+/// cell, excluding already-marked ones; clusters.size() when none exists.
+std::size_t nearestRelaxable(const chip::Chip& chip,
+                             const std::vector<WorkCluster>& clusters,
+                             const std::vector<char>& relax, std::size_t self,
+                             geom::Point cell, bool plainOnly) {
+  const auto nearestWhere = [&](bool wantPlain) {
+    std::size_t nearest = clusters.size();
+    std::int64_t nearestDist = std::numeric_limits<std::int64_t>::max();
+    for (std::size_t j = 0; j < clusters.size(); ++j) {
+      if (j == self || relax[j] || clusters[j].spec.valves.size() < 2) continue;
+      if (clusters[j].lmStructured == wantPlain) continue;
+      for (const chip::ValveId v : clusters[j].spec.valves) {
+        const std::int64_t d = geom::chebyshev(cell, chip.valve(v).pos);
+        if (d < nearestDist) {
+          nearestDist = d;
+          nearest = j;
+        }
+      }
+    }
+    return nearest;
+  };
+  std::size_t nearest = nearestWhere(/*wantPlain=*/true);
+  if (nearest == clusters.size() && !plainOnly)
+    nearest = nearestWhere(/*wantPlain=*/false);
+  return nearest;
+}
+
+}  // namespace
+
+PacorConfig pacorDefaultConfig() { return {}; }
+
+PacorConfig withoutSelectionConfig() {
+  PacorConfig cfg;
+  cfg.useSelection = false;
+  return cfg;
+}
+
+PacorConfig detourFirstConfig() {
+  PacorConfig cfg;
+  cfg.detourStage = DetourStage::kAfterClusterRouting;
+  return cfg;
+}
+
+PacorResult routeChip(const chip::Chip& chip, const PacorConfig& config) {
+  if (const auto err = chip.validate())
+    throw std::invalid_argument("routeChip: invalid chip: " + *err);
+
+  const auto tStart = Clock::now();
+  PacorResult result;
+  result.design = chip.name;
+
+  // Routing workspace: static obstacles plus blocked non-pin boundary
+  // cells (escape constraint 8 applied globally for consistency).
+  grid::ObstacleMap obstacles = chip.makeObstacleMap();
+  {
+    std::unordered_set<geom::Point> pinCells;
+    for (const chip::ControlPin& p : chip.pins) pinCells.insert(p.pos);
+    for (const geom::Point b : chip.routingGrid.boundaryCells())
+      if (!pinCells.contains(b) && obstacles.isFree(b)) obstacles.addObstacle(b);
+  }
+
+  // --- Stage 1: valve clustering -----------------------------------------
+  const auto tCluster = Clock::now();
+  std::vector<ClusterSpec> specs = clusterValves(chip);
+  result.multiValveClusterCount = static_cast<int>(
+      std::count_if(specs.begin(), specs.end(),
+                    [](const ClusterSpec& s) { return s.valves.size() >= 2; }));
+
+  grid::NetId nextNet = 0;
+  const auto allocateNet = [&nextNet] { return nextNet++; };
+  std::vector<WorkCluster> clusters;
+  clusters.reserve(specs.size());
+  for (ClusterSpec& spec : specs) {
+    WorkCluster wc;
+    wc.spec = std::move(spec);
+    wc.net = allocateNet();
+    for (const chip::ValveId v : wc.spec.valves) {
+      const geom::Point cell = chip.valve(v).pos;
+      obstacles.occupy(std::span<const geom::Point>(&cell, 1), wc.net);
+    }
+    clusters.push_back(std::move(wc));
+  }
+  const auto tClusterEnd = Clock::now();
+  result.times.clustering = seconds(tCluster, tClusterEnd);
+
+  // --- Stage 2: length-matching cluster routing --------------------------
+  std::vector<WorkCluster*> lmClusters;
+  for (WorkCluster& wc : clusters)
+    if (wc.wantsMatching() && wc.spec.valves.size() >= 2) lmClusters.push_back(&wc);
+  const LmRoutingStats lmStats =
+      routeLengthMatchingClusters(chip, config, obstacles, lmClusters);
+  result.lmCandidatesBuilt = lmStats.candidatesBuilt;
+  result.selectionExact = lmStats.selectionExact;
+  result.negotiationIterations = lmStats.negotiationIterations;
+
+  // --- Stage 3: MST-based routing of everything else ---------------------
+  {
+    std::vector<WorkCluster> next;
+    next.reserve(clusters.size());
+    for (WorkCluster& wc : clusters) {
+      if (wc.internallyRouted) {
+        next.push_back(std::move(wc));
+        continue;
+      }
+      auto parts = routeWithDeclustering(chip, obstacles, std::move(wc), allocateNet,
+                                         &result.declusteredCount);
+      for (auto& p : parts) next.push_back(std::move(p));
+    }
+    clusters = std::move(next);
+  }
+  const auto tRouteEnd = Clock::now();
+  result.times.clusterRouting = seconds(tClusterEnd, tRouteEnd);
+
+  // --- Optional: detour-first baseline (match around the tap) ------------
+  if (config.detourStage == DetourStage::kAfterClusterRouting) {
+    for (WorkCluster& wc : clusters) {
+      if (!wc.lmStructured || !wc.internallyRouted) continue;
+      detourClusterForMatching(chip, obstacles, wc, wc.tap, chip.delta,
+                               config.detourIterations, nullptr,
+                               config.useBoundedDetour);
+    }
+  }
+
+  // --- Stage 4: escape routing with de-clustering / rip-up rounds --------
+  const auto runEscapeLoop = [&] {
+    for (int round = 0; round < config.maxEscapeRounds; ++round) {
+      ++result.escapeRounds;
+      std::vector<WorkCluster*> ptrs;
+      ptrs.reserve(clusters.size());
+      for (WorkCluster& wc : clusters) ptrs.push_back(&wc);
+      const EscapeOutcome outcome = config.escapeMode == EscapeMode::kMinCostFlow
+                                        ? escapeRoute(chip, obstacles, ptrs)
+                                        : escapeRouteSequential(chip, obstacles, ptrs);
+      if (std::getenv("PACOR_DEBUG")) {
+        std::fprintf(stderr, "escape round %d: requested %d routed %d failed %zu [",
+                     round, outcome.requested, outcome.routedCount,
+                     outcome.failed.size());
+        for (const std::size_t f : outcome.failed)
+          std::fprintf(stderr, " %zu(%zuv,%s)", f, clusters[f].spec.valves.size(),
+                       clusters[f].lmStructured ? "lm" : "plain");
+        std::fprintf(stderr, " ]\n");
+      }
+      if (outcome.failed.empty()) break;
+      if (round + 1 >= config.maxEscapeRounds) break;
+
+      // Decide the remedies BEFORE touching any routing: a walled-in
+      // matched tree first gets a wide tap (matching is restored by the
+      // final detour stage), then demotion as a last resort; plain trees
+      // are split in half; a stuck singleton causes its nearest
+      // multi-valve neighbor -- the likeliest wall around it -- to be
+      // relaxed instead, plain neighbors before matched ones (the paper's
+      // higher rip-up cost for constrained clusters).
+      // relax[] values: 1 = split/demote, 2 = widen the escape tap.
+      std::vector<char> relax(clusters.size(), 0);
+      for (const std::size_t f : outcome.failed) {
+        if (clusters[f].spec.valves.size() >= 2) {
+          if (clusters[f].lmStructured && !clusters[f].wideTap)
+            relax[f] = 2;
+          else
+            relax[f] = 1;
+          continue;
+        }
+        const geom::Point cell = chip.valve(clusters[f].spec.valves.front()).pos;
+        const std::size_t nearest =
+            nearestRelaxable(chip, clusters, relax, f, cell, /*plainOnly=*/false);
+        if (nearest < clusters.size()) relax[nearest] = 1;
+      }
+      if (std::none_of(relax.begin(), relax.end(), [](char c) { return c != 0; }))
+        break;  // nothing left to relax: keep the escapes already routed
+
+      ripAllEscapes(obstacles, clusters);
+
+      std::vector<WorkCluster> next;
+      next.reserve(clusters.size());
+      for (std::size_t i = 0; i < clusters.size(); ++i) {
+        WorkCluster& wc = clusters[i];
+        if (!relax[i]) {
+          next.push_back(std::move(wc));
+          continue;
+        }
+        if (relax[i] == 2) {
+          // Widen: every tree cell becomes a legal escape attachment; the
+          // root-distance bias in escapeRoute deprioritizes leaf
+          // attachments but keeps them available as the last way out of a
+          // walled-in region.
+          std::unordered_set<geom::Point> cells;
+          for (const route::Path& p : wc.treePaths) cells.insert(p.begin(), p.end());
+          wc.tapCells.assign(cells.begin(), cells.end());
+          std::sort(wc.tapCells.begin(), wc.tapCells.end());
+          wc.wideTap = true;
+          next.push_back(std::move(wc));
+          continue;
+        }
+        if (wc.lmStructured) {
+          // Demote: drop the matching structure, reroute as a plain tree.
+          obstacles.release(wc.net);
+          for (const chip::ValveId v : wc.spec.valves) {
+            const geom::Point cell = chip.valve(v).pos;
+            obstacles.occupy(std::span<const geom::Point>(&cell, 1), wc.net);
+          }
+          wc.lmStructured = false;
+          wc.wasDemoted = true;
+          wc.internallyRouted = false;
+          wc.treePaths.clear();
+          wc.sinkSequences.clear();
+          ++result.declusteredCount;
+          auto parts = routeWithDeclustering(chip, obstacles, std::move(wc),
+                                             allocateNet, &result.declusteredCount);
+          for (auto& p : parts) next.push_back(std::move(p));
+        } else {
+          auto parts = forceSplit(chip, obstacles, std::move(wc), allocateNet,
+                                  &result.declusteredCount);
+          for (auto& p : parts) next.push_back(std::move(p));
+        }
+      }
+      clusters = std::move(next);
+    }
+  };
+
+  // --- Stage 5: final path detouring for length matching ------------------
+  const auto runFinalDetour = [&] {
+    for (WorkCluster& wc : clusters) {
+      if (!wc.lmStructured || wc.pin < 0) continue;
+      // The escape may have attached away from the structure's root (wide
+      // taps): re-derive which segments lie on each sink's pin path.
+      if (!wc.escapePath.empty() && wc.escapePath.front() != wc.tap)
+        rebuildDetourStructure(chip, wc);
+      const geom::Point origin = chip.pin(wc.pin).pos;
+      if (config.detourStage == DetourStage::kFinal) {
+        DetourStats stats;
+        detourClusterForMatching(chip, obstacles, wc, origin, chip.delta,
+                                 config.detourIterations, &stats,
+                                 config.useBoundedDetour);
+        result.detourReroutes += stats.reroutes;
+        result.detourBumpFallbacks += stats.bumpFallbacks;
+      } else {
+        // Detour-first: verify that tap-side matching survived escape.
+        const auto lengths = measureValveLengths(chip, wc, origin);
+        const auto [lo, hi] = std::minmax_element(lengths.begin(), lengths.end());
+        wc.lengthMatched = !lengths.empty() && *lo >= 0 && (*hi - *lo) <= chip.delta;
+      }
+    }
+  };
+
+  runEscapeLoop();
+  const auto tEscapeEnd = Clock::now();
+  result.times.escape = seconds(tRouteEnd, tEscapeEnd);
+
+  runFinalDetour();
+
+  // --- Matching-driven rip-up: a constrained cluster that routed but could
+  // not be equalized (typically a wide tap anchored at a leaf because a
+  // plain tree walls it in) gets one more chance: relax the nearest plain
+  // blocker, re-run the escape flow from scratch, and detour again.
+  for (int retry = 0; retry < config.matchingRetries; ++retry) {
+    if (config.detourStage != DetourStage::kFinal) break;
+    std::vector<std::size_t> hopeless;
+    for (std::size_t i = 0; i < clusters.size(); ++i) {
+      const WorkCluster& wc = clusters[i];
+      if (wc.lmStructured && wc.pin >= 0 && wc.wantsMatching() && !wc.lengthMatched)
+        hopeless.push_back(i);
+    }
+    if (hopeless.empty()) break;
+
+    std::vector<char> relax(clusters.size(), 0);
+    bool anyBlocker = false;
+    for (const std::size_t h : hopeless) {
+      const std::size_t blocker = nearestRelaxable(chip, clusters, relax, h,
+                                                   clusters[h].tap, /*plainOnly=*/true);
+      if (blocker < clusters.size()) {
+        relax[blocker] = 1;
+        anyBlocker = true;
+      }
+    }
+    if (!anyBlocker) break;
+
+    ripAllEscapes(obstacles, clusters);
+    std::vector<WorkCluster> next;
+    next.reserve(clusters.size());
+    for (std::size_t i = 0; i < clusters.size(); ++i) {
+      WorkCluster& wc = clusters[i];
+      if (relax[i]) {
+        auto parts = forceSplit(chip, obstacles, std::move(wc), allocateNet,
+                                &result.declusteredCount);
+        for (auto& p : parts) next.push_back(std::move(p));
+        continue;
+      }
+      if (wc.lmStructured && wc.wantsMatching() && !wc.lengthMatched) {
+        // Give the original DME root another chance now that space opened.
+        wc.wideTap = false;
+        wc.tap = wc.rootTap;
+        wc.tapCells = {wc.rootTap};
+      }
+      next.push_back(std::move(wc));
+    }
+    clusters = std::move(next);
+
+    runEscapeLoop();
+    runFinalDetour();
+  }
+  const auto tDetourEnd = Clock::now();
+  result.times.detour = seconds(tEscapeEnd, tDetourEnd);
+
+  // --- Harvest ------------------------------------------------------------
+  result.complete = true;
+  for (WorkCluster& wc : clusters) {
+    RoutedCluster rc;
+    rc.valves = wc.spec.valves;
+    rc.lengthMatchRequested = wc.spec.lengthMatched && !wc.wasDemoted;
+    rc.lengthMatched = wc.lengthMatched;
+    rc.pin = wc.pin;
+    rc.treePaths = wc.treePaths;
+    rc.escapePath = wc.escapePath;
+    rc.tap = wc.tap;
+    rc.routed = wc.pin >= 0;
+    if (rc.routed) {
+      rc.valveLengths = measureValveLengths(chip, wc, chip.pin(wc.pin).pos);
+      rc.routed = std::all_of(rc.valveLengths.begin(), rc.valveLengths.end(),
+                              [](std::int64_t l) { return l >= 0; });
+    }
+    rc.totalLength = std::max<std::int64_t>(0, obstacles.countOwnedBy(wc.net) - 1);
+    if (!rc.routed) result.complete = false;
+    result.totalChannelLength += rc.totalLength;
+    if (rc.lengthMatchRequested && rc.lengthMatched) {
+      ++result.matchedClusterCount;
+      result.matchedChannelLength += rc.totalLength;
+    }
+    result.clusters.push_back(std::move(rc));
+  }
+  result.times.total = seconds(tStart, Clock::now());
+  return result;
+}
+
+}  // namespace pacor::core

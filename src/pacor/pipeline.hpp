@@ -1,0 +1,22 @@
+#pragma once
+
+#include "chip/chip.hpp"
+#include "pacor/config.hpp"
+#include "pacor/result.hpp"
+
+namespace pacor::core {
+
+/// Runs the full PACOR control-layer routing flow (paper Fig. 2) on a
+/// chip instance: valve clustering, length-matching cluster routing (DME
+/// candidates, MWCP selection, negotiation), MST-based routing of plain
+/// clusters, min-cost-flow escape routing with de-clustering / rip-up
+/// rounds, and path detouring for length matching. Throws
+/// std::invalid_argument when the chip fails validation.
+PacorResult routeChip(const chip::Chip& chip, const PacorConfig& config = {});
+
+/// Convenience configurations for the paper's Table 2 self-comparison.
+PacorConfig pacorDefaultConfig();   ///< the full flow
+PacorConfig withoutSelectionConfig();  ///< "w/o Sel"
+PacorConfig detourFirstConfig();    ///< "Detour First"
+
+}  // namespace pacor::core

@@ -1,0 +1,85 @@
+#include "pacor/report.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace pacor::core {
+
+std::int64_t RoutedCluster::lengthSpread() const {
+  if (valveLengths.empty() || !routed) return 0;
+  const auto [lo, hi] = std::minmax_element(valveLengths.begin(), valveLengths.end());
+  return *hi - *lo;
+}
+
+std::string describeResult(const PacorResult& result) {
+  std::ostringstream os;
+  os << "design " << result.design << ": " << result.clusters.size() << " clusters ("
+     << result.multiValveClusterCount << " multi-valve), "
+     << (result.complete ? "100% routed" : "INCOMPLETE") << ", matched "
+     << result.matchedClusterCount << ", total length " << result.totalChannelLength
+     << ", matched length " << result.matchedChannelLength << ", "
+     << result.escapeRounds << " escape round(s), " << result.declusteredCount
+     << " declustered\n";
+  for (std::size_t i = 0; i < result.clusters.size(); ++i) {
+    const RoutedCluster& c = result.clusters[i];
+    os << "  cluster " << i << " [";
+    for (std::size_t k = 0; k < c.valves.size(); ++k)
+      os << (k ? "," : "") << c.valves[k];
+    os << "] pin=" << c.pin << " len=" << c.totalLength;
+    if (c.lengthMatchRequested)
+      os << " match=" << (c.lengthMatched ? "yes" : "NO")
+         << " spread=" << c.lengthSpread();
+    if (!c.routed) os << " UNROUTED";
+    os << '\n';
+  }
+  return os.str();
+}
+
+namespace {
+
+void printGroup(std::ostream& os, std::int64_t a, std::int64_t b, std::int64_t c,
+                int width) {
+  os << std::setw(width) << a << std::setw(width) << b << std::setw(width) << c;
+}
+
+}  // namespace
+
+void printTable2Header(std::ostream& os) {
+  os << std::left << std::setw(8) << "Design" << std::right << std::setw(10)
+     << "#Clusters"
+     << " |" << std::setw(8) << "w/oSel" << std::setw(8) << "DetF" << std::setw(8)
+     << "PACOR"
+     << " |" << std::setw(9) << "w/oSel" << std::setw(9) << "DetF" << std::setw(9)
+     << "PACOR"
+     << " |" << std::setw(9) << "w/oSel" << std::setw(9) << "DetF" << std::setw(9)
+     << "PACOR"
+     << " |" << std::setw(9) << "w/oSel" << std::setw(9) << "DetF" << std::setw(9)
+     << "PACOR" << '\n';
+  os << std::left << std::setw(8) << "" << std::right << std::setw(10) << ""
+     << " |" << std::setw(24) << "#Matched Clusters"
+     << " |" << std::setw(27) << "Matched channel length"
+     << " |" << std::setw(27) << "Total channel length"
+     << " |" << std::setw(27) << "Runtime (s)" << '\n';
+}
+
+void printTable2Row(std::ostream& os, const PacorResult& withoutSel,
+                    const PacorResult& detourFirst, const PacorResult& pacor) {
+  os << std::left << std::setw(8) << pacor.design << std::right << std::setw(10)
+     << pacor.multiValveClusterCount << " |";
+  printGroup(os, withoutSel.matchedClusterCount, detourFirst.matchedClusterCount,
+             pacor.matchedClusterCount, 8);
+  os << " |";
+  printGroup(os, withoutSel.matchedChannelLength, detourFirst.matchedChannelLength,
+             pacor.matchedChannelLength, 9);
+  os << " |";
+  printGroup(os, withoutSel.totalChannelLength, detourFirst.totalChannelLength,
+             pacor.totalChannelLength, 9);
+  os << " |" << std::fixed << std::setprecision(3) << std::setw(9)
+     << withoutSel.times.total << std::setw(9) << detourFirst.times.total
+     << std::setw(9) << pacor.times.total << '\n';
+  os.unsetf(std::ios::fixed);
+}
+
+}  // namespace pacor::core

@@ -1,0 +1,22 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "pacor/result.hpp"
+
+namespace pacor::core {
+
+/// Human-readable per-cluster summary of a routing result (lengths,
+/// matching state, pins) — the detailed companion of the Table 2 row.
+std::string describeResult(const PacorResult& result);
+
+/// Prints the Table 2 header (paper layout: #Matched Clusters, matched
+/// channel length, total channel length, runtime for the three variants).
+void printTable2Header(std::ostream& os);
+
+/// Prints one Table 2 row comparing the three flow variants on a design.
+void printTable2Row(std::ostream& os, const PacorResult& withoutSel,
+                    const PacorResult& detourFirst, const PacorResult& pacor);
+
+}  // namespace pacor::core

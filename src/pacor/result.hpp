@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chip/chip.hpp"
+#include "route/path.hpp"
+
+namespace pacor::core {
+
+/// Final routing state of one cluster (a pin-sharing valve group).
+struct RoutedCluster {
+  std::vector<chip::ValveId> valves;
+  bool lengthMatchRequested = false;  ///< carried the constraint on input
+  bool lengthMatched = false;         ///< final lengths within delta
+  bool routed = false;                ///< every valve connected to the pin
+  chip::PinId pin = -1;
+
+  std::vector<route::Path> treePaths;  ///< intra-cluster channels
+  route::Path escapePath;              ///< tap ... pin channel
+  geom::Point tap;                     ///< Steiner root / middle point / valve
+
+  /// Channel length from the pin to each valve (same order as `valves`),
+  /// measured through the routed cells; -1 when unrouted.
+  std::vector<std::int64_t> valveLengths;
+
+  /// Edge count of all channels of this cluster (cells - 1 of the union).
+  std::int64_t totalLength = 0;
+
+  std::int64_t lengthSpread() const;  ///< max - min of valveLengths (0 if unrouted)
+};
+
+/// Per-stage wall-clock breakdown (seconds).
+struct StageTimes {
+  double clustering = 0.0;
+  double clusterRouting = 0.0;
+  double escape = 0.0;
+  double detour = 0.0;
+  double total = 0.0;
+};
+
+/// Complete result of one PACOR run — everything Table 2 reports, plus
+/// the routed geometry for visualization and simulation.
+struct PacorResult {
+  std::string design;
+  std::vector<RoutedCluster> clusters;
+
+  bool complete = false;             ///< 100% routing completion
+  int multiValveClusterCount = 0;    ///< Table 2 "#Clusters" (>= 2 valves)
+  int matchedClusterCount = 0;       ///< Table 2 "#Matched Clusters"
+  std::int64_t matchedChannelLength = 0;  ///< total length of matched clusters
+  std::int64_t totalChannelLength = 0;
+  StageTimes times;
+
+  int escapeRounds = 0;     ///< de-clustering / rip-up rounds used
+  int declusteredCount = 0; ///< clusters split or demoted during rip-up
+
+  // Stage diagnostics (filled by the pipeline).
+  int lmCandidatesBuilt = 0;      ///< candidate Steiner trees constructed
+  bool selectionExact = true;     ///< MWCP solved to optimality (vs heuristic)
+  int negotiationIterations = 0;  ///< Alg. 1 iterations consumed
+  int detourReroutes = 0;         ///< successful bounded-length reroutes
+  int detourBumpFallbacks = 0;    ///< of which via bump insertion
+};
+
+}  // namespace pacor::core

@@ -1,0 +1,192 @@
+#include "route/astar.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "geom/rect.hpp"
+
+namespace pacor::route {
+namespace {
+
+struct QItem {
+  double f;
+  double g;
+  std::int32_t cell;
+
+  bool operator>(const QItem& o) const noexcept { return f > o.f; }
+};
+
+}  // namespace
+
+namespace {
+
+/// Direction-aware variant: states are (cell, incoming direction), so a
+/// turn can be charged request.bendPenalty. Used when bendPenalty > 0.
+AStarResult aStarRouteWithBends(const grid::ObstacleMap& obstacles,
+                                const AStarRequest& request) {
+  AStarResult result;
+  const grid::Grid& g = obstacles.grid();
+
+  geom::Rect targetBox = geom::Rect::fromPoint(request.targets.front());
+  for (const Point t : request.targets)
+    targetBox = targetBox.unionWith(geom::Rect::fromPoint(t));
+  const auto heuristic = [&](Point p) {
+    return static_cast<double>(targetBox.manhattanTo(p));
+  };
+  const auto usable = [&](Point p) { return obstacles.isFreeFor(p, request.net); };
+
+  const auto cellCount = static_cast<std::size_t>(g.cellCount());
+  std::vector<char> isTarget(cellCount, 0);
+  for (const Point t : request.targets)
+    if (g.inBounds(t)) isTarget[static_cast<std::size_t>(g.index(t))] = 1;
+
+  // State = cell * 5 + dir; dir 4 = "no direction yet" (source states).
+  constexpr std::size_t kDirs = 5;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(cellCount * kDirs, kInf);
+  std::vector<std::int64_t> parent(cellCount * kDirs, -1);
+
+  struct Item {
+    double f;
+    double gCost;
+    std::int64_t state;
+    bool operator>(const Item& o) const noexcept { return f > o.f; }
+  };
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> open;
+
+  const auto stepCost = [&](Point q) {
+    double c = 1.0;
+    if (request.historyCost != nullptr)
+      c += (*request.historyCost)[static_cast<std::size_t>(g.index(q))];
+    return c;
+  };
+
+  for (const Point s : request.sources) {
+    if (!g.inBounds(s) || !usable(s)) continue;
+    const auto state = static_cast<std::size_t>(g.index(s)) * kDirs + 4;
+    if (dist[state] > 0.0) {
+      dist[state] = 0.0;
+      open.push({heuristic(s), 0.0, static_cast<std::int64_t>(state)});
+    }
+  }
+
+  while (!open.empty()) {
+    const Item top = open.top();
+    open.pop();
+    const auto state = static_cast<std::size_t>(top.state);
+    if (top.gCost > dist[state]) continue;
+    const auto cellIdx = static_cast<std::int32_t>(state / kDirs);
+    const auto dir = state % kDirs;
+    const Point p = g.point(cellIdx);
+    if (isTarget[static_cast<std::size_t>(cellIdx)]) {
+      result.success = true;
+      result.cost = top.gCost;
+      for (std::int64_t st = top.state; st != -1;
+           st = parent[static_cast<std::size_t>(st)])
+        result.path.push_back(g.point(static_cast<std::int32_t>(st / kDirs)));
+      std::reverse(result.path.begin(), result.path.end());
+      // A state chain may stay on one cell only at the source; dedupe.
+      result.path.erase(std::unique(result.path.begin(), result.path.end(),
+                                    [](Point a, Point b) { return a == b; }),
+                        result.path.end());
+      return result;
+    }
+    for (std::size_t d = 0; d < grid::Grid::kNeighborOffsets.size(); ++d) {
+      const Point q = p + grid::Grid::kNeighborOffsets[d];
+      if (!g.inBounds(q) || !usable(q)) continue;
+      const double turn = (dir != 4 && dir != d) ? request.bendPenalty : 0.0;
+      const double ng = top.gCost + stepCost(q) + turn;
+      const auto nextState = static_cast<std::size_t>(g.index(q)) * kDirs + d;
+      if (ng < dist[nextState]) {
+        dist[nextState] = ng;
+        parent[nextState] = top.state;
+        open.push({ng + heuristic(q), ng, static_cast<std::int64_t>(nextState)});
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+AStarResult aStarRoute(const grid::ObstacleMap& obstacles, const AStarRequest& request) {
+  AStarResult result;
+  if (request.sources.empty() || request.targets.empty()) return result;
+  if (request.bendPenalty > 0.0) return aStarRouteWithBends(obstacles, request);
+  const grid::Grid& g = obstacles.grid();
+
+  geom::Rect targetBox = geom::Rect::fromPoint(request.targets.front());
+  for (const Point t : request.targets) targetBox = targetBox.unionWith(geom::Rect::fromPoint(t));
+  const auto heuristic = [&](Point p) {
+    return static_cast<double>(targetBox.manhattanTo(p));
+  };
+
+  const auto usable = [&](Point p) { return obstacles.isFreeFor(p, request.net); };
+
+  std::vector<char> isTarget(static_cast<std::size_t>(g.cellCount()), 0);
+  for (const Point t : request.targets)
+    if (g.inBounds(t)) isTarget[static_cast<std::size_t>(g.index(t))] = 1;
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(static_cast<std::size_t>(g.cellCount()), kInf);
+  std::vector<std::int32_t> parent(static_cast<std::size_t>(g.cellCount()), -1);
+  std::priority_queue<QItem, std::vector<QItem>, std::greater<>> open;
+
+  const auto stepCost = [&](Point q) {
+    double c = 1.0;
+    if (request.historyCost != nullptr)
+      c += (*request.historyCost)[static_cast<std::size_t>(g.index(q))];
+    return c;
+  };
+
+  for (const Point s : request.sources) {
+    if (!g.inBounds(s) || !usable(s)) continue;
+    const auto idx = static_cast<std::size_t>(g.index(s));
+    if (dist[idx] > 0.0) {
+      dist[idx] = 0.0;
+      open.push({heuristic(s), 0.0, g.index(s)});
+    }
+  }
+
+  while (!open.empty()) {
+    const QItem top = open.top();
+    open.pop();
+    const auto cellIdx = static_cast<std::size_t>(top.cell);
+    if (top.g > dist[cellIdx]) continue;  // stale entry
+    const Point p = g.point(top.cell);
+    if (isTarget[cellIdx]) {
+      result.success = true;
+      result.cost = top.g;
+      for (std::int32_t c = top.cell; c != -1; c = parent[static_cast<std::size_t>(c)])
+        result.path.push_back(g.point(c));
+      std::reverse(result.path.begin(), result.path.end());
+      return result;
+    }
+    g.forNeighbors(p, [&](Point q) {
+      if (!usable(q)) return;
+      const auto qIdx = static_cast<std::size_t>(g.index(q));
+      const double ng = top.g + stepCost(q);
+      if (ng < dist[qIdx]) {
+        dist[qIdx] = ng;
+        parent[qIdx] = top.cell;
+        open.push({ng + heuristic(q), ng, g.index(q)});
+      }
+    });
+  }
+  return result;
+}
+
+AStarResult aStarPointToPoint(const grid::ObstacleMap& obstacles, Point source,
+                              Point target, grid::NetId net,
+                              const std::vector<double>* historyCost) {
+  AStarRequest req;
+  req.sources = {source};
+  req.targets = {target};
+  req.net = net;
+  req.historyCost = historyCost;
+  return aStarRoute(obstacles, req);
+}
+
+}  // namespace pacor::route

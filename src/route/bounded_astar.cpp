@@ -1,0 +1,106 @@
+#include "route/bounded_astar.hpp"
+
+#include <algorithm>
+#include <array>
+#include <unordered_set>
+
+namespace pacor::route {
+namespace {
+
+/// Visit budget: beyond this the geometry is too constrained for the
+/// search and the caller should fall back to bump insertion.
+constexpr std::size_t kMaxVisits = 400'000;
+
+/// Depth-first search over *simple* paths with window pruning. Simplicity
+/// is guaranteed by construction (the current path doubles as the used-
+/// cell set). The neighbor order implements the paper's modified-A*
+/// intent: while the remaining straight-line completion would undershoot
+/// the bound, wander away from the target (consume slack); once
+/// g + H >= minLength, head straight home. The first accepted path
+/// therefore lands near the window bottom.
+struct Dfs {
+  const grid::ObstacleMap& obstacles;
+  const BoundedAStarRequest& req;
+  Path path;
+  std::unordered_set<Point> used;
+  std::size_t visits = 0;
+
+  bool run() {
+    path.push_back(req.source);
+    used.insert(req.source);
+    return extend(req.source, 0);
+  }
+
+  bool extend(Point cell, std::int64_t g) {
+    if (cell == req.target)
+      return g >= req.minLength;  // g <= maxLength by pruning
+    if (++visits > kMaxVisits) return false;
+
+    std::array<Point, 4> order{};
+    std::size_t n = 0;
+    obstacles.grid().forNeighbors(cell, [&](Point q) { order[n++] = q; });
+    // The paper's penalty priority: F = max(g + H, minLength). Under the
+    // bound all F tie at minLength, so prefer the neighbor that consumes
+    // the most slack (largest H); above it, smaller F = head straight home.
+    const auto key = [&](Point q) {
+      const std::int64_t h = geom::manhattan(q, req.target);
+      const std::int64_t f = std::max(g + 1 + h, req.minLength);
+      const std::int64_t tie = (g + 1 + h < req.minLength) ? -h : h;
+      return std::pair(f, tie);
+    };
+    std::stable_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(n),
+                     [&](Point a, Point b) { return key(a) < key(b); });
+
+    for (std::size_t i = 0; i < n; ++i) {
+      const Point q = order[i];
+      if (!obstacles.isFreeFor(q, req.net) || used.contains(q)) continue;
+      const std::int64_t ng = g + 1;
+      // Window pruning: even the straight completion must fit under the
+      // cap. Parity makes minLength implicitly reachable whenever some
+      // value of the path's parity class lies in the window.
+      const std::int64_t straight = ng + geom::manhattan(q, req.target);
+      if (straight > req.maxLength) continue;
+      path.push_back(q);
+      used.insert(q);
+      if (extend(q, ng)) return true;
+      path.pop_back();
+      used.erase(q);
+      if (visits > kMaxVisits) return false;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+BoundedAStarResult boundedLengthRoute(const grid::ObstacleMap& obstacles,
+                                      const BoundedAStarRequest& request) {
+  BoundedAStarResult result;
+  const grid::Grid& g = obstacles.grid();
+  if (!g.inBounds(request.source) || !g.inBounds(request.target)) return result;
+  if (!obstacles.isFreeFor(request.source, request.net) ||
+      !obstacles.isFreeFor(request.target, request.net))
+    return result;
+  if (request.maxLength < request.minLength) return result;
+  const std::int64_t straight = geom::manhattan(request.source, request.target);
+  if (request.maxLength < straight) return result;
+  // Parity feasibility: reachable lengths are straight + 2k.
+  std::int64_t feasible = request.maxLength;
+  if (((feasible - straight) & 1) != 0) --feasible;
+  if (feasible < request.minLength) return result;
+  if (request.source == request.target) {
+    if (request.minLength > 0) return result;  // loops are not simple paths
+    result.success = true;
+    result.path = {request.source};
+    return result;
+  }
+
+  Dfs dfs{obstacles, request, {}, {}, 0};
+  if (!dfs.run()) return result;
+  result.success = true;
+  result.path = std::move(dfs.path);
+  result.length = pathLength(result.path);
+  return result;
+}
+
+}  // namespace pacor::route

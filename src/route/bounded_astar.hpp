@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+
+#include "grid/obstacle_map.hpp"
+#include "route/path.hpp"
+
+namespace pacor::route {
+
+/// Minimum-length *bounded* routing (paper Sec. 6): find a path from
+/// source to target whose length is at least `minLength`, and as short as
+/// possible above that bound. This is the primitive that detours a too-
+/// short channel up to the cluster's [maxL - delta, maxL] window.
+struct BoundedAStarRequest {
+  Point source;
+  Point target;
+  grid::NetId net = grid::kFreeCell;   ///< own cells passable
+  std::int64_t minLength = 0;          ///< L_t, lower bound on path length
+  std::int64_t maxLength = 0;          ///< hard cap (window top, parity-reachable)
+};
+
+struct BoundedAStarResult {
+  bool success = false;
+  Path path;
+  std::int64_t length = 0;
+};
+
+/// Budgeted depth-first search over *simple* paths (a physical channel
+/// cannot self-intersect) with window pruning: a partial path is cut as
+/// soon as even its straight-line completion would overshoot maxLength.
+/// Neighbor ordering realizes the paper's modified-A* intent -- the under-
+/// bound penalty steers away from the target while g + H < minLength and
+/// straight home afterwards -- so the first accepted path lands near the
+/// window bottom ("minimum" bounded length). On search-budget exhaustion
+/// (pathological mazes) the caller falls back to bump insertion
+/// (bump_detour.hpp).
+BoundedAStarResult boundedLengthRoute(const grid::ObstacleMap& obstacles,
+                                      const BoundedAStarRequest& request);
+
+}  // namespace pacor::route

@@ -1,0 +1,87 @@
+#include "route/bump_detour.hpp"
+
+#include <unordered_set>
+
+namespace pacor::route {
+namespace {
+
+/// Largest length in [minLength, maxLength] reachable from `current` by
+/// even increments (grid parity invariant), or -1 when the window misses
+/// the parity class entirely.
+std::int64_t parityTarget(std::int64_t current, std::int64_t minLength,
+                          std::int64_t maxLength) {
+  if (maxLength < current) return -1;  // bumps only lengthen
+  std::int64_t target = maxLength;
+  if (((target - current) & 1) != 0) --target;
+  if (target < minLength || target < current) return -1;
+  return target;
+}
+
+}  // namespace
+
+BumpDetourResult bumpDetour(const grid::ObstacleMap& obstacles,
+                            const BumpDetourRequest& request) {
+  BumpDetourResult result;
+  if (!isValidChannel(request.path) || request.path.size() < 2) return result;
+
+  Path path = request.path;
+  std::int64_t cur = pathLength(path);
+  if (cur >= request.minLength && cur <= request.maxLength) {
+    result.success = true;
+    result.path = std::move(path);
+    result.length = cur;
+    return result;
+  }
+
+  const std::int64_t target = parityTarget(cur, request.minLength, request.maxLength);
+  if (target < 0) return result;
+  std::int64_t need = (target - cur) / 2;  // total bump depth still required
+
+  const grid::Grid& g = obstacles.grid();
+  std::unordered_set<Point> used(path.begin(), path.end());
+  const auto hostable = [&](Point c) {
+    return g.inBounds(c) && obstacles.isFree(c) && !used.contains(c);
+  };
+
+  while (need > 0) {
+    bool progress = false;
+    for (std::size_t i = 0; i + 1 < path.size() && need > 0; ++i) {
+      const Point a = path[i];
+      const Point b = path[i + 1];
+      const Point dir = b - a;
+      for (const Point perp : {Point{-dir.y, dir.x}, Point{dir.y, -dir.x}}) {
+        // Deepest feasible excursion on this side, capped by the need.
+        std::int64_t depth = 0;
+        while (depth < need) {
+          const Point ca = a + perp * static_cast<std::int32_t>(depth + 1);
+          const Point cb = b + perp * static_cast<std::int32_t>(depth + 1);
+          if (!hostable(ca) || !hostable(cb)) break;
+          ++depth;
+        }
+        if (depth == 0) continue;
+
+        Path bump;
+        bump.reserve(static_cast<std::size_t>(2 * depth));
+        for (std::int64_t k = 1; k <= depth; ++k)
+          bump.push_back(a + perp * static_cast<std::int32_t>(k));
+        for (std::int64_t k = depth; k >= 1; --k)
+          bump.push_back(b + perp * static_cast<std::int32_t>(k));
+        used.insert(bump.begin(), bump.end());
+        path.insert(path.begin() + static_cast<std::ptrdiff_t>(i) + 1, bump.begin(),
+                    bump.end());
+        need -= depth;
+        i += static_cast<std::size_t>(2 * depth) + 1;  // resume after the bump
+        progress = true;
+        break;
+      }
+    }
+    if (!progress) return result;  // no free space anywhere along the path
+  }
+
+  result.success = true;
+  result.length = pathLength(path);
+  result.path = std::move(path);
+  return result;
+}
+
+}  // namespace pacor::route

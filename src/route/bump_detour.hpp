@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+
+#include "grid/obstacle_map.hpp"
+#include "route/path.hpp"
+
+namespace pacor::route {
+
+/// Serpentine ("bump") detour insertion: lengthen an existing routed path
+/// to a target window by replacing straight edges with U-shaped excursions
+/// into free space. Each bump of depth d adds exactly 2*d to the length,
+/// preserving the grid parity invariant, and keeps the path simple by
+/// construction. This is the robust fallback behind the bounded-length A*
+/// (paper Sec. 6) and mirrors how hand-designed biochips meander control
+/// channels for matching.
+struct BumpDetourRequest {
+  Path path;                          ///< current path (endpoints fixed)
+  grid::NetId net = grid::kFreeCell;  ///< cells owned by net are NOT reusable;
+                                      ///< only genuinely free cells host bumps
+  std::int64_t minLength = 0;         ///< window bottom
+  std::int64_t maxLength = 0;         ///< window top
+};
+
+struct BumpDetourResult {
+  bool success = false;
+  Path path;
+  std::int64_t length = 0;
+};
+
+/// Greedily inserts bumps until the length enters [minLength, maxLength].
+/// Fails when free space around the path cannot absorb the needed slack.
+/// `obstacles` is read-only; the caller re-commits the returned path.
+BumpDetourResult bumpDetour(const grid::ObstacleMap& obstacles,
+                            const BumpDetourRequest& request);
+
+}  // namespace pacor::route

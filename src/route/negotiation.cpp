@@ -1,0 +1,114 @@
+#include "route/negotiation.hpp"
+
+#include <unordered_set>
+
+#include "route/astar.hpp"
+
+namespace pacor::route {
+namespace {
+
+/// Local net ids for the per-edge occupancy inside the negotiation map.
+grid::NetId edgeNet(std::size_t edgeIndex) {
+  return static_cast<grid::NetId>(edgeIndex) + 1'000'000;
+}
+
+}  // namespace
+
+NegotiationResult negotiatedRoute(const grid::ObstacleMap& obstacles,
+                                  std::span<const NegotiationEdge> edges,
+                                  const NegotiationConfig& config) {
+  NegotiationResult result;
+  result.paths.assign(edges.size(), {});
+  result.routed.assign(edges.size(), false);
+  if (edges.empty()) {
+    result.success = true;
+    return result;
+  }
+
+  const grid::Grid& g = obstacles.grid();
+  std::vector<double> history(static_cast<std::size_t>(g.cellCount()), 0.0);
+
+  // Terminal cells per edge (merging nodes may be shared within a group).
+  std::vector<std::unordered_set<Point>> terminals(edges.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    terminals[i].insert(edges[i].a.begin(), edges[i].a.end());
+    terminals[i].insert(edges[i].b.begin(), edges[i].b.end());
+  }
+
+  for (int r = 0; r < config.maxIterations; ++r) {
+    result.iterations = r + 1;
+    grid::ObstacleMap local = obstacles;  // fresh occupancy every iteration
+    // Terminal cells may arrive owned by the caller (e.g. valve cells
+    // pre-claimed by their cluster's net); they belong to the edges being
+    // routed here, so open them up inside the local map.
+    for (const auto& terms : terminals)
+      for (const Point t : terms) {
+        const grid::NetId owner = local.owner(t);
+        if (owner >= 0 && owner < edgeNet(0))
+          local.releasePath(std::span<const Point>(&t, 1), owner);
+      }
+    bool done = true;
+
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      result.routed[i] = false;
+      result.paths[i].clear();
+
+      // Terminal cells occupied by sibling edges of the same group are
+      // legal connection points: temporarily release them for this search.
+      std::vector<std::pair<Point, grid::NetId>> restored;
+      for (const Point t : terminals[i]) {
+        const grid::NetId owner = local.owner(t);
+        if (owner >= edgeNet(0)) {
+          const auto ownerIdx = static_cast<std::size_t>(owner - edgeNet(0));
+          if (ownerIdx < edges.size() && edges[ownerIdx].group == edges[i].group) {
+            restored.emplace_back(t, owner);
+            local.releasePath(std::span<const Point>(&t, 1), owner);
+          }
+        }
+      }
+
+      AStarRequest req;
+      req.sources = edges[i].a;
+      req.targets = edges[i].b;
+      req.net = edgeNet(i);
+      req.historyCost = &history;
+      AStarResult found = aStarRoute(local, req);
+
+      if (found.success) {
+        // Released terminal cells that the path did not use go back to
+        // their sibling owner; used ones transfer to this edge.
+        const std::unordered_set<Point> onPath(found.path.begin(), found.path.end());
+        for (const auto& [cell, owner] : restored)
+          if (!onPath.count(cell)) local.occupy(std::span<const Point>(&cell, 1), owner);
+        local.occupy(found.path, edgeNet(i));
+        result.paths[i] = std::move(found.path);
+        result.routed[i] = true;
+      } else {
+        // Failed edge: put the released terminals back and mark iteration.
+        for (const auto& [cell, owner] : restored)
+          local.occupy(std::span<const Point>(&cell, 1), owner);
+        done = false;
+      }
+    }
+
+    if (done) {
+      result.success = true;
+      return result;
+    }
+
+    // Eq. 5: bump history on every cell of every routed path, then rip all
+    // paths up (the fresh `local` next iteration performs the rip).
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      if (!result.routed[i]) continue;
+      for (const Point p : result.paths[i]) {
+        double& h = history[static_cast<std::size_t>(g.index(p))];
+        h = config.baseHistoryCost + config.alpha * h;
+      }
+    }
+  }
+
+  result.success = false;
+  return result;
+}
+
+}  // namespace pacor::route

@@ -1,0 +1,40 @@
+#include "sim/analysis.hpp"
+
+#include <algorithm>
+
+namespace pacor::sim {
+
+SkewReport analyzeSkew(const chip::Chip& chip, const core::PacorResult& result,
+                       const ChannelModel& model) {
+  SkewReport report;
+  for (std::size_t i = 0; i < result.clusters.size(); ++i) {
+    const core::RoutedCluster& c = result.clusters[i];
+    if (c.valves.size() < 2) continue;
+
+    ClusterSkew entry;
+    entry.clusterIndex = i;
+    entry.lengthMatchRequested = c.lengthMatchRequested;
+    entry.lengthMatched = c.lengthMatched;
+
+    if (c.pin >= 0) {
+      std::vector<route::Path> paths = c.treePaths;
+      paths.push_back(c.escapePath);
+      std::vector<geom::Point> valves;
+      valves.reserve(c.valves.size());
+      for (const chip::ValveId v : c.valves) valves.push_back(chip.valve(v).pos);
+      if (const auto tree =
+              ChannelTree::build(chip.pin(c.pin).pos, paths, valves, model)) {
+        entry.elmoreSkew = tree->skew(valves);
+        if (c.lengthMatchRequested && c.lengthMatched)
+          report.worstMatchedSkew = std::max(report.worstMatchedSkew, entry.elmoreSkew);
+        else
+          report.worstUnmatchedSkew =
+              std::max(report.worstUnmatchedSkew, entry.elmoreSkew);
+      }
+    }
+    report.clusters.push_back(entry);
+  }
+  return report;
+}
+
+}  // namespace pacor::sim

@@ -1,0 +1,17 @@
+#pragma once
+
+#include "chip/chip.hpp"
+#include "pacor/result.hpp"
+#include "sim/pressure.hpp"
+
+namespace pacor::sim {
+
+/// Builds an RC channel tree for every multi-valve cluster of a routing
+/// result and reports the Elmore actuation skew between its valves --
+/// the physical quantity the length-matching constraint controls. A
+/// cluster that is unrouted or whose channels do not form a tree gets
+/// elmoreSkew = -1 and is excluded from the worst-case aggregates.
+SkewReport analyzeSkew(const chip::Chip& chip, const core::PacorResult& result,
+                       const ChannelModel& model = {});
+
+}  // namespace pacor::sim

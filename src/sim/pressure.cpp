@@ -1,0 +1,118 @@
+#include "sim/pressure.hpp"
+
+#include "grid/grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <unordered_set>
+
+namespace pacor::sim {
+
+std::optional<ChannelTree> ChannelTree::build(Point root,
+                                              std::span<const route::Path> paths,
+                                              std::span<const Point> valves,
+                                              const ChannelModel& model) {
+  // Collect unique cells and 4-adjacency among them.
+  std::unordered_set<Point> cellSet;
+  for (const auto& path : paths) cellSet.insert(path.begin(), path.end());
+  if (!cellSet.contains(root)) return std::nullopt;
+
+  ChannelTree tree;
+  tree.model_ = model;
+  std::unordered_set<Point> valveSet(valves.begin(), valves.end());
+
+  // BFS from the root over channel cells; visiting everything exactly once
+  // certifies the net is a connected tree rooted at the pin.
+  std::queue<Point> frontier;
+  frontier.push(root);
+  tree.index_.emplace(root, 0);
+  tree.cells_.push_back(root);
+  tree.parent_.push_back(-1);
+  while (!frontier.empty()) {
+    const Point p = frontier.front();
+    frontier.pop();
+    const int pi = tree.index_.at(p);
+    for (const Point d : grid::Grid::kNeighborOffsets) {
+      const Point q = p + d;
+      if (!cellSet.contains(q) || tree.index_.contains(q)) continue;
+      tree.index_.emplace(q, static_cast<int>(tree.cells_.size()));
+      tree.cells_.push_back(q);
+      tree.parent_.push_back(pi);
+      frontier.push(q);
+    }
+  }
+  if (tree.cells_.size() != cellSet.size()) return std::nullopt;  // disconnected
+
+  const std::size_t n = tree.cells_.size();
+  tree.capacitance_.resize(n);
+  for (std::size_t i = 0; i < n; ++i)
+    tree.capacitance_[i] = model.segmentCapacitance +
+                           (valveSet.contains(tree.cells_[i]) ? model.valveCapacitance : 0.0);
+
+  // Subtree capacitance bottom-up (children have larger BFS index).
+  std::vector<double> subCap = tree.capacitance_;
+  for (std::size_t i = n; i-- > 1;) subCap[static_cast<std::size_t>(tree.parent_[i])] += subCap[i];
+
+  // Elmore top-down: delay(child) = delay(parent) + R_edge * subCap(child).
+  tree.elmore_.assign(n, 0.0);
+  for (std::size_t i = 1; i < n; ++i)
+    tree.elmore_[i] = tree.elmore_[static_cast<std::size_t>(tree.parent_[i])] +
+                      model.segmentResistance * subCap[i];
+  return tree;
+}
+
+double ChannelTree::elmoreDelay(Point cell) const {
+  const auto it = index_.find(cell);
+  return it == index_.end() ? -1.0 : elmore_[static_cast<std::size_t>(it->second)];
+}
+
+double ChannelTree::skew(std::span<const Point> cells) const {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -lo;
+  for (const Point c : cells) {
+    const double d = elmoreDelay(c);
+    if (d < 0) continue;
+    lo = std::min(lo, d);
+    hi = std::max(hi, d);
+  }
+  return (hi < lo) ? 0.0 : hi - lo;
+}
+
+std::vector<double> ChannelTree::actuationTimes(std::span<const Point> cells, double dt,
+                                                double maxTime) const {
+  const std::size_t n = cells_.size();
+  std::vector<double> pressure(n, 0.0);
+  std::vector<double> next(n, 0.0);
+  std::vector<double> crossed(n, -1.0);
+  crossed[0] = 0.0;  // root is the source
+
+  const double g = 1.0 / model_.segmentResistance;  // edge conductance
+  for (double t = dt; t <= maxTime; t += dt) {
+    // Forward Euler on C_i dP_i/dt = sum_j g (P_j - P_i) over tree edges;
+    // the root is clamped at unit source pressure.
+    std::copy(pressure.begin(), pressure.end(), next.begin());
+    pressure[0] = 1.0;
+    for (std::size_t i = 1; i < n; ++i) {
+      const auto pi = static_cast<std::size_t>(parent_[i]);
+      const double flow = g * (pressure[pi] - pressure[i]) * dt;
+      next[i] += flow / capacitance_[i];
+      if (pi != 0) next[pi] -= flow / capacitance_[pi];
+    }
+    next[0] = 1.0;
+    pressure.swap(next);
+    for (std::size_t i = 0; i < n; ++i)
+      if (crossed[i] < 0 && pressure[i] >= model_.threshold) crossed[i] = t;
+  }
+
+  std::vector<double> out;
+  out.reserve(cells.size());
+  for (const Point c : cells) {
+    const auto it = index_.find(c);
+    out.push_back(it == index_.end() ? -1.0
+                                     : crossed[static_cast<std::size_t>(it->second)]);
+  }
+  return out;
+}
+
+}  // namespace pacor::sim

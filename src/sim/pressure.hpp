@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "geom/point.hpp"
+#include "route/path.hpp"
+
+namespace pacor::sim {
+
+using geom::Point;
+
+/// First-order fluidic parameters of a PDMS control channel, per grid
+/// cell. Pressure propagation through flexible PDMS is slow (paper Sec. 1,
+/// citing Lim et al.): each channel segment acts as a hydraulic resistance
+/// and the elastomer wall as a compliance, so a control channel is an RC
+/// ladder and the wavefront delay grows with channel length — the physical
+/// reason the length-matching constraint exists.
+struct ChannelModel {
+  double segmentResistance = 1.0;  ///< hydraulic resistance per cell (a.u.)
+  double segmentCapacitance = 1.0; ///< wall compliance per cell (a.u.)
+  double valveCapacitance = 4.0;   ///< extra compliance of a valve chamber
+  double threshold = 0.9;          ///< fraction of source pressure that actuates
+};
+
+/// An RC tree built from routed control channels of one net, rooted at
+/// the control pin cell. Construction fails (std::nullopt) when the cells
+/// do not form a connected tree containing the root.
+class ChannelTree {
+ public:
+  /// `paths` are the routed channel segments of one net; `root` must be a
+  /// cell of some path (the control pin); `valves` get valveCapacitance.
+  static std::optional<ChannelTree> build(Point root, std::span<const route::Path> paths,
+                                          std::span<const Point> valves,
+                                          const ChannelModel& model = {});
+
+  std::size_t cellCount() const noexcept { return cells_.size(); }
+  Point root() const noexcept { return cells_[0]; }
+
+  /// Elmore delay of a cell: sum over the root path of R_upstream * C_sub.
+  /// Monotone in path length for uniform ladders; the standard first-order
+  /// estimate of the pressure wavefront arrival.
+  double elmoreDelay(Point cell) const;
+
+  /// Max |delay(a) - delay(b)| over the given cells (valve skew).
+  double skew(std::span<const Point> cells) const;
+
+  /// Explicit transient simulation of the RC ladder with a unit pressure
+  /// step at the root; returns the time each queried cell first crosses
+  /// model.threshold, or -1 when it never does within maxTime.
+  std::vector<double> actuationTimes(std::span<const Point> cells, double dt,
+                                     double maxTime) const;
+
+ private:
+  ChannelTree() = default;
+
+  ChannelModel model_;
+  std::vector<Point> cells_;                   ///< BFS order, root first
+  std::vector<int> parent_;                    ///< index into cells_; -1 for root
+  std::vector<double> capacitance_;            ///< per cell
+  std::vector<double> elmore_;                 ///< per cell
+  std::unordered_map<Point, int> index_;
+};
+
+/// Per-cluster synchronization analysis of a full routing result.
+struct ClusterSkew {
+  std::size_t clusterIndex = 0;
+  bool lengthMatchRequested = false;
+  bool lengthMatched = false;
+  double elmoreSkew = -1.0;  ///< -1 when the cluster could not be analyzed
+};
+
+struct SkewReport {
+  std::vector<ClusterSkew> clusters;
+  double worstMatchedSkew = 0.0;    ///< over length-matched clusters
+  double worstUnmatchedSkew = 0.0;  ///< over the rest (multi-valve only)
+};
+
+}  // namespace pacor::sim

@@ -1,0 +1,116 @@
+#include "viz/svg.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pacor::viz {
+namespace {
+
+constexpr const char* kPalette[] = {
+    "#4E79A7", "#F28E2B", "#E15759", "#76B7B2", "#59A14F", "#EDC948",
+    "#B07AA1", "#FF9DA7", "#9C755F", "#BAB0AC", "#1B9E77", "#D95F02",
+};
+constexpr int kPaletteSize = static_cast<int>(std::size(kPalette));
+
+/// Shared document body; `flow` may be null (single-layer rendering).
+std::string renderDocument(const chip::Chip& chip, const chip::FlowLayer* flow,
+                           const std::vector<DrawnNet>& nets, int cellSize) {
+  const int w = chip.routingGrid.width();
+  const int h = chip.routingGrid.height();
+  const int s = cellSize;
+  std::ostringstream os;
+  const auto cx = [&](std::int32_t x) { return x * s + s / 2; };
+  // SVG y grows downward; flip so (0,0) renders bottom-left like the paper.
+  const auto cy = [&](std::int32_t y) { return (h - 1 - y) * s + s / 2; };
+
+  os << "<svg xmlns='http://www.w3.org/2000/svg' width='" << w * s << "' height='"
+     << h * s << "' viewBox='0 0 " << w * s << ' ' << h * s << "'>\n";
+  os << "<rect width='100%' height='100%' fill='#FDFDFB'/>\n";
+  os << "<rect x='0' y='0' width='" << w * s << "' height='" << h * s
+     << "' fill='none' stroke='#444' stroke-width='1'/>\n";
+
+  if (flow != nullptr) {
+    // Flow layer underneath: component footprints + channels.
+    for (const auto& comp : flow->components) {
+      const auto& r = comp.footprint;
+      os << "<rect x='" << r.lo.x * s << "' y='" << (h - 1 - r.hi.y) * s
+         << "' width='" << (r.hi.x - r.lo.x + 1) * s << "' height='"
+         << (r.hi.y - r.lo.y + 1) * s
+         << "' fill='#D6E4F0' stroke='#9BB7D4' stroke-width='1'>"
+         << "<title>" << comp.kind << "</title></rect>\n";
+    }
+    for (const auto& channel : flow->channels) {
+      os << "<polyline fill='none' stroke='#A8C8E8' stroke-width='"
+         << std::max(2, (2 * s) / 3) << "' stroke-linejoin='round' points='";
+      for (const auto wp : channel.waypoints) os << cx(wp.x) << ',' << cy(wp.y) << ' ';
+      os << "'/>\n";
+    }
+  } else {
+    for (const auto& o : chip.obstacles)
+      os << "<rect x='" << o.x * s << "' y='" << (h - 1 - o.y) * s << "' width='" << s
+         << "' height='" << s << "' fill='#3A3A3A'/>\n";
+  }
+
+  for (const auto& net : nets) {
+    const char* color = kPalette[((net.colorIndex % kPaletteSize) + kPaletteSize) %
+                                 kPaletteSize];
+    for (const auto& path : net.paths) {
+      if (path.empty()) continue;
+      os << "<polyline fill='none' stroke='" << color << "' stroke-width='"
+         << std::max(1, s / 3)
+         << "' stroke-linejoin='round' stroke-linecap='round' points='";
+      for (const auto p : path) os << cx(p.x) << ',' << cy(p.y) << ' ';
+      os << "'";
+      if (!net.label.empty())
+        os << "><title>" << net.label << "</title></polyline>\n";
+      else
+        os << "/>\n";
+    }
+  }
+
+  for (const auto& pin : chip.pins)
+    os << "<rect x='" << pin.pos.x * s << "' y='" << (h - 1 - pin.pos.y) * s
+       << "' width='" << s << "' height='" << s
+       << "' fill='#FFFFFF' stroke='#888' stroke-width='1'/>\n";
+
+  for (const auto& v : chip.valves)
+    os << "<circle cx='" << cx(v.pos.x) << "' cy='" << cy(v.pos.y) << "' r='"
+       << std::max(2, s / 2) << "' fill='#C0392B' stroke='#7B241C'>"
+       << "<title>valve " << v.id << "</title></circle>\n";
+
+  os << "</svg>\n";
+  return os.str();
+}
+
+void writeDocument(const std::string& path, const std::string& body) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("svg: cannot open " + path);
+  f << body;
+  if (!f) throw std::runtime_error("svg: write failure on " + path);
+}
+
+}  // namespace
+
+std::string renderSvg(const chip::Chip& chip, const std::vector<DrawnNet>& nets,
+                      int cellSize) {
+  return renderDocument(chip, nullptr, nets, cellSize);
+}
+
+std::string renderSvgWithFlow(const chip::Chip& chip, const chip::FlowLayer& flow,
+                              const std::vector<DrawnNet>& nets, int cellSize) {
+  return renderDocument(chip, &flow, nets, cellSize);
+}
+
+void writeSvgFile(const std::string& path, const chip::Chip& chip,
+                  const std::vector<DrawnNet>& nets, int cellSize) {
+  writeDocument(path, renderSvg(chip, nets, cellSize));
+}
+
+void writeSvgFileWithFlow(const std::string& path, const chip::Chip& chip,
+                          const chip::FlowLayer& flow,
+                          const std::vector<DrawnNet>& nets, int cellSize) {
+  writeDocument(path, renderSvgWithFlow(chip, flow, nets, cellSize));
+}
+
+}  // namespace pacor::viz

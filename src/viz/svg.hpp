@@ -1,0 +1,40 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "chip/chip.hpp"
+#include "chip/flow_layer.hpp"
+#include "route/path.hpp"
+
+namespace pacor::viz {
+
+/// A routed net to draw: its channel cells plus a stable color index.
+struct DrawnNet {
+  std::vector<route::Path> paths;
+  int colorIndex = 0;
+  std::string label;
+};
+
+/// Renders a chip and its routed control channels as a standalone SVG
+/// document (valves = circles, pins = squares on the boundary, obstacles =
+/// dark cells, channels = colored polylines). `cellSize` is the rendered
+/// pixel size of a routing cell.
+std::string renderSvg(const chip::Chip& chip, const std::vector<DrawnNet>& nets,
+                      int cellSize = 6);
+
+/// Writes renderSvg output to a file; throws std::runtime_error on IO
+/// failure.
+void writeSvgFile(const std::string& path, const chip::Chip& chip,
+                  const std::vector<DrawnNet>& nets, int cellSize = 6);
+
+/// Two-layer rendering: the flow layer (channels in light blue, component
+/// footprints in pale gray) drawn underneath the control-layer routing,
+/// as a fabricated two-layer PDMS chip would look from above.
+std::string renderSvgWithFlow(const chip::Chip& chip, const chip::FlowLayer& flow,
+                              const std::vector<DrawnNet>& nets, int cellSize = 6);
+void writeSvgFileWithFlow(const std::string& path, const chip::Chip& chip,
+                          const chip::FlowLayer& flow,
+                          const std::vector<DrawnNet>& nets, int cellSize = 6);
+
+}  // namespace pacor::viz

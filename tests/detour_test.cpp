@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <unordered_set>
+
+#include "pacor/detour.hpp"
+
+namespace pacor::core {
+namespace {
+
+using geom::Point;
+
+/// Builds a hand-made two-valve matched cluster: valve0 -- tap -- valve1
+/// along a straight line, plus an escape from the tap to `pinCell`.
+struct PairFixture {
+  chip::Chip chip;
+  grid::ObstacleMap obs{grid::Grid(1, 1)};
+  WorkCluster wc;
+
+  PairFixture(Point v0, Point tap, Point v1, Point pinCell, std::int32_t size = 24) {
+    chip.name = "pair";
+    chip.routingGrid = grid::Grid(size, size);
+    chip.valves = {{0, v0, chip::ActivationSequence("01")},
+                   {1, v1, chip::ActivationSequence("01")}};
+    chip.pins = {{0, pinCell}};
+    obs = chip.makeObstacleMap();
+
+    wc.spec.valves = {0, 1};
+    wc.spec.lengthMatched = true;
+    wc.net = 0;
+
+    const auto straight = [](Point a, Point b) {
+      route::Path p;
+      const Point d{b.x > a.x ? 1 : (b.x < a.x ? -1 : 0),
+                    b.y > a.y ? 1 : (b.y < a.y ? -1 : 0)};
+      for (Point c = a;; c = c + d) {
+        p.push_back(c);
+        if (c == b) break;
+      }
+      return p;
+    };
+    wc.treePaths = {straight(v0, tap), straight(v1, tap)};
+    wc.sinkSequences = {{0}, {1}};
+    wc.tap = tap;
+    wc.tapCells = {tap};
+    wc.lmStructured = true;
+    wc.internallyRouted = true;
+    wc.escapePath = straight(tap, pinCell);
+    wc.pin = 0;
+    for (const auto& p : wc.treePaths) obs.occupy(p, wc.net);
+    obs.occupy(wc.escapePath, wc.net);
+  }
+};
+
+
+/// Occupies the cells of `path` not yet owned by `net` (test helper for
+/// re-anchoring escapes by hand).
+void obsOccupyTail(grid::ObstacleMap& obs, const route::Path& path, grid::NetId net) {
+  for (const Point c : path) {
+    if (obs.owner(c) == net) continue;
+    obs.occupy(std::span<const Point>(&c, 1), net);
+  }
+}
+
+TEST(MeasureLengths, StraightPair) {
+  PairFixture fx({4, 10}, {10, 10}, {16, 10}, {10, 0});
+  const auto lengths = measureValveLengths(fx.chip, fx.wc, {10, 0});
+  ASSERT_EQ(lengths.size(), 2u);
+  EXPECT_EQ(lengths[0], 16);  // 10 escape + 6 arm
+  EXPECT_EQ(lengths[1], 16);
+}
+
+TEST(MeasureLengths, UnreachableValveIsMinusOne) {
+  PairFixture fx({4, 10}, {10, 10}, {16, 10}, {10, 0});
+  fx.wc.treePaths[1].clear();  // disconnect valve 1
+  const auto lengths = measureValveLengths(fx.chip, fx.wc, {10, 0});
+  EXPECT_EQ(lengths[0], 16);
+  EXPECT_EQ(lengths[1], -1);
+}
+
+TEST(MeasureLengths, ParallelChannelsDoNotShortCircuit) {
+  // Two channels of the same net running adjacent must not merge: build a
+  // U where the long way around is the only channel connection.
+  chip::Chip chip;
+  chip.name = "u";
+  chip.routingGrid = grid::Grid(16, 16);
+  chip.valves = {{0, Point{2, 2}, chip::ActivationSequence("0")}};
+  chip.pins = {{0, Point{2, 0}}};
+
+  WorkCluster wc;
+  wc.spec.valves = {0};
+  wc.net = 0;
+  // Path loops: (2,2) -> (10,2) -> (10,3) -> (2,3): the ends (2,2)/(2,3)
+  // are grid-adjacent but 17 channel-steps apart.
+  route::Path path;
+  for (std::int32_t x = 2; x <= 10; ++x) path.push_back({x, 2});
+  path.push_back({10, 3});
+  for (std::int32_t x = 10; x >= 2; --x) path.push_back({x, 3});
+  wc.treePaths = {path};
+  route::Path escape{{2, 3}, {2, 4}};  // dangles off the FAR end
+  // Build: origin = (2,4); channel distance to valve (2,2) must go all
+  // the way around (1 + 17 = 18), not 2.
+  wc.escapePath = escape;
+  const auto lengths = measureValveLengths(chip, wc, {2, 4});
+  ASSERT_EQ(lengths.size(), 1u);
+  EXPECT_EQ(lengths[0], 18);
+}
+
+TEST(Detour, AlreadyMatchedIsImmediate) {
+  PairFixture fx({4, 10}, {10, 10}, {16, 10}, {10, 0});
+  DetourStats stats;
+  EXPECT_TRUE(detourClusterForMatching(fx.chip, fx.obs, fx.wc, {10, 0}, 1, 10, &stats));
+  EXPECT_TRUE(fx.wc.lengthMatched);
+  EXPECT_EQ(stats.reroutes, 0);
+}
+
+TEST(Detour, EqualizesAsymmetricPair) {
+  // Tap off-center: arms 4 and 10; the short arm needs +6.
+  PairFixture fx({4, 10}, {8, 10}, {18, 10}, {8, 0});
+  DetourStats stats;
+  ASSERT_TRUE(detourClusterForMatching(fx.chip, fx.obs, fx.wc, {8, 0}, 1, 10, &stats));
+  const auto lengths = measureValveLengths(fx.chip, fx.wc, {8, 0});
+  EXPECT_LE(std::abs(lengths[0] - lengths[1]), 1);
+  EXPECT_GE(stats.reroutes, 1);
+  // The committed paths stay valid channels.
+  for (const auto& p : fx.wc.treePaths) EXPECT_TRUE(route::isValidChannel(p));
+}
+
+TEST(Detour, LargeAsymmetryAcrossRounds) {
+  PairFixture fx({2, 12}, {4, 12}, {22, 12}, {4, 0}, 26);
+  ASSERT_TRUE(detourClusterForMatching(fx.chip, fx.obs, fx.wc, {4, 0}, 1, 10));
+  const auto lengths = measureValveLengths(fx.chip, fx.wc, {4, 0});
+  EXPECT_LE(std::abs(lengths[0] - lengths[1]), 1);
+}
+
+TEST(Detour, RestoresOnImpossibleGeometry) {
+  // Choke the short arm completely: no space to detour.
+  PairFixture fx({4, 10}, {8, 10}, {18, 10}, {8, 0});
+  for (std::int32_t x = 0; x < 24; ++x) {
+    for (std::int32_t y : {9, 11}) {
+      if (fx.obs.isFree({x, y})) fx.obs.addObstacle({x, y});
+    }
+  }
+  for (std::int32_t y = 12; y < 24; ++y)
+    for (std::int32_t x = 0; x < 24; ++x)
+      if (fx.obs.isFree({x, y})) fx.obs.addObstacle({x, y});
+  const auto before = fx.wc.treePaths;
+  EXPECT_FALSE(detourClusterForMatching(fx.chip, fx.obs, fx.wc, {8, 0}, 1, 10));
+  EXPECT_FALSE(fx.wc.lengthMatched);
+  EXPECT_EQ(fx.wc.treePaths, before);  // Alg. 2 restore semantics
+}
+
+TEST(Detour, DisconnectedClusterFailsCleanly) {
+  PairFixture fx({4, 10}, {10, 10}, {16, 10}, {10, 0});
+  fx.wc.treePaths[0].clear();
+  EXPECT_FALSE(detourClusterForMatching(fx.chip, fx.obs, fx.wc, {10, 0}, 1, 10));
+}
+
+TEST(Detour, RequiresStructure) {
+  PairFixture fx({4, 10}, {10, 10}, {16, 10}, {10, 0});
+  fx.wc.lmStructured = false;
+  EXPECT_FALSE(detourClusterForMatching(fx.chip, fx.obs, fx.wc, {10, 0}, 1, 10));
+}
+
+TEST(Detour, ZeroRoundsBudget) {
+  PairFixture fx({4, 10}, {8, 10}, {18, 10}, {8, 0});
+  // No rounds allowed: unmatched pair stays unmatched but is not damaged.
+  EXPECT_FALSE(detourClusterForMatching(fx.chip, fx.obs, fx.wc, {8, 0}, 1, 0));
+  for (const auto& p : fx.wc.treePaths) EXPECT_TRUE(route::isValidChannel(p));
+}
+
+TEST(Detour, WideDeltaAcceptsLooseMatch) {
+  PairFixture fx({4, 10}, {8, 10}, {18, 10}, {8, 0});
+  // delta = 6 covers the asymmetry of arms 4 vs 10 exactly.
+  ASSERT_TRUE(detourClusterForMatching(fx.chip, fx.obs, fx.wc, {8, 0}, 6, 10));
+  EXPECT_TRUE(fx.wc.lengthMatched);
+}
+
+TEST(Detour, ObstacleMapStaysConsistent) {
+  PairFixture fx({4, 10}, {8, 10}, {18, 10}, {8, 0});
+  ASSERT_TRUE(detourClusterForMatching(fx.chip, fx.obs, fx.wc, {8, 0}, 1, 10));
+  // Every cell of the final paths is owned by the net, and the owned cell
+  // count matches the union of path cells exactly (no leaked cells).
+  std::unordered_set<Point> cells;
+  for (const auto& p : fx.wc.treePaths) cells.insert(p.begin(), p.end());
+  cells.insert(fx.wc.escapePath.begin(), fx.wc.escapePath.end());
+  for (const Point c : cells) EXPECT_EQ(fx.obs.owner(c), fx.wc.net) << c.str();
+  EXPECT_EQ(fx.obs.countOwnedBy(fx.wc.net), static_cast<std::int64_t>(cells.size()));
+}
+
+
+TEST(RebuildStructure, RootAnchorReproducesSegments) {
+  PairFixture fx({4, 10}, {10, 10}, {16, 10}, {10, 0});
+  ASSERT_TRUE(rebuildDetourStructure(fx.chip, fx.wc));
+  EXPECT_EQ(fx.wc.tap, (Point{10, 10}));
+  ASSERT_EQ(fx.wc.treePaths.size(), 2u);
+  ASSERT_EQ(fx.wc.sinkSequences.size(), 2u);
+  EXPECT_EQ(fx.wc.sinkSequences[0].size(), 1u);
+  EXPECT_EQ(fx.wc.sinkSequences[1].size(), 1u);
+  // Lengths measured through the rebuilt structure are unchanged.
+  const auto lengths = measureValveLengths(fx.chip, fx.wc, {10, 0});
+  EXPECT_EQ(lengths[0], 16);
+  EXPECT_EQ(lengths[1], 16);
+}
+
+TEST(RebuildStructure, LeafsideAnchorSplitsTheArm) {
+  // Escape attaches mid-arm: the rebuilt structure must expose the
+  // valve-side sub-segment so the detour stage can equalize.
+  PairFixture fx({4, 10}, {10, 10}, {16, 10}, {10, 0});
+  // Re-anchor the escape at (6,10), interior of arm 0.
+  fx.obs.releasePath(fx.wc.escapePath, fx.wc.net);
+  fx.wc.escapePath.clear();
+  route::Path esc;
+  for (std::int32_t y = 10; y >= 0; --y) esc.push_back({6, y});
+  fx.wc.escapePath = esc;
+  obsOccupyTail(fx.obs, esc, fx.wc.net);
+  ASSERT_TRUE(rebuildDetourStructure(fx.chip, fx.wc));
+  EXPECT_EQ(fx.wc.tap, (Point{6, 10}));
+  // Sink 0 (valve at (4,10)) now has an exclusive segment (6,10)->(4,10).
+  ASSERT_EQ(fx.wc.sinkSequences.size(), 2u);
+  ASSERT_FALSE(fx.wc.sinkSequences[0].empty());
+  const route::Path& seg =
+      fx.wc.treePaths[static_cast<std::size_t>(fx.wc.sinkSequences[0].front())];
+  EXPECT_EQ(seg.front(), (Point{4, 10}));
+  EXPECT_EQ(seg.back(), (Point{6, 10}));
+  // Sink 1's pin path passes through the anchor toward the far valve.
+  const auto lengths = measureValveLengths(fx.chip, fx.wc, {6, 0});
+  EXPECT_EQ(lengths[0], 12);  // 10 down + 2 left
+  EXPECT_EQ(lengths[1], 20);  // 10 down + 10 right
+}
+
+TEST(RebuildStructure, FailsWithoutEscapeOrDisconnected) {
+  PairFixture fx({4, 10}, {10, 10}, {16, 10}, {10, 0});
+  WorkCluster noEscape = fx.wc;
+  noEscape.escapePath.clear();
+  EXPECT_FALSE(rebuildDetourStructure(fx.chip, noEscape));
+
+  WorkCluster broken = fx.wc;
+  broken.treePaths[1].clear();  // valve 1 unreachable
+  EXPECT_FALSE(rebuildDetourStructure(fx.chip, broken));
+}
+
+}  // namespace
+}  // namespace pacor::core

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <random>
+#include <unordered_set>
+
+#include "dme/candidate_tree.hpp"
+#include "dme/merging.hpp"
+#include "dme/topology.hpp"
+#include "grid/obstacle_map.hpp"
+
+namespace pacor::dme {
+namespace {
+
+using geom::Point;
+
+std::vector<Point> randomSinks(std::mt19937& rng, std::size_t n, std::int32_t size,
+                               std::int32_t margin) {
+  std::unordered_set<Point> set;
+  while (set.size() < n) {
+    set.insert({margin + static_cast<std::int32_t>(
+                             rng() % static_cast<unsigned>(size - 2 * margin)),
+                margin + static_cast<std::int32_t>(
+                             rng() % static_cast<unsigned>(size - 2 * margin))});
+  }
+  return {set.begin(), set.end()};
+}
+
+// --- Merge plan invariants over random sink sets ---------------------------
+
+struct MergeCase {
+  int seed;
+  std::size_t sinks;
+};
+
+class MergePlanProperty : public ::testing::TestWithParam<MergeCase> {};
+
+TEST_P(MergePlanProperty, ZeroSkewTargetsUpToFlooring) {
+  const auto [seed, n] = GetParam();
+  std::mt19937 rng(static_cast<unsigned>(seed));
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto sinks = randomSinks(rng, n, 48, 2);
+    const Topology topo = balancedBipartition(sinks);
+    ASSERT_TRUE(topo.coversAllSinks(n));
+    const MergePlan plan = computeMergePlan(topo, sinks);
+
+    // Per-sink target distance = sum of edge targets up the tree; the
+    // zero-skew recurrence guarantees all agree with the root delay up to
+    // the accumulated integer-flooring slack.
+    std::vector<int> parent(topo.nodes.size(), -1);
+    std::vector<std::int64_t> edgeToParent(topo.nodes.size(), 0);
+    for (std::size_t i = 0; i < topo.nodes.size(); ++i) {
+      const TopologyNode& t = topo.nodes[i];
+      if (t.isLeaf()) continue;
+      parent[static_cast<std::size_t>(t.left)] = static_cast<int>(i);
+      parent[static_cast<std::size_t>(t.right)] = static_cast<int>(i);
+      edgeToParent[static_cast<std::size_t>(t.left)] = plan.nodes[i].edgeLeft;
+      edgeToParent[static_cast<std::size_t>(t.right)] = plan.nodes[i].edgeRight;
+    }
+    const std::int64_t rootDelay =
+        plan.nodes[static_cast<std::size_t>(topo.root)].delay;
+    const std::int64_t slackBound = plan.maxSkewSlack(topo);
+    for (std::size_t i = 0; i < topo.nodes.size(); ++i) {
+      if (!topo.nodes[i].isLeaf()) continue;
+      std::int64_t pathTarget = 0;
+      for (int v = static_cast<int>(i); v != -1; v = parent[static_cast<std::size_t>(v)])
+        pathTarget += edgeToParent[static_cast<std::size_t>(v)];
+      EXPECT_LE(rootDelay - pathTarget, slackBound + 1);
+      EXPECT_GE(rootDelay - pathTarget, 0);
+    }
+
+    // Regions must be non-empty and wire accounting non-negative.
+    for (const MergeNode& m : plan.nodes) EXPECT_FALSE(m.region.empty());
+    EXPECT_GE(plan.totalTargetWire, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MergePlanProperty,
+                         ::testing::Values(MergeCase{1, 2}, MergeCase{2, 3},
+                                           MergeCase{3, 4}, MergeCase{4, 5},
+                                           MergeCase{5, 6}, MergeCase{6, 8},
+                                           MergeCase{7, 12}));
+
+// --- Candidate-tree invariants over random sink sets ------------------------
+
+class CandidateProperty : public ::testing::TestWithParam<MergeCase> {};
+
+TEST_P(CandidateProperty, EmbeddingsAreConsistent) {
+  const auto [seed, n] = GetParam();
+  std::mt19937 rng(static_cast<unsigned>(seed + 100));
+  const grid::ObstacleMap obs{grid::Grid(48, 48)};
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto sinks = randomSinks(rng, n, 48, 2);
+    const auto cands = buildCandidateTrees(obs, 0, sinks, {.count = 4});
+    ASSERT_FALSE(cands.empty());
+    for (const auto& c : cands) {
+      ASSERT_EQ(c.embed.size(), c.topo.nodes.size());
+      // Leaves at sinks, everything in bounds.
+      for (std::size_t i = 0; i < c.topo.nodes.size(); ++i) {
+        const Point p = c.embed[i];
+        EXPECT_TRUE(obs.grid().inBounds(p)) << p.str();
+        if (c.topo.nodes[i].isLeaf()) {
+          EXPECT_EQ(p, sinks[static_cast<std::size_t>(c.topo.nodes[i].sink)]);
+        }
+      }
+      // Mismatch estimate is exactly max-min of the full-path estimates.
+      const auto paths = c.sinkToRootPaths();
+      std::int64_t lo = std::numeric_limits<std::int64_t>::max();
+      std::int64_t hi = 0;
+      for (const auto& path : paths) {
+        std::int64_t len = 0;
+        for (std::size_t k = 0; k + 1 < path.size(); ++k)
+          len += geom::manhattan(c.embed[static_cast<std::size_t>(path[k])],
+                                 c.embed[static_cast<std::size_t>(path[k + 1])]);
+        lo = std::min(lo, len);
+        hi = std::max(hi, len);
+      }
+      EXPECT_EQ(c.mismatchEstimate, hi - lo);
+      // The estimate may be large when subtree delays are imbalanced (the
+      // DME detour-wire case: targets exceed embedded distances and the
+      // final detour stage supplies the slack), but never exceeds the
+      // longest full path itself.
+      EXPECT_LE(c.mismatchEstimate, hi);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CandidateProperty,
+                         ::testing::Values(MergeCase{1, 2}, MergeCase{2, 3},
+                                           MergeCase{3, 4}, MergeCase{4, 5},
+                                           MergeCase{5, 7}));
+
+TEST(CandidateProperty, ObstacleFieldsNeverPlaceNodesOnBlockages) {
+  std::mt19937 rng(77);
+  for (int trial = 0; trial < 8; ++trial) {
+    grid::ObstacleMap obs{grid::Grid(40, 40)};
+    for (int k = 0; k < 150; ++k)
+      obs.addObstacle({static_cast<std::int32_t>(rng() % 40),
+                       static_cast<std::int32_t>(rng() % 40)});
+    std::vector<Point> sinks;
+    while (sinks.size() < 4) {
+      const Point p{static_cast<std::int32_t>(2 + rng() % 36),
+                    static_cast<std::int32_t>(2 + rng() % 36)};
+      if (obs.isFree(p) &&
+          std::find(sinks.begin(), sinks.end(), p) == sinks.end())
+        sinks.push_back(p);
+    }
+    const auto cands = buildCandidateTrees(obs, 0, sinks, {.count = 3});
+    for (const auto& c : cands)
+      for (std::size_t i = 0; i < c.topo.nodes.size(); ++i)
+        if (!c.topo.nodes[i].isLeaf()) {
+          EXPECT_FALSE(obs.isObstacle(c.embed[i])) << c.embed[i].str();
+        }
+  }
+}
+
+}  // namespace
+}  // namespace pacor::dme

@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <numeric>
+
+#include "dme/candidate_tree.hpp"
+#include "dme/merging.hpp"
+#include "dme/topology.hpp"
+#include "grid/obstacle_map.hpp"
+
+namespace pacor::dme {
+namespace {
+
+using geom::Point;
+
+TEST(Topology, ManhattanDiameter) {
+  const std::vector<Point> pts{{0, 0}, {3, 0}, {0, 4}};
+  EXPECT_EQ(manhattanDiameter(pts), 7);
+  EXPECT_EQ(manhattanDiameter(std::vector<Point>{}), 0);
+  EXPECT_EQ(manhattanDiameter(std::vector<Point>{{5, 5}}), 0);
+}
+
+TEST(Topology, TwoSinks) {
+  const std::vector<Point> sinks{{0, 0}, {4, 0}};
+  const Topology topo = balancedBipartition(sinks);
+  EXPECT_EQ(topo.nodes.size(), 3u);
+  EXPECT_EQ(topo.leafCount(), 2u);
+  EXPECT_TRUE(topo.coversAllSinks(2));
+}
+
+TEST(Topology, PowerOfTwoIsBalanced) {
+  const std::vector<Point> sinks{{0, 0}, {10, 0}, {0, 10}, {10, 10}};
+  const Topology topo = balancedBipartition(sinks);
+  EXPECT_EQ(topo.nodes.size(), 7u);
+  EXPECT_TRUE(topo.coversAllSinks(4));
+  // Root children each hold two leaves (balanced).
+  const TopologyNode& root = topo.nodes[static_cast<std::size_t>(topo.root)];
+  const auto countLeaves = [&](int node) {
+    std::vector<int> stack{node};
+    std::size_t leaves = 0;
+    while (!stack.empty()) {
+      const TopologyNode& n = topo.nodes[static_cast<std::size_t>(stack.back())];
+      stack.pop_back();
+      if (n.isLeaf())
+        ++leaves;
+      else {
+        stack.push_back(n.left);
+        stack.push_back(n.right);
+      }
+    }
+    return leaves;
+  };
+  EXPECT_EQ(countLeaves(root.left), 2u);
+  EXPECT_EQ(countLeaves(root.right), 2u);
+}
+
+TEST(Topology, SplitsSeparatedGroups) {
+  // Two tight pairs far apart: BB must not mix the groups (that would
+  // inflate the diameter sum).
+  const std::vector<Point> sinks{{0, 0}, {1, 0}, {40, 40}, {41, 40}};
+  const Topology topo = balancedBipartition(sinks);
+  const TopologyNode& root = topo.nodes[static_cast<std::size_t>(topo.root)];
+  const auto leavesUnder = [&](int node) {
+    std::vector<int> stack{node};
+    std::vector<int> sinksFound;
+    while (!stack.empty()) {
+      const TopologyNode& n = topo.nodes[static_cast<std::size_t>(stack.back())];
+      stack.pop_back();
+      if (n.isLeaf())
+        sinksFound.push_back(n.sink);
+      else {
+        stack.push_back(n.left);
+        stack.push_back(n.right);
+      }
+    }
+    std::sort(sinksFound.begin(), sinksFound.end());
+    return sinksFound;
+  };
+  const auto l = leavesUnder(root.left);
+  const auto r = leavesUnder(root.right);
+  const std::vector<int> g1{0, 1}, g2{2, 3};
+  EXPECT_TRUE((l == g1 && r == g2) || (l == g2 && r == g1));
+}
+
+TEST(Topology, OddCountCovered) {
+  const std::vector<Point> sinks{{0, 0}, {8, 0}, {4, 6}, {2, 9}, {9, 9}};
+  const Topology topo = balancedBipartition(sinks);
+  EXPECT_TRUE(topo.coversAllSinks(5));
+  EXPECT_EQ(topo.leafCount(), 5u);
+}
+
+TEST(Merging, TwoSinksZeroSkew) {
+  const std::vector<Point> sinks{{0, 0}, {6, 0}};
+  const Topology topo = balancedBipartition(sinks);
+  const MergePlan plan = computeMergePlan(topo, sinks);
+  const MergeNode& root = plan.nodes[static_cast<std::size_t>(topo.root)];
+  // Doubled space: distance 12, split 6/6.
+  EXPECT_EQ(root.edgeLeft + root.edgeRight, 12);
+  EXPECT_EQ(root.edgeLeft, root.edgeRight);
+  EXPECT_EQ(root.delay, 6);
+  EXPECT_EQ(root.skewSlack, 0);
+  EXPECT_FALSE(root.region.empty());
+}
+
+TEST(Merging, FourSymmetricSinksExactZeroSkew) {
+  const std::vector<Point> sinks{{0, 0}, {8, 0}, {0, 8}, {8, 8}};
+  const Topology topo = balancedBipartition(sinks);
+  const MergePlan plan = computeMergePlan(topo, sinks);
+  EXPECT_EQ(plan.maxSkewSlack(topo), 0);
+  // Every sink's target root distance equals the root delay by
+  // construction; verify via the per-node recurrence.
+  const auto& rootNode = plan.nodes[static_cast<std::size_t>(topo.root)];
+  EXPECT_GT(rootNode.delay, 0);
+}
+
+TEST(Merging, DetourCaseBalancesUnequalDepths) {
+  // Collinear, clumped: {0,0},{2,0} merge cheaply; {20,0},{22,0} likewise;
+  // final merge forces wire; delays must balance at the root.
+  const std::vector<Point> sinks{{0, 0}, {2, 0}, {20, 0}, {22, 0}};
+  const Topology topo = balancedBipartition(sinks);
+  const MergePlan plan = computeMergePlan(topo, sinks);
+  const auto& root = plan.nodes[static_cast<std::size_t>(topo.root)];
+  const auto& l = plan.nodes[static_cast<std::size_t>(
+      topo.nodes[static_cast<std::size_t>(topo.root)].left)];
+  const auto& r = plan.nodes[static_cast<std::size_t>(
+      topo.nodes[static_cast<std::size_t>(topo.root)].right)];
+  EXPECT_EQ(l.delay + root.edgeLeft, r.delay + root.edgeRight);
+  EXPECT_EQ(root.delay, l.delay + root.edgeLeft);
+}
+
+TEST(Merging, TotalTargetWireAtLeastHalfPerimeterBound) {
+  const std::vector<Point> sinks{{0, 0}, {10, 2}, {3, 9}, {12, 12}};
+  const Topology topo = balancedBipartition(sinks);
+  const MergePlan plan = computeMergePlan(topo, sinks);
+  // Any tree connecting the sinks needs at least diameter total length
+  // (doubled space doubles it); sanity-check the accounting is plausible.
+  EXPECT_GE(plan.totalTargetWire, manhattanDiameter(sinks) * 2 / 2);
+}
+
+grid::ObstacleMap emptyMap(std::int32_t w = 32, std::int32_t h = 32) {
+  return grid::ObstacleMap(grid::Grid(w, h));
+}
+
+TEST(CandidateTrees, Figure3FourSinks) {
+  // The paper's Fig. 3 scenario: four sinks with diagonal offsets (axis-
+  // aligned pairs would degenerate every merging segment to a point),
+  // several distinct candidate trees, each internally consistent.
+  const auto obs = emptyMap();
+  const std::vector<Point> sinks{{8, 8}, {18, 12}, {10, 20}, {20, 24}};
+  const auto cands = buildCandidateTrees(obs, 0, sinks, {.count = 5});
+  ASSERT_GE(cands.size(), 2u);  // multiple merging-node choices exist
+  std::int64_t bestMismatch = std::numeric_limits<std::int64_t>::max();
+  for (const auto& c : cands) {
+    EXPECT_TRUE(c.topo.coversAllSinks(4));
+    EXPECT_EQ(c.edges().size(), 6u);  // 3 internal nodes x 2
+    // DME targets are zero-skew; the embedded estimate may deviate only
+    // by grid rounding (Lemma 1), never grossly.
+    EXPECT_LE(c.mismatchEstimate, 4);
+    bestMismatch = std::min(bestMismatch, c.mismatchEstimate);
+    for (const Point p : c.embed) {
+      EXPECT_GE(p.x, 0);
+      EXPECT_LT(p.x, 32);
+      EXPECT_GE(p.y, 0);
+      EXPECT_LT(p.y, 32);
+    }
+  }
+  EXPECT_LE(bestMismatch, 1);
+  // Candidates must actually differ.
+  EXPECT_NE(cands[0].embed, cands[1].embed);
+}
+
+TEST(CandidateTrees, LeavesEmbedAtSinks) {
+  const auto obs = emptyMap();
+  const std::vector<Point> sinks{{5, 5}, {25, 6}, {14, 25}};
+  const auto cands = buildCandidateTrees(obs, 0, sinks, {.count = 3});
+  ASSERT_FALSE(cands.empty());
+  for (const auto& c : cands)
+    for (std::size_t i = 0; i < c.topo.nodes.size(); ++i)
+      if (c.topo.nodes[i].isLeaf()) {
+        EXPECT_EQ(c.embed[i], sinks[static_cast<std::size_t>(c.topo.nodes[i].sink)]);
+      }
+}
+
+TEST(CandidateTrees, SinkPathsReachRoot) {
+  const auto obs = emptyMap();
+  const std::vector<Point> sinks{{5, 5}, {25, 6}, {14, 25}, {28, 28}};
+  const auto cands = buildCandidateTrees(obs, 0, sinks, {.count = 2});
+  ASSERT_FALSE(cands.empty());
+  const auto paths = cands[0].sinkToRootPaths();
+  ASSERT_EQ(paths.size(), 4u);
+  for (const auto& path : paths) {
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(path.back(), cands[0].topo.root);
+    EXPECT_TRUE(cands[0].topo.nodes[static_cast<std::size_t>(path.front())].isLeaf());
+  }
+}
+
+TEST(CandidateTrees, AvoidsObstaclesAtMergingNodes) {
+  auto obs = emptyMap();
+  // Blanket the central block where merging nodes would naturally land.
+  for (std::int32_t x = 12; x <= 18; ++x)
+    for (std::int32_t y = 12; y <= 18; ++y) obs.addObstacle({x, y});
+  const std::vector<Point> sinks{{8, 8}, {22, 8}, {8, 22}, {22, 22}};
+  const auto cands = buildCandidateTrees(obs, 0, sinks, {.count = 4});
+  ASSERT_FALSE(cands.empty());
+  for (const auto& c : cands)
+    for (std::size_t i = 0; i < c.topo.nodes.size(); ++i)
+      if (!c.topo.nodes[i].isLeaf()) {
+        EXPECT_FALSE(obs.isObstacle(c.embed[i]));
+      }
+}
+
+TEST(CandidateTrees, SingleSinkDegenerates) {
+  const auto obs = emptyMap();
+  const std::vector<Point> sinks{{7, 7}};
+  const auto cands = buildCandidateTrees(obs, 0, sinks, {.count = 3});
+  ASSERT_EQ(cands.size(), 1u);
+  EXPECT_TRUE(cands[0].edges().empty());
+  EXPECT_EQ(cands[0].embed[0], (Point{7, 7}));
+}
+
+TEST(CandidateTrees, OddDistancePairStillEmbeds) {
+  // Lemma 1: odd Manhattan distance puts the merging segment off-grid;
+  // the embedding must still produce an on-grid node.
+  const auto obs = emptyMap();
+  const std::vector<Point> sinks{{5, 5}, {10, 5}};  // distance 5, odd
+  const auto cands = buildCandidateTrees(obs, 0, sinks, {.count = 3});
+  ASSERT_FALSE(cands.empty());
+  for (const auto& c : cands) {
+    const Point root = c.embed[static_cast<std::size_t>(c.topo.root)];
+    const auto d1 = geom::manhattan(root, sinks[0]);
+    const auto d2 = geom::manhattan(root, sinks[1]);
+    // Snap error is at most one grid unit of skew.
+    EXPECT_LE(std::abs(d1 - d2), 1);
+    EXPECT_EQ(d1 + d2, 5);  // root lies on a shortest path between sinks
+  }
+}
+
+TEST(CandidateTrees, EstimateMatchesEmbeddedDistances) {
+  const auto obs = emptyMap();
+  const std::vector<Point> sinks{{4, 4}, {20, 4}, {12, 24}};
+  const auto cands = buildCandidateTrees(obs, 0, sinks, {.count = 3});
+  ASSERT_FALSE(cands.empty());
+  for (const auto& c : cands) {
+    std::int64_t total = 0;
+    for (const auto& [p, ch] : c.edges())
+      total += geom::manhattan(c.embed[static_cast<std::size_t>(p)],
+                               c.embed[static_cast<std::size_t>(ch)]);
+    EXPECT_EQ(total, c.totalEstimatedLength);
+  }
+}
+
+}  // namespace
+}  // namespace pacor::dme

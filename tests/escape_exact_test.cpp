@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <random>
+#include <unordered_set>
+
+#include "pacor/escape.hpp"
+
+namespace pacor::core {
+namespace {
+
+using geom::Point;
+
+/// Brute-force reference for the escape problem on tiny grids: enumerate
+/// every packing of node-disjoint simple paths (valve-neighbor ... pin)
+/// and report the lexicographic optimum (max routed count, then min total
+/// cell count) -- the exact objective the min-cost max-flow formulation
+/// claims (Theorem 1 of the paper).
+struct BruteForce {
+  const chip::Chip& chip;
+  const grid::ObstacleMap& obs;
+  std::vector<Point> taps;  // one singleton valve per cluster
+
+  int bestCount = 0;
+  std::int64_t bestLength = 0;
+
+  std::unordered_set<Point> usedCells;
+  std::unordered_set<Point> usedPins;
+
+  void solve() { recurse(0, 0, 0); }
+
+  void recurse(std::size_t idx, int count, std::int64_t length) {
+    if (count > bestCount) {
+      bestCount = count;
+      bestLength = length;
+    } else if (count == bestCount && count > 0 && length < bestLength) {
+      bestLength = length;
+    }
+    if (idx >= taps.size()) return;
+    // Option A: leave this cluster unrouted.
+    recurse(idx + 1, count, length);
+    // Option B: route it along every possible simple path.
+    const Point tap = taps[idx];
+    obs.grid().forNeighbors(tap, [&](Point start) {
+      if (!obs.isFree(start) || usedCells.contains(start)) return;
+      extend(idx, count, length, start, 1);
+    });
+  }
+
+  void extend(std::size_t idx, int count, std::int64_t length, Point cell,
+              std::int64_t soFar) {
+    if (soFar > 11) return;  // cap: tiny instances only
+    usedCells.insert(cell);
+    if (isPinCell(cell) && !usedPins.contains(cell)) {
+      usedPins.insert(cell);
+      recurse(idx + 1, count + 1, length + soFar);
+      usedPins.erase(cell);
+    }
+    obs.grid().forNeighbors(cell, [&](Point next) {
+      if (!obs.isFree(next) || usedCells.contains(next)) return;
+      extend(idx, count, length, next, soFar + 1);
+    });
+    usedCells.erase(cell);
+  }
+
+  bool isPinCell(Point p) const {
+    for (const auto& pin : chip.pins)
+      if (pin.pos == p) return true;
+    return false;
+  }
+};
+
+struct Instance {
+  chip::Chip chip;
+  grid::ObstacleMap obs{grid::Grid(1, 1)};
+  std::vector<WorkCluster> clusters;
+};
+
+Instance randomTinyInstance(std::mt19937& rng) {
+  Instance inst;
+  inst.chip.name = "tiny";
+  inst.chip.routingGrid = grid::Grid(6, 6);
+  // 1-3 pins on the boundary.
+  const auto boundary = inst.chip.routingGrid.boundaryCells();
+  const std::size_t pinCount = 1 + rng() % 3;
+  std::unordered_set<std::size_t> pinIdx;
+  while (pinIdx.size() < pinCount) pinIdx.insert(rng() % boundary.size());
+  int pinId = 0;
+  for (const std::size_t i : pinIdx)
+    inst.chip.pins.push_back({pinId++, boundary[i]});
+  // 1-3 interior valves.
+  const std::size_t valveCount = 1 + rng() % 3;
+  std::unordered_set<Point> cells;
+  while (cells.size() < valveCount)
+    cells.insert({static_cast<std::int32_t>(1 + rng() % 4),
+                  static_cast<std::int32_t>(1 + rng() % 4)});
+  int vid = 0;
+  for (const Point p : cells) {
+    std::string seq(4, '0');
+    for (int b = 0; b < 3; ++b)
+      if ((vid >> b) & 1) seq[static_cast<std::size_t>(b)] = '1';
+    inst.chip.valves.push_back({vid++, p, chip::ActivationSequence(seq)});
+  }
+  // A few obstacle cells.
+  for (int k = 0; k < 4; ++k) {
+    const Point p{static_cast<std::int32_t>(1 + rng() % 4),
+                  static_cast<std::int32_t>(1 + rng() % 4)};
+    if (!cells.contains(p)) inst.chip.obstacles.push_back(p);
+  }
+  std::sort(inst.chip.obstacles.begin(), inst.chip.obstacles.end());
+  inst.chip.obstacles.erase(
+      std::unique(inst.chip.obstacles.begin(), inst.chip.obstacles.end()),
+      inst.chip.obstacles.end());
+
+  inst.obs = inst.chip.makeObstacleMap();
+  inst.clusters.resize(inst.chip.valves.size());
+  for (std::size_t i = 0; i < inst.clusters.size(); ++i) {
+    auto& wc = inst.clusters[i];
+    wc.spec.valves = {static_cast<chip::ValveId>(i)};
+    wc.net = static_cast<grid::NetId>(i);
+    const Point cell = inst.chip.valves[i].pos;
+    inst.obs.occupy(std::span<const Point>(&cell, 1), wc.net);
+    wc.tap = cell;
+    wc.tapCells = {cell};
+    wc.internallyRouted = true;
+  }
+  return inst;
+}
+
+class EscapeExactness : public ::testing::TestWithParam<int> {};
+
+TEST_P(EscapeExactness, FlowMatchesBruteForceOptimum) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()));
+  for (int trial = 0; trial < 6; ++trial) {
+    Instance inst = randomTinyInstance(rng);
+
+    // Brute force on a pristine copy of the obstacle map.
+    BruteForce brute{inst.chip, inst.obs, {}, 0, 0, {}, {}};
+    for (const auto& wc : inst.clusters) brute.taps.push_back(wc.tap);
+    brute.solve();
+
+    std::vector<WorkCluster*> ptrs;
+    for (auto& wc : inst.clusters) ptrs.push_back(&wc);
+    const auto outcome = escapeRoute(inst.chip, inst.obs, ptrs);
+
+    // The capped brute force is a lower bound; the flow must never be
+    // beaten by it, and when every flow path fits under the enumeration
+    // cap the two optima coincide exactly.
+    EXPECT_GE(outcome.routedCount, brute.bestCount)
+        << "seed " << GetParam() << " trial " << trial;
+    std::int64_t total = 0;
+    std::int64_t longest = 0;
+    for (const auto& wc : inst.clusters) {
+      total += route::pathLength(wc.escapePath);
+      longest = std::max(longest, route::pathLength(wc.escapePath));
+    }
+    if (longest <= 11) {
+      EXPECT_EQ(outcome.routedCount, brute.bestCount)
+          << "seed " << GetParam() << " trial " << trial;
+      if (outcome.routedCount == brute.bestCount && brute.bestCount > 0) {
+        EXPECT_EQ(total, brute.bestLength)
+            << "seed " << GetParam() << " trial " << trial;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EscapeExactness, ::testing::Range(1, 7));
+
+}  // namespace
+}  // namespace pacor::core

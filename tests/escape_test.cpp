@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "pacor/escape.hpp"
+
+namespace pacor::core {
+namespace {
+
+using geom::Point;
+
+/// Fixture: a small chip with singleton clusters placed by the test.
+struct EscapeFixture {
+  chip::Chip chip;
+  grid::ObstacleMap obs{grid::Grid(1, 1)};
+  std::vector<WorkCluster> clusters;
+
+  explicit EscapeFixture(std::int32_t w = 16, std::int32_t h = 16) {
+    chip.name = "escape-fixture";
+    chip.routingGrid = grid::Grid(w, h);
+  }
+
+  void addValve(Point p) {
+    const auto id = static_cast<chip::ValveId>(chip.valves.size());
+    // Unique code per valve keeps them pairwise incompatible.
+    std::string seq(8, '0');
+    for (int b = 0; b < 8; ++b)
+      if ((static_cast<unsigned>(id) >> b) & 1u) seq[static_cast<std::size_t>(b)] = '1';
+    chip.valves.push_back({id, p, chip::ActivationSequence(seq)});
+  }
+
+  void addPin(Point p) {
+    chip.pins.push_back({static_cast<chip::PinId>(chip.pins.size()), p});
+  }
+
+  /// Finalize: build the obstacle map and singleton work clusters.
+  std::vector<WorkCluster*> finish() {
+    obs = chip.makeObstacleMap();
+    clusters.clear();
+    clusters.resize(chip.valves.size());
+    for (std::size_t i = 0; i < clusters.size(); ++i) {
+      auto& wc = clusters[i];
+      wc.spec.valves = {static_cast<chip::ValveId>(i)};
+      wc.net = static_cast<grid::NetId>(i);
+      const Point cell = chip.valves[i].pos;
+      obs.occupy(std::span<const Point>(&cell, 1), wc.net);
+      wc.tap = cell;
+      wc.tapCells = {cell};
+      wc.internallyRouted = true;
+    }
+    std::vector<WorkCluster*> ptrs;
+    for (auto& wc : clusters) ptrs.push_back(&wc);
+    return ptrs;
+  }
+};
+
+TEST(Escape, SingleValveToSinglePin) {
+  EscapeFixture fx;
+  fx.addValve({8, 8});
+  fx.addPin({0, 8});
+  auto ptrs = fx.finish();
+  const auto outcome = escapeRoute(fx.chip, fx.obs, ptrs);
+  EXPECT_EQ(outcome.routedCount, 1);
+  EXPECT_TRUE(outcome.failed.empty());
+  EXPECT_EQ(fx.clusters[0].pin, 0);
+  EXPECT_EQ(fx.clusters[0].escapePath.front(), (Point{8, 8}));
+  EXPECT_EQ(fx.clusters[0].escapePath.back(), (Point{0, 8}));
+  EXPECT_TRUE(route::isValidChannel(fx.clusters[0].escapePath));
+}
+
+TEST(Escape, PathsAreNodeDisjoint) {
+  EscapeFixture fx(20, 20);
+  for (int i = 0; i < 5; ++i) fx.addValve({5 + 2 * i, 10});
+  for (int i = 0; i < 6; ++i) fx.addPin({4 + 2 * i, 0});
+  auto ptrs = fx.finish();
+  const auto outcome = escapeRoute(fx.chip, fx.obs, ptrs);
+  EXPECT_EQ(outcome.routedCount, 5);
+  std::unordered_set<Point> used;
+  for (const auto& wc : fx.clusters)
+    for (const Point p : wc.escapePath)
+      EXPECT_TRUE(used.insert(p).second) << p.str();
+}
+
+TEST(Escape, PinsAssignedUniquely) {
+  EscapeFixture fx(20, 20);
+  for (int i = 0; i < 4; ++i) fx.addValve({6 + 2 * i, 10});
+  for (int i = 0; i < 4; ++i) fx.addPin({6 + 2 * i, 0});
+  auto ptrs = fx.finish();
+  escapeRoute(fx.chip, fx.obs, ptrs);
+  std::unordered_set<chip::PinId> pins;
+  for (const auto& wc : fx.clusters) {
+    ASSERT_GE(wc.pin, 0);
+    EXPECT_TRUE(pins.insert(wc.pin).second);
+  }
+}
+
+TEST(Escape, MaximizesRoutedCountOverLength) {
+  // One pin reachable only by a long detour; flow must still use it for
+  // the second cluster instead of stranding it (beta-dominant objective).
+  EscapeFixture fx(12, 12);
+  fx.addValve({5, 6});
+  fx.addValve({7, 6});
+  fx.addPin({5, 0});
+  fx.addPin({11, 11});
+  auto ptrs = fx.finish();
+  const auto outcome = escapeRoute(fx.chip, fx.obs, ptrs);
+  EXPECT_EQ(outcome.routedCount, 2);
+}
+
+TEST(Escape, MinimizesTotalLengthAmongMaxRoutings) {
+  // Two valves, two pins straight below each: the optimal assignment is
+  // the identity (total 2 * distance), not the crossed one.
+  EscapeFixture fx(12, 12);
+  fx.addValve({3, 6});
+  fx.addValve({8, 6});
+  fx.addPin({3, 0});
+  fx.addPin({8, 0});
+  auto ptrs = fx.finish();
+  const auto outcome = escapeRoute(fx.chip, fx.obs, ptrs);
+  EXPECT_EQ(outcome.routedCount, 2);
+  std::int64_t total = 0;
+  for (const auto& wc : fx.clusters) total += route::pathLength(wc.escapePath);
+  EXPECT_EQ(total, 12);  // 6 + 6, no crossing detour
+}
+
+TEST(Escape, ReportsFailuresWhenPinsExhausted) {
+  EscapeFixture fx(16, 16);
+  for (int i = 0; i < 3; ++i) fx.addValve({5 + 2 * i, 8});
+  fx.addPin({0, 8});  // only one pin
+  auto ptrs = fx.finish();
+  const auto outcome = escapeRoute(fx.chip, fx.obs, ptrs);
+  EXPECT_EQ(outcome.routedCount, 1);
+  EXPECT_EQ(outcome.failed.size(), 2u);
+}
+
+TEST(Escape, RespectsObstacles) {
+  EscapeFixture fx(16, 16);
+  fx.addValve({8, 8});
+  fx.addPin({8, 0});
+  // Wall between valve and pin with a single gap at x = 2.
+  for (std::int32_t x = 0; x < 16; ++x)
+    if (x != 2) fx.chip.obstacles.push_back({x, 4});
+  auto ptrs = fx.finish();
+  const auto outcome = escapeRoute(fx.chip, fx.obs, ptrs);
+  ASSERT_EQ(outcome.routedCount, 1);
+  const auto& path = fx.clusters[0].escapePath;
+  // Must pass through the gap.
+  EXPECT_TRUE(std::any_of(path.begin(), path.end(),
+                          [](Point p) { return p == Point{2, 4}; }));
+}
+
+TEST(Escape, AlreadyEscapedClustersKeepTheirPins) {
+  EscapeFixture fx(16, 16);
+  fx.addValve({5, 8});
+  fx.addValve({10, 8});
+  fx.addPin({5, 0});
+  fx.addPin({10, 0});
+  auto ptrs = fx.finish();
+  escapeRoute(fx.chip, fx.obs, ptrs);
+  const auto pin0 = fx.clusters[0].pin;
+  const auto outcome2 = escapeRoute(fx.chip, fx.obs, ptrs);  // idempotent
+  EXPECT_EQ(outcome2.requested, 0);
+  EXPECT_EQ(fx.clusters[0].pin, pin0);
+}
+
+TEST(Escape, SequentialGreedyCanStrandClusters) {
+  // The ablation scenario in miniature: the greedy order blocks later
+  // clusters while the flow routes everything.
+  EscapeFixture fxSeq(14, 10);
+  EscapeFixture fxFlow(14, 10);
+  for (auto* fx : {&fxSeq, &fxFlow}) {
+    for (int i = 0; i < 3; ++i) fx->addValve({5 + 2 * i, 6});
+    for (int i = 0; i < 3; ++i) fx->addPin({5 + 2 * i, 0});
+    // Funnel: walls force all paths through a 3-wide slit.
+    for (std::int32_t x = 0; x < 14; ++x)
+      if (x < 5 || x > 7) fx->chip.obstacles.push_back({x, 3});
+  }
+  auto seqPtrs = fxSeq.finish();
+  auto flowPtrs = fxFlow.finish();
+  const auto seq = escapeRouteSequential(fxSeq.chip, fxSeq.obs, seqPtrs);
+  const auto flow = escapeRoute(fxFlow.chip, fxFlow.obs, flowPtrs);
+  EXPECT_GE(flow.routedCount, seq.routedCount);
+  EXPECT_EQ(flow.routedCount, 3);
+}
+
+TEST(Escape, WideTapBiasPrefersNearRootAttachment) {
+  // A two-path tree with the root in the middle; with wideTap the escape
+  // should still attach adjacent to the root when space allows.
+  EscapeFixture fx(16, 16);
+  fx.addValve({8, 8});
+  fx.addPin({8, 0});
+  auto ptrs = fx.finish();
+  auto& wc = fx.clusters[0];
+  // Build an artificial horizontal tree through the valve.
+  route::Path tree;
+  for (std::int32_t x = 4; x <= 12; ++x) tree.push_back({x, 8});
+  fx.obs.occupy(tree, wc.net);
+  wc.treePaths = {tree};
+  wc.tap = {8, 8};
+  wc.tapCells.assign(tree.begin(), tree.end());
+  wc.wideTap = true;
+  const auto outcome = escapeRoute(fx.chip, fx.obs, ptrs);
+  ASSERT_EQ(outcome.routedCount, 1);
+  // The anchor (first path cell) should be the root itself.
+  EXPECT_EQ(wc.escapePath.front(), (Point{8, 8}));
+}
+
+}  // namespace
+}  // namespace pacor::core

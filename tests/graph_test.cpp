@@ -1,0 +1,387 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+
+#include "graph/adjacency.hpp"
+#include "graph/clique_partition.hpp"
+#include "graph/dsu.hpp"
+#include "graph/max_weight_clique.hpp"
+#include "graph/min_cost_flow.hpp"
+#include "graph/mst.hpp"
+#include "graph/selection.hpp"
+#include "graph/steiner.hpp"
+
+namespace pacor::graph {
+namespace {
+
+TEST(Dsu, UniteAndFind) {
+  Dsu dsu(6);
+  EXPECT_TRUE(dsu.unite(0, 1));
+  EXPECT_TRUE(dsu.unite(2, 3));
+  EXPECT_FALSE(dsu.unite(1, 0));
+  EXPECT_TRUE(dsu.connected(0, 1));
+  EXPECT_FALSE(dsu.connected(0, 2));
+  EXPECT_TRUE(dsu.unite(1, 3));
+  EXPECT_TRUE(dsu.connected(0, 2));
+  EXPECT_EQ(dsu.setSize(3), 4u);
+  EXPECT_EQ(dsu.setSize(5), 1u);
+}
+
+TEST(Mst, ManhattanPrimSimple) {
+  const std::vector<geom::Point> pts{{0, 0}, {0, 3}, {4, 0}};
+  const auto tree = manhattanMst(pts);
+  ASSERT_EQ(tree.size(), 2u);
+  EXPECT_EQ(totalCost(tree), 7);
+}
+
+TEST(Mst, SinglePointAndEmpty) {
+  EXPECT_TRUE(manhattanMst({}).empty());
+  const std::vector<geom::Point> one{{5, 5}};
+  EXPECT_TRUE(manhattanMst(one).empty());
+}
+
+TEST(Mst, MatchesKruskalOnRandomPoints) {
+  std::mt19937 rng(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<geom::Point> pts;
+    const int n = 2 + static_cast<int>(rng() % 9);
+    for (int i = 0; i < n; ++i)
+      pts.push_back({static_cast<std::int32_t>(rng() % 50),
+                     static_cast<std::int32_t>(rng() % 50)});
+    std::vector<WeightedEdge> edges;
+    for (std::size_t i = 0; i < pts.size(); ++i)
+      for (std::size_t j = i + 1; j < pts.size(); ++j)
+        edges.push_back({i, j, geom::manhattan(pts[i], pts[j])});
+    const auto prim = manhattanMst(pts);
+    const auto kruskal = kruskalMst(pts.size(), edges);
+    EXPECT_EQ(totalCost(prim), totalCost(kruskal)) << "trial " << trial;
+  }
+}
+
+TEST(Kruskal, DisconnectedGraphGivesForest) {
+  std::vector<WeightedEdge> edges{{0, 1, 5}, {2, 3, 7}};
+  const auto forest = kruskalMst(4, edges);
+  EXPECT_EQ(forest.size(), 2u);
+}
+
+TEST(Adjacency, EdgesAndDegree) {
+  AdjacencyMatrix g(70);  // spans multiple 64-bit words
+  g.addEdge(0, 69);
+  g.addEdge(0, 33);
+  EXPECT_TRUE(g.hasEdge(69, 0));
+  EXPECT_TRUE(g.hasEdge(0, 33));
+  EXPECT_FALSE(g.hasEdge(1, 2));
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(69), 1u);
+}
+
+TEST(CliquePartition, CompleteGraphIsOneClique) {
+  AdjacencyMatrix g(5);
+  for (std::size_t i = 0; i < 5; ++i)
+    for (std::size_t j = i + 1; j < 5; ++j) g.addEdge(i, j);
+  const auto parts = cliquePartition(g);
+  EXPECT_EQ(parts.size(), 1u);
+  EXPECT_TRUE(isValidCliquePartition(g, parts));
+}
+
+TEST(CliquePartition, EmptyGraphIsAllSingletons) {
+  AdjacencyMatrix g(4);
+  const auto parts = cliquePartition(g);
+  EXPECT_EQ(parts.size(), 4u);
+  EXPECT_TRUE(isValidCliquePartition(g, parts));
+}
+
+TEST(CliquePartition, RandomGraphsAreValidPartitions) {
+  std::mt19937 rng(7);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t n = 3 + rng() % 20;
+    AdjacencyMatrix g(n);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j)
+        if (rng() % 3 != 0) g.addEdge(i, j);
+    EXPECT_TRUE(isValidCliquePartition(g, cliquePartition(g)));
+  }
+}
+
+TEST(CliquePartitionValidate, RejectsNonClique) {
+  AdjacencyMatrix g(3);
+  g.addEdge(0, 1);
+  EXPECT_FALSE(isValidCliquePartition(g, {{0, 1, 2}}));
+  EXPECT_FALSE(isValidCliquePartition(g, {{0, 1}}));        // misses vertex 2
+  EXPECT_FALSE(isValidCliquePartition(g, {{0, 1}, {1, 2}}));  // 1 twice + non-edge
+  EXPECT_TRUE(isValidCliquePartition(g, {{0, 1}, {2}}));
+}
+
+TEST(MaxWeightClique, TriangleBeatsHeavyEdge) {
+  // Triangle {0,1,2} of weight 3 vs pair {3,4} of weight 2+2=4... the
+  // solver must weigh, not count.
+  AdjacencyMatrix g(5);
+  g.addEdge(0, 1);
+  g.addEdge(1, 2);
+  g.addEdge(0, 2);
+  g.addEdge(3, 4);
+  const std::vector<double> w{1, 1, 1, 2, 2};
+  const auto res = maxWeightClique(g, w);
+  EXPECT_DOUBLE_EQ(res.weight, 4.0);
+  EXPECT_EQ(res.vertices, (std::vector<std::size_t>{3, 4}));
+}
+
+TEST(MaxWeightClique, ExactBeatsGreedyOrMatchesOnRandom) {
+  std::mt19937 rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 4 + rng() % 10;
+    AdjacencyMatrix g(n);
+    std::vector<double> w(n);
+    for (std::size_t i = 0; i < n; ++i) w[i] = 0.1 + static_cast<double>(rng() % 100) / 10.0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j)
+        if (rng() % 2) g.addEdge(i, j);
+    const auto exact = maxWeightClique(g, w);
+    const auto greedy = maxWeightCliqueGreedy(g, w);
+    EXPECT_GE(exact.weight, greedy.weight - 1e-9);
+    // Exact result must be a clique.
+    for (std::size_t i = 0; i < exact.vertices.size(); ++i)
+      for (std::size_t j = i + 1; j < exact.vertices.size(); ++j)
+        EXPECT_TRUE(g.hasEdge(exact.vertices[i], exact.vertices[j]));
+  }
+}
+
+TEST(Selection, SingleClusterPicksBestCandidate) {
+  SelectionProblem p;
+  p.addCandidate(0, -0.5);
+  p.addCandidate(0, -0.1);
+  p.addCandidate(0, -0.9);
+  const auto sol = p.solveExact();
+  EXPECT_TRUE(sol.exact);
+  EXPECT_EQ(sol.chosen, (std::vector<std::size_t>{1}));
+  EXPECT_DOUBLE_EQ(sol.objective, -0.1);
+}
+
+TEST(Selection, PairwisePenaltyChangesChoice) {
+  SelectionProblem p;
+  // Cluster 0: candidates a0 (0), a1 (-0.05). Cluster 1: b0 (0).
+  const auto a0 = p.addCandidate(0, 0.0);
+  const auto a1 = p.addCandidate(0, -0.05);
+  const auto b0 = p.addCandidate(1, 0.0);
+  (void)a1;
+  p.setPairWeight(a0, b0, -1.0);  // a0 overlaps b0 heavily
+  const auto sol = p.solveExact();
+  EXPECT_TRUE(sol.exact);
+  EXPECT_EQ(sol.chosen[0], 1u);  // prefers the slightly worse, non-overlapping one
+  EXPECT_DOUBLE_EQ(sol.objective, -0.05);
+}
+
+TEST(Selection, ExactMatchesBruteForceOnRandom) {
+  std::mt19937 rng(3);
+  for (int trial = 0; trial < 15; ++trial) {
+    SelectionProblem p;
+    const std::size_t clusters = 2 + rng() % 3;
+    std::vector<std::vector<std::size_t>> ids(clusters);
+    for (std::size_t c = 0; c < clusters; ++c) {
+      const std::size_t k = 1 + rng() % 3;
+      for (std::size_t i = 0; i < k; ++i)
+        ids[c].push_back(p.addCandidate(c, -static_cast<double>(rng() % 100) / 100.0));
+    }
+    for (std::size_t c1 = 0; c1 < clusters; ++c1)
+      for (std::size_t c2 = c1 + 1; c2 < clusters; ++c2)
+        for (const auto x : ids[c1])
+          for (const auto y : ids[c2])
+            if (rng() % 2) p.setPairWeight(x, y, -static_cast<double>(rng() % 100) / 50.0);
+
+    const auto sol = p.solveExact();
+    ASSERT_TRUE(sol.exact);
+
+    // Brute force.
+    double best = -1e18;
+    std::vector<std::size_t> pick(clusters, 0);
+    const std::function<void(std::size_t, std::vector<std::size_t>&)> rec =
+        [&](std::size_t c, std::vector<std::size_t>& cur) {
+          if (c == clusters) {
+            best = std::max(best, p.objective(cur));
+            return;
+          }
+          for (const auto id : ids[c]) {
+            cur.push_back(id);
+            rec(c + 1, cur);
+            cur.pop_back();
+          }
+        };
+    std::vector<std::size_t> cur;
+    rec(0, cur);
+    EXPECT_NEAR(sol.objective, best, 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(Selection, GreedyIsValidAssignment) {
+  SelectionProblem p;
+  p.addCandidate(0, -0.3);
+  p.addCandidate(0, -0.4);
+  p.addCandidate(1, -0.1);
+  p.addCandidate(2, -0.2);
+  p.addCandidate(2, -0.25);
+  const auto sol = p.solveGreedy();
+  ASSERT_EQ(sol.chosen.size(), 3u);
+  EXPECT_LE(sol.objective, 0.0);
+}
+
+TEST(MinCostFlow, SimplePath) {
+  MinCostFlow f(4);
+  f.addEdge(0, 1, 2, 1);
+  f.addEdge(1, 2, 2, 1);
+  f.addEdge(2, 3, 2, 1);
+  const auto r = f.run(0, 3);
+  EXPECT_EQ(r.flow, 2);
+  EXPECT_EQ(r.cost, 6);
+}
+
+TEST(MinCostFlow, PrefersCheaperPath) {
+  MinCostFlow f(4);
+  const auto cheap1 = f.addEdge(0, 1, 1, 1);
+  f.addEdge(1, 3, 1, 1);
+  const auto dear1 = f.addEdge(0, 2, 1, 5);
+  f.addEdge(2, 3, 1, 5);
+  const auto r = f.run(0, 3, 1);
+  EXPECT_EQ(r.flow, 1);
+  EXPECT_EQ(r.cost, 2);
+  EXPECT_EQ(f.flowOn(cheap1), 1);
+  EXPECT_EQ(f.flowOn(dear1), 0);
+}
+
+TEST(MinCostFlow, MaxFlowThenMinCost) {
+  // Two units must flow; the optimum uses both paths even though one is
+  // expensive (lexicographic max-flow before min-cost).
+  MinCostFlow f(4);
+  f.addEdge(0, 1, 1, 1);
+  f.addEdge(1, 3, 1, 1);
+  f.addEdge(0, 2, 1, 10);
+  f.addEdge(2, 3, 1, 10);
+  const auto r = f.run(0, 3);
+  EXPECT_EQ(r.flow, 2);
+  EXPECT_EQ(r.cost, 22);
+}
+
+TEST(MinCostFlow, ReroutesThroughResidualEdges) {
+  // Classic residual test: greedy shortest path would block the second
+  // unit; successive shortest paths must undo it via the reverse arc.
+  MinCostFlow f(6);
+  // s=0, t=5. Direct middle edge is tempting but must be shared.
+  f.addEdge(0, 1, 1, 1);
+  f.addEdge(0, 2, 1, 2);
+  f.addEdge(1, 3, 1, 1);
+  f.addEdge(1, 4, 1, 3);
+  f.addEdge(2, 3, 1, 1);
+  f.addEdge(3, 5, 1, 1);
+  f.addEdge(4, 5, 1, 1);
+  const auto r = f.run(0, 5);
+  EXPECT_EQ(r.flow, 2);
+  EXPECT_EQ(r.cost, 3 + 6);  // 0-1-3-5 (3) and 0-2-3... rerouted: total 9
+}
+
+TEST(MinCostFlow, RespectsMaxFlowCap) {
+  MinCostFlow f(2);
+  f.addEdge(0, 1, 10, 1);
+  const auto r = f.run(0, 1, 3);
+  EXPECT_EQ(r.flow, 3);
+  EXPECT_EQ(r.cost, 3);
+}
+
+TEST(MinCostFlow, DisconnectedGivesZero) {
+  MinCostFlow f(3);
+  f.addEdge(0, 1, 1, 1);
+  const auto r = f.run(0, 2);
+  EXPECT_EQ(r.flow, 0);
+  EXPECT_EQ(r.cost, 0);
+}
+
+TEST(MinCostFlow, AccumulatesAcrossRuns) {
+  MinCostFlow f(2);
+  f.addEdge(0, 1, 5, 2);
+  const auto r1 = f.run(0, 1, 2);
+  const auto r2 = f.run(0, 1, 2);
+  EXPECT_EQ(r1.flow + r2.flow, 4);
+  EXPECT_EQ(f.flowOn(0), 4);
+  EXPECT_EQ(f.residual(0), 1);
+}
+
+
+TEST(CliquePartitionExact, OptimalOnKnownGraphs) {
+  // 5-cycle: needs 3 cliques (edges can only pair adjacent vertices).
+  AdjacencyMatrix c5(5);
+  for (std::size_t i = 0; i < 5; ++i) c5.addEdge(i, (i + 1) % 5);
+  const auto parts = cliquePartitionExact(c5);
+  EXPECT_TRUE(isValidCliquePartition(c5, parts));
+  EXPECT_EQ(parts.size(), 3u);
+
+  // Complete graph: one clique; empty graph: n cliques.
+  AdjacencyMatrix k4(4);
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = i + 1; j < 4; ++j) k4.addEdge(i, j);
+  EXPECT_EQ(cliquePartitionExact(k4).size(), 1u);
+  AdjacencyMatrix e3(3);
+  EXPECT_EQ(cliquePartitionExact(e3).size(), 3u);
+}
+
+TEST(CliquePartitionExact, NeverWorseThanGreedyOnRandom) {
+  std::mt19937 rng(23);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t n = 2 + rng() % 11;
+    AdjacencyMatrix g(n);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j)
+        if (rng() % 2) g.addEdge(i, j);
+    const auto exact = cliquePartitionExact(g);
+    const auto greedy = cliquePartition(g);
+    EXPECT_TRUE(isValidCliquePartition(g, exact));
+    EXPECT_LE(exact.size(), greedy.size()) << "trial " << trial;
+  }
+}
+
+TEST(CliquePartitionExact, AutoSwitchesToGreedyAboveLimit) {
+  AdjacencyMatrix g(24);
+  for (std::size_t i = 0; i + 1 < 24; i += 2) g.addEdge(i, i + 1);
+  const auto parts = cliquePartitionAuto(g, 16);
+  EXPECT_TRUE(isValidCliquePartition(g, parts));
+}
+
+
+TEST(Steiner, LShapedTripleGainsACorner) {
+  // Classic: three points in an L; the Steiner point at the corner saves
+  // exactly min(dx, dy)... here MST = 8 + 8 = 16, RSMT = 12.
+  const std::vector<geom::Point> pts{{0, 0}, {8, 0}, {0, 4}};
+  const auto tree = iteratedOneSteiner(pts);
+  EXPECT_EQ(mstCost(pts), 12);  // MST already optimal here (shares (0,0))
+  EXPECT_LE(tree.cost, mstCost(pts));
+
+  // A cross: 4 points around a center; one Steiner point saves a lot.
+  const std::vector<geom::Point> cross{{0, 5}, {10, 5}, {5, 0}, {5, 10}};
+  const auto crossTree = iteratedOneSteiner(cross);
+  EXPECT_EQ(crossTree.cost, 20);  // star through (5,5)
+  EXPECT_LT(crossTree.cost, mstCost(cross));
+  ASSERT_GE(crossTree.steinerPoints.size(), 1u);
+}
+
+TEST(Steiner, NeverWorseThanMstOnRandom) {
+  std::mt19937 rng(5);
+  for (int trial = 0; trial < 15; ++trial) {
+    std::vector<geom::Point> pts;
+    const std::size_t n = 3 + rng() % 7;
+    for (std::size_t i = 0; i < n; ++i)
+      pts.push_back({static_cast<std::int32_t>(rng() % 30),
+                     static_cast<std::int32_t>(rng() % 30)});
+    const auto tree = iteratedOneSteiner(pts);
+    EXPECT_LE(tree.cost, mstCost(pts)) << "trial " << trial;
+    // The tree spans terminals + steiner points.
+    EXPECT_EQ(tree.edges.size() + 1, pts.size() + tree.steinerPoints.size());
+  }
+}
+
+TEST(Steiner, DegenerateInputs) {
+  EXPECT_EQ(iteratedOneSteiner(std::vector<geom::Point>{}).cost, 0);
+  EXPECT_EQ(iteratedOneSteiner(std::vector<geom::Point>{{3, 3}}).cost, 0);
+  const std::vector<geom::Point> two{{0, 0}, {5, 7}};
+  EXPECT_EQ(iteratedOneSteiner(two).cost, 12);
+}
+
+}  // namespace
+}  // namespace pacor::graph

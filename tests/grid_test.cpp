@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "grid/grid.hpp"
+#include "grid/obstacle_map.hpp"
+
+namespace pacor::grid {
+namespace {
+
+TEST(Grid, BoundsAndIndexing) {
+  const Grid g(7, 5);
+  EXPECT_EQ(g.width(), 7);
+  EXPECT_EQ(g.height(), 5);
+  EXPECT_EQ(g.cellCount(), 35);
+  EXPECT_TRUE(g.inBounds({0, 0}));
+  EXPECT_TRUE(g.inBounds({6, 4}));
+  EXPECT_FALSE(g.inBounds({7, 0}));
+  EXPECT_FALSE(g.inBounds({0, -1}));
+  for (std::int32_t i = 0; i < g.cellCount(); ++i)
+    EXPECT_EQ(g.index(g.point(i)), i);
+}
+
+TEST(Grid, BoundaryPredicate) {
+  const Grid g(4, 4);
+  EXPECT_TRUE(g.onBoundary({0, 2}));
+  EXPECT_TRUE(g.onBoundary({3, 1}));
+  EXPECT_TRUE(g.onBoundary({2, 0}));
+  EXPECT_FALSE(g.onBoundary({1, 1}));
+  EXPECT_FALSE(g.onBoundary({4, 0}));  // out of bounds is not boundary
+}
+
+TEST(Grid, NeighborsInterior) {
+  const Grid g(5, 5);
+  const auto n = g.neighbors({2, 2});
+  EXPECT_EQ(n.size(), 4u);
+}
+
+TEST(Grid, NeighborsCorner) {
+  const Grid g(5, 5);
+  const auto n = g.neighbors({0, 0});
+  ASSERT_EQ(n.size(), 2u);
+  const std::unordered_set<geom::Point> set(n.begin(), n.end());
+  EXPECT_TRUE(set.contains({1, 0}));
+  EXPECT_TRUE(set.contains({0, 1}));
+}
+
+TEST(Grid, BoundaryCellsCountAndUniqueness) {
+  const Grid g(6, 9);
+  const auto cells = g.boundaryCells();
+  EXPECT_EQ(cells.size(), static_cast<std::size_t>(2 * (6 + 9) - 4));
+  std::unordered_set<geom::Point> set(cells.begin(), cells.end());
+  EXPECT_EQ(set.size(), cells.size());
+  for (const auto c : cells) EXPECT_TRUE(g.onBoundary(c));
+}
+
+TEST(Grid, BoundaryCellsCoverAllBoundary) {
+  const Grid g(5, 4);
+  const auto cells = g.boundaryCells();
+  const std::unordered_set<geom::Point> set(cells.begin(), cells.end());
+  for (std::int32_t x = 0; x < 5; ++x)
+    for (std::int32_t y = 0; y < 4; ++y)
+      EXPECT_EQ(set.contains({x, y}), g.onBoundary({x, y}));
+}
+
+TEST(Grid, SingleRowBoundary) {
+  const Grid g(5, 1);
+  const auto cells = g.boundaryCells();
+  EXPECT_EQ(cells.size(), 5u);
+}
+
+TEST(ObstacleMap, InitiallyFree) {
+  ObstacleMap map(Grid(4, 4));
+  for (std::int32_t i = 0; i < 16; ++i) {
+    EXPECT_TRUE(map.isFree(map.grid().point(i)));
+    EXPECT_EQ(map.owner(map.grid().point(i)), kFreeCell);
+  }
+}
+
+TEST(ObstacleMap, ObstaclesBlock) {
+  ObstacleMap map(Grid(4, 4));
+  map.addObstacle({1, 1});
+  EXPECT_TRUE(map.isObstacle({1, 1}));
+  EXPECT_FALSE(map.isFree({1, 1}));
+  EXPECT_FALSE(map.isFreeFor({1, 1}, 3));
+  EXPECT_EQ(map.obstacleCount(), 1);
+}
+
+TEST(ObstacleMap, ObstacleRectClipped) {
+  ObstacleMap map(Grid(4, 4));
+  map.blockRect(geom::Rect{{2, 2}, {9, 9}});  // clipped to grid
+  EXPECT_EQ(map.obstacleCount(), 4);            // (2..3)x(2..3)
+}
+
+TEST(ObstacleMap, OccupyAndOwnership) {
+  ObstacleMap map(Grid(5, 5));
+  const std::vector<geom::Point> path{{0, 0}, {1, 0}, {2, 0}};
+  map.occupy(path, 7);
+  EXPECT_EQ(map.owner({1, 0}), 7);
+  EXPECT_TRUE(map.isFreeFor({1, 0}, 7));
+  EXPECT_FALSE(map.isFreeFor({1, 0}, 8));
+  EXPECT_EQ(map.countOwnedBy(7), 3);
+}
+
+TEST(ObstacleMap, ReleaseWholeNet) {
+  ObstacleMap map(Grid(5, 5));
+  const std::vector<geom::Point> path{{0, 0}, {1, 0}};
+  map.occupy(path, 2);
+  map.release(2);
+  EXPECT_TRUE(map.isFree({0, 0}));
+  EXPECT_TRUE(map.isFree({1, 0}));
+  EXPECT_EQ(map.countOwnedBy(2), 0);
+}
+
+TEST(ObstacleMap, ReleasePathKeepsOtherCells) {
+  ObstacleMap map(Grid(5, 5));
+  const std::vector<geom::Point> a{{0, 0}, {1, 0}};
+  const std::vector<geom::Point> b{{3, 3}};
+  map.occupy(a, 4);
+  map.occupy(b, 4);
+  map.releasePath(a, 4);
+  EXPECT_TRUE(map.isFree({0, 0}));
+  EXPECT_EQ(map.owner({3, 3}), 4);
+}
+
+TEST(ObstacleMap, ReleasePathIgnoresForeignCells) {
+  ObstacleMap map(Grid(5, 5));
+  const std::vector<geom::Point> a{{0, 0}};
+  map.occupy(a, 1);
+  map.releasePath(a, 2);  // wrong net: no-op
+  EXPECT_EQ(map.owner({0, 0}), 1);
+}
+
+TEST(ObstacleMap, ReoccupySameNetIsIdempotent) {
+  ObstacleMap map(Grid(5, 5));
+  const std::vector<geom::Point> a{{2, 2}, {2, 3}};
+  map.occupy(a, 9);
+  map.occupy(a, 9);  // same net may re-claim (shared tree trunks)
+  EXPECT_EQ(map.countOwnedBy(9), 2);
+}
+
+}  // namespace
+}  // namespace pacor::grid

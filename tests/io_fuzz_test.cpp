@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+#include "chip/generator.hpp"
+#include "chip/io.hpp"
+#include "chip/synth_spec.hpp"
+#include "pacor/pipeline.hpp"
+#include "pacor/solution_io.hpp"
+
+namespace pacor {
+namespace {
+
+/// Robustness sweeps over the three text formats: every truncation and
+/// simple mutation must either parse to a valid object or throw -- never
+/// crash, hang, or return garbage that fails validation.
+
+std::string chipText() {
+  std::stringstream buf;
+  chip::writeChip(buf, chip::generateChip(chip::s1Params()));
+  return buf.str();
+}
+
+std::string solutionText() {
+  const auto chip = chip::generateChip(chip::s1Params());
+  std::stringstream buf;
+  core::writeSolution(buf, core::routeChip(chip));
+  return buf.str();
+}
+
+std::string synthText() {
+  chip::SynthSpec spec;
+  spec.die = grid::Grid(16, 16);
+  spec.valveSites = {{4, 4}, {10, 4}};
+  spec.flow.channels.push_back({{{2, 8}, {13, 8}}});
+  spec.pinSites = {{0, 5}, {15, 5}};
+  spec.clusters = {{{0, 1}, true}};
+  spec.assay.horizon = 4;
+  spec.assay.operations = {{"op", 0, 2, {0, 1}, {}}};
+  std::stringstream buf;
+  chip::writeSynthSpec(buf, spec);
+  return buf.str();
+}
+
+class TruncationFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(TruncationFuzz, ChipReaderNeverCrashes) {
+  const std::string full = chipText();
+  std::mt19937 rng(static_cast<unsigned>(GetParam()));
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t cut = rng() % full.size();
+    std::stringstream is(full.substr(0, cut));
+    try {
+      const chip::Chip c = chip::readChip(is);
+      EXPECT_EQ(c.validate(), std::nullopt);  // parsed => valid
+    } catch (const std::runtime_error&) {
+      // expected for most cuts
+    } catch (const std::invalid_argument&) {
+      // activation-sequence validation can fire mid-token
+    }
+  }
+}
+
+TEST_P(TruncationFuzz, SolutionReaderNeverCrashes) {
+  const std::string full = solutionText();
+  std::mt19937 rng(static_cast<unsigned>(100 + GetParam()));
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t cut = rng() % full.size();
+    std::stringstream is(full.substr(0, cut));
+    try {
+      (void)core::readSolution(is);
+    } catch (const std::runtime_error&) {
+    }
+  }
+}
+
+TEST_P(TruncationFuzz, SynthReaderNeverCrashes) {
+  const std::string full = synthText();
+  std::mt19937 rng(static_cast<unsigned>(200 + GetParam()));
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t cut = rng() % full.size();
+    std::stringstream is(full.substr(0, cut));
+    try {
+      (void)chip::readSynthSpec(is);
+    } catch (const std::runtime_error&) {
+    }
+  }
+}
+
+TEST_P(TruncationFuzz, MutatedChipEitherParsesValidOrThrows) {
+  const std::string full = chipText();
+  std::mt19937 rng(static_cast<unsigned>(300 + GetParam()));
+  for (int trial = 0; trial < 40; ++trial) {
+    std::string mutated = full;
+    // Flip a handful of characters to digits/garbage.
+    for (int k = 0; k < 3; ++k) {
+      const std::size_t pos = rng() % mutated.size();
+      const char repl[] = {'0', '9', '-', 'Z', ' '};
+      mutated[pos] = repl[rng() % std::size(repl)];
+    }
+    std::stringstream is(mutated);
+    try {
+      const chip::Chip c = chip::readChip(is);
+      EXPECT_EQ(c.validate(), std::nullopt);
+    } catch (const std::runtime_error&) {
+    } catch (const std::invalid_argument&) {
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TruncationFuzz, ::testing::Range(1, 5));
+
+}  // namespace
+}  // namespace pacor

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "pacor/mst_routing.hpp"
+
+namespace pacor::core {
+namespace {
+
+using geom::Point;
+
+struct PlainFixture {
+  chip::Chip chip;
+  grid::ObstacleMap obs{grid::Grid(1, 1)};
+  WorkCluster wc;
+
+  PlainFixture(std::int32_t size, const std::vector<Point>& valves) {
+    chip.name = "plain";
+    chip.routingGrid = grid::Grid(size, size);
+    for (const Point p : valves) {
+      const auto id = static_cast<chip::ValveId>(chip.valves.size());
+      chip.valves.push_back({id, p, chip::ActivationSequence("0")});
+      wc.spec.valves.push_back(id);
+    }
+    chip.pins = {{0, {0, 0}}};
+    obs = chip.makeObstacleMap();
+    wc.net = 0;
+    for (const Point p : valves) obs.occupy(std::span<const Point>(&p, 1), wc.net);
+  }
+};
+
+TEST(MstRouting, SingletonNeedsNoChannels) {
+  PlainFixture fx(12, {{5, 5}});
+  EXPECT_TRUE(routePlainCluster(fx.chip, fx.obs, fx.wc));
+  EXPECT_TRUE(fx.wc.internallyRouted);
+  EXPECT_TRUE(fx.wc.treePaths.empty());
+  EXPECT_EQ(fx.wc.tapCells, (std::vector<Point>{Point{5, 5}}));
+}
+
+TEST(MstRouting, ConnectsThreeValvesIntoOneTree) {
+  PlainFixture fx(20, {{3, 3}, {15, 4}, {8, 16}});
+  ASSERT_TRUE(routePlainCluster(fx.chip, fx.obs, fx.wc));
+  EXPECT_EQ(fx.wc.treePaths.size(), 2u);  // n-1 connections
+  // All valves lie in one connected component of the committed cells.
+  std::unordered_set<Point> cells(fx.wc.tapCells.begin(), fx.wc.tapCells.end());
+  for (const auto v : fx.wc.spec.valves)
+    EXPECT_TRUE(cells.contains(fx.chip.valve(v).pos));
+  // Every committed cell belongs to the net.
+  for (const Point c : fx.wc.tapCells) EXPECT_EQ(fx.obs.owner(c), fx.wc.net);
+}
+
+TEST(MstRouting, TreeLengthIsReasonable) {
+  PlainFixture fx(24, {{2, 2}, {12, 2}, {2, 12}});
+  ASSERT_TRUE(routePlainCluster(fx.chip, fx.obs, fx.wc));
+  std::int64_t total = 0;
+  for (const auto& p : fx.wc.treePaths) total += route::pathLength(p);
+  // Lower bound: MST over Manhattan distances / upper: generous slack.
+  EXPECT_GE(total, 20);
+  EXPECT_LE(total, 30);
+}
+
+TEST(MstRouting, FailureRollsBackCleanly) {
+  PlainFixture fx(16, {{3, 8}, {12, 8}});
+  for (std::int32_t y = 0; y < 16; ++y) fx.obs.addObstacle({7, y});
+  EXPECT_FALSE(routePlainCluster(fx.chip, fx.obs, fx.wc));
+  EXPECT_FALSE(fx.wc.internallyRouted);
+  // Only the valve cells remain owned.
+  EXPECT_EQ(fx.obs.countOwnedBy(fx.wc.net), 2);
+}
+
+TEST(MstRouting, DeclusteringSplitsAcrossWall) {
+  PlainFixture fx(16, {{3, 8}, {4, 10}, {12, 8}, {13, 10}});
+  for (std::int32_t y = 0; y < 16; ++y) fx.obs.addObstacle({7, y});
+  grid::NetId next = 10;
+  const auto allocate = [&next] { return next++; };
+  int splits = 0;
+  auto parts = routeWithDeclustering(fx.chip, fx.obs, std::move(fx.wc), allocate, &splits);
+  EXPECT_GE(splits, 1);
+  ASSERT_EQ(parts.size(), 2u);  // the two sides of the wall
+  for (const auto& part : parts) {
+    EXPECT_TRUE(part.internallyRouted);
+    EXPECT_EQ(part.spec.valves.size(), 2u);
+    EXPECT_FALSE(part.spec.lengthMatched);
+  }
+}
+
+TEST(MstRouting, DeclusteringBottomsOutAtSingletons) {
+  // Four valves in four sealed quadrants: every split ends as singletons.
+  PlainFixture fx(17, {{3, 3}, {13, 3}, {3, 13}, {13, 13}});
+  for (std::int32_t i = 0; i < 17; ++i) {
+    fx.obs.addObstacle({8, i});
+    if (i != 8) fx.obs.addObstacle({i, 8});
+  }
+  grid::NetId next = 10;
+  const auto allocate = [&next] { return next++; };
+  auto parts = routeWithDeclustering(fx.chip, fx.obs, std::move(fx.wc), allocate);
+  EXPECT_EQ(parts.size(), 4u);
+  for (const auto& part : parts) {
+    EXPECT_EQ(part.spec.valves.size(), 1u);
+    EXPECT_TRUE(part.internallyRouted);
+  }
+}
+
+TEST(MstRouting, NoSplitWhenRoutable) {
+  PlainFixture fx(20, {{3, 3}, {15, 4}, {8, 16}});
+  grid::NetId next = 10;
+  const auto allocate = [&next] { return next++; };
+  int splits = 0;
+  auto parts = routeWithDeclustering(fx.chip, fx.obs, std::move(fx.wc), allocate, &splits);
+  EXPECT_EQ(parts.size(), 1u);
+  EXPECT_EQ(splits, 0);
+}
+
+}  // namespace
+}  // namespace pacor::core

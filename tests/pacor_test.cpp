@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "chip/generator.hpp"
+#include "pacor/clustering.hpp"
+#include "pacor/pipeline.hpp"
+#include "pacor/report.hpp"
+
+namespace pacor::core {
+namespace {
+
+TEST(Clustering, PreservesGivenClusters) {
+  const chip::Chip chip = chip::generateChip(chip::s1Params());
+  const auto specs = clusterValves(chip);
+  ASSERT_GE(specs.size(), chip.givenClusters.size());
+  for (std::size_t i = 0; i < chip.givenClusters.size(); ++i) {
+    EXPECT_EQ(specs[i].valves, chip.givenClusters[i].valves);
+    EXPECT_EQ(specs[i].lengthMatched, chip.givenClusters[i].lengthMatched);
+  }
+}
+
+TEST(Clustering, CoversEveryValveExactlyOnce) {
+  const chip::Chip chip = chip::generateChip(chip::s3Params());
+  const auto specs = clusterValves(chip);
+  std::vector<int> seen(chip.valves.size(), 0);
+  for (const auto& spec : specs)
+    for (const chip::ValveId v : spec.valves) ++seen[static_cast<std::size_t>(v)];
+  for (const int c : seen) EXPECT_EQ(c, 1);
+}
+
+TEST(Clustering, ClustersArePairwiseCompatible) {
+  const chip::Chip chip = chip::generateChip(chip::s4Params());
+  for (const auto& spec : clusterValves(chip))
+    for (std::size_t i = 0; i < spec.valves.size(); ++i)
+      for (std::size_t j = i + 1; j < spec.valves.size(); ++j)
+        EXPECT_TRUE(
+            chip.valve(spec.valves[i])
+                .sequence.compatibleWith(chip.valve(spec.valves[j]).sequence));
+}
+
+/// Structural checks every routing result must satisfy, independent of
+/// quality: completion, connectivity, design rules, pin exclusivity.
+void checkInvariants(const chip::Chip& chip, const PacorResult& result) {
+  SCOPED_TRACE(result.design);
+  EXPECT_TRUE(result.complete);
+
+  // Every valve appears in exactly one cluster.
+  std::vector<int> valveSeen(chip.valves.size(), 0);
+  std::unordered_set<chip::PinId> pinsUsed;
+  std::unordered_map<geom::Point, int> cellOwner;
+  for (std::size_t ci = 0; ci < result.clusters.size(); ++ci) {
+    const RoutedCluster& c = result.clusters[ci];
+    EXPECT_TRUE(c.routed);
+    for (const chip::ValveId v : c.valves) ++valveSeen[static_cast<std::size_t>(v)];
+    ASSERT_GE(c.pin, 0);
+    EXPECT_TRUE(pinsUsed.insert(c.pin).second) << "pin shared: " << c.pin;
+
+    // Valves on the same pin are pairwise compatible (constraint ii).
+    for (std::size_t i = 0; i < c.valves.size(); ++i)
+      for (std::size_t j = i + 1; j < c.valves.size(); ++j) {
+        EXPECT_TRUE(chip.valve(c.valves[i])
+                        .sequence.compatibleWith(chip.valve(c.valves[j]).sequence));
+      }
+
+    // Channels of different clusters never share a cell (design rules).
+    const auto claim = [&](const route::Path& p) {
+      for (const geom::Point cell : p) {
+        const auto [it, fresh] = cellOwner.emplace(cell, static_cast<int>(ci));
+        if (!fresh) {
+          EXPECT_EQ(it->second, static_cast<int>(ci)) << cell.str();
+        }
+      }
+    };
+    for (const auto& p : c.treePaths) claim(p);
+    claim(c.escapePath);
+
+    // Lengths reported for every valve.
+    ASSERT_EQ(c.valveLengths.size(), c.valves.size());
+    for (const auto l : c.valveLengths) EXPECT_GE(l, 0);
+  }
+  for (const int c : valveSeen) EXPECT_EQ(c, 1);
+
+  // No channel cell on an obstacle.
+  const auto obsMap = chip.makeObstacleMap();
+  for (const auto& [cell, owner] : cellOwner) {
+    (void)owner;
+    EXPECT_FALSE(obsMap.isObstacle(cell)) << cell.str();
+  }
+}
+
+TEST(Pipeline, S1FullFlow) {
+  const chip::Chip chip = chip::generateChip(chip::s1Params());
+  const PacorResult result = routeChip(chip);
+  checkInvariants(chip, result);
+  EXPECT_EQ(result.multiValveClusterCount, 2);
+  EXPECT_GT(result.totalChannelLength, 0);
+}
+
+TEST(Pipeline, S2FullFlow) {
+  const chip::Chip chip = chip::generateChip(chip::s2Params());
+  const PacorResult result = routeChip(chip);
+  checkInvariants(chip, result);
+  EXPECT_EQ(result.multiValveClusterCount, 2);
+}
+
+TEST(Pipeline, S3FullFlowMatchesMostClusters) {
+  const chip::Chip chip = chip::generateChip(chip::s3Params());
+  const PacorResult result = routeChip(chip);
+  checkInvariants(chip, result);
+  EXPECT_EQ(result.multiValveClusterCount, 5);
+  EXPECT_GE(result.matchedClusterCount, 3);  // paper: 4 of 5
+}
+
+TEST(Pipeline, MatchedClustersAreActuallyMatched) {
+  const chip::Chip chip = chip::generateChip(chip::s3Params());
+  const PacorResult result = routeChip(chip);
+  for (const RoutedCluster& c : result.clusters) {
+    if (c.lengthMatchRequested && c.lengthMatched) {
+      EXPECT_LE(c.lengthSpread(), chip.delta);
+    }
+  }
+}
+
+TEST(Pipeline, MatchedLengthsAccounting) {
+  const chip::Chip chip = chip::generateChip(chip::s4Params());
+  const PacorResult result = routeChip(chip);
+  checkInvariants(chip, result);
+  std::int64_t matched = 0;
+  std::int64_t total = 0;
+  for (const RoutedCluster& c : result.clusters) {
+    total += c.totalLength;
+    if (c.lengthMatchRequested && c.lengthMatched) matched += c.totalLength;
+  }
+  EXPECT_EQ(result.totalChannelLength, total);
+  EXPECT_EQ(result.matchedChannelLength, matched);
+  EXPECT_LE(matched, total);
+}
+
+TEST(Pipeline, WithoutSelectionStillCompletes) {
+  const chip::Chip chip = chip::generateChip(chip::s3Params());
+  const PacorResult result = routeChip(chip, withoutSelectionConfig());
+  checkInvariants(chip, result);
+}
+
+TEST(Pipeline, DetourFirstStillCompletes) {
+  const chip::Chip chip = chip::generateChip(chip::s3Params());
+  const PacorResult result = routeChip(chip, detourFirstConfig());
+  checkInvariants(chip, result);
+}
+
+TEST(Pipeline, PacorMatchesAtLeastAsManyAsBaselinesOnS4) {
+  const chip::Chip chip = chip::generateChip(chip::s4Params());
+  const PacorResult pacor = routeChip(chip);
+  const PacorResult noSel = routeChip(chip, withoutSelectionConfig());
+  // The headline Table 2 shape: selection never hurts matching.
+  EXPECT_GE(pacor.matchedClusterCount, noSel.matchedClusterCount - 1);
+}
+
+TEST(Pipeline, RejectsInvalidChip) {
+  chip::Chip bad = chip::generateChip(chip::s1Params());
+  bad.valves[0].pos = {-1, -1};
+  EXPECT_THROW(routeChip(bad), std::invalid_argument);
+}
+
+TEST(Pipeline, ReportFormatting) {
+  const chip::Chip chip = chip::generateChip(chip::s1Params());
+  const PacorResult r = routeChip(chip);
+  const std::string desc = describeResult(r);
+  EXPECT_NE(desc.find("design S1"), std::string::npos);
+  EXPECT_NE(desc.find("cluster 0"), std::string::npos);
+  std::ostringstream table;
+  printTable2Header(table);
+  printTable2Row(table, r, r, r);
+  EXPECT_NE(table.str().find("S1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pacor::core

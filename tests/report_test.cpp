@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "chip/generator.hpp"
+#include "pacor/pipeline.hpp"
+#include "pacor/report.hpp"
+#include "sim/analysis.hpp"
+
+namespace pacor {
+namespace {
+
+TEST(Report, DescribeMentionsUnroutedClusters) {
+  const auto chip = chip::generateChip(chip::s1Params());
+  auto result = core::routeChip(chip);
+  result.clusters[0].routed = false;
+  result.complete = false;
+  const std::string text = core::describeResult(result);
+  EXPECT_NE(text.find("INCOMPLETE"), std::string::npos);
+  EXPECT_NE(text.find("UNROUTED"), std::string::npos);
+}
+
+TEST(Report, DescribeMentionsFailedMatch) {
+  const auto chip = chip::generateChip(chip::s1Params());
+  auto result = core::routeChip(chip);
+  bool found = false;
+  for (auto& c : result.clusters)
+    if (c.lengthMatchRequested) {
+      c.lengthMatched = false;
+      found = true;
+      break;
+    }
+  ASSERT_TRUE(found);
+  EXPECT_NE(core::describeResult(result).find("match=NO"), std::string::npos);
+}
+
+TEST(Report, Table2RowsAlignUnderHeader) {
+  const auto chip = chip::generateChip(chip::s1Params());
+  const auto r = core::routeChip(chip);
+  std::ostringstream os;
+  core::printTable2Header(os);
+  core::printTable2Row(os, r, r, r);
+  std::istringstream lines(os.str());
+  std::string l1, l2, l3;
+  std::getline(lines, l1);
+  std::getline(lines, l2);
+  std::getline(lines, l3);
+  // Column separators line up between header and data rows.
+  for (std::size_t pos = l1.find('|'); pos != std::string::npos;
+       pos = l1.find('|', pos + 1)) {
+    ASSERT_LT(pos, l3.size());
+    EXPECT_EQ(l3[pos], '|') << "column bar misaligned at " << pos;
+  }
+}
+
+TEST(Report, LengthSpreadEdgeCases) {
+  core::RoutedCluster c;
+  EXPECT_EQ(c.lengthSpread(), 0);  // no lengths
+  c.routed = true;
+  c.valveLengths = {7};
+  EXPECT_EQ(c.lengthSpread(), 0);  // single valve
+  c.valveLengths = {7, 12, 9};
+  EXPECT_EQ(c.lengthSpread(), 5);
+  c.routed = false;
+  EXPECT_EQ(c.lengthSpread(), 0);  // unrouted reports zero
+}
+
+TEST(SkewAnalysis, ReportsEveryMultiValveCluster) {
+  const auto chip = chip::generateChip(chip::s3Params());
+  const auto result = core::routeChip(chip);
+  const auto report = sim::analyzeSkew(chip, result);
+  std::size_t multi = 0;
+  for (const auto& c : result.clusters) multi += c.valves.size() >= 2;
+  EXPECT_EQ(report.clusters.size(), multi);
+  for (const auto& entry : report.clusters) {
+    EXPECT_GE(entry.elmoreSkew, 0.0);  // all routed on S3
+    EXPECT_LT(entry.clusterIndex, result.clusters.size());
+  }
+  EXPECT_GE(report.worstUnmatchedSkew, 0.0);
+}
+
+TEST(SkewAnalysis, MatchedClustersHaveBoundedSkewVsUnmatched) {
+  // On a pair cluster, matched lengths imply symmetric arms: zero skew.
+  chip::Chip pairChip;
+  pairChip.name = "pair";
+  pairChip.routingGrid = grid::Grid(20, 20);
+  pairChip.delta = 1;
+  pairChip.valves = {{0, {4, 10}, chip::ActivationSequence("01")},
+                     {1, {15, 10}, chip::ActivationSequence("01")}};
+  pairChip.pins = {{0, {0, 10}}, {1, {19, 10}}, {2, {10, 0}}, {3, {10, 19}}};
+  pairChip.givenClusters = {{{0, 1}, true}};
+  const auto result = core::routeChip(pairChip);
+  const auto report = sim::analyzeSkew(pairChip, result);
+  ASSERT_EQ(report.clusters.size(), 1u);
+  if (result.clusters[0].lengthMatched && result.clusters[0].lengthSpread() == 0) {
+    EXPECT_NEAR(report.clusters[0].elmoreSkew, 0.0, 1e-9);
+  }
+}
+
+TEST(SkewAnalysis, UnroutedClustersAreSkippedInAggregates) {
+  const auto chip = chip::generateChip(chip::s1Params());
+  auto result = core::routeChip(chip);
+  for (auto& c : result.clusters) c.pin = -1;  // pretend nothing escaped
+  const auto report = sim::analyzeSkew(chip, result);
+  for (const auto& entry : report.clusters) EXPECT_EQ(entry.elmoreSkew, -1.0);
+  EXPECT_EQ(report.worstMatchedSkew, 0.0);
+  EXPECT_EQ(report.worstUnmatchedSkew, 0.0);
+}
+
+}  // namespace
+}  // namespace pacor

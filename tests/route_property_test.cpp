@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <queue>
+#include <random>
+#include <unordered_set>
+
+#include "route/astar.hpp"
+#include "route/bounded_astar.hpp"
+#include "route/bump_detour.hpp"
+#include "route/negotiation.hpp"
+
+namespace pacor::route {
+namespace {
+
+using geom::Point;
+using grid::Grid;
+using grid::ObstacleMap;
+
+/// Reference BFS shortest-path length (-1 when unreachable).
+std::int64_t bfsDistance(const ObstacleMap& obs, Point s, Point t) {
+  if (!obs.isFree(s) || !obs.isFree(t)) return -1;
+  std::unordered_map<Point, std::int64_t> dist;
+  std::queue<Point> q;
+  q.push(s);
+  dist.emplace(s, 0);
+  while (!q.empty()) {
+    const Point p = q.front();
+    q.pop();
+    if (p == t) return dist.at(p);
+    obs.grid().forNeighbors(p, [&](Point n) {
+      if (!obs.isFree(n) || dist.contains(n)) return;
+      dist.emplace(n, dist.at(p) + 1);
+      q.push(n);
+    });
+  }
+  return -1;
+}
+
+ObstacleMap randomMap(std::mt19937& rng, std::int32_t size, int obstaclePct) {
+  ObstacleMap obs{Grid(size, size)};
+  for (std::int32_t y = 0; y < size; ++y)
+    for (std::int32_t x = 0; x < size; ++x)
+      if (static_cast<int>(rng() % 100) < obstaclePct) obs.addObstacle({x, y});
+  return obs;
+}
+
+Point randomFree(std::mt19937& rng, const ObstacleMap& obs) {
+  const auto& g = obs.grid();
+  for (int tries = 0; tries < 1000; ++tries) {
+    const Point p{static_cast<std::int32_t>(rng() % static_cast<unsigned>(g.width())),
+                  static_cast<std::int32_t>(rng() % static_cast<unsigned>(g.height()))};
+    if (obs.isFree(p)) return p;
+  }
+  return {0, 0};
+}
+
+// --- A* agrees with BFS on random mazes ----------------------------------
+
+class AStarOptimality : public ::testing::TestWithParam<int> {};
+
+TEST_P(AStarOptimality, MatchesBfsShortestPath) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()));
+  for (int trial = 0; trial < 25; ++trial) {
+    auto obs = randomMap(rng, 14, 25);
+    const Point s = randomFree(rng, obs);
+    const Point t = randomFree(rng, obs);
+    const auto expected = bfsDistance(obs, s, t);
+    const auto r = aStarPointToPoint(obs, s, t);
+    if (expected < 0) {
+      EXPECT_FALSE(r.success);
+    } else {
+      ASSERT_TRUE(r.success);
+      EXPECT_EQ(pathLength(r.path), expected);
+      EXPECT_TRUE(isValidChannel(r.path));
+      for (const Point p : r.path) EXPECT_TRUE(obs.isFree(p));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AStarOptimality, ::testing::Range(1, 9));
+
+// --- Bounded-length routing invariants ------------------------------------
+
+struct BoundedCase {
+  int seed;
+  std::int64_t extraSlack;  // window bottom = manhattan + extraSlack
+};
+
+class BoundedRouteProperty : public ::testing::TestWithParam<BoundedCase> {};
+
+TEST_P(BoundedRouteProperty, ResultsAreSimpleAndInWindow) {
+  const auto [seed, extra] = GetParam();
+  std::mt19937 rng(static_cast<unsigned>(seed));
+  int successes = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    auto obs = randomMap(rng, 16, 12);
+    const Point s = randomFree(rng, obs);
+    const Point t = randomFree(rng, obs);
+    if (s == t) continue;
+    const std::int64_t base = geom::manhattan(s, t);
+    BoundedAStarRequest req;
+    req.source = s;
+    req.target = t;
+    // Parity-align the window bottom with reachable lengths.
+    req.minLength = base + extra + (extra % 2 != 0 ? 1 : 0);
+    req.maxLength = req.minLength + 1;
+    const auto r = boundedLengthRoute(obs, req);
+    if (!r.success) continue;  // congestion may make the window infeasible
+    ++successes;
+    EXPECT_TRUE(isValidChannel(r.path));
+    EXPECT_EQ(r.path.front(), s);
+    EXPECT_EQ(r.path.back(), t);
+    EXPECT_GE(r.length, req.minLength);
+    EXPECT_LE(r.length, req.maxLength);
+    EXPECT_EQ(pathLength(r.path), r.length);
+    for (const Point p : r.path) EXPECT_TRUE(obs.isFree(p));
+  }
+  EXPECT_GT(successes, 0);  // the sweep must exercise the success path
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WindowSweep, BoundedRouteProperty,
+    ::testing::Values(BoundedCase{1, 0}, BoundedCase{2, 2}, BoundedCase{3, 4},
+                      BoundedCase{4, 8}, BoundedCase{5, 16}, BoundedCase{6, 1},
+                      BoundedCase{7, 7}));
+
+TEST(BoundedRouteProperty, AlwaysSucceedsOnOpenGridWithModestSlack) {
+  ObstacleMap obs{Grid(24, 24)};
+  for (std::int64_t extra = 0; extra <= 20; extra += 2) {
+    BoundedAStarRequest req;
+    req.source = {4, 12};
+    req.target = {19, 12};
+    req.minLength = 15 + extra;
+    req.maxLength = 15 + extra + 1;
+    const auto r = boundedLengthRoute(obs, req);
+    ASSERT_TRUE(r.success) << "extra " << extra;
+    EXPECT_GE(r.length, req.minLength);
+    EXPECT_LE(r.length, req.maxLength);
+  }
+}
+
+// --- Bump detour invariants ------------------------------------------------
+
+class BumpDetourProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BumpDetourProperty, PreservesEndpointsAndStaysInWindow) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()));
+  for (int trial = 0; trial < 15; ++trial) {
+    ObstacleMap obs{Grid(28, 28)};
+    // Straight base path at a random row.
+    const auto y = static_cast<std::int32_t>(4 + rng() % 20);
+    Path base;
+    for (std::int32_t x = 4; x <= 20; ++x) base.push_back({x, y});
+    const std::int64_t want = pathLength(base) + 2 * static_cast<std::int64_t>(rng() % 8);
+
+    BumpDetourRequest req;
+    req.path = base;
+    req.minLength = want;
+    req.maxLength = want + 1;
+    const auto r = bumpDetour(obs, req);
+    ASSERT_TRUE(r.success);
+    EXPECT_EQ(r.path.front(), base.front());
+    EXPECT_EQ(r.path.back(), base.back());
+    EXPECT_TRUE(isValidChannel(r.path));
+    EXPECT_GE(r.length, req.minLength);
+    EXPECT_LE(r.length, req.maxLength);
+    // Bumps only ever ADD cells; the original cells stay in order.
+    std::unordered_set<Point> newCells(r.path.begin(), r.path.end());
+    for (const Point p : base) EXPECT_TRUE(newCells.contains(p));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BumpDetourProperty, ::testing::Range(1, 7));
+
+// --- Negotiation invariants --------------------------------------------------
+
+class NegotiationProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(NegotiationProperty, RoutedPathsAreDisjointAcrossGroups) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()));
+  ObstacleMap obs{Grid(24, 24)};
+  std::vector<NegotiationEdge> edges;
+  for (int i = 0; i < 6; ++i) {
+    NegotiationEdge e;
+    e.a = {Point{static_cast<std::int32_t>(1 + rng() % 6),
+                 static_cast<std::int32_t>(2 + 3 * i)}};
+    e.b = {Point{static_cast<std::int32_t>(17 + rng() % 6),
+                 static_cast<std::int32_t>(2 + 3 * ((i + 2) % 6))}};
+    e.group = i;
+    edges.push_back(std::move(e));
+  }
+  const auto r = negotiatedRoute(obs, edges);
+  std::unordered_map<Point, int> ownerOf;
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    if (!r.routed[i]) continue;
+    EXPECT_TRUE(isValidChannel(r.paths[i]));
+    EXPECT_EQ(r.paths[i].front(), edges[i].a.front());
+    EXPECT_EQ(r.paths[i].back(), edges[i].b.front());
+    for (const Point p : r.paths[i]) {
+      const auto [it, fresh] = ownerOf.emplace(p, edges[i].group);
+      EXPECT_TRUE(fresh || it->second == edges[i].group) << p.str();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NegotiationProperty, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace pacor::route

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "sim/pressure.hpp"
+
+namespace pacor::sim {
+namespace {
+
+using geom::Point;
+using route::Path;
+
+Path straight(Point from, std::int32_t n) {
+  Path p;
+  for (std::int32_t i = 0; i < n; ++i) p.push_back({from.x + i, from.y});
+  return p;
+}
+
+TEST(ChannelTree, BuildRequiresRootOnChannel) {
+  const std::vector<Path> paths{straight({0, 0}, 5)};
+  EXPECT_FALSE(ChannelTree::build({9, 9}, paths, {}).has_value());
+  EXPECT_TRUE(ChannelTree::build({0, 0}, paths, {}).has_value());
+}
+
+TEST(ChannelTree, BuildRejectsDisconnected) {
+  const std::vector<Path> paths{straight({0, 0}, 3), straight({5, 5}, 3)};
+  EXPECT_FALSE(ChannelTree::build({0, 0}, paths, {}).has_value());
+}
+
+TEST(ChannelTree, ElmoreGrowsWithDistance) {
+  const std::vector<Path> paths{straight({0, 0}, 10)};
+  const auto tree = ChannelTree::build({0, 0}, paths, {});
+  ASSERT_TRUE(tree.has_value());
+  double prev = -1.0;
+  for (std::int32_t x = 0; x < 10; ++x) {
+    const double d = tree->elmoreDelay({x, 0});
+    EXPECT_GT(d, prev) << "at x=" << x;
+    prev = d;
+  }
+}
+
+TEST(ChannelTree, ElmoreIsSuperlinearInLength) {
+  // RC ladders diffuse: doubling the length should much more than double
+  // the delay (the physical reason short/long channel skew matters).
+  const std::vector<Path> p1{straight({0, 0}, 11)};
+  const std::vector<Path> p2{straight({0, 0}, 21)};
+  const auto t1 = ChannelTree::build({0, 0}, p1, {});
+  const auto t2 = ChannelTree::build({0, 0}, p2, {});
+  ASSERT_TRUE(t1 && t2);
+  const double d1 = t1->elmoreDelay({10, 0});
+  const double d2 = t2->elmoreDelay({20, 0});
+  EXPECT_GT(d2, 2.5 * d1);
+}
+
+TEST(ChannelTree, EqualArmsHaveZeroSkew) {
+  // Symmetric Y: root at origin, two arms of equal length.
+  Path up{{0, 0}};
+  Path down{{0, 0}};
+  for (std::int32_t i = 1; i <= 6; ++i) {
+    up.push_back({0, i});
+    down.push_back({0, -i});
+  }
+  const std::vector<Path> paths{up, down};
+  const std::vector<Point> valves{{0, 6}, {0, -6}};
+  const auto tree = ChannelTree::build({0, 0}, paths, valves);
+  ASSERT_TRUE(tree.has_value());
+  EXPECT_NEAR(tree->skew(valves), 0.0, 1e-12);
+}
+
+TEST(ChannelTree, UnequalArmsHavePositiveSkew) {
+  Path shortArm{{0, 0}};
+  Path longArm{{0, 0}};
+  for (std::int32_t i = 1; i <= 3; ++i) shortArm.push_back({0, i});
+  for (std::int32_t i = 1; i <= 9; ++i) longArm.push_back({i, 0});
+  const std::vector<Path> paths{shortArm, longArm};
+  const std::vector<Point> valves{{0, 3}, {9, 0}};
+  const auto tree = ChannelTree::build({0, 0}, paths, valves);
+  ASSERT_TRUE(tree.has_value());
+  EXPECT_GT(tree->skew(valves), 10.0);
+}
+
+TEST(ChannelTree, ValveCapacitanceSlowsPropagation) {
+  const std::vector<Path> paths{straight({0, 0}, 8)};
+  const std::vector<Point> valve{{7, 0}};
+  const auto bare = ChannelTree::build({0, 0}, paths, {});
+  const auto loaded = ChannelTree::build({0, 0}, paths, valve);
+  ASSERT_TRUE(bare && loaded);
+  EXPECT_GT(loaded->elmoreDelay({7, 0}), bare->elmoreDelay({7, 0}));
+}
+
+TEST(ChannelTree, TransientMatchesElmoreOrdering) {
+  Path shortArm{{0, 0}};
+  Path longArm{{0, 0}};
+  for (std::int32_t i = 1; i <= 4; ++i) shortArm.push_back({0, i});
+  for (std::int32_t i = 1; i <= 8; ++i) longArm.push_back({i, 0});
+  const std::vector<Path> paths{shortArm, longArm};
+  const std::vector<Point> valves{{0, 4}, {8, 0}};
+  const auto tree = ChannelTree::build({0, 0}, paths, valves);
+  ASSERT_TRUE(tree.has_value());
+  const auto times = tree->actuationTimes(valves, 0.01, 2000.0);
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_GT(times[0], 0.0);
+  EXPECT_GT(times[1], 0.0);
+  EXPECT_LT(times[0], times[1]);  // shorter arm actuates first
+}
+
+TEST(ChannelTree, TransientNeverCrossesReportsMinusOne) {
+  const std::vector<Path> paths{straight({0, 0}, 30)};
+  const auto tree = ChannelTree::build({0, 0}, paths, {});
+  ASSERT_TRUE(tree.has_value());
+  const std::vector<Point> far{{29, 0}};
+  const auto times = tree->actuationTimes(far, 0.05, 0.5);  // way too short
+  EXPECT_EQ(times[0], -1.0);
+}
+
+TEST(ChannelTree, QueryUnknownCell) {
+  const std::vector<Path> paths{straight({0, 0}, 4)};
+  const auto tree = ChannelTree::build({0, 0}, paths, {});
+  ASSERT_TRUE(tree.has_value());
+  EXPECT_EQ(tree->elmoreDelay({17, 17}), -1.0);
+}
+
+}  // namespace
+}  // namespace pacor::sim

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "chip/generator.hpp"
+#include "chip/stats.hpp"
+
+namespace pacor::chip {
+namespace {
+
+TEST(ChipStats, CountsMatchInstance) {
+  const Chip chip = generateChip(s3Params());
+  const ChipStats stats = computeStats(chip);
+  EXPECT_EQ(stats.name, "S3");
+  EXPECT_EQ(stats.width, 52);
+  EXPECT_EQ(stats.height, 52);
+  EXPECT_EQ(stats.valveCount, chip.valves.size());
+  EXPECT_EQ(stats.pinCount, chip.pins.size());
+  EXPECT_EQ(stats.obstacleCount, chip.obstacles.size());
+  EXPECT_EQ(stats.clusterCount, chip.givenClusters.size());
+  EXPECT_EQ(stats.matchedClusterCount, chip.givenClusters.size());  // all LM
+}
+
+TEST(ChipStats, DensitiesInUnitInterval) {
+  for (const auto& params : {s1Params(), s4Params(), chip2Params()}) {
+    const ChipStats stats = computeStats(generateChip(params));
+    EXPECT_GE(stats.obstacleDensity, 0.0);
+    EXPECT_LE(stats.obstacleDensity, 1.0);
+    EXPECT_GE(stats.valveDensity, 0.0);
+    EXPECT_LE(stats.valveDensity, 1.0);
+    EXPECT_GE(stats.compatibilityDensity, 0.0);
+    EXPECT_LE(stats.compatibilityDensity, 1.0);
+  }
+}
+
+TEST(ChipStats, ClusterGeometry) {
+  Chip chip;
+  chip.name = "t";
+  chip.routingGrid = grid::Grid(20, 20);
+  chip.valves = {{0, {2, 2}, ActivationSequence("00")},
+                 {1, {8, 2}, ActivationSequence("00")},
+                 {2, {2, 10}, ActivationSequence("11")}};
+  chip.pins = {{0, {0, 0}}};
+  chip.givenClusters = {{{0, 1}, true}};
+  const ChipStats stats = computeStats(chip);
+  EXPECT_EQ(stats.largestClusterSize, 2u);
+  EXPECT_DOUBLE_EQ(stats.meanClusterDiameter, 6.0);
+  // Pairs: (0,1) compatible, (0,2)/(1,2) not -> density 1/3.
+  EXPECT_NEAR(stats.compatibilityDensity, 1.0 / 3.0, 1e-12);
+  EXPECT_EQ(stats.minValveToPinDistance, 4);  // valve 0 to (0,0)
+}
+
+TEST(ChipStats, EmptyEdgeCases) {
+  Chip chip;
+  chip.name = "empty";
+  chip.routingGrid = grid::Grid(4, 4);
+  const ChipStats stats = computeStats(chip);
+  EXPECT_EQ(stats.valveCount, 0u);
+  EXPECT_EQ(stats.minValveToPinDistance, 0);
+  EXPECT_DOUBLE_EQ(stats.compatibilityDensity, 0.0);
+}
+
+TEST(ChipStats, StreamOutputMentionsEverything) {
+  const ChipStats stats = computeStats(generateChip(s2Params()));
+  std::ostringstream os;
+  os << stats;
+  const std::string text = os.str();
+  EXPECT_NE(text.find("S2"), std::string::npos);
+  EXPECT_NE(text.find("clusters"), std::string::npos);
+  EXPECT_NE(text.find("densities"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pacor::chip

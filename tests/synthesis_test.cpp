@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "chip/flow_layer.hpp"
+#include "chip/schedule.hpp"
+#include "chip/synth_spec.hpp"
+
+namespace pacor::chip {
+namespace {
+
+using geom::Point;
+
+// --- AssaySchedule / control synthesis --------------------------------------
+
+TEST(Schedule, ValidatesWindows) {
+  AssaySchedule s;
+  s.horizon = 10;
+  s.operations = {{"ok", 0, 5, {0}, {1}}};
+  EXPECT_EQ(s.validate(2), std::nullopt);
+
+  s.operations = {{"bad", 5, 5, {0}, {}}};
+  EXPECT_NE(s.validate(2), std::nullopt);  // empty window
+  s.operations = {{"bad", 8, 12, {0}, {}}};
+  EXPECT_NE(s.validate(2), std::nullopt);  // beyond horizon
+  s.operations = {{"bad", 0, 2, {7}, {}}};
+  EXPECT_NE(s.validate(2), std::nullopt);  // unknown valve
+  s.operations = {{"bad", 0, 2, {0}, {0}}};
+  EXPECT_NE(s.validate(2), std::nullopt);  // open AND closed
+}
+
+TEST(Synthesis, FillsDontCaresOutsideOperations) {
+  AssaySchedule s;
+  s.horizon = 6;
+  s.operations = {{"op", 2, 4, {0}, {1}}};
+  const auto seqs = synthesizeSequences(s, 3);
+  ASSERT_TRUE(seqs.has_value());
+  EXPECT_EQ((*seqs)[0].str(), "XX00XX");
+  EXPECT_EQ((*seqs)[1].str(), "XX11XX");
+  EXPECT_EQ((*seqs)[2].str(), "XXXXXX");  // never referenced
+}
+
+TEST(Synthesis, OverlappingConsistentDemandsMerge) {
+  AssaySchedule s;
+  s.horizon = 4;
+  s.operations = {{"a", 0, 3, {0}, {}}, {"b", 1, 4, {0}, {}}};
+  const auto seqs = synthesizeSequences(s, 1);
+  ASSERT_TRUE(seqs.has_value());
+  EXPECT_EQ((*seqs)[0].str(), "0000");
+}
+
+TEST(Synthesis, DetectsConflicts) {
+  AssaySchedule s;
+  s.horizon = 4;
+  s.operations = {{"a", 0, 3, {0}, {}}, {"b", 2, 4, {}, {0}}};
+  std::string why;
+  const auto seqs = synthesizeSequences(s, 1, &why);
+  EXPECT_FALSE(seqs.has_value());
+  EXPECT_NE(why.find("valve 0"), std::string::npos);
+  EXPECT_NE(why.find("step 2"), std::string::npos);
+}
+
+TEST(Synthesis, GroupMembersOfOneAssayShareAPinCompatibility) {
+  // Valves demanded by the SAME operations in the same roles end up with
+  // identical concrete steps -> compatible.
+  AssaySchedule s;
+  s.horizon = 5;
+  s.operations = {{"a", 0, 2, {0, 1}, {}}, {"b", 3, 5, {}, {0, 1}}};
+  const auto seqs = synthesizeSequences(s, 2);
+  ASSERT_TRUE(seqs.has_value());
+  EXPECT_TRUE((*seqs)[0].compatibleWith((*seqs)[1]));
+}
+
+TEST(Synthesis, GeneratorProducesValidConflictFreeSchedules) {
+  for (std::uint32_t seed = 1; seed <= 8; ++seed) {
+    const AssaySchedule s = synthesizeAssay(12, 16, 4, seed);
+    EXPECT_EQ(s.validate(12), std::nullopt) << "seed " << seed;
+    const auto seqs = synthesizeSequences(s, 12);
+    ASSERT_TRUE(seqs.has_value()) << "seed " << seed;
+    EXPECT_EQ(seqs->size(), 12u);
+    for (const auto& q : *seqs) EXPECT_EQ(q.length(), 16u);
+  }
+}
+
+TEST(Synthesis, GeneratorDeterministic) {
+  const AssaySchedule a = synthesizeAssay(8, 10, 3, 42);
+  const AssaySchedule b = synthesizeAssay(8, 10, 3, 42);
+  ASSERT_EQ(a.operations.size(), b.operations.size());
+  for (std::size_t i = 0; i < a.operations.size(); ++i) {
+    EXPECT_EQ(a.operations[i].start, b.operations[i].start);
+    EXPECT_EQ(a.operations[i].openValves, b.operations[i].openValves);
+  }
+}
+
+// --- FlowLayer ----------------------------------------------------------------
+
+TEST(FlowLayer, ValidatesGeometry) {
+  const grid::Grid g(20, 20);
+  FlowLayer flow;
+  flow.channels.push_back({{{2, 2}, {2, 10}, {8, 10}}});
+  flow.components.push_back({"chamber", {{12, 12}, {15, 15}}});
+  EXPECT_EQ(flow.validate(g), std::nullopt);
+
+  FlowLayer diag;
+  diag.channels.push_back({{{0, 0}, {3, 4}}});  // non-rectilinear
+  EXPECT_NE(diag.validate(g), std::nullopt);
+
+  FlowLayer oob;
+  oob.channels.push_back({{{0, 0}, {0, 25}}});
+  EXPECT_NE(oob.validate(g), std::nullopt);
+
+  FlowLayer shortChannel;
+  shortChannel.channels.push_back({{{1, 1}}});
+  EXPECT_NE(shortChannel.validate(g), std::nullopt);
+}
+
+TEST(FlowLayer, TraceCoversPolyline) {
+  FlowChannel c{{{2, 2}, {2, 5}, {6, 5}}};
+  const auto cells = traceChannel(c);
+  // 4 vertical + 5 horizontal - 1 shared joint = 8 cells.
+  EXPECT_EQ(cells.size(), 8u);
+  EXPECT_TRUE(std::find(cells.begin(), cells.end(), Point{2, 3}) != cells.end());
+  EXPECT_TRUE(std::find(cells.begin(), cells.end(), Point{4, 5}) != cells.end());
+}
+
+TEST(FlowLayer, ObstaclesExcludeValveSites) {
+  const grid::Grid g(20, 20);
+  FlowLayer flow;
+  flow.channels.push_back({{{2, 10}, {17, 10}}});
+  const std::vector<Point> valves{{9, 10}};
+  const auto obstacles = controlObstacles(flow, g, valves);
+  EXPECT_EQ(obstacles.size(), 15u);  // 16 cells minus the valve site
+  EXPECT_TRUE(std::find(obstacles.begin(), obstacles.end(), Point{9, 10}) ==
+              obstacles.end());
+}
+
+TEST(FlowLayer, ComponentFootprintsBlock) {
+  const grid::Grid g(20, 20);
+  FlowLayer flow;
+  flow.components.push_back({"chamber", {{5, 5}, {7, 6}}});
+  const auto obstacles = controlObstacles(flow, g, {});
+  EXPECT_EQ(obstacles.size(), 6u);  // 3 x 2
+}
+
+TEST(FlowLayer, OverlapsDeduplicated) {
+  const grid::Grid g(20, 20);
+  FlowLayer flow;
+  flow.channels.push_back({{{2, 5}, {8, 5}}});
+  flow.channels.push_back({{{5, 2}, {5, 8}}});  // crosses the first at (5,5)
+  const auto obstacles = controlObstacles(flow, g, {});
+  EXPECT_EQ(obstacles.size(), 7u + 7u - 1u);
+  // Sorted and unique.
+  EXPECT_TRUE(std::is_sorted(obstacles.begin(), obstacles.end()));
+  EXPECT_TRUE(std::adjacent_find(obstacles.begin(), obstacles.end()) ==
+              obstacles.end());
+}
+
+
+// --- SynthSpec ---------------------------------------------------------------
+
+SynthSpec mixerSpec() {
+  SynthSpec spec;
+  spec.name = "mixer-test";
+  spec.die = grid::Grid(26, 20);
+  spec.valveSites = {{8, 10}, {18, 10}, {5, 14}, {21, 14}};
+  spec.flow.channels.push_back({{{5, 17}, {5, 10}, {10, 10}}});
+  spec.flow.channels.push_back({{{21, 17}, {21, 10}, {16, 10}}});
+  spec.flow.components.push_back({"mixer", {{10, 9}, {16, 11}}});
+  for (int i = 0; i < 8; ++i) spec.pinSites.push_back({2 + 3 * i, 0});
+  spec.clusters = {{{0, 1}, true}};
+  spec.assay.horizon = 8;
+  spec.assay.operations = {{"load", 0, 3, {2, 3}, {0, 1}},
+                           {"mix", 5, 8, {}, {0, 1}}};
+  return spec;
+}
+
+TEST(SynthSpec, ValidatesAndBuilds) {
+  const SynthSpec spec = mixerSpec();
+  EXPECT_EQ(spec.validate(), std::nullopt);
+  const Chip chip = buildChip(spec);
+  EXPECT_EQ(chip.validate(), std::nullopt);
+  EXPECT_EQ(chip.valves.size(), 4u);
+  EXPECT_EQ(chip.givenClusters.size(), 1u);
+  EXPECT_GT(chip.obstacles.size(), 0u);
+  // Valves 0 and 1 share the whole schedule: compatible.
+  EXPECT_TRUE(chip.valve(0).sequence.compatibleWith(chip.valve(1).sequence));
+}
+
+TEST(SynthSpec, RoundTrip) {
+  const SynthSpec spec = mixerSpec();
+  std::stringstream buf;
+  writeSynthSpec(buf, spec);
+  const SynthSpec back = readSynthSpec(buf);
+  EXPECT_EQ(back.name, spec.name);
+  EXPECT_EQ(back.die.width(), 26);
+  EXPECT_EQ(back.valveSites, spec.valveSites);
+  EXPECT_EQ(back.flow.channels.size(), spec.flow.channels.size());
+  EXPECT_EQ(back.flow.components.size(), spec.flow.components.size());
+  EXPECT_EQ(back.pinSites, spec.pinSites);
+  ASSERT_EQ(back.clusters.size(), 1u);
+  EXPECT_TRUE(back.clusters[0].lengthMatched);
+  EXPECT_EQ(back.assay.horizon, 8);
+  ASSERT_EQ(back.assay.operations.size(), 2u);
+  EXPECT_EQ(back.assay.operations[0].name, "load");
+  EXPECT_EQ(back.assay.operations[0].openValves, (std::vector<std::int32_t>{2, 3}));
+  // Build from the round-tripped spec gives the identical chip.
+  const Chip a = buildChip(spec);
+  const Chip b = buildChip(back);
+  EXPECT_EQ(a.obstacles, b.obstacles);
+  for (std::size_t v = 0; v < a.valves.size(); ++v)
+    EXPECT_EQ(a.valves[v].sequence, b.valves[v].sequence);
+}
+
+TEST(SynthSpec, CatchesBrokenSpecs) {
+  SynthSpec bad = mixerSpec();
+  bad.valveSites[0] = {99, 99};
+  EXPECT_NE(bad.validate(), std::nullopt);
+  EXPECT_THROW(buildChip(bad), std::runtime_error);
+
+  SynthSpec conflict = mixerSpec();
+  conflict.assay.operations.push_back({"oops", 0, 2, {0}, {}});  // 0 also closed
+  EXPECT_EQ(conflict.validate(), std::nullopt);  // per-op validation passes
+  EXPECT_THROW(buildChip(conflict), std::runtime_error);  // cross-op conflict
+}
+
+TEST(SynthSpec, RejectsMalformedText) {
+  std::stringstream bad("pacor-synth 2\n");
+  EXPECT_THROW(readSynthSpec(bad), std::runtime_error);
+  std::stringstream truncated("pacor-synth 1\nname x\ngrid 10 10\n");
+  EXPECT_THROW(readSynthSpec(truncated), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pacor::chip

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "chip/generator.hpp"
+#include "pacor/pipeline.hpp"
+#include "chip/flow_layer.hpp"
+#include "viz/svg.hpp"
+
+namespace pacor::viz {
+namespace {
+
+chip::Chip smallChip() { return chip::generateChip(chip::s1Params()); }
+
+TEST(Svg, ProducesWellFormedDocument) {
+  const auto chip = smallChip();
+  const std::string svg = renderSvg(chip, {});
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // One circle per valve, one rect per pin (plus background/border).
+  std::size_t circles = 0;
+  for (std::size_t pos = 0; (pos = svg.find("<circle", pos)) != std::string::npos; ++pos)
+    ++circles;
+  EXPECT_EQ(circles, chip.valves.size());
+}
+
+TEST(Svg, DrawsObstacles) {
+  const auto chip = smallChip();
+  const std::string svg = renderSvg(chip, {});
+  std::size_t dark = 0;
+  for (std::size_t pos = 0; (pos = svg.find("#3A3A3A", pos)) != std::string::npos; ++pos)
+    ++dark;
+  EXPECT_EQ(dark, chip.obstacles.size());
+}
+
+TEST(Svg, DrawsRoutedNetsAsPolylines) {
+  const auto chip = smallChip();
+  const auto result = core::routeChip(chip);
+  std::vector<DrawnNet> nets;
+  for (std::size_t i = 0; i < result.clusters.size(); ++i) {
+    DrawnNet net;
+    net.colorIndex = static_cast<int>(i);
+    net.label = "cluster " + std::to_string(i);
+    net.paths = result.clusters[i].treePaths;
+    net.paths.push_back(result.clusters[i].escapePath);
+    nets.push_back(std::move(net));
+  }
+  const std::string svg = renderSvg(chip, nets);
+  EXPECT_NE(svg.find("<polyline"), std::string::npos);
+  EXPECT_NE(svg.find("cluster 0"), std::string::npos);
+}
+
+TEST(Svg, ColorsWrapAroundPalette) {
+  const auto chip = smallChip();
+  DrawnNet net;
+  net.colorIndex = 9999;  // far past the palette size
+  net.paths = {{{2, 2}, {3, 2}}};
+  EXPECT_NO_THROW(renderSvg(chip, {net}));
+  DrawnNet negative;
+  negative.colorIndex = -3;
+  negative.paths = {{{2, 3}, {3, 3}}};
+  EXPECT_NO_THROW(renderSvg(chip, {negative}));
+}
+
+TEST(Svg, EmptyPathsSkipped) {
+  const auto chip = smallChip();
+  DrawnNet net;
+  net.paths = {{}};
+  const std::string svg = renderSvg(chip, {net});
+  EXPECT_EQ(svg.find("<polyline"), std::string::npos);
+}
+
+TEST(Svg, WriteFileAndFailureModes) {
+  const auto chip = smallChip();
+  const std::string path = ::testing::TempDir() + "/pacor_viz_test.svg";
+  EXPECT_NO_THROW(writeSvgFile(path, chip, {}));
+  EXPECT_THROW(writeSvgFile("/nonexistent/dir/x.svg", chip, {}), std::runtime_error);
+}
+
+
+TEST(Svg, FlowLayerRendering) {
+  const auto chip = smallChip();
+  chip::FlowLayer flow;
+  flow.channels.push_back({{{2, 2}, {2, 8}}});
+  flow.components.push_back({"chamber", {{5, 5}, {8, 7}}});
+  const std::string svg = renderSvgWithFlow(chip, flow, {});
+  EXPECT_NE(svg.find("#A8C8E8"), std::string::npos);  // channel stroke
+  EXPECT_NE(svg.find("#D6E4F0"), std::string::npos);  // footprint fill
+  EXPECT_NE(svg.find("chamber"), std::string::npos);  // component title
+  // Obstacle squares are suppressed in the two-layer view (the flow layer
+  // itself shows where they come from).
+  EXPECT_EQ(svg.find("#3A3A3A"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pacor::viz

@@ -1,0 +1,178 @@
+// pacor -- command-line front end of the PACOR control-layer router.
+//
+//   pacor generate <design|params...> <out.chip>   synthesize an instance
+//   pacor route <in.chip> <out.sol> [--variant=pacor|wosel|detour-first]
+//   pacor check <in.chip> <in.sol>                 independent DRC verify
+//   pacor svg <in.chip> <in.sol> <out.svg>         render a routed chip
+//   pacor table1                                   print Table 1
+//   pacor table2                                   print Table 2 (slow)
+//
+// Exit code 0 on success / clean DRC, 1 on routing failure or violations,
+// 2 on usage errors.
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "chip/generator.hpp"
+#include "chip/io.hpp"
+#include "chip/stats.hpp"
+#include "chip/synth_spec.hpp"
+#include "pacor/drc.hpp"
+#include "pacor/pipeline.hpp"
+#include "pacor/report.hpp"
+#include "pacor/solution_io.hpp"
+#include "viz/svg.hpp"
+
+namespace {
+
+using namespace pacor;
+
+int usage() {
+  std::cerr <<
+      "usage:\n"
+      "  pacor generate <Chip1|Chip2|S1..S5> <out.chip>\n"
+      "  pacor synth <in.synth> <out.chip>\n"
+      "  pacor info <in.chip>\n"
+      "  pacor route <in.chip> <out.sol> [--variant=pacor|wosel|detour-first]\n"
+      "  pacor check <in.chip> <in.sol>\n"
+      "  pacor svg <in.chip> <in.sol> <out.svg>\n"
+      "  pacor table1\n"
+      "  pacor table2\n";
+  return 2;
+}
+
+std::optional<chip::GeneratorParams> findDesign(const std::string& name) {
+  for (const auto& params : chip::table1Designs())
+    if (params.name == name) return params;
+  return std::nullopt;
+}
+
+int cmdGenerate(int argc, char** argv) {
+  if (argc != 2) return usage();
+  const auto params = findDesign(argv[0]);
+  if (!params) {
+    std::cerr << "unknown design '" << argv[0] << "'\n";
+    return 2;
+  }
+  const chip::Chip c = chip::generateChip(*params);
+  chip::writeChipFile(argv[1], c);
+  std::cout << "wrote " << argv[1] << " (" << c.valves.size() << " valves, "
+            << c.pins.size() << " pins, " << c.obstacles.size() << " obstacle cells)\n";
+  return 0;
+}
+
+int cmdSynth(int argc, char** argv) {
+  if (argc != 2) return usage();
+  const chip::SynthSpec spec = chip::readSynthSpecFile(argv[0]);
+  const chip::Chip c = chip::buildChip(spec);
+  chip::writeChipFile(argv[1], c);
+  std::cout << "synthesized " << argv[1] << " from spec '" << spec.name << "' ("
+            << c.valves.size() << " valves, " << c.obstacles.size()
+            << " obstacle cells from the flow layer)\n";
+  return 0;
+}
+
+int cmdInfo(int argc, char** argv) {
+  if (argc != 1) return usage();
+  const chip::Chip c = chip::readChipFile(argv[0]);
+  std::cout << chip::computeStats(c);
+  return 0;
+}
+
+int cmdRoute(int argc, char** argv) {
+  if (argc < 2 || argc > 3) return usage();
+  core::PacorConfig cfg = core::pacorDefaultConfig();
+  if (argc == 3) {
+    const std::string v = argv[2];
+    if (v == "--variant=pacor") {
+    } else if (v == "--variant=wosel") {
+      cfg = core::withoutSelectionConfig();
+    } else if (v == "--variant=detour-first") {
+      cfg = core::detourFirstConfig();
+    } else {
+      return usage();
+    }
+  }
+  const chip::Chip c = chip::readChipFile(argv[0]);
+  const core::PacorResult result = core::routeChip(c, cfg);
+  core::writeSolutionFile(argv[1], result);
+  std::cout << core::describeResult(result);
+  std::cout << "wrote " << argv[1] << '\n';
+  return result.complete ? 0 : 1;
+}
+
+int cmdCheck(int argc, char** argv) {
+  if (argc != 2) return usage();
+  const chip::Chip c = chip::readChipFile(argv[0]);
+  const core::PacorResult result = core::readSolutionFile(argv[1]);
+  const core::DrcReport report = core::checkSolution(c, result);
+  std::cout << report.str();
+  return report.clean() ? 0 : 1;
+}
+
+int cmdSvg(int argc, char** argv) {
+  if (argc != 3) return usage();
+  const chip::Chip c = chip::readChipFile(argv[0]);
+  const core::PacorResult result = core::readSolutionFile(argv[1]);
+  std::vector<viz::DrawnNet> nets;
+  for (std::size_t i = 0; i < result.clusters.size(); ++i) {
+    viz::DrawnNet net;
+    net.colorIndex = static_cast<int>(i);
+    net.label = "cluster " + std::to_string(i);
+    net.paths = result.clusters[i].treePaths;
+    net.paths.push_back(result.clusters[i].escapePath);
+    nets.push_back(std::move(net));
+  }
+  viz::writeSvgFile(argv[2], c, nets, 6);
+  std::cout << "wrote " << argv[2] << '\n';
+  return 0;
+}
+
+int cmdTable1() {
+  std::printf("%-8s %-10s %8s %8s %8s\n", "Design", "Size", "#Valves", "#CP", "#Obs");
+  for (const auto& params : chip::table1Designs()) {
+    const auto c = chip::generateChip(params);
+    char size[24];
+    std::snprintf(size, sizeof size, "%dx%d", c.routingGrid.width(),
+                  c.routingGrid.height());
+    std::printf("%-8s %-10s %8zu %8zu %8zu\n", c.name.c_str(), size, c.valves.size(),
+                c.pins.size(), c.obstacles.size());
+  }
+  return 0;
+}
+
+int cmdTable2() {
+  core::printTable2Header(std::cout);
+  bool allComplete = true;
+  for (const auto& params : chip::table1Designs()) {
+    const auto c = chip::generateChip(params);
+    const auto woSel = routeChip(c, core::withoutSelectionConfig());
+    const auto detourFirst = routeChip(c, core::detourFirstConfig());
+    const auto full = routeChip(c, core::pacorDefaultConfig());
+    core::printTable2Row(std::cout, woSel, detourFirst, full);
+    allComplete &= woSel.complete && detourFirst.complete && full.complete;
+  }
+  return allComplete ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "generate") return cmdGenerate(argc - 2, argv + 2);
+    if (cmd == "synth") return cmdSynth(argc - 2, argv + 2);
+    if (cmd == "info") return cmdInfo(argc - 2, argv + 2);
+    if (cmd == "route") return cmdRoute(argc - 2, argv + 2);
+    if (cmd == "check") return cmdCheck(argc - 2, argv + 2);
+    if (cmd == "svg") return cmdSvg(argc - 2, argv + 2);
+    if (cmd == "table1") return cmdTable1();
+    if (cmd == "table2") return cmdTable2();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return usage();
+}
