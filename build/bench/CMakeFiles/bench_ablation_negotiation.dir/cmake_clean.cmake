@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_negotiation.dir/bench_ablation_negotiation.cpp.o"
+  "CMakeFiles/bench_ablation_negotiation.dir/bench_ablation_negotiation.cpp.o.d"
+  "bench_ablation_negotiation"
+  "bench_ablation_negotiation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_negotiation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

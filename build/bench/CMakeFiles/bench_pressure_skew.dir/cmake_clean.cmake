@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pressure_skew.dir/bench_pressure_skew.cpp.o"
+  "CMakeFiles/bench_pressure_skew.dir/bench_pressure_skew.cpp.o.d"
+  "bench_pressure_skew"
+  "bench_pressure_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pressure_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

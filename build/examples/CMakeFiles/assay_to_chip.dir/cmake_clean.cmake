@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assay_to_chip.dir/assay_to_chip.cpp.o"
+  "CMakeFiles/assay_to_chip.dir/assay_to_chip.cpp.o.d"
+  "assay_to_chip"
+  "assay_to_chip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assay_to_chip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for assay_to_chip.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/escape_routing_demo.cpp" "examples/CMakeFiles/escape_routing_demo.dir/escape_routing_demo.cpp.o" "gcc" "examples/CMakeFiles/escape_routing_demo.dir/escape_routing_demo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pacor/CMakeFiles/pacor_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dme/CMakeFiles/pacor_dme.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/pacor_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/chip/CMakeFiles/pacor_chip.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/pacor_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/pacor_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/pacor_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pacor_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/viz/CMakeFiles/pacor_viz.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/escape_routing_demo.dir/escape_routing_demo.cpp.o"
+  "CMakeFiles/escape_routing_demo.dir/escape_routing_demo.cpp.o.d"
+  "escape_routing_demo"
+  "escape_routing_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/escape_routing_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_chip_routing.dir/full_chip_routing.cpp.o"
+  "CMakeFiles/full_chip_routing.dir/full_chip_routing.cpp.o.d"
+  "full_chip_routing"
+  "full_chip_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_chip_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

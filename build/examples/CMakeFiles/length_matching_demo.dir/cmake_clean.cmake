@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/length_matching_demo.dir/length_matching_demo.cpp.o"
+  "CMakeFiles/length_matching_demo.dir/length_matching_demo.cpp.o.d"
+  "length_matching_demo"
+  "length_matching_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/length_matching_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pressure_sim_demo.dir/pressure_sim_demo.cpp.o"
+  "CMakeFiles/pressure_sim_demo.dir/pressure_sim_demo.cpp.o.d"
+  "pressure_sim_demo"
+  "pressure_sim_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pressure_sim_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

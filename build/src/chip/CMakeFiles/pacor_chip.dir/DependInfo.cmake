@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chip/activation.cpp" "src/chip/CMakeFiles/pacor_chip.dir/activation.cpp.o" "gcc" "src/chip/CMakeFiles/pacor_chip.dir/activation.cpp.o.d"
+  "/root/repo/src/chip/chip.cpp" "src/chip/CMakeFiles/pacor_chip.dir/chip.cpp.o" "gcc" "src/chip/CMakeFiles/pacor_chip.dir/chip.cpp.o.d"
+  "/root/repo/src/chip/design_rules.cpp" "src/chip/CMakeFiles/pacor_chip.dir/design_rules.cpp.o" "gcc" "src/chip/CMakeFiles/pacor_chip.dir/design_rules.cpp.o.d"
+  "/root/repo/src/chip/flow_layer.cpp" "src/chip/CMakeFiles/pacor_chip.dir/flow_layer.cpp.o" "gcc" "src/chip/CMakeFiles/pacor_chip.dir/flow_layer.cpp.o.d"
+  "/root/repo/src/chip/generator.cpp" "src/chip/CMakeFiles/pacor_chip.dir/generator.cpp.o" "gcc" "src/chip/CMakeFiles/pacor_chip.dir/generator.cpp.o.d"
+  "/root/repo/src/chip/io.cpp" "src/chip/CMakeFiles/pacor_chip.dir/io.cpp.o" "gcc" "src/chip/CMakeFiles/pacor_chip.dir/io.cpp.o.d"
+  "/root/repo/src/chip/schedule.cpp" "src/chip/CMakeFiles/pacor_chip.dir/schedule.cpp.o" "gcc" "src/chip/CMakeFiles/pacor_chip.dir/schedule.cpp.o.d"
+  "/root/repo/src/chip/stats.cpp" "src/chip/CMakeFiles/pacor_chip.dir/stats.cpp.o" "gcc" "src/chip/CMakeFiles/pacor_chip.dir/stats.cpp.o.d"
+  "/root/repo/src/chip/synth_spec.cpp" "src/chip/CMakeFiles/pacor_chip.dir/synth_spec.cpp.o" "gcc" "src/chip/CMakeFiles/pacor_chip.dir/synth_spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/pacor_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/pacor_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/pacor_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

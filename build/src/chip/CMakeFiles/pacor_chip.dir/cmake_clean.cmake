@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pacor_chip.dir/activation.cpp.o"
+  "CMakeFiles/pacor_chip.dir/activation.cpp.o.d"
+  "CMakeFiles/pacor_chip.dir/chip.cpp.o"
+  "CMakeFiles/pacor_chip.dir/chip.cpp.o.d"
+  "CMakeFiles/pacor_chip.dir/design_rules.cpp.o"
+  "CMakeFiles/pacor_chip.dir/design_rules.cpp.o.d"
+  "CMakeFiles/pacor_chip.dir/flow_layer.cpp.o"
+  "CMakeFiles/pacor_chip.dir/flow_layer.cpp.o.d"
+  "CMakeFiles/pacor_chip.dir/generator.cpp.o"
+  "CMakeFiles/pacor_chip.dir/generator.cpp.o.d"
+  "CMakeFiles/pacor_chip.dir/io.cpp.o"
+  "CMakeFiles/pacor_chip.dir/io.cpp.o.d"
+  "CMakeFiles/pacor_chip.dir/schedule.cpp.o"
+  "CMakeFiles/pacor_chip.dir/schedule.cpp.o.d"
+  "CMakeFiles/pacor_chip.dir/stats.cpp.o"
+  "CMakeFiles/pacor_chip.dir/stats.cpp.o.d"
+  "CMakeFiles/pacor_chip.dir/synth_spec.cpp.o"
+  "CMakeFiles/pacor_chip.dir/synth_spec.cpp.o.d"
+  "libpacor_chip.a"
+  "libpacor_chip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pacor_chip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

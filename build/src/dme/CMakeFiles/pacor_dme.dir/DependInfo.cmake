@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dme/candidate_tree.cpp" "src/dme/CMakeFiles/pacor_dme.dir/candidate_tree.cpp.o" "gcc" "src/dme/CMakeFiles/pacor_dme.dir/candidate_tree.cpp.o.d"
+  "/root/repo/src/dme/merging.cpp" "src/dme/CMakeFiles/pacor_dme.dir/merging.cpp.o" "gcc" "src/dme/CMakeFiles/pacor_dme.dir/merging.cpp.o.d"
+  "/root/repo/src/dme/topology.cpp" "src/dme/CMakeFiles/pacor_dme.dir/topology.cpp.o" "gcc" "src/dme/CMakeFiles/pacor_dme.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/pacor_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/pacor_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/pacor_route.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

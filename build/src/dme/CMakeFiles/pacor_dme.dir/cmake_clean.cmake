@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pacor_dme.dir/candidate_tree.cpp.o"
+  "CMakeFiles/pacor_dme.dir/candidate_tree.cpp.o.d"
+  "CMakeFiles/pacor_dme.dir/merging.cpp.o"
+  "CMakeFiles/pacor_dme.dir/merging.cpp.o.d"
+  "CMakeFiles/pacor_dme.dir/topology.cpp.o"
+  "CMakeFiles/pacor_dme.dir/topology.cpp.o.d"
+  "libpacor_dme.a"
+  "libpacor_dme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pacor_dme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpacor_dme.a"
+)

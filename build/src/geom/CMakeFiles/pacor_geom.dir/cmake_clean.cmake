@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pacor_geom.dir/point.cpp.o"
+  "CMakeFiles/pacor_geom.dir/point.cpp.o.d"
+  "CMakeFiles/pacor_geom.dir/rect.cpp.o"
+  "CMakeFiles/pacor_geom.dir/rect.cpp.o.d"
+  "CMakeFiles/pacor_geom.dir/tilted.cpp.o"
+  "CMakeFiles/pacor_geom.dir/tilted.cpp.o.d"
+  "libpacor_geom.a"
+  "libpacor_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pacor_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/clique_partition.cpp" "src/graph/CMakeFiles/pacor_graph.dir/clique_partition.cpp.o" "gcc" "src/graph/CMakeFiles/pacor_graph.dir/clique_partition.cpp.o.d"
+  "/root/repo/src/graph/dsu.cpp" "src/graph/CMakeFiles/pacor_graph.dir/dsu.cpp.o" "gcc" "src/graph/CMakeFiles/pacor_graph.dir/dsu.cpp.o.d"
+  "/root/repo/src/graph/max_weight_clique.cpp" "src/graph/CMakeFiles/pacor_graph.dir/max_weight_clique.cpp.o" "gcc" "src/graph/CMakeFiles/pacor_graph.dir/max_weight_clique.cpp.o.d"
+  "/root/repo/src/graph/min_cost_flow.cpp" "src/graph/CMakeFiles/pacor_graph.dir/min_cost_flow.cpp.o" "gcc" "src/graph/CMakeFiles/pacor_graph.dir/min_cost_flow.cpp.o.d"
+  "/root/repo/src/graph/mst.cpp" "src/graph/CMakeFiles/pacor_graph.dir/mst.cpp.o" "gcc" "src/graph/CMakeFiles/pacor_graph.dir/mst.cpp.o.d"
+  "/root/repo/src/graph/selection.cpp" "src/graph/CMakeFiles/pacor_graph.dir/selection.cpp.o" "gcc" "src/graph/CMakeFiles/pacor_graph.dir/selection.cpp.o.d"
+  "/root/repo/src/graph/steiner.cpp" "src/graph/CMakeFiles/pacor_graph.dir/steiner.cpp.o" "gcc" "src/graph/CMakeFiles/pacor_graph.dir/steiner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/pacor_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pacor_graph.dir/clique_partition.cpp.o"
+  "CMakeFiles/pacor_graph.dir/clique_partition.cpp.o.d"
+  "CMakeFiles/pacor_graph.dir/dsu.cpp.o"
+  "CMakeFiles/pacor_graph.dir/dsu.cpp.o.d"
+  "CMakeFiles/pacor_graph.dir/max_weight_clique.cpp.o"
+  "CMakeFiles/pacor_graph.dir/max_weight_clique.cpp.o.d"
+  "CMakeFiles/pacor_graph.dir/min_cost_flow.cpp.o"
+  "CMakeFiles/pacor_graph.dir/min_cost_flow.cpp.o.d"
+  "CMakeFiles/pacor_graph.dir/mst.cpp.o"
+  "CMakeFiles/pacor_graph.dir/mst.cpp.o.d"
+  "CMakeFiles/pacor_graph.dir/selection.cpp.o"
+  "CMakeFiles/pacor_graph.dir/selection.cpp.o.d"
+  "CMakeFiles/pacor_graph.dir/steiner.cpp.o"
+  "CMakeFiles/pacor_graph.dir/steiner.cpp.o.d"
+  "libpacor_graph.a"
+  "libpacor_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pacor_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

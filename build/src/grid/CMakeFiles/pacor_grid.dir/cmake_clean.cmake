@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pacor_grid.dir/grid.cpp.o"
+  "CMakeFiles/pacor_grid.dir/grid.cpp.o.d"
+  "CMakeFiles/pacor_grid.dir/obstacle_map.cpp.o"
+  "CMakeFiles/pacor_grid.dir/obstacle_map.cpp.o.d"
+  "libpacor_grid.a"
+  "libpacor_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pacor_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

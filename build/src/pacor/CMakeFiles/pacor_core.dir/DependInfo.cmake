@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pacor/cluster_routing.cpp" "src/pacor/CMakeFiles/pacor_core.dir/cluster_routing.cpp.o" "gcc" "src/pacor/CMakeFiles/pacor_core.dir/cluster_routing.cpp.o.d"
+  "/root/repo/src/pacor/clustering.cpp" "src/pacor/CMakeFiles/pacor_core.dir/clustering.cpp.o" "gcc" "src/pacor/CMakeFiles/pacor_core.dir/clustering.cpp.o.d"
+  "/root/repo/src/pacor/detour.cpp" "src/pacor/CMakeFiles/pacor_core.dir/detour.cpp.o" "gcc" "src/pacor/CMakeFiles/pacor_core.dir/detour.cpp.o.d"
+  "/root/repo/src/pacor/drc.cpp" "src/pacor/CMakeFiles/pacor_core.dir/drc.cpp.o" "gcc" "src/pacor/CMakeFiles/pacor_core.dir/drc.cpp.o.d"
+  "/root/repo/src/pacor/escape.cpp" "src/pacor/CMakeFiles/pacor_core.dir/escape.cpp.o" "gcc" "src/pacor/CMakeFiles/pacor_core.dir/escape.cpp.o.d"
+  "/root/repo/src/pacor/mst_routing.cpp" "src/pacor/CMakeFiles/pacor_core.dir/mst_routing.cpp.o" "gcc" "src/pacor/CMakeFiles/pacor_core.dir/mst_routing.cpp.o.d"
+  "/root/repo/src/pacor/pipeline.cpp" "src/pacor/CMakeFiles/pacor_core.dir/pipeline.cpp.o" "gcc" "src/pacor/CMakeFiles/pacor_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/pacor/report.cpp" "src/pacor/CMakeFiles/pacor_core.dir/report.cpp.o" "gcc" "src/pacor/CMakeFiles/pacor_core.dir/report.cpp.o.d"
+  "/root/repo/src/pacor/solution_io.cpp" "src/pacor/CMakeFiles/pacor_core.dir/solution_io.cpp.o" "gcc" "src/pacor/CMakeFiles/pacor_core.dir/solution_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/pacor_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/pacor_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/pacor_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/chip/CMakeFiles/pacor_chip.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/pacor_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/dme/CMakeFiles/pacor_dme.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pacor_core.dir/cluster_routing.cpp.o"
+  "CMakeFiles/pacor_core.dir/cluster_routing.cpp.o.d"
+  "CMakeFiles/pacor_core.dir/clustering.cpp.o"
+  "CMakeFiles/pacor_core.dir/clustering.cpp.o.d"
+  "CMakeFiles/pacor_core.dir/detour.cpp.o"
+  "CMakeFiles/pacor_core.dir/detour.cpp.o.d"
+  "CMakeFiles/pacor_core.dir/drc.cpp.o"
+  "CMakeFiles/pacor_core.dir/drc.cpp.o.d"
+  "CMakeFiles/pacor_core.dir/escape.cpp.o"
+  "CMakeFiles/pacor_core.dir/escape.cpp.o.d"
+  "CMakeFiles/pacor_core.dir/mst_routing.cpp.o"
+  "CMakeFiles/pacor_core.dir/mst_routing.cpp.o.d"
+  "CMakeFiles/pacor_core.dir/pipeline.cpp.o"
+  "CMakeFiles/pacor_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/pacor_core.dir/report.cpp.o"
+  "CMakeFiles/pacor_core.dir/report.cpp.o.d"
+  "CMakeFiles/pacor_core.dir/solution_io.cpp.o"
+  "CMakeFiles/pacor_core.dir/solution_io.cpp.o.d"
+  "libpacor_core.a"
+  "libpacor_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pacor_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/route/astar.cpp" "src/route/CMakeFiles/pacor_route.dir/astar.cpp.o" "gcc" "src/route/CMakeFiles/pacor_route.dir/astar.cpp.o.d"
+  "/root/repo/src/route/bounded_astar.cpp" "src/route/CMakeFiles/pacor_route.dir/bounded_astar.cpp.o" "gcc" "src/route/CMakeFiles/pacor_route.dir/bounded_astar.cpp.o.d"
+  "/root/repo/src/route/bump_detour.cpp" "src/route/CMakeFiles/pacor_route.dir/bump_detour.cpp.o" "gcc" "src/route/CMakeFiles/pacor_route.dir/bump_detour.cpp.o.d"
+  "/root/repo/src/route/negotiation.cpp" "src/route/CMakeFiles/pacor_route.dir/negotiation.cpp.o" "gcc" "src/route/CMakeFiles/pacor_route.dir/negotiation.cpp.o.d"
+  "/root/repo/src/route/path.cpp" "src/route/CMakeFiles/pacor_route.dir/path.cpp.o" "gcc" "src/route/CMakeFiles/pacor_route.dir/path.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/pacor_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/pacor_grid.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

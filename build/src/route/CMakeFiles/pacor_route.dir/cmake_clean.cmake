@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pacor_route.dir/astar.cpp.o"
+  "CMakeFiles/pacor_route.dir/astar.cpp.o.d"
+  "CMakeFiles/pacor_route.dir/bounded_astar.cpp.o"
+  "CMakeFiles/pacor_route.dir/bounded_astar.cpp.o.d"
+  "CMakeFiles/pacor_route.dir/bump_detour.cpp.o"
+  "CMakeFiles/pacor_route.dir/bump_detour.cpp.o.d"
+  "CMakeFiles/pacor_route.dir/negotiation.cpp.o"
+  "CMakeFiles/pacor_route.dir/negotiation.cpp.o.d"
+  "CMakeFiles/pacor_route.dir/path.cpp.o"
+  "CMakeFiles/pacor_route.dir/path.cpp.o.d"
+  "libpacor_route.a"
+  "libpacor_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pacor_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

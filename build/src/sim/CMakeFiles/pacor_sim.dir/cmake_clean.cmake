@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pacor_sim.dir/analysis.cpp.o"
+  "CMakeFiles/pacor_sim.dir/analysis.cpp.o.d"
+  "CMakeFiles/pacor_sim.dir/pressure.cpp.o"
+  "CMakeFiles/pacor_sim.dir/pressure.cpp.o.d"
+  "libpacor_sim.a"
+  "libpacor_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pacor_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pacor_viz.dir/svg.cpp.o"
+  "CMakeFiles/pacor_viz.dir/svg.cpp.o.d"
+  "libpacor_viz.a"
+  "libpacor_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pacor_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpacor_viz.a"
+)

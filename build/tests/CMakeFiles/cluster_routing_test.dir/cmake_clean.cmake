@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_routing_test.dir/cluster_routing_test.cpp.o"
+  "CMakeFiles/cluster_routing_test.dir/cluster_routing_test.cpp.o.d"
+  "cluster_routing_test"
+  "cluster_routing_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_routing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detour_test.dir/detour_test.cpp.o"
+  "CMakeFiles/detour_test.dir/detour_test.cpp.o.d"
+  "detour_test"
+  "detour_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detour_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dme_property_test.dir/dme_property_test.cpp.o"
+  "CMakeFiles/dme_property_test.dir/dme_property_test.cpp.o.d"
+  "dme_property_test"
+  "dme_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dme_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

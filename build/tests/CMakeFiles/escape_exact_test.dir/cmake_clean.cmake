@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/escape_exact_test.dir/escape_exact_test.cpp.o"
+  "CMakeFiles/escape_exact_test.dir/escape_exact_test.cpp.o.d"
+  "escape_exact_test"
+  "escape_exact_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/escape_exact_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

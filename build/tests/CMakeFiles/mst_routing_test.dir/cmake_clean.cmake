@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mst_routing_test.dir/mst_routing_test.cpp.o"
+  "CMakeFiles/mst_routing_test.dir/mst_routing_test.cpp.o.d"
+  "mst_routing_test"
+  "mst_routing_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mst_routing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

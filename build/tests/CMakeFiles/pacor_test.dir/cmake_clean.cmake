@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pacor_test.dir/pacor_test.cpp.o"
+  "CMakeFiles/pacor_test.dir/pacor_test.cpp.o.d"
+  "pacor_test"
+  "pacor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pacor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pacor_cli.dir/pacor_cli.cpp.o"
+  "CMakeFiles/pacor_cli.dir/pacor_cli.cpp.o.d"
+  "pacor"
+  "pacor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pacor_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
