@@ -1,0 +1,160 @@
+// Reproducible end-to-end routing benchmark: routes every Table-1 design
+// with the full PACOR flow serially (jobs = 1) and with the worker pool
+// (jobs = max(2, hardware threads)), checks that the two results are
+// bit-identical, and writes the timings plus the pipeline's per-stage
+// time / search-effort counters to BENCH_routing.json in the working
+// directory. Intended for before/after comparisons of the routing
+// kernels: routed quality must not move, only the seconds.
+//
+// Usage: bench_routing [out.json]   (default: BENCH_routing.json)
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "chip/generator.hpp"
+#include "pacor/pipeline.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using pacor::core::PacorConfig;
+using pacor::core::PacorResult;
+
+constexpr int kRepetitions = 3;  ///< per design and mode; best time wins
+
+bool identicalRouting(const PacorResult& a, const PacorResult& b) {
+  if (a.complete != b.complete || a.totalChannelLength != b.totalChannelLength ||
+      a.matchedChannelLength != b.matchedChannelLength ||
+      a.matchedClusterCount != b.matchedClusterCount ||
+      a.clusters.size() != b.clusters.size())
+    return false;
+  for (std::size_t i = 0; i < a.clusters.size(); ++i) {
+    const auto& x = a.clusters[i];
+    const auto& y = b.clusters[i];
+    if (x.pin != y.pin || !(x.tap == y.tap) || x.treePaths != y.treePaths ||
+        x.escapePath != y.escapePath || x.totalLength != y.totalLength)
+      return false;
+  }
+  return true;
+}
+
+struct TimedRun {
+  PacorResult result;
+  double seconds = 0.0;
+};
+
+TimedRun bestOf(const pacor::chip::Chip& chip, const PacorConfig& cfg) {
+  TimedRun best;
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    PacorResult r = pacor::core::routeChip(chip, cfg);
+    const double s = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+    if (rep == 0 || s < best.seconds) {
+      best.result = std::move(r);
+      best.seconds = s;
+    }
+  }
+  return best;
+}
+
+void jsonCounters(std::FILE* f, const char* key,
+                  const pacor::route::SearchCounters& c, const char* tail) {
+  std::fprintf(f,
+               "        \"%s\": {\"searches\": %llu, \"expansions\": %llu, "
+               "\"bounded_visits\": %llu}%s\n",
+               key, static_cast<unsigned long long>(c.searches),
+               static_cast<unsigned long long>(c.expansions),
+               static_cast<unsigned long long>(c.boundedVisits), tail);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string outPath = argc > 1 ? argv[1] : "BENCH_routing.json";
+  const int parallelJobs =
+      std::max(2, static_cast<int>(pacor::util::hardwareJobs()));
+
+  PacorConfig serialCfg = pacor::core::pacorDefaultConfig();
+  serialCfg.jobs = 1;
+  PacorConfig parallelCfg = serialCfg;
+  parallelCfg.jobs = parallelJobs;
+
+  std::FILE* f = std::fopen(outPath.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", outPath.c_str());
+    return 2;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"routing\",\n");
+  std::fprintf(f, "  \"repetitions\": %d,\n", kRepetitions);
+  std::fprintf(f, "  \"parallel_jobs\": %d,\n  \"designs\": [\n", parallelJobs);
+
+  double serialTotal = 0.0;
+  double parallelTotal = 0.0;
+  bool allIdentical = true;
+  bool allComplete = true;
+
+  const auto designs = pacor::chip::table1Designs();
+  std::printf("%-8s %10s %10s %8s  %s   (parallel = %d jobs)\n", "Design",
+              "serial(s)", "par(s)", "speedup", "identical", parallelJobs);
+  for (std::size_t d = 0; d < designs.size(); ++d) {
+    const auto chip = pacor::chip::generateChip(designs[d]);
+    const TimedRun serial = bestOf(chip, serialCfg);
+    const TimedRun parallel = bestOf(chip, parallelCfg);
+    const bool identical = identicalRouting(serial.result, parallel.result);
+    serialTotal += serial.seconds;
+    parallelTotal += parallel.seconds;
+    allIdentical &= identical;
+    allComplete &= serial.result.complete && parallel.result.complete;
+
+    std::printf("%-8s %10.3f %10.3f %8.2f  %s\n", chip.name.c_str(),
+                serial.seconds, parallel.seconds,
+                parallel.seconds > 0.0 ? serial.seconds / parallel.seconds : 0.0,
+                identical ? "yes" : "NO");
+
+    const auto& st = serial.result.times;
+    std::fprintf(f, "    {\n      \"design\": \"%s\",\n", chip.name.c_str());
+    std::fprintf(f, "      \"serial_seconds\": %.6f,\n", serial.seconds);
+    std::fprintf(f, "      \"parallel_seconds\": %.6f,\n", parallel.seconds);
+    std::fprintf(f, "      \"speedup\": %.4f,\n",
+                 parallel.seconds > 0.0 ? serial.seconds / parallel.seconds : 0.0);
+    std::fprintf(f, "      \"identical\": %s,\n", identical ? "true" : "false");
+    std::fprintf(f, "      \"complete\": %s,\n",
+                 serial.result.complete ? "true" : "false");
+    std::fprintf(f, "      \"total_channel_length\": %lld,\n",
+                 static_cast<long long>(serial.result.totalChannelLength));
+    std::fprintf(f, "      \"matched_channel_length\": %lld,\n",
+                 static_cast<long long>(serial.result.matchedChannelLength));
+    std::fprintf(f, "      \"matched_clusters\": %d,\n",
+                 serial.result.matchedClusterCount);
+    std::fprintf(f,
+                 "      \"stage_seconds\": {\"clustering\": %.6f, "
+                 "\"cluster_routing\": %.6f, \"escape\": %.6f, "
+                 "\"detour\": %.6f, \"total\": %.6f},\n",
+                 st.clustering, st.clusterRouting, st.escape, st.detour, st.total);
+    std::fprintf(f, "      \"search\": {\n");
+    jsonCounters(f, "cluster_routing", serial.result.searchClusterRouting, ",");
+    jsonCounters(f, "escape", serial.result.searchEscape, ",");
+    jsonCounters(f, "detour", serial.result.searchDetour, "");
+    std::fprintf(f, "      }\n    }%s\n", d + 1 < designs.size() ? "," : "");
+  }
+
+  std::fprintf(f, "  ],\n  \"summary\": {\n");
+  std::fprintf(f, "    \"serial_seconds_total\": %.6f,\n", serialTotal);
+  std::fprintf(f, "    \"parallel_seconds_total\": %.6f,\n", parallelTotal);
+  std::fprintf(f, "    \"speedup\": %.4f,\n",
+               parallelTotal > 0.0 ? serialTotal / parallelTotal : 0.0);
+  std::fprintf(f, "    \"all_identical\": %s,\n", allIdentical ? "true" : "false");
+  std::fprintf(f, "    \"all_complete\": %s\n  }\n}\n",
+               allComplete ? "true" : "false");
+  std::fclose(f);
+
+  std::printf("total: serial %.3fs, parallel %.3fs (%.2fx), wrote %s\n",
+              serialTotal, parallelTotal,
+              parallelTotal > 0.0 ? serialTotal / parallelTotal : 0.0,
+              outPath.c_str());
+  return allIdentical && allComplete ? 0 : 1;
+}

@@ -1,84 +1,201 @@
 #include "graph/min_cost_flow.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <limits>
-#include <queue>
 
 namespace pacor::graph {
 
-namespace {
-constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
+MinCostFlow::MinCostFlow(std::size_t nodeCount)
+    : nodes_(nodeCount, Node{0, 0, -1, 0, 0, 0}),
+      nodeBits_(std::max<unsigned>(1, std::bit_width(nodeCount))) {}
+
+void MinCostFlow::heapPush(std::uint64_t key) {
+  std::size_t i = heap_.size();
+  heap_.push_back(key);
+  while (i > 0) {
+    const std::size_t p = (i - 1) >> 2;
+    if (heap_[p] <= key) break;
+    heap_[i] = heap_[p];
+    i = p;
+  }
+  heap_[i] = key;
 }
 
-MinCostFlow::MinCostFlow(std::size_t nodeCount)
-    : head_(nodeCount), potential_(nodeCount, 0) {}
+std::uint64_t MinCostFlow::heapPop() {
+  const std::uint64_t top = heap_.front();
+  const std::uint64_t last = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n > 0) {
+    std::size_t i = 0;
+    for (;;) {
+      const std::size_t c = 4 * i + 1;
+      if (c >= n) break;
+      std::size_t m = c;
+      const std::size_t hi = std::min(c + 4, n);
+      for (std::size_t j = c + 1; j < hi; ++j)
+        if (heap_[j] < heap_[m]) m = j;
+      if (last <= heap_[m]) break;
+      heap_[i] = heap_[m];
+      i = m;
+    }
+    heap_[i] = last;
+  }
+  return top;
+}
 
 std::size_t MinCostFlow::addEdge(std::size_t u, std::size_t v, std::int64_t capacity,
                                  std::int64_t cost) {
-  assert(u < head_.size() && v < head_.size());
+  assert(u < nodes_.size() && v < nodes_.size());
   assert(capacity >= 0 && cost >= 0);
-  const std::size_t id = edgeRef_.size();
-  head_[u].push_back({v, head_[v].size(), capacity, cost});
-  head_[v].push_back({u, head_[u].size() - 1, 0, -cost});
-  edgeRef_.emplace_back(u, head_[u].size() - 1);
+  assert(cost <= std::numeric_limits<std::int32_t>::max());
+  const std::size_t id = originalCap_.size();
+  arcFrom_.push_back(static_cast<std::int32_t>(u));
+  arcTo_.push_back(static_cast<std::int32_t>(v));
+  arcCap_.push_back(capacity);
+  arcCost_.push_back(cost);
+  arcFrom_.push_back(static_cast<std::int32_t>(v));
+  arcTo_.push_back(static_cast<std::int32_t>(u));
+  arcCap_.push_back(0);
+  arcCost_.push_back(-cost);
   originalCap_.push_back(capacity);
   return id;
 }
 
+std::int64_t MinCostFlow::capOf(std::size_t arcId) const {
+  // Caps move into csrArc_ once the CSR exists; arcs added afterwards are
+  // still in arcCap_ until the next rebuild.
+  return arcId < builtArcs_ ? csrArc_[static_cast<std::size_t>(arcPos_[arcId])].cap
+                            : arcCap_[arcId];
+}
+
+void MinCostFlow::ensureCsr() {
+  if (builtArcs_ == arcFrom_.size()) return;
+  // Flow already routed lives in csrArc_; fold it back before rebuilding.
+  for (std::size_t a = 0; a < builtArcs_; ++a)
+    arcCap_[a] = csrArc_[static_cast<std::size_t>(arcPos_[a])].cap;
+  builtArcs_ = arcFrom_.size();
+
+  const std::size_t n = nodes_.size();
+  // Counting sort of arc ids by source node: per-node arcs end up in
+  // increasing arc id = chronological order, the order the old adjacency
+  // lists iterated in.
+  csrStart_.assign(n + 1, 0);
+  for (const std::int32_t u : arcFrom_) ++csrStart_[static_cast<std::size_t>(u) + 1];
+  for (std::size_t u = 0; u < n; ++u) csrStart_[u + 1] += csrStart_[u];
+  arcPos_.resize(builtArcs_);
+  std::vector<std::size_t> fill(csrStart_.begin(), csrStart_.end() - 1);
+  for (std::size_t a = 0; a < builtArcs_; ++a)
+    arcPos_[a] = static_cast<std::int32_t>(fill[static_cast<std::size_t>(arcFrom_[a])]++);
+
+  csrArc_.resize(builtArcs_);
+  csrRev_.resize(builtArcs_);
+  for (std::size_t a = 0; a < builtArcs_; ++a) {
+    const auto k = static_cast<std::size_t>(arcPos_[a]);
+    csrArc_[k] = {arcCap_[a], arcTo_[a], static_cast<std::int32_t>(arcCost_[a])};
+    csrRev_[k] = arcPos_[a ^ 1];
+  }
+
+  for (Node& node : nodes_) node.distStamp = node.doneStamp = 0;
+  epoch_ = 0;
+}
+
 MinCostFlow::Result MinCostFlow::run(std::size_t s, std::size_t t,
                                      std::int64_t maxFlow) {
+  ensureCsr();
   Result result;
-  const std::size_t n = head_.size();
-  std::vector<std::int64_t> dist(n);
-  std::vector<std::size_t> prevNode(n), prevArc(n);
-  std::vector<bool> done(n);
 
   while (result.flow < maxFlow) {
-    // Dijkstra on reduced costs, stopping as soon as the sink settles.
-    std::fill(dist.begin(), dist.end(), kInf);
-    std::fill(done.begin(), done.end(), false);
-    using QItem = std::pair<std::int64_t, std::size_t>;
-    std::priority_queue<QItem, std::vector<QItem>, std::greater<>> pq;
-    dist[s] = 0;
-    pq.emplace(0, s);
-    while (!pq.empty()) {
-      const auto [d, u] = pq.top();
-      pq.pop();
-      if (done[u]) continue;
-      done[u] = true;
-      if (u == t) break;  // settled: the shortest augmenting path is known
-      for (std::size_t i = 0; i < head_[u].size(); ++i) {
-        const Arc& a = head_[u][i];
-        if (a.cap <= 0 || done[a.to]) continue;
-        const std::int64_t nd = d + a.cost + potential_[u] - potential_[a.to];
+    // Dijkstra on reduced costs. "Clearing" dist/done is an epoch bump;
+    // unlabeled == stamp mismatch.
+    if (epoch_ == std::numeric_limits<std::uint32_t>::max()) {
+      for (Node& node : nodes_) node.distStamp = node.doneStamp = 0;
+      epoch_ = 0;
+    }
+    ++epoch_;
+    heap_.clear();
+    settled_.clear();
+    nodes_[s].dist = 0;
+    nodes_[s].prevArc = -1;
+    nodes_[s].distStamp = epoch_;
+    const std::uint64_t nodeMask = (std::uint64_t{1} << nodeBits_) - 1;
+    heapPush(static_cast<std::uint64_t>(s));
+    bool reachedSink = false;
+    std::int64_t sinkDist = 0;
+    while (!heap_.empty()) {
+      // Sink cut: once the sink's label equals the heap minimum, no strict
+      // improvement at or below that key is possible (arc costs are
+      // non-negative), so the sink's predecessor chain is already final --
+      // settling the remaining equal-key nodes first, as a (distance,
+      // node-id) queue would, cannot change the augmenting path or any
+      // label below the sink distance. Stopping here skips the zero-
+      // reduced-cost plateau that Johnson potentials create around the
+      // previous shortest-path tree.
+      if (nodes_[t].distStamp == epoch_ &&
+          nodes_[t].dist <= static_cast<std::int64_t>(heap_.front() >> nodeBits_)) {
+        reachedSink = true;
+        sinkDist = nodes_[t].dist;
+        break;
+      }
+      const std::uint64_t top = heapPop();
+      const auto u = static_cast<std::size_t>(top & nodeMask);
+      if (nodes_[u].doneStamp == epoch_) continue;
+      nodes_[u].doneStamp = epoch_;
+      settled_.push_back(static_cast<std::int32_t>(u));
+      const auto d = static_cast<std::int64_t>(top >> nodeBits_);
+      const std::int64_t potU = nodes_[u].potential;
+      const std::size_t end = csrStart_[u + 1];
+      for (std::size_t k = csrStart_[u]; k < end; ++k) {
+        const CsrArc& arc = csrArc_[k];
+        if (arc.cap <= 0) continue;
+        const auto v = static_cast<std::size_t>(arc.to);
+        Node& node = nodes_[v];
+        if (node.doneStamp == epoch_) continue;
+        const std::int64_t nd = d + arc.cost + potU - node.potential;
         assert(nd >= d && "reduced cost must be non-negative");
-        if (nd < dist[a.to]) {
-          dist[a.to] = nd;
-          prevNode[a.to] = u;
-          prevArc[a.to] = i;
-          pq.emplace(nd, a.to);
+        if (node.distStamp != epoch_ || nd < node.dist) {
+          node.dist = nd;
+          node.prevArc = static_cast<std::int32_t>(k);
+          node.distStamp = epoch_;
+          heapPush((static_cast<std::uint64_t>(nd) << nodeBits_) |
+                   static_cast<std::uint64_t>(v));
         }
       }
     }
-    if (!done[t]) break;  // no augmenting path
+    if (!reachedSink) break;  // no augmenting path
 
     // Potential update with early termination: every node whose true
     // distance is below dist[t] is settled (pops are monotone), so
     // clamping all other labels -- including unlabeled nodes -- to
-    // dist[t] keeps every residual reduced cost non-negative.
-    for (std::size_t v = 0; v < n; ++v)
-      potential_[v] += std::min(dist[v], dist[t]);
+    // dist[t] keeps every residual reduced cost non-negative. The clamped
+    // update adds dist[t] uniformly to every node; a uniform shift cancels
+    // out of every reduced cost (only potential differences are ever
+    // read), so it can be dropped entirely. What remains is the relative
+    // correction dist[v] - dist[t] on settled nodes -- any labeled-but-
+    // unsettled node has dist >= dist[t] once the sink cut fires, hence
+    // zero correction.
+    for (const std::int32_t v : settled_) {
+      Node& node = nodes_[static_cast<std::size_t>(v)];
+      if (node.dist < sinkDist) node.potential += node.dist - sinkDist;
+    }
+    settled_.clear();
 
-    // Bottleneck along the path.
+    // Bottleneck along the path (prevArc holds CSR positions; the tail of
+    // the arc is the head of its reverse arc).
     std::int64_t push = maxFlow - result.flow;
-    for (std::size_t v = t; v != s; v = prevNode[v])
-      push = std::min(push, head_[prevNode[v]][prevArc[v]].cap);
-    for (std::size_t v = t; v != s; v = prevNode[v]) {
-      Arc& a = head_[prevNode[v]][prevArc[v]];
-      a.cap -= push;
-      head_[a.to][a.rev].cap += push;
-      result.cost += push * a.cost;
+    for (std::size_t v = t; v != s;) {
+      const auto k = static_cast<std::size_t>(nodes_[v].prevArc);
+      push = std::min(push, csrArc_[k].cap);
+      v = static_cast<std::size_t>(csrArc_[static_cast<std::size_t>(csrRev_[k])].to);
+    }
+    for (std::size_t v = t; v != s;) {
+      const auto k = static_cast<std::size_t>(nodes_[v].prevArc);
+      csrArc_[k].cap -= push;
+      csrArc_[static_cast<std::size_t>(csrRev_[k])].cap += push;
+      result.cost += push * csrArc_[k].cost;
+      v = static_cast<std::size_t>(csrArc_[static_cast<std::size_t>(csrRev_[k])].to);
     }
     result.flow += push;
   }
@@ -86,13 +203,11 @@ MinCostFlow::Result MinCostFlow::run(std::size_t s, std::size_t t,
 }
 
 std::int64_t MinCostFlow::flowOn(std::size_t edgeId) const {
-  const auto [u, slot] = edgeRef_[edgeId];
-  return originalCap_[edgeId] - head_[u][slot].cap;
+  return originalCap_[edgeId] - capOf(2 * edgeId);
 }
 
 std::int64_t MinCostFlow::residual(std::size_t edgeId) const {
-  const auto [u, slot] = edgeRef_[edgeId];
-  return head_[u][slot].cap;
+  return capOf(2 * edgeId);
 }
 
 }  // namespace pacor::graph

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 namespace pacor::graph {
@@ -15,11 +16,22 @@ namespace pacor::graph {
 /// routed-path count with the beta-dominant reward term is equivalent to
 /// the lexicographic (max flow, then min cost) objective realized by
 /// min-cost *max*-flow.
+///
+/// Layout is chosen for the Dijkstra inner loop: arcs live in CSR order
+/// (to / cost / cap arrays indexed by CSR position, reverse arc reachable
+/// through a position xref), and all per-node search state shares one
+/// 32-byte record so relaxing a neighbor touches a single cache line.
+/// That state is generation-stamped instead of refilled, so one
+/// augmentation costs O(heap work + path length), not O(nodes). The pop
+/// sequence of the Dijkstra heap is the comparator-determined order over
+/// (distance, node) pairs — distance ties break toward the smaller node
+/// id — so results are identical to the original adjacency-list
+/// implementation, augmenting path for augmenting path.
 class MinCostFlow {
  public:
   explicit MinCostFlow(std::size_t nodeCount);
 
-  std::size_t nodeCount() const noexcept { return head_.size(); }
+  std::size_t nodeCount() const noexcept { return nodes_.size(); }
 
   /// Adds a directed edge u -> v. Returns an edge id usable with flowOn().
   std::size_t addEdge(std::size_t u, std::size_t v, std::int64_t capacity,
@@ -42,17 +54,56 @@ class MinCostFlow {
   std::int64_t residual(std::size_t edgeId) const;
 
  private:
-  struct Arc {
-    std::size_t to;
-    std::size_t rev;  ///< index of the reverse arc in adj_[to]
-    std::int64_t cap;
-    std::int64_t cost;
-  };
+  void ensureCsr();
+  std::int64_t capOf(std::size_t arcId) const;
 
-  std::vector<std::vector<Arc>> head_;
-  std::vector<std::pair<std::size_t, std::size_t>> edgeRef_;  ///< id -> (u, slot)
-  std::vector<std::int64_t> originalCap_;
-  std::vector<std::int64_t> potential_;
+  // Edge ingest order; arc a = 2 * edge + (backward ? 1 : 0). Caps are
+  // authoritative here only until ensureCsr() moves them into csrCap_.
+  std::vector<std::int32_t> arcFrom_;
+  std::vector<std::int32_t> arcTo_;
+  std::vector<std::int64_t> arcCap_;
+  std::vector<std::int64_t> arcCost_;
+  std::vector<std::int64_t> originalCap_;  ///< per edge
+
+  // CSR adjacency: node u's arcs are CSR positions csrStart_[u] ..
+  // csrStart_[u+1), in arc-id (= insertion) order. The Dijkstra-hot arc
+  // fields share one 16-byte record so scanning a node's arcs is a single
+  // stream; arc costs are capped at 32 bits (checked in addEdge).
+  struct CsrArc {
+    std::int64_t cap;  ///< residual capacity (mutable state)
+    std::int32_t to;
+    std::int32_t cost;
+  };
+  static_assert(sizeof(CsrArc) == 16);
+  std::vector<std::size_t> csrStart_;
+  std::vector<CsrArc> csrArc_;         ///< per CSR position
+  std::vector<std::int32_t> csrRev_;   ///< CSR position of the reverse arc
+  std::vector<std::int32_t> arcPos_;   ///< arc id -> CSR position
+  std::size_t builtArcs_ = 0;
+
+  // Per-node search state; dist/prevArc valid when distStamp == epoch_.
+  struct Node {
+    std::int64_t dist;
+    std::int64_t potential;
+    std::int32_t prevArc;  ///< CSR position of the arc into this node
+    std::uint32_t distStamp;
+    std::uint32_t doneStamp;
+    std::uint32_t pad;
+  };
+  static_assert(sizeof(Node) == 32);
+  std::vector<Node> nodes_;
+  std::uint32_t epoch_ = 0;
+
+  // Open list: a 4-ary heap of keys packed as (distance << nodeBits_) |
+  // node. Packed comparison is exactly the lexicographic (distance, node)
+  // order of a pair heap — distance ties break toward the smaller node id
+  // — and any correct priority queue pops the comparator minimum, so the
+  // settle sequence is independent of heap arity and layout.
+  unsigned nodeBits_ = 1;
+  std::vector<std::uint64_t> heap_;
+  std::vector<std::int32_t> settled_;  ///< pop order, for the potential update
+  void heapPush(std::uint64_t key);
+  std::uint64_t heapPop();
 };
 
 }  // namespace pacor::graph

@@ -3,6 +3,7 @@
 #include <array>
 #include <cassert>
 #include <cstdint>
+#include <cstdlib>
 #include <vector>
 
 #include "geom/point.hpp"
@@ -39,12 +40,15 @@ class Grid {
            (p.x == 0 || p.y == 0 || p.x == w_ - 1 || p.y == h_ - 1);
   }
 
-  std::int32_t index(Point p) const noexcept {
+  [[nodiscard]] std::int32_t index(Point p) const noexcept {
     assert(inBounds(p));
     return p.y * w_ + p.x;
   }
-  Point point(std::int32_t idx) const noexcept {
-    return {idx % w_, idx / w_};
+  [[nodiscard]] Point point(std::int32_t idx) const noexcept {
+    // One combined div/mod on the cached width: this is the innermost
+    // operation of every search kernel.
+    const auto dv = std::div(idx, w_);
+    return {dv.rem, dv.quot};
   }
 
   /// 4-connected neighbor offsets in deterministic order (E, W, N, S).

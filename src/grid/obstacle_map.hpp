@@ -59,8 +59,47 @@ class ObstacleMap {
   std::int64_t obstacleCount() const noexcept { return countOwnedBy(kObstacle); }
 
  private:
+  friend class ObstacleMapTransaction;
   Grid grid_;
   std::vector<NetId> owner_;
+};
+
+/// Undo log over an ObstacleMap: every owner mutation applied through the
+/// transaction is recorded so the map can be restored to its prior state
+/// in O(#mutations) instead of keeping a full O(cells) copy around.
+///
+/// This is what makes negotiation rip-up cheap (route/negotiation.cpp):
+/// each iteration routes all edges through a transaction and, when some
+/// edge failed, rolls the occupancy back in time proportional to the
+/// routed path lengths. The log also doubles as the exact changed-cell
+/// set the parallel routing layer needs for its speculative commits.
+class ObstacleMapTransaction {
+ public:
+  explicit ObstacleMapTransaction(ObstacleMap& map) : map_(map) {}
+
+  struct Entry {
+    std::int32_t cell;
+    NetId previousOwner;
+  };
+
+  /// Same contracts as the ObstacleMap methods of the same names.
+  void occupy(std::span<const Point> path, NetId net);
+  void releasePath(std::span<const Point> path, NetId net);
+
+  /// Undoes every mutation since construction (or the last commit), most
+  /// recent first, restoring the exact prior owner of each cell.
+  void rollback();
+
+  /// Keeps the mutations and forgets the log.
+  void commit() { log_.clear(); }
+
+  /// Mutations recorded so far, in application order. Entries are appended
+  /// only for cells whose owner actually changed.
+  std::span<const Entry> log() const noexcept { return log_; }
+
+ private:
+  ObstacleMap& map_;
+  std::vector<Entry> log_;
 };
 
 }  // namespace pacor::grid

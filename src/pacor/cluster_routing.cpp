@@ -163,7 +163,8 @@ void commitStructure(const chip::Chip& chip, WorkCluster& wc, const CandidatePla
 LmRoutingStats routeLengthMatchingClusters(const chip::Chip& chip,
                                            const PacorConfig& config,
                                            grid::ObstacleMap& obstacles,
-                                           std::span<WorkCluster*> clusters) {
+                                           std::span<WorkCluster*> clusters,
+                                           util::ThreadPool* pool) {
   LmRoutingStats stats;
   if (clusters.empty()) return stats;
 
@@ -245,7 +246,8 @@ LmRoutingStats routeLengthMatchingClusters(const chip::Chip& chip,
     }
   }
 
-  const auto negotiated = route::negotiatedRoute(obstacles, allEdges, config.negotiation);
+  const auto negotiated =
+      route::negotiatedRoute(obstacles, allEdges, config.negotiation, pool);
   stats.negotiationIterations = negotiated.iterations;
 
   // 4. Commit fully-routed clusters; demote the rest.

@@ -7,6 +7,10 @@
 #include "pacor/config.hpp"
 #include "pacor/work.hpp"
 
+namespace pacor::util {
+class ThreadPool;
+}
+
 namespace pacor::core {
 
 /// Outcome counters of the length-matching cluster routing stage.
@@ -27,10 +31,13 @@ struct LmRoutingStats {
 /// negotiation-based routing (Alg. 1). Successful clusters are committed
 /// into `obstacles` (net = cluster net) with their detour structure
 /// (sink sequences, tap) filled in; clusters whose edges could not be
-/// routed are demoted (wasDemoted = true) for MST-based routing.
+/// routed are demoted (wasDemoted = true) for MST-based routing. A
+/// multi-thread `pool` parallelizes the negotiation iterations (see
+/// route::negotiatedRoute); the result is identical to pool == nullptr.
 LmRoutingStats routeLengthMatchingClusters(const chip::Chip& chip,
                                            const PacorConfig& config,
                                            grid::ObstacleMap& obstacles,
-                                           std::span<WorkCluster*> clusters);
+                                           std::span<WorkCluster*> clusters,
+                                           util::ThreadPool* pool = nullptr);
 
 }  // namespace pacor::core

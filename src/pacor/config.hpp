@@ -68,6 +68,12 @@ struct PacorConfig {
 
   /// Ring-search cap when legalizing DME merging nodes.
   int legalizeRadius = 64;
+
+  /// Worker threads for the routing stages (negotiation and the MST
+  /// stage route speculatively in parallel, then commit serially).
+  /// 1 = fully serial; 0 = one thread per hardware core. The routed
+  /// result is bit-identical for every value.
+  int jobs = 1;
 };
 
 }  // namespace pacor::core

@@ -13,6 +13,8 @@
 #include "pacor/detour.hpp"
 #include "pacor/escape.hpp"
 #include "pacor/mst_routing.hpp"
+#include "route/workspace.hpp"
+#include "util/thread_pool.hpp"
 
 namespace pacor::core {
 namespace {
@@ -131,6 +133,15 @@ PacorResult routeChip(const chip::Chip& chip, const PacorConfig& config) {
   PacorResult result;
   result.design = chip.name;
 
+  // Worker pool for the speculative-parallel routing stages. jobs <= 1
+  // spawns no threads and every stage takes the exact serial path.
+  const int jobs = config.jobs == 0 ? static_cast<int>(util::hardwareJobs())
+                                    : config.jobs;
+  util::ThreadPool pool(static_cast<unsigned>(std::max(1, jobs)));
+  util::ThreadPool* poolPtr = pool.threadCount() > 1 ? &pool : nullptr;
+  result.parallelJobs = static_cast<int>(pool.threadCount());
+  const route::SearchCounters tally0 = route::searchTally();
+
   // Routing workspace: static obstacles plus blocked non-pin boundary
   // cells (escape constraint 8 applied globally for consistency).
   grid::ObstacleMap obstacles = chip.makeObstacleMap();
@@ -170,28 +181,18 @@ PacorResult routeChip(const chip::Chip& chip, const PacorConfig& config) {
   for (WorkCluster& wc : clusters)
     if (wc.wantsMatching() && wc.spec.valves.size() >= 2) lmClusters.push_back(&wc);
   const LmRoutingStats lmStats =
-      routeLengthMatchingClusters(chip, config, obstacles, lmClusters);
+      routeLengthMatchingClusters(chip, config, obstacles, lmClusters, poolPtr);
   result.lmCandidatesBuilt = lmStats.candidatesBuilt;
   result.selectionExact = lmStats.selectionExact;
   result.negotiationIterations = lmStats.negotiationIterations;
 
   // --- Stage 3: MST-based routing of everything else ---------------------
-  {
-    std::vector<WorkCluster> next;
-    next.reserve(clusters.size());
-    for (WorkCluster& wc : clusters) {
-      if (wc.internallyRouted) {
-        next.push_back(std::move(wc));
-        continue;
-      }
-      auto parts = routeWithDeclustering(chip, obstacles, std::move(wc), allocateNet,
-                                         &result.declusteredCount);
-      for (auto& p : parts) next.push_back(std::move(p));
-    }
-    clusters = std::move(next);
-  }
+  clusters = routeClustersStage(chip, obstacles, std::move(clusters), allocateNet,
+                                &result.declusteredCount, poolPtr);
   const auto tRouteEnd = Clock::now();
   result.times.clusterRouting = seconds(tClusterEnd, tRouteEnd);
+  const route::SearchCounters tallyRoute = route::searchTally();
+  result.searchClusterRouting = tallyRoute - tally0;
 
   // --- Optional: detour-first baseline (match around the tap) ------------
   if (config.detourStage == DetourStage::kAfterClusterRouting) {
@@ -327,6 +328,8 @@ PacorResult routeChip(const chip::Chip& chip, const PacorConfig& config) {
   runEscapeLoop();
   const auto tEscapeEnd = Clock::now();
   result.times.escape = seconds(tRouteEnd, tEscapeEnd);
+  const route::SearchCounters tallyEscape = route::searchTally();
+  result.searchEscape = tallyEscape - tallyRoute;
 
   runFinalDetour();
 
@@ -382,6 +385,7 @@ PacorResult routeChip(const chip::Chip& chip, const PacorConfig& config) {
   }
   const auto tDetourEnd = Clock::now();
   result.times.detour = seconds(tEscapeEnd, tDetourEnd);
+  result.searchDetour = route::searchTally() - tallyEscape;
 
   // --- Harvest ------------------------------------------------------------
   result.complete = true;

@@ -6,6 +6,7 @@
 
 #include "chip/chip.hpp"
 #include "route/path.hpp"
+#include "route/workspace.hpp"
 
 namespace pacor::core {
 
@@ -62,6 +63,18 @@ struct PacorResult {
   int negotiationIterations = 0;  ///< Alg. 1 iterations consumed
   int detourReroutes = 0;         ///< successful bounded-length reroutes
   int detourBumpFallbacks = 0;    ///< of which via bump insertion
+
+  /// Search-kernel effort per stage (A* invocations / settled expansions /
+  /// bounded-DFS visits), measured as global-tally deltas around each
+  /// stage. The escape figure covers the rip-up rounds' re-routing; the
+  /// detour figure includes the matching-driven retry passes.
+  route::SearchCounters searchClusterRouting;
+  route::SearchCounters searchEscape;
+  route::SearchCounters searchDetour;
+
+  /// Worker threads the routing stages actually used (config.jobs with
+  /// 0 resolved to the hardware concurrency).
+  int parallelJobs = 1;
 };
 
 }  // namespace pacor::core

@@ -3,59 +3,154 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <queue>
 
 #include "geom/rect.hpp"
+#include "route/workspace.hpp"
 
 namespace pacor::route {
 namespace {
 
-struct QItem {
-  double f;
-  double g;
-  std::int32_t cell;
+constexpr double kInf = std::numeric_limits<double>::infinity();
 
-  bool operator>(const QItem& o) const noexcept { return f > o.f; }
+/// Target-set goal shared by every search variant: the heuristic is the
+/// Manhattan distance to the bounding box of the target set (admissible
+/// and consistent; exact for a single target).
+struct SearchGoal {
+  geom::Rect box;
+
+  static SearchGoal of(const std::vector<Point>& targets) {
+    geom::Rect box = geom::Rect::fromPoint(targets.front());
+    for (const Point t : targets) box = box.unionWith(geom::Rect::fromPoint(t));
+    return {box};
+  }
+
+  std::int64_t h(Point p) const noexcept { return box.manhattanTo(p); }
 };
 
-}  // namespace
+/// Stamps the in-bounds target cells into the workspace's target array.
+void stampTargets(RouterWorkspace& ws, const grid::Grid& g,
+                  const std::vector<Point>& targets) {
+  for (const Point t : targets)
+    if (g.inBounds(t)) ws.targetStamp[static_cast<std::size_t>(g.index(t))] = ws.epoch;
+}
 
-namespace {
+/// Labels a cell: marks its dist/parent slots valid and records it in the
+/// touched list (consumed by the speculative parallel commit).
+inline void label(RouterWorkspace& ws, std::size_t idx, double g, std::int32_t par) {
+  if (ws.stamp[idx] != ws.epoch) {
+    ws.stamp[idx] = ws.epoch;
+    ws.touched.push_back(static_cast<std::int32_t>(idx));
+  }
+  ws.dist[idx] = g;
+  ws.parent[idx] = par;
+}
+
+AStarResult reconstruct(const grid::Grid& g, const RouterWorkspace& ws,
+                        std::int32_t cell, double cost) {
+  AStarResult result;
+  result.success = true;
+  result.cost = cost;
+  for (std::int32_t c = cell; c != -1; c = ws.parent[static_cast<std::size_t>(c)])
+    result.path.push_back(g.point(c));
+  std::reverse(result.path.begin(), result.path.end());
+  return result;
+}
+
+/// Integer-cost fast path (unit steps, no history): Dial's bucketed open
+/// list instead of a binary heap. f = g + h never decreases under the
+/// consistent Manhattan heuristic, so a forward cursor over the buckets
+/// yields nodes in optimal order with O(1) push/pop.
+AStarResult aStarRouteBuckets(const grid::ObstacleMap& obstacles,
+                              const AStarRequest& request, RouterWorkspace& ws) {
+  const grid::Grid& g = obstacles.grid();
+  const SearchGoal goal = SearchGoal::of(request.targets);
+  const auto usable = [&](Point p) { return obstacles.isFreeFor(p, request.net); };
+
+  stampTargets(ws, g, request.targets);
+
+  for (const Point s : request.sources) {
+    if (!g.inBounds(s) || !usable(s)) continue;
+    const auto idx = static_cast<std::size_t>(g.index(s));
+    if (ws.stamp[idx] != ws.epoch || ws.dist[idx] > 0.0) {
+      label(ws, idx, 0.0, -1);
+      ws.bucketPush(goal.h(s), {g.index(s), 0});
+    }
+  }
+
+  RouterWorkspace::BucketEntry top{};
+  while (ws.bucketPop(top)) {
+    const auto cellIdx = static_cast<std::size_t>(top.cell);
+    if (static_cast<double>(top.g) > ws.dist[cellIdx]) continue;  // stale entry
+    ++ws.expansions;
+    if (ws.targetStamp[cellIdx] == ws.epoch)
+      return reconstruct(g, ws, top.cell, static_cast<double>(top.g));
+    const Point p = g.point(top.cell);
+    const std::int32_t ng = top.g + 1;
+    g.forNeighbors(p, [&](Point q) {
+      if (!usable(q)) return;
+      const auto qIdx = static_cast<std::size_t>(g.index(q));
+      if (ws.stamp[qIdx] == ws.epoch && static_cast<double>(ng) >= ws.dist[qIdx]) return;
+      label(ws, qIdx, static_cast<double>(ng), top.cell);
+      ws.bucketPush(ng + goal.h(q), {g.index(q), ng});
+    });
+  }
+  return {};
+}
+
+/// General path (per-cell history costs): binary min-heap over double f.
+AStarResult aStarRouteHeap(const grid::ObstacleMap& obstacles,
+                           const AStarRequest& request, RouterWorkspace& ws) {
+  const grid::Grid& g = obstacles.grid();
+  const SearchGoal goal = SearchGoal::of(request.targets);
+  const auto usable = [&](Point p) { return obstacles.isFreeFor(p, request.net); };
+  const auto stepCost = [&](Point q) {
+    return 1.0 + (*request.historyCost)[static_cast<std::size_t>(g.index(q))];
+  };
+
+  stampTargets(ws, g, request.targets);
+  auto& open = ws.heap;
+  const auto push = [&](RouterWorkspace::HeapItem item) {
+    open.push_back(item);
+    std::push_heap(open.begin(), open.end(), std::greater<>{});
+  };
+
+  for (const Point s : request.sources) {
+    if (!g.inBounds(s) || !usable(s)) continue;
+    const auto idx = static_cast<std::size_t>(g.index(s));
+    if (ws.stamp[idx] != ws.epoch || ws.dist[idx] > 0.0) {
+      label(ws, idx, 0.0, -1);
+      push({static_cast<double>(goal.h(s)), 0.0, g.index(s)});
+    }
+  }
+
+  while (!open.empty()) {
+    std::pop_heap(open.begin(), open.end(), std::greater<>{});
+    const RouterWorkspace::HeapItem top = open.back();
+    open.pop_back();
+    const auto cellIdx = static_cast<std::size_t>(top.cell);
+    if (top.g > ws.dist[cellIdx]) continue;  // stale entry
+    ++ws.expansions;
+    if (ws.targetStamp[cellIdx] == ws.epoch) return reconstruct(g, ws, top.cell, top.g);
+    const Point p = g.point(top.cell);
+    g.forNeighbors(p, [&](Point q) {
+      if (!usable(q)) return;
+      const auto qIdx = static_cast<std::size_t>(g.index(q));
+      const double ng = top.g + stepCost(q);
+      if (ws.stamp[qIdx] == ws.epoch && ng >= ws.dist[qIdx]) return;
+      label(ws, qIdx, ng, top.cell);
+      push({ng + static_cast<double>(goal.h(q)), ng, g.index(q)});
+    });
+  }
+  return {};
+}
 
 /// Direction-aware variant: states are (cell, incoming direction), so a
 /// turn can be charged request.bendPenalty. Used when bendPenalty > 0.
 AStarResult aStarRouteWithBends(const grid::ObstacleMap& obstacles,
-                                const AStarRequest& request) {
-  AStarResult result;
+                                const AStarRequest& request, RouterWorkspace& ws) {
   const grid::Grid& g = obstacles.grid();
-
-  geom::Rect targetBox = geom::Rect::fromPoint(request.targets.front());
-  for (const Point t : request.targets)
-    targetBox = targetBox.unionWith(geom::Rect::fromPoint(t));
-  const auto heuristic = [&](Point p) {
-    return static_cast<double>(targetBox.manhattanTo(p));
-  };
+  const SearchGoal goal = SearchGoal::of(request.targets);
   const auto usable = [&](Point p) { return obstacles.isFreeFor(p, request.net); };
-
-  const auto cellCount = static_cast<std::size_t>(g.cellCount());
-  std::vector<char> isTarget(cellCount, 0);
-  for (const Point t : request.targets)
-    if (g.inBounds(t)) isTarget[static_cast<std::size_t>(g.index(t))] = 1;
-
-  // State = cell * 5 + dir; dir 4 = "no direction yet" (source states).
-  constexpr std::size_t kDirs = 5;
-  constexpr double kInf = std::numeric_limits<double>::infinity();
-  std::vector<double> dist(cellCount * kDirs, kInf);
-  std::vector<std::int64_t> parent(cellCount * kDirs, -1);
-
-  struct Item {
-    double f;
-    double gCost;
-    std::int64_t state;
-    bool operator>(const Item& o) const noexcept { return f > o.f; }
-  };
-  std::priority_queue<Item, std::vector<Item>, std::greater<>> open;
-
   const auto stepCost = [&](Point q) {
     double c = 1.0;
     if (request.historyCost != nullptr)
@@ -63,28 +158,50 @@ AStarResult aStarRouteWithBends(const grid::ObstacleMap& obstacles,
     return c;
   };
 
+  ws.bindDirectional();
+  stampTargets(ws, g, request.targets);
+
+  // State = cell * 5 + dir; dir 4 = "no direction yet" (source states).
+  constexpr std::size_t kDirs = 5;
+  const auto labelDir = [&](std::size_t state, double dv, std::int64_t par) {
+    if (ws.stampDir[state] != ws.epoch) {
+      ws.stampDir[state] = ws.epoch;
+      ws.touched.push_back(static_cast<std::int32_t>(state / kDirs));
+    }
+    ws.distDir[state] = dv;
+    ws.parentDir[state] = par;
+  };
+  auto& open = ws.dirHeap;
+  const auto push = [&](RouterWorkspace::DirHeapItem item) {
+    open.push_back(item);
+    std::push_heap(open.begin(), open.end(), std::greater<>{});
+  };
+
   for (const Point s : request.sources) {
     if (!g.inBounds(s) || !usable(s)) continue;
     const auto state = static_cast<std::size_t>(g.index(s)) * kDirs + 4;
-    if (dist[state] > 0.0) {
-      dist[state] = 0.0;
-      open.push({heuristic(s), 0.0, static_cast<std::int64_t>(state)});
+    if (ws.stampDir[state] != ws.epoch || ws.distDir[state] > 0.0) {
+      labelDir(state, 0.0, -1);
+      push({static_cast<double>(goal.h(s)), 0.0, static_cast<std::int64_t>(state)});
     }
   }
 
   while (!open.empty()) {
-    const Item top = open.top();
-    open.pop();
+    std::pop_heap(open.begin(), open.end(), std::greater<>{});
+    const RouterWorkspace::DirHeapItem top = open.back();
+    open.pop_back();
     const auto state = static_cast<std::size_t>(top.state);
-    if (top.gCost > dist[state]) continue;
+    if (top.g > ws.distDir[state]) continue;
+    ++ws.expansions;
     const auto cellIdx = static_cast<std::int32_t>(state / kDirs);
     const auto dir = state % kDirs;
     const Point p = g.point(cellIdx);
-    if (isTarget[static_cast<std::size_t>(cellIdx)]) {
+    if (ws.targetStamp[static_cast<std::size_t>(cellIdx)] == ws.epoch) {
+      AStarResult result;
       result.success = true;
-      result.cost = top.gCost;
+      result.cost = top.g;
       for (std::int64_t st = top.state; st != -1;
-           st = parent[static_cast<std::size_t>(st)])
+           st = ws.parentDir[static_cast<std::size_t>(st)])
         result.path.push_back(g.point(static_cast<std::int32_t>(st / kDirs)));
       std::reverse(result.path.begin(), result.path.end());
       // A state chain may stay on one cell only at the source; dedupe.
@@ -97,84 +214,32 @@ AStarResult aStarRouteWithBends(const grid::ObstacleMap& obstacles,
       const Point q = p + grid::Grid::kNeighborOffsets[d];
       if (!g.inBounds(q) || !usable(q)) continue;
       const double turn = (dir != 4 && dir != d) ? request.bendPenalty : 0.0;
-      const double ng = top.gCost + stepCost(q) + turn;
+      const double ng = top.g + stepCost(q) + turn;
       const auto nextState = static_cast<std::size_t>(g.index(q)) * kDirs + d;
-      if (ng < dist[nextState]) {
-        dist[nextState] = ng;
-        parent[nextState] = top.state;
-        open.push({ng + heuristic(q), ng, static_cast<std::int64_t>(nextState)});
-      }
+      if (ws.stampDir[nextState] == ws.epoch && ng >= ws.distDir[nextState]) continue;
+      labelDir(nextState, ng, top.state);
+      push({ng + static_cast<double>(goal.h(q)), ng, static_cast<std::int64_t>(nextState)});
     }
   }
-  return result;
+  return {};
 }
 
 }  // namespace
 
-AStarResult aStarRoute(const grid::ObstacleMap& obstacles, const AStarRequest& request) {
+AStarResult aStarRoute(const grid::ObstacleMap& obstacles, const AStarRequest& request,
+                       RouterWorkspace* workspace) {
+  if (request.sources.empty() || request.targets.empty()) return {};
+  RouterWorkspace& ws = workspace != nullptr ? *workspace : localWorkspace();
+  ws.bind(obstacles.grid());
+  ws.beginSearch();
   AStarResult result;
-  if (request.sources.empty() || request.targets.empty()) return result;
-  if (request.bendPenalty > 0.0) return aStarRouteWithBends(obstacles, request);
-  const grid::Grid& g = obstacles.grid();
-
-  geom::Rect targetBox = geom::Rect::fromPoint(request.targets.front());
-  for (const Point t : request.targets) targetBox = targetBox.unionWith(geom::Rect::fromPoint(t));
-  const auto heuristic = [&](Point p) {
-    return static_cast<double>(targetBox.manhattanTo(p));
-  };
-
-  const auto usable = [&](Point p) { return obstacles.isFreeFor(p, request.net); };
-
-  std::vector<char> isTarget(static_cast<std::size_t>(g.cellCount()), 0);
-  for (const Point t : request.targets)
-    if (g.inBounds(t)) isTarget[static_cast<std::size_t>(g.index(t))] = 1;
-
-  constexpr double kInf = std::numeric_limits<double>::infinity();
-  std::vector<double> dist(static_cast<std::size_t>(g.cellCount()), kInf);
-  std::vector<std::int32_t> parent(static_cast<std::size_t>(g.cellCount()), -1);
-  std::priority_queue<QItem, std::vector<QItem>, std::greater<>> open;
-
-  const auto stepCost = [&](Point q) {
-    double c = 1.0;
-    if (request.historyCost != nullptr)
-      c += (*request.historyCost)[static_cast<std::size_t>(g.index(q))];
-    return c;
-  };
-
-  for (const Point s : request.sources) {
-    if (!g.inBounds(s) || !usable(s)) continue;
-    const auto idx = static_cast<std::size_t>(g.index(s));
-    if (dist[idx] > 0.0) {
-      dist[idx] = 0.0;
-      open.push({heuristic(s), 0.0, g.index(s)});
-    }
-  }
-
-  while (!open.empty()) {
-    const QItem top = open.top();
-    open.pop();
-    const auto cellIdx = static_cast<std::size_t>(top.cell);
-    if (top.g > dist[cellIdx]) continue;  // stale entry
-    const Point p = g.point(top.cell);
-    if (isTarget[cellIdx]) {
-      result.success = true;
-      result.cost = top.g;
-      for (std::int32_t c = top.cell; c != -1; c = parent[static_cast<std::size_t>(c)])
-        result.path.push_back(g.point(c));
-      std::reverse(result.path.begin(), result.path.end());
-      return result;
-    }
-    g.forNeighbors(p, [&](Point q) {
-      if (!usable(q)) return;
-      const auto qIdx = static_cast<std::size_t>(g.index(q));
-      const double ng = top.g + stepCost(q);
-      if (ng < dist[qIdx]) {
-        dist[qIdx] = ng;
-        parent[qIdx] = top.cell;
-        open.push({ng + heuristic(q), ng, g.index(q)});
-      }
-    });
-  }
+  if (request.bendPenalty > 0.0)
+    result = aStarRouteWithBends(obstacles, request, ws);
+  else if (request.historyCost == nullptr)
+    result = aStarRouteBuckets(obstacles, request, ws);
+  else
+    result = aStarRouteHeap(obstacles, request, ws);
+  ws.flushCounters();
   return result;
 }
 

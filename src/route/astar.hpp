@@ -34,10 +34,18 @@ struct AStarResult {
   double cost = 0.0;  ///< accumulated cost (grid steps + history)
 };
 
+class RouterWorkspace;
+
 /// Runs A* and returns the cheapest path between the source and target
 /// sets. The heuristic is the Manhattan distance to the bounding box of
 /// the target set (admissible and consistent; exact for a single target).
-AStarResult aStarRoute(const grid::ObstacleMap& obstacles, const AStarRequest& request);
+///
+/// `workspace` is the scratch memory for the search (see workspace.hpp);
+/// nullptr uses the calling thread's thread-local instance. Passing one
+/// explicitly also exposes the search's touched-cell list, which the
+/// parallel routing layer consumes.
+AStarResult aStarRoute(const grid::ObstacleMap& obstacles, const AStarRequest& request,
+                       RouterWorkspace* workspace = nullptr);
 
 /// Convenience wrapper for a single source/target pair.
 AStarResult aStarPointToPoint(const grid::ObstacleMap& obstacles, Point source,

@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <array>
-#include <unordered_set>
+
+#include "route/workspace.hpp"
 
 namespace pacor::route {
 namespace {
@@ -13,7 +14,8 @@ constexpr std::size_t kMaxVisits = 400'000;
 
 /// Depth-first search over *simple* paths with window pruning. Simplicity
 /// is guaranteed by construction (the current path doubles as the used-
-/// cell set). The neighbor order implements the paper's modified-A*
+/// cell set, tracked by workspace stamps: stamp == epoch marks a cell on
+/// the path). The neighbor order implements the paper's modified-A*
 /// intent: while the remaining straight-line completion would undershoot
 /// the bound, wander away from the target (consume slack); once
 /// g + H >= minLength, head straight home. The first accepted path
@@ -21,14 +23,26 @@ constexpr std::size_t kMaxVisits = 400'000;
 struct Dfs {
   const grid::ObstacleMap& obstacles;
   const BoundedAStarRequest& req;
+  RouterWorkspace& ws;
   Path path;
-  std::unordered_set<Point> used;
   std::size_t visits = 0;
+
+  bool onPath(Point p) const {
+    return ws.stamp[static_cast<std::size_t>(obstacles.grid().index(p))] == ws.epoch;
+  }
+  void mark(Point p) {
+    ws.stamp[static_cast<std::size_t>(obstacles.grid().index(p))] = ws.epoch;
+  }
+  void unmark(Point p) {
+    ws.stamp[static_cast<std::size_t>(obstacles.grid().index(p))] = 0;
+  }
 
   bool run() {
     path.push_back(req.source);
-    used.insert(req.source);
-    return extend(req.source, 0);
+    mark(req.source);
+    const bool found = extend(req.source, 0);
+    ws.boundedVisits += visits;
+    return found;
   }
 
   bool extend(Point cell, std::int64_t g) {
@@ -48,12 +62,19 @@ struct Dfs {
       const std::int64_t tie = (g + 1 + h < req.minLength) ? -h : h;
       return std::pair(f, tie);
     };
-    std::stable_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(n),
-                     [&](Point a, Point b) { return key(a) < key(b); });
+    // Stable insertion sort of (at most) four entries: same order as the
+    // library stable_sort without its temporary-buffer allocation.
+    std::array<std::pair<std::int64_t, std::int64_t>, 4> keys{};
+    for (std::size_t i = 0; i < n; ++i) keys[i] = key(order[i]);
+    for (std::size_t i = 1; i < n; ++i)
+      for (std::size_t j = i; j > 0 && keys[j] < keys[j - 1]; --j) {
+        std::swap(order[j], order[j - 1]);
+        std::swap(keys[j], keys[j - 1]);
+      }
 
     for (std::size_t i = 0; i < n; ++i) {
       const Point q = order[i];
-      if (!obstacles.isFreeFor(q, req.net) || used.contains(q)) continue;
+      if (!obstacles.isFreeFor(q, req.net) || onPath(q)) continue;
       const std::int64_t ng = g + 1;
       // Window pruning: even the straight completion must fit under the
       // cap. Parity makes minLength implicitly reachable whenever some
@@ -61,10 +82,10 @@ struct Dfs {
       const std::int64_t straight = ng + geom::manhattan(q, req.target);
       if (straight > req.maxLength) continue;
       path.push_back(q);
-      used.insert(q);
+      mark(q);
       if (extend(q, ng)) return true;
       path.pop_back();
-      used.erase(q);
+      unmark(q);
       if (visits > kMaxVisits) return false;
     }
     return false;
@@ -74,7 +95,8 @@ struct Dfs {
 }  // namespace
 
 BoundedAStarResult boundedLengthRoute(const grid::ObstacleMap& obstacles,
-                                      const BoundedAStarRequest& request) {
+                                      const BoundedAStarRequest& request,
+                                      RouterWorkspace* workspace) {
   BoundedAStarResult result;
   const grid::Grid& g = obstacles.grid();
   if (!g.inBounds(request.source) || !g.inBounds(request.target)) return result;
@@ -95,8 +117,13 @@ BoundedAStarResult boundedLengthRoute(const grid::ObstacleMap& obstacles,
     return result;
   }
 
-  Dfs dfs{obstacles, request, {}, {}, 0};
-  if (!dfs.run()) return result;
+  RouterWorkspace& ws = workspace != nullptr ? *workspace : localWorkspace();
+  ws.bind(g);
+  ws.beginSearch();
+  Dfs dfs{obstacles, request, ws, {}, 0};
+  const bool found = dfs.run();
+  ws.flushCounters();
+  if (!found) return result;
   result.success = true;
   result.path = std::move(dfs.path);
   result.length = pathLength(result.path);

@@ -34,7 +34,10 @@ struct BoundedAStarResult {
 /// window bottom ("minimum" bounded length). On search-budget exhaustion
 /// (pathological mazes) the caller falls back to bump insertion
 /// (bump_detour.hpp).
+class RouterWorkspace;
+
 BoundedAStarResult boundedLengthRoute(const grid::ObstacleMap& obstacles,
-                                      const BoundedAStarRequest& request);
+                                      const BoundedAStarRequest& request,
+                                      RouterWorkspace* workspace = nullptr);
 
 }  // namespace pacor::route

@@ -1,8 +1,11 @@
 #include "route/negotiation.hpp"
 
 #include <unordered_set>
+#include <utility>
 
 #include "route/astar.hpp"
+#include "route/workspace.hpp"
+#include "util/thread_pool.hpp"
 
 namespace pacor::route {
 namespace {
@@ -12,11 +15,33 @@ grid::NetId edgeNet(std::size_t edgeIndex) {
   return static_cast<grid::NetId>(edgeIndex) + 1'000'000;
 }
 
+/// A speculative routing attempt made against the iteration-start map
+/// state, before any edge of the iteration committed. `touched` is every
+/// cell the search labeled; the commit phase accepts the attempt only if
+/// none of those cells (nor the edge's terminals) were changed by an
+/// earlier commit, which makes the accepted path bit-identical to what a
+/// serial search at that point would have produced.
+struct SpeculativeEdge {
+  AStarResult found;
+  std::vector<std::int32_t> touched;
+};
+
+AStarRequest requestFor(const NegotiationEdge& edge, std::size_t edgeIndex,
+                        const std::vector<double>& history) {
+  AStarRequest req;
+  req.sources = edge.a;
+  req.targets = edge.b;
+  req.net = edgeNet(edgeIndex);
+  req.historyCost = &history;
+  return req;
+}
+
 }  // namespace
 
 NegotiationResult negotiatedRoute(const grid::ObstacleMap& obstacles,
                                   std::span<const NegotiationEdge> edges,
-                                  const NegotiationConfig& config) {
+                                  const NegotiationConfig& config,
+                                  util::ThreadPool* pool) {
   NegotiationResult result;
   result.paths.assign(edges.size(), {});
   result.routed.assign(edges.size(), false);
@@ -35,60 +60,113 @@ NegotiationResult negotiatedRoute(const grid::ObstacleMap& obstacles,
     terminals[i].insert(edges[i].b.begin(), edges[i].b.end());
   }
 
+  // One private copy for the whole negotiation. Terminal cells may arrive
+  // owned by the caller (e.g. valve cells pre-claimed by their cluster's
+  // net); they belong to the edges being routed here, so open them up
+  // once. Per-iteration rip-up is an undo-log rollback, not a fresh copy.
+  grid::ObstacleMap local = obstacles;
+  for (const auto& terms : terminals)
+    for (const Point t : terms) {
+      const grid::NetId owner = local.owner(t);
+      if (owner >= 0 && owner < edgeNet(0))
+        local.releasePath(std::span<const Point>(&t, 1), owner);
+    }
+
+  // Cells changed by commits of the current iteration; marked with the
+  // iteration number so the array never needs clearing.
+  std::vector<std::uint32_t> changedStamp(static_cast<std::size_t>(g.cellCount()), 0);
+
+  const bool speculate = pool != nullptr && pool->threadCount() > 1 && edges.size() > 1;
+  std::vector<SpeculativeEdge> spec;
+
   for (int r = 0; r < config.maxIterations; ++r) {
     result.iterations = r + 1;
-    grid::ObstacleMap local = obstacles;  // fresh occupancy every iteration
-    // Terminal cells may arrive owned by the caller (e.g. valve cells
-    // pre-claimed by their cluster's net); they belong to the edges being
-    // routed here, so open them up inside the local map.
-    for (const auto& terms : terminals)
-      for (const Point t : terms) {
-        const grid::NetId owner = local.owner(t);
-        if (owner >= 0 && owner < edgeNet(0))
-          local.releasePath(std::span<const Point>(&t, 1), owner);
-      }
-    bool done = true;
+    const auto marker = static_cast<std::uint32_t>(r) + 1;
+    grid::ObstacleMapTransaction txn(local);
 
+    // Speculation phase: route every edge against the iteration-start map
+    // (read-only here, so workers share it without copies); each worker
+    // uses its own thread-local workspace.
+    if (speculate) {
+      spec.resize(edges.size());
+      pool->parallelFor(edges.size(), [&](std::size_t i, unsigned) {
+        RouterWorkspace& ws = localWorkspace();
+        spec[i].found = aStarRoute(local, requestFor(edges[i], i, history), &ws);
+        spec[i].touched = ws.touched;
+      });
+    }
+
+    bool done = true;
     for (std::size_t i = 0; i < edges.size(); ++i) {
       result.routed[i] = false;
       result.paths[i].clear();
 
-      // Terminal cells occupied by sibling edges of the same group are
-      // legal connection points: temporarily release them for this search.
-      std::vector<std::pair<Point, grid::NetId>> restored;
-      for (const Point t : terminals[i]) {
-        const grid::NetId owner = local.owner(t);
-        if (owner >= edgeNet(0)) {
-          const auto ownerIdx = static_cast<std::size_t>(owner - edgeNet(0));
-          if (ownerIdx < edges.size() && edges[ownerIdx].group == edges[i].group) {
-            restored.emplace_back(t, owner);
-            local.releasePath(std::span<const Point>(&t, 1), owner);
+      // A speculative result is the serial result iff the serial search
+      // would have seen the same owner on every cell it examined: no
+      // labeled cell changed (commits only turn free cells into occupied
+      // ones, so a blocked probe stays blocked) and no terminal of this
+      // edge changed (so the sibling-release step below is still a no-op,
+      // as it was at iteration start when every terminal was free).
+      bool useSpeculative = speculate;
+      if (useSpeculative)
+        for (const std::int32_t c : spec[i].touched)
+          if (changedStamp[static_cast<std::size_t>(c)] == marker) {
+            useSpeculative = false;
+            break;
           }
+      if (useSpeculative)
+        for (const Point t : terminals[i])
+          if (changedStamp[static_cast<std::size_t>(g.index(t))] == marker) {
+            useSpeculative = false;
+            break;
+          }
+
+      const std::size_t logStart = txn.log().size();
+      AStarResult found;
+      if (useSpeculative) {
+        found = std::move(spec[i].found);
+        if (found.success) txn.occupy(found.path, edgeNet(i));
+      } else {
+        // Serial (re-)route on the live map. Terminal cells occupied by
+        // sibling edges of the same group are legal connection points:
+        // temporarily release them for this search.
+        std::vector<std::pair<Point, grid::NetId>> restored;
+        for (const Point t : terminals[i]) {
+          const grid::NetId owner = local.owner(t);
+          if (owner >= edgeNet(0)) {
+            const auto ownerIdx = static_cast<std::size_t>(owner - edgeNet(0));
+            if (ownerIdx < edges.size() && edges[ownerIdx].group == edges[i].group) {
+              restored.emplace_back(t, owner);
+              txn.releasePath(std::span<const Point>(&t, 1), owner);
+            }
+          }
+        }
+
+        found = aStarRoute(local, requestFor(edges[i], i, history));
+
+        if (found.success) {
+          // Released terminal cells that the path did not use go back to
+          // their sibling owner; used ones transfer to this edge.
+          const std::unordered_set<Point> onPath(found.path.begin(), found.path.end());
+          for (const auto& [cell, owner] : restored)
+            if (!onPath.count(cell)) txn.occupy(std::span<const Point>(&cell, 1), owner);
+          txn.occupy(found.path, edgeNet(i));
+        } else {
+          for (const auto& [cell, owner] : restored)
+            txn.occupy(std::span<const Point>(&cell, 1), owner);
         }
       }
 
-      AStarRequest req;
-      req.sources = edges[i].a;
-      req.targets = edges[i].b;
-      req.net = edgeNet(i);
-      req.historyCost = &history;
-      AStarResult found = aStarRoute(local, req);
-
       if (found.success) {
-        // Released terminal cells that the path did not use go back to
-        // their sibling owner; used ones transfer to this edge.
-        const std::unordered_set<Point> onPath(found.path.begin(), found.path.end());
-        for (const auto& [cell, owner] : restored)
-          if (!onPath.count(cell)) local.occupy(std::span<const Point>(&cell, 1), owner);
-        local.occupy(found.path, edgeNet(i));
         result.paths[i] = std::move(found.path);
         result.routed[i] = true;
       } else {
-        // Failed edge: put the released terminals back and mark iteration.
-        for (const auto& [cell, owner] : restored)
-          local.occupy(std::span<const Point>(&cell, 1), owner);
         done = false;
       }
+
+      const auto log = txn.log();
+      for (std::size_t k = logStart; k < log.size(); ++k)
+        changedStamp[static_cast<std::size_t>(log[k].cell)] = marker;
     }
 
     if (done) {
@@ -97,7 +175,7 @@ NegotiationResult negotiatedRoute(const grid::ObstacleMap& obstacles,
     }
 
     // Eq. 5: bump history on every cell of every routed path, then rip all
-    // paths up (the fresh `local` next iteration performs the rip).
+    // paths up (O(path cells) rollback instead of a fresh map copy).
     for (std::size_t i = 0; i < edges.size(); ++i) {
       if (!result.routed[i]) continue;
       for (const Point p : result.paths[i]) {
@@ -105,6 +183,7 @@ NegotiationResult negotiatedRoute(const grid::ObstacleMap& obstacles,
         h = config.baseHistoryCost + config.alpha * h;
       }
     }
+    txn.rollback();
   }
 
   result.success = false;

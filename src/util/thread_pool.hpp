@@ -1,0 +1,152 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pacor::util {
+
+/// Number of worker threads "--jobs 0" resolves to: all hardware threads.
+inline unsigned hardwareJobs() noexcept {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+/// Minimal persistent thread pool for the routing pipeline's fork/join
+/// loops. One pool is created per routeChip call and reused across stages,
+/// so worker threads (and their thread-local RouterWorkspaces) are spawned
+/// once, not per cluster.
+///
+/// The only primitive is parallelFor: workers (and the calling thread)
+/// pull task indices from a shared atomic counter until exhausted. The
+/// body receives (taskIndex, workerIndex); workerIndex is stable within
+/// one parallelFor call and < threadCount(), which lets callers keep
+/// per-worker scratch without locks. Exceptions thrown by the body are
+/// captured and the first one rethrown on the caller after the join.
+///
+/// A pool constructed with threads <= 1 spawns nothing and runs
+/// parallelFor inline; `--jobs 1` therefore exercises the exact serial
+/// code path.
+class ThreadPool {
+ public:
+  using Body = std::function<void(std::size_t taskIndex, unsigned workerIndex)>;
+
+  explicit ThreadPool(unsigned threads) {
+    if (threads <= 1) return;
+    workers_.reserve(threads - 1);
+    for (unsigned w = 1; w < threads; ++w)
+      workers_.emplace_back([this, w] { workerLoop(w); });
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard lock(mutex_);
+      stopping_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  /// Total workers including the calling thread.
+  unsigned threadCount() const noexcept {
+    return static_cast<unsigned>(workers_.size()) + 1;
+  }
+
+  /// Runs body(taskIndex, workerIndex) for every taskIndex in
+  /// [0, taskCount). Blocks until all tasks finished and every
+  /// participating worker has left the batch. Not reentrant.
+  void parallelFor(std::size_t taskCount, const Body& body) {
+    if (taskCount == 0) return;
+    if (workers_.empty()) {
+      for (std::size_t i = 0; i < taskCount; ++i) body(i, 0);
+      return;
+    }
+    {
+      std::lock_guard lock(mutex_);
+      body_ = &body;
+      taskCount_ = taskCount;
+      nextTask_.store(0, std::memory_order_relaxed);
+      pending_ = taskCount;
+      ++generation_;
+    }
+    wake_.notify_all();
+    runTasks(body, taskCount, 0);
+    std::unique_lock lock(mutex_);
+    done_.wait(lock, [this] { return pending_ == 0 && activeWorkers_ == 0; });
+    body_ = nullptr;
+    if (error_) {
+      std::exception_ptr e = error_;
+      error_ = nullptr;
+      lock.unlock();
+      std::rethrow_exception(e);
+    }
+  }
+
+ private:
+  void runTasks(const Body& body, std::size_t taskCount, unsigned workerIndex) {
+    std::size_t finished = 0;
+    for (;;) {
+      const std::size_t i = nextTask_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= taskCount) break;
+      try {
+        body(i, workerIndex);
+      } catch (...) {
+        std::lock_guard lock(mutex_);
+        if (!error_) error_ = std::current_exception();
+      }
+      ++finished;
+    }
+    if (finished > 0) {
+      std::lock_guard lock(mutex_);
+      pending_ -= finished;
+      if (pending_ == 0) done_.notify_all();
+    }
+  }
+
+  void workerLoop(unsigned workerIndex) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      const Body* body = nullptr;
+      std::size_t taskCount = 0;
+      {
+        std::unique_lock lock(mutex_);
+        wake_.wait(lock, [&] { return stopping_ || generation_ != seen; });
+        if (stopping_) return;
+        seen = generation_;
+        if (body_ == nullptr) continue;  // woke after the batch completed
+        body = body_;
+        taskCount = taskCount_;
+        ++activeWorkers_;
+      }
+      runTasks(*body, taskCount, workerIndex);
+      {
+        std::lock_guard lock(mutex_);
+        if (--activeWorkers_ == 0) done_.notify_all();
+      }
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  const Body* body_ = nullptr;
+  std::size_t taskCount_ = 0;
+  std::atomic<std::size_t> nextTask_{0};
+  std::size_t pending_ = 0;
+  std::size_t activeWorkers_ = 0;
+  std::uint64_t generation_ = 0;
+  std::exception_ptr error_;
+  bool stopping_ = false;
+};
+
+}  // namespace pacor::util

@@ -140,5 +140,74 @@ TEST(ObstacleMap, ReoccupySameNetIsIdempotent) {
   EXPECT_EQ(map.countOwnedBy(9), 2);
 }
 
+std::vector<NetId> ownerSnapshot(const ObstacleMap& map) {
+  std::vector<NetId> owners;
+  owners.reserve(static_cast<std::size_t>(map.grid().cellCount()));
+  for (std::int32_t c = 0; c < map.grid().cellCount(); ++c)
+    owners.push_back(map.owner(map.grid().point(c)));
+  return owners;
+}
+
+TEST(ObstacleMapTransaction, RollbackRestoresExactState) {
+  ObstacleMap map(Grid(8, 6));
+  map.addObstacle({3, 3});
+  const std::vector<geom::Point> base{{0, 0}, {1, 0}, {2, 0}};
+  map.occupy(base, 7);
+  const auto before = ownerSnapshot(map);
+
+  ObstacleMapTransaction txn(map);
+  const std::vector<geom::Point> path{{0, 1}, {1, 1}, {2, 1}, {2, 2}};
+  txn.occupy(path, 9);
+  txn.releasePath(std::span<const geom::Point>(base.data(), 2), 7);
+  EXPECT_EQ(map.owner({1, 1}), 9);
+  EXPECT_TRUE(map.isFree({0, 0}));
+  EXPECT_EQ(txn.log().size(), 6u);  // 4 occupied + 2 released
+
+  txn.rollback();
+  EXPECT_EQ(ownerSnapshot(map), before);
+  EXPECT_TRUE(txn.log().empty());
+}
+
+TEST(ObstacleMapTransaction, RollbackUndoesOverlappingMutationsInOrder) {
+  ObstacleMap map(Grid(6, 6));
+  const std::vector<geom::Point> cells{{1, 1}, {2, 1}};
+  const auto before = ownerSnapshot(map);
+
+  // The same cell changes owner twice: free -> 5 -> free -> 8. The reverse
+  // replay must walk back through every intermediate owner.
+  ObstacleMapTransaction txn(map);
+  txn.occupy(cells, 5);
+  txn.releasePath(cells, 5);
+  txn.occupy(cells, 8);
+  EXPECT_EQ(map.owner({1, 1}), 8);
+  txn.rollback();
+  EXPECT_EQ(ownerSnapshot(map), before);
+}
+
+TEST(ObstacleMapTransaction, LogSkipsCellsAlreadyOwnedBySameNet) {
+  ObstacleMap map(Grid(6, 6));
+  const std::vector<geom::Point> cells{{4, 4}};
+  map.occupy(cells, 3);
+
+  ObstacleMapTransaction txn(map);
+  txn.occupy(cells, 3);  // no-op: already owned by net 3
+  EXPECT_TRUE(txn.log().empty());
+  txn.rollback();
+  EXPECT_EQ(map.owner({4, 4}), 3);
+}
+
+TEST(ObstacleMapTransaction, CommitKeepsMutations) {
+  ObstacleMap map(Grid(6, 6));
+  const std::vector<geom::Point> cells{{0, 5}, {1, 5}};
+
+  ObstacleMapTransaction txn(map);
+  txn.occupy(cells, 2);
+  txn.commit();
+  EXPECT_TRUE(txn.log().empty());
+  txn.rollback();  // nothing left to undo
+  EXPECT_EQ(map.owner({0, 5}), 2);
+  EXPECT_EQ(map.owner({1, 5}), 2);
+}
+
 }  // namespace
 }  // namespace pacor::grid

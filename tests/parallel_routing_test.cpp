@@ -1,0 +1,86 @@
+// Determinism contract of the parallel routing layer: routeChip with any
+// jobs value must produce a result bit-identical to the serial reference
+// (jobs = 1) -- same cluster decomposition, same routed geometry, same
+// lengths -- and the parallel result must independently pass DRC.
+
+#include <gtest/gtest.h>
+
+#include "chip/generator.hpp"
+#include "pacor/drc.hpp"
+#include "pacor/pipeline.hpp"
+
+namespace pacor::core {
+namespace {
+
+void expectIdentical(const PacorResult& serial, const PacorResult& parallel) {
+  EXPECT_EQ(serial.complete, parallel.complete);
+  EXPECT_EQ(serial.totalChannelLength, parallel.totalChannelLength);
+  EXPECT_EQ(serial.matchedChannelLength, parallel.matchedChannelLength);
+  EXPECT_EQ(serial.matchedClusterCount, parallel.matchedClusterCount);
+  EXPECT_EQ(serial.declusteredCount, parallel.declusteredCount);
+  EXPECT_EQ(serial.negotiationIterations, parallel.negotiationIterations);
+  ASSERT_EQ(serial.clusters.size(), parallel.clusters.size());
+  for (std::size_t i = 0; i < serial.clusters.size(); ++i) {
+    SCOPED_TRACE(i);
+    const RoutedCluster& a = serial.clusters[i];
+    const RoutedCluster& b = parallel.clusters[i];
+    EXPECT_EQ(a.valves, b.valves);
+    EXPECT_EQ(a.pin, b.pin);
+    EXPECT_EQ(a.tap, b.tap);
+    EXPECT_EQ(a.routed, b.routed);
+    EXPECT_EQ(a.lengthMatched, b.lengthMatched);
+    EXPECT_EQ(a.treePaths, b.treePaths);
+    EXPECT_EQ(a.escapePath, b.escapePath);
+    EXPECT_EQ(a.valveLengths, b.valveLengths);
+    EXPECT_EQ(a.totalLength, b.totalLength);
+  }
+}
+
+void checkDesign(const chip::GeneratorParams& params, const PacorConfig& base) {
+  SCOPED_TRACE(params.name);
+  const chip::Chip chip = chip::generateChip(params);
+
+  PacorConfig serialCfg = base;
+  serialCfg.jobs = 1;
+  const PacorResult serial = routeChip(chip, serialCfg);
+
+  for (const int jobs : {2, 4}) {
+    SCOPED_TRACE(jobs);
+    PacorConfig parallelCfg = base;
+    parallelCfg.jobs = jobs;
+    const PacorResult parallel = routeChip(chip, parallelCfg);
+    expectIdentical(serial, parallel);
+    EXPECT_TRUE(checkSolution(chip, parallel).clean());
+  }
+}
+
+TEST(ParallelRouting, SyntheticDesignsMatchSerial) {
+  checkDesign(chip::s2Params(), pacorDefaultConfig());
+  checkDesign(chip::s3Params(), pacorDefaultConfig());
+  checkDesign(chip::s4Params(), pacorDefaultConfig());
+  checkDesign(chip::s5Params(), pacorDefaultConfig());
+}
+
+TEST(ParallelRouting, RealScaleDesignMatchesSerial) {
+  checkDesign(chip::chip2Params(), pacorDefaultConfig());
+}
+
+TEST(ParallelRouting, VariantsMatchSerial) {
+  checkDesign(chip::s4Params(), withoutSelectionConfig());
+  checkDesign(chip::s4Params(), detourFirstConfig());
+}
+
+TEST(ParallelRouting, JobsZeroResolvesToHardwareConcurrency) {
+  const chip::Chip chip = chip::generateChip(chip::s3Params());
+  PacorConfig serialCfg = pacorDefaultConfig();
+  serialCfg.jobs = 1;
+  PacorConfig autoCfg = pacorDefaultConfig();
+  autoCfg.jobs = 0;
+  const PacorResult serial = routeChip(chip, serialCfg);
+  const PacorResult parallel = routeChip(chip, autoCfg);
+  EXPECT_GE(parallel.parallelJobs, 1);
+  expectIdentical(serial, parallel);
+}
+
+}  // namespace
+}  // namespace pacor::core

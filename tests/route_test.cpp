@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <stdexcept>
 #include <unordered_set>
 
 #include "grid/obstacle_map.hpp"
@@ -8,6 +10,8 @@
 #include "route/bump_detour.hpp"
 #include "route/negotiation.hpp"
 #include "route/path.hpp"
+#include "route/workspace.hpp"
+#include "util/thread_pool.hpp"
 
 namespace pacor::route {
 namespace {
@@ -376,6 +380,82 @@ TEST(AStarBends, LargePenaltyTradesLengthForStraightness) {
     return bends;
   };
   EXPECT_LE(bendCount(fewBends.path), bendCount(shortest.path));
+}
+
+TEST(RouterWorkspace, ReusedWorkspaceMatchesFreshSearches) {
+  ObstacleMap obs((Grid(32, 32)));
+  for (int y = 0; y < 30; ++y) obs.addObstacle({16, y});
+  RouterWorkspace reused;
+  for (int k = 0; k < 3; ++k) {
+    AStarRequest req;
+    req.sources = {{2, 5 + k}};
+    req.targets = {{29, 20 - k}};
+    req.net = 1;
+    const auto a = aStarRoute(obs, req, &reused);
+    RouterWorkspace fresh;
+    const auto b = aStarRoute(obs, req, &fresh);
+    ASSERT_TRUE(a.success);
+    EXPECT_EQ(a.path, b.path);
+    EXPECT_EQ(a.cost, b.cost);
+  }
+}
+
+TEST(RouterWorkspace, TouchedCoversThePathWithoutDuplicates) {
+  ObstacleMap obs((Grid(16, 16)));
+  RouterWorkspace ws;
+  AStarRequest req;
+  req.sources = {{1, 1}};
+  req.targets = {{12, 9}};
+  req.net = 1;
+  const auto r = aStarRoute(obs, req, &ws);
+  ASSERT_TRUE(r.success);
+  const Grid& g = obs.grid();
+  std::unordered_set<std::int32_t> touched(ws.touched.begin(), ws.touched.end());
+  EXPECT_EQ(touched.size(), ws.touched.size());  // labeled once each
+  for (const Point p : r.path) EXPECT_TRUE(touched.contains(g.index(p)));
+}
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+  util::ThreadPool pool(4);
+  EXPECT_EQ(pool.threadCount(), 4u);
+  std::vector<std::atomic<int>> hits(997);
+  pool.parallelFor(hits.size(), [&](std::size_t i, unsigned) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  util::ThreadPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> sum{0};
+    pool.parallelFor(20, [&](std::size_t i, unsigned) {
+      sum += static_cast<int>(i);
+    });
+    EXPECT_EQ(sum.load(), 190);
+  }
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  util::ThreadPool pool(1);
+  EXPECT_EQ(pool.threadCount(), 1u);
+  std::vector<int> order;
+  pool.parallelFor(5, [&](std::size_t i, unsigned w) {
+    EXPECT_EQ(w, 0u);
+    order.push_back(static_cast<int>(i));  // inline: no data race
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, RethrowsFirstBodyException) {
+  util::ThreadPool pool(4);
+  EXPECT_THROW(pool.parallelFor(100,
+                                [&](std::size_t i, unsigned) {
+                                  if (i == 42) throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+  // The pool must remain usable after an exceptional batch.
+  std::atomic<int> count{0};
+  pool.parallelFor(10, [&](std::size_t, unsigned) { ++count; });
+  EXPECT_EQ(count.load(), 10);
 }
 
 TEST(AStarBends, StillRespectsObstaclesAndNets) {

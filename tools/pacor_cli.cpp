@@ -35,6 +35,7 @@ int usage() {
       "  pacor synth <in.synth> <out.chip>\n"
       "  pacor info <in.chip>\n"
       "  pacor route <in.chip> <out.sol> [--variant=pacor|wosel|detour-first]\n"
+      "              [--jobs=N]   (N worker threads; 0 = all cores; same result)\n"
       "  pacor check <in.chip> <in.sol>\n"
       "  pacor svg <in.chip> <in.sol> <out.svg>\n"
       "  pacor table1\n"
@@ -81,19 +82,28 @@ int cmdInfo(int argc, char** argv) {
 }
 
 int cmdRoute(int argc, char** argv) {
-  if (argc < 2 || argc > 3) return usage();
+  if (argc < 2 || argc > 4) return usage();
   core::PacorConfig cfg = core::pacorDefaultConfig();
-  if (argc == 3) {
-    const std::string v = argv[2];
+  int jobs = 1;
+  for (int i = 2; i < argc; ++i) {
+    const std::string v = argv[i];
     if (v == "--variant=pacor") {
     } else if (v == "--variant=wosel") {
       cfg = core::withoutSelectionConfig();
     } else if (v == "--variant=detour-first") {
       cfg = core::detourFirstConfig();
+    } else if (v.rfind("--jobs=", 0) == 0) {
+      try {
+        jobs = std::stoi(v.substr(7));
+      } catch (const std::exception&) {
+        return usage();
+      }
+      if (jobs < 0) return usage();
     } else {
       return usage();
     }
   }
+  cfg.jobs = jobs;
   const chip::Chip c = chip::readChipFile(argv[0]);
   const core::PacorResult result = core::routeChip(c, cfg);
   core::writeSolutionFile(argv[1], result);
