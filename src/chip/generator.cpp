@@ -44,7 +44,7 @@ class Builder {
     Chip chip;
     chip.name = p_.name;
     chip.routingGrid = grid::Grid(p_.width, p_.height);
-    chip.delta = 1;
+    chip.delta = p_.delta;
 
     placePins(chip);
     placeValves(chip);
@@ -295,6 +295,48 @@ GeneratorParams stressParams(std::uint32_t seed) {
   GeneratorParams p =
       preset("Stress" + std::to_string(seed), 64, 64, 44, 40, 320,
              {3, 4, 3, 2, 3, 4, 2, 3, 3, 2, 4, 3}, 5, 7'000 + seed);
+  return p;
+}
+
+GeneratorParams randomParams(std::uint32_t seed) {
+  // Decorrelate the parameter stream from the Builder's placement stream
+  // (which reuses the same seed).
+  std::mt19937 rng(seed * 2654435761u + 0x9e3779b9u);
+  GeneratorParams p;
+  p.name = "Fuzz" + std::to_string(seed);
+  p.width = randInt(rng, 14, 44);
+  p.height = randInt(rng, 14, 44);
+  p.clusterRadius = randInt(rng, 3, 6);
+  p.delta = randInt(rng, 1, 4);
+  p.sequenceLength = randInt(rng, 8, 24);
+  p.seed = seed;
+
+  const std::int32_t lmClusters = randInt(rng, 1, 4);
+  for (std::int32_t i = 0; i < lmClusters; ++i)
+    p.lmClusterSizes.push_back(randInt(rng, 2, 4));
+  const std::int32_t plainClusters = randInt(rng, 0, 2);
+  for (std::int32_t i = 0; i < plainClusters; ++i)
+    p.plainClusterSizes.push_back(randInt(rng, 2, 3));
+
+  std::int32_t clustered = 0;
+  for (const auto s : p.lmClusterSizes) clustered += s;
+  for (const auto s : p.plainClusterSizes) clustered += s;
+  p.valveCount = clustered + randInt(rng, 0, 5);
+
+  // Feasibility margins mirror the Builder's checks: valves need a 4x
+  // interior allowance, obstacles fill part of what remains.
+  const std::int64_t interior =
+      static_cast<std::int64_t>(p.width - 4) * (p.height - 4);
+  const std::int64_t spare = interior - 4 * p.valveCount;
+  if (spare > 0)
+    p.obstacleCellCount =
+        static_cast<std::int32_t>(std::min<std::int64_t>(spare / 2, interior * randInt(rng, 0, 10) / 100));
+
+  const std::int64_t boundary = 2 * (static_cast<std::int64_t>(p.width) + p.height) - 4;
+  const std::int32_t wantPins =
+      static_cast<std::int32_t>(p.lmClusterSizes.size() + p.plainClusterSizes.size()) +
+      p.valveCount + randInt(rng, 4, 12);
+  p.pinCount = static_cast<std::int32_t>(std::min<std::int64_t>(wantPins, boundary));
   return p;
 }
 

@@ -32,6 +32,7 @@ struct GeneratorParams {
   std::vector<std::int32_t> plainClusterSizes;
   std::int32_t sequenceLength = 16;
   std::int32_t clusterRadius = 6;  ///< Chebyshev spread of a cluster's valves
+  std::int64_t delta = 1;          ///< length-matching threshold of the instance
   std::uint32_t seed = 1;
 };
 
@@ -60,5 +61,12 @@ std::vector<GeneratorParams> table1Designs();
 /// helps matching, detour-first trades matches for wirelength) visible.
 /// Different seeds give independent instances for aggregate comparisons.
 GeneratorParams stressParams(std::uint32_t seed);
+
+/// Randomized instance for differential fuzzing (tools/pacor_fuzz): die
+/// size, valve/cluster mix, obstacle density, delta, and pin budget are
+/// all drawn from the seed, constrained so the parameters are always
+/// feasible for generateChip. The same seed always yields the same
+/// instance; distinct seeds explore the space independently.
+GeneratorParams randomParams(std::uint32_t seed);
 
 }  // namespace pacor::chip

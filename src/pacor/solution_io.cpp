@@ -177,4 +177,15 @@ PacorResult readSolutionFile(const std::string& path) {
   return readSolution(is);
 }
 
+std::string solutionToString(const PacorResult& result) {
+  std::ostringstream os;
+  writeSolution(os, result);
+  return os.str();
+}
+
+PacorResult solutionFromString(const std::string& text) {
+  std::istringstream is(text);
+  return readSolution(is);
+}
+
 }  // namespace pacor::core

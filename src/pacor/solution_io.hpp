@@ -33,4 +33,11 @@ PacorResult readSolution(std::istream& is);
 void writeSolutionFile(const std::string& path, const PacorResult& result);
 PacorResult readSolutionFile(const std::string& path);
 
+/// In-memory forms of the same format. The string form is the canonical
+/// byte representation used by the differential fuzz harness and the
+/// golden-hash regression tests: two results are "byte-identical" iff
+/// their solutionToString outputs match.
+std::string solutionToString(const PacorResult& result);
+PacorResult solutionFromString(const std::string& text);
+
 }  // namespace pacor::core

@@ -64,7 +64,10 @@ AStarResult aStarRouteBuckets(const grid::ObstacleMap& obstacles,
                               const AStarRequest& request, RouterWorkspace& ws) {
   const grid::Grid& g = obstacles.grid();
   const SearchGoal goal = SearchGoal::of(request.targets);
-  const auto usable = [&](Point p) { return obstacles.isFreeFor(p, request.net); };
+  const auto usable = [&](Point p) {
+    return obstacles.isFreeFor(p, request.net) &&
+           (request.forbidden == nullptr || !request.forbidden->contains(p));
+  };
 
   stampTargets(ws, g, request.targets);
 
@@ -102,7 +105,10 @@ AStarResult aStarRouteHeap(const grid::ObstacleMap& obstacles,
                            const AStarRequest& request, RouterWorkspace& ws) {
   const grid::Grid& g = obstacles.grid();
   const SearchGoal goal = SearchGoal::of(request.targets);
-  const auto usable = [&](Point p) { return obstacles.isFreeFor(p, request.net); };
+  const auto usable = [&](Point p) {
+    return obstacles.isFreeFor(p, request.net) &&
+           (request.forbidden == nullptr || !request.forbidden->contains(p));
+  };
   const auto stepCost = [&](Point q) {
     return 1.0 + (*request.historyCost)[static_cast<std::size_t>(g.index(q))];
   };
@@ -150,7 +156,10 @@ AStarResult aStarRouteWithBends(const grid::ObstacleMap& obstacles,
                                 const AStarRequest& request, RouterWorkspace& ws) {
   const grid::Grid& g = obstacles.grid();
   const SearchGoal goal = SearchGoal::of(request.targets);
-  const auto usable = [&](Point p) { return obstacles.isFreeFor(p, request.net); };
+  const auto usable = [&](Point p) {
+    return obstacles.isFreeFor(p, request.net) &&
+           (request.forbidden == nullptr || !request.forbidden->contains(p));
+  };
   const auto stepCost = [&](Point q) {
     double c = 1.0;
     if (request.historyCost != nullptr)

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <span>
+#include <unordered_set>
 #include <vector>
 
 #include "grid/obstacle_map.hpp"
@@ -26,6 +27,11 @@ struct AStarRequest {
   /// toward the straightest one, larger values trade length for bends.
   /// 0 keeps the fast direction-agnostic search.
   double bendPenalty = 0.0;
+  /// Optional cells this search must not enter even when the map says they
+  /// are free. Negotiation uses it to fence off terminals of OTHER edge
+  /// groups: those cells are released in its working map so their own
+  /// group can connect there, but no foreign path may pass through them.
+  const std::unordered_set<Point>* forbidden = nullptr;
 };
 
 struct AStarResult {

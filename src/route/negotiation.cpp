@@ -1,5 +1,6 @@
 #include "route/negotiation.hpp"
 
+#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
@@ -27,12 +28,14 @@ struct SpeculativeEdge {
 };
 
 AStarRequest requestFor(const NegotiationEdge& edge, std::size_t edgeIndex,
-                        const std::vector<double>& history) {
+                        const std::vector<double>& history,
+                        const std::unordered_set<Point>* forbidden) {
   AStarRequest req;
   req.sources = edge.a;
   req.targets = edge.b;
   req.net = edgeNet(edgeIndex);
   req.historyCost = &history;
+  req.forbidden = forbidden;
   return req;
 }
 
@@ -72,6 +75,25 @@ NegotiationResult negotiatedRoute(const grid::ObstacleMap& obstacles,
         local.releasePath(std::span<const Point>(&t, 1), owner);
     }
 
+  // Releasing a terminal must only open it to its OWN group: without a
+  // fence, an unrelated edge could route straight through another
+  // cluster's valve or merging node (free here, but owned in the caller's
+  // map — committing such a path silently corrupts cross-cluster
+  // ownership). Per group, forbid every terminal of every other group.
+  std::unordered_set<Point> allTerminals;
+  for (const auto& terms : terminals) allTerminals.insert(terms.begin(), terms.end());
+  std::unordered_map<int, std::unordered_set<Point>> forbiddenOf;
+  for (std::size_t i = 0; i < edges.size(); ++i) forbiddenOf.try_emplace(edges[i].group);
+  for (auto& [group, fence] : forbiddenOf) {
+    fence = allTerminals;
+    for (std::size_t i = 0; i < edges.size(); ++i)
+      if (edges[i].group == group)
+        for (const Point t : terminals[i]) fence.erase(t);
+  }
+  const auto fenceFor = [&](std::size_t edgeIndex) {
+    return &forbiddenOf.at(edges[edgeIndex].group);
+  };
+
   // Cells changed by commits of the current iteration; marked with the
   // iteration number so the array never needs clearing.
   std::vector<std::uint32_t> changedStamp(static_cast<std::size_t>(g.cellCount()), 0);
@@ -91,7 +113,8 @@ NegotiationResult negotiatedRoute(const grid::ObstacleMap& obstacles,
       spec.resize(edges.size());
       pool->parallelFor(edges.size(), [&](std::size_t i, unsigned) {
         RouterWorkspace& ws = localWorkspace();
-        spec[i].found = aStarRoute(local, requestFor(edges[i], i, history), &ws);
+        spec[i].found =
+            aStarRoute(local, requestFor(edges[i], i, history, fenceFor(i)), &ws);
         spec[i].touched = ws.touched;
       });
     }
@@ -142,7 +165,7 @@ NegotiationResult negotiatedRoute(const grid::ObstacleMap& obstacles,
           }
         }
 
-        found = aStarRoute(local, requestFor(edges[i], i, history));
+        found = aStarRoute(local, requestFor(edges[i], i, history, fenceFor(i)));
 
         if (found.success) {
           // Released terminal cells that the path did not use go back to

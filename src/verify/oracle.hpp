@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chip/chip.hpp"
+#include "pacor/result.hpp"
+
+namespace pacor::verify {
+
+/// Violation classes of the independent solution oracle. They mirror the
+/// physical constraints of the paper (Sec. 2), not the router's internal
+/// bookkeeping, so one class can correspond to several DRC kinds.
+enum class Fault {
+  kBadReference,  ///< valve/pin id out of range, or a valve in two clusters
+  kBadChannel,    ///< a channel is not a simple 4-adjacent cell sequence
+  kOffGrid,       ///< a channel cell outside the die
+  kBlockedCell,   ///< a channel cell on a flow-layer blockage
+  kCrossing,      ///< channels of two control pins intersect (single layer)
+  kPinMissing,    ///< cluster has no pin, or the pin is not a boundary candidate
+  kPinShared,     ///< one control pin drives two clusters
+  kIncompatible,  ///< activation strings on one pin conflict at some step
+  kDisconnected,  ///< a valve has no channel to its control pin
+  kLengthReport,  ///< reported per-valve length disagrees with the geometry
+  kMatchBroken,   ///< claimed length-matched but recomputed spread > delta
+};
+
+std::string faultName(Fault fault);
+
+struct Violation {
+  Fault fault;
+  std::size_t cluster = 0;  ///< index into the solution's cluster list
+  std::string detail;
+};
+
+struct OracleReport {
+  std::vector<Violation> violations;
+  bool clean() const noexcept { return violations.empty(); }
+  bool has(Fault fault) const noexcept;
+  std::size_t count(Fault fault) const noexcept;
+  std::string str() const;
+};
+
+/// Independent solution oracle: re-validates a routed solution against the
+/// raw chip instance using its own geometry and graph code. By design it
+/// shares *no* algorithmic code with the router or with pacor::core's DRC:
+/// no route:: helpers, no ObstacleMap, no grid:: search structures --
+/// bounds are compared against the die extents directly, blockages live in
+/// a local hash set, crossing detection runs a segment-intersection sweep
+/// over maximal straight channel runs, and connectivity/lengths come from
+/// a from-scratch BFS over the cluster's channel graph. A disagreement
+/// between this oracle and checkSolution() is therefore a bug in one of
+/// them, never a shared blind spot.
+///
+/// Unlike the DRC (which indexes the chip with throwing accessors), the
+/// oracle treats malformed references in the solution -- unknown valve or
+/// pin ids, a valve claimed by two clusters -- as kBadReference violations
+/// rather than exceptions, so arbitrary parsed `.sol` input can be
+/// verified safely.
+OracleReport verifySolution(const chip::Chip& chip, const core::PacorResult& result);
+
+}  // namespace pacor::verify

@@ -1,0 +1,79 @@
+// Differential regression corpus: the canonical solution text of every
+// Table-1 design (default flow, serial) is pinned by SHA-256 in
+// tests/golden/solution_hashes.txt. Any refactor that changes routed
+// output -- intentionally or not -- fails here at review time instead of
+// being discovered by accident downstream.
+//
+// To re-pin after an *intentional* output change:
+//   PACOR_UPDATE_GOLDEN=1 ctest -R golden_solution_test
+// then commit the rewritten hash file along with the change.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "chip/generator.hpp"
+#include "pacor/pipeline.hpp"
+#include "pacor/solution_io.hpp"
+#include "util/sha256.hpp"
+
+#ifndef PACOR_GOLDEN_DIR
+#error "PACOR_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace pacor {
+namespace {
+
+const std::string kHashFile = std::string(PACOR_GOLDEN_DIR) + "/solution_hashes.txt";
+
+std::map<std::string, std::string> readGolden() {
+  std::map<std::string, std::string> golden;
+  std::ifstream is(kHashFile);
+  std::string name, hash;
+  while (is >> name >> hash) golden[name] = hash;
+  return golden;
+}
+
+TEST(Sha256, MatchesKnownVectors) {
+  EXPECT_EQ(util::sha256Hex(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(util::sha256Hex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(util::sha256Hex(std::string(1000, 'a')),
+            "41edece42d63e8d9bf515a9ba6932e1c20cbc9f5a5d134645adb5db1b9737ea3");
+}
+
+TEST(GoldenSolutions, Table1OutputsAreBitStable) {
+  std::map<std::string, std::string> actual;
+  for (const auto& params : chip::table1Designs()) {
+    const chip::Chip chip = chip::generateChip(params);
+    const core::PacorResult result = core::routeChip(chip);
+    ASSERT_TRUE(result.complete) << params.name;
+    actual[params.name] = util::sha256Hex(core::solutionToString(result));
+  }
+
+  if (std::getenv("PACOR_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream os(kHashFile);
+    ASSERT_TRUE(os) << "cannot rewrite " << kHashFile;
+    for (const auto& [name, hash] : actual) os << name << ' ' << hash << '\n';
+    GTEST_SKIP() << "golden hashes re-pinned; review and commit " << kHashFile;
+  }
+
+  const auto golden = readGolden();
+  ASSERT_FALSE(golden.empty()) << "missing or empty " << kHashFile;
+  for (const auto& [name, hash] : actual) {
+    const auto it = golden.find(name);
+    ASSERT_NE(it, golden.end()) << name << " missing from " << kHashFile;
+    EXPECT_EQ(it->second, hash)
+        << name << " routed output changed. If intentional, re-pin with "
+        << "PACOR_UPDATE_GOLDEN=1 and commit the diff.";
+  }
+  EXPECT_EQ(golden.size(), actual.size()) << "stale extra entries in " << kHashFile;
+}
+
+}  // namespace
+}  // namespace pacor

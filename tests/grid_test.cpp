@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <random>
 #include <unordered_set>
 
 #include "grid/grid.hpp"
@@ -207,6 +208,99 @@ TEST(ObstacleMapTransaction, CommitKeepsMutations) {
   txn.rollback();  // nothing left to undo
   EXPECT_EQ(map.owner({0, 5}), 2);
   EXPECT_EQ(map.owner({1, 5}), 2);
+}
+
+TEST(ObstacleMapTransaction, RollbackAfterCommitOnlyUndoesNewerMutations) {
+  ObstacleMap map(Grid(6, 6));
+  ObstacleMapTransaction txn(map);
+  const std::vector<geom::Point> first{{1, 1}, {2, 1}};
+  const std::vector<geom::Point> second{{3, 1}, {4, 1}};
+
+  txn.occupy(first, 5);
+  txn.commit();  // first is now permanent
+  const auto afterCommit = ownerSnapshot(map);
+
+  txn.occupy(second, 6);
+  txn.releasePath(std::span<const geom::Point>(first.data(), 1), 5);
+  txn.rollback();  // must restore exactly the post-commit state
+  EXPECT_EQ(ownerSnapshot(map), afterCommit);
+  EXPECT_EQ(map.owner({1, 1}), 5);
+  EXPECT_TRUE(map.isFree({3, 1}));
+}
+
+TEST(ObstacleMapTransaction, AlternatingCommitRollbackSequences) {
+  ObstacleMap map(Grid(8, 8));
+  map.addObstacle({4, 4});
+  ObstacleMapTransaction txn(map);
+
+  // Round 1: route two nets, keep them.
+  txn.occupy(std::vector<geom::Point>{{0, 0}, {1, 0}}, 1);
+  txn.occupy(std::vector<geom::Point>{{0, 2}, {1, 2}}, 2);
+  txn.commit();
+  const auto round1 = ownerSnapshot(map);
+
+  // Round 2: rip net 1 up, try a new net, abandon the whole round.
+  txn.releasePath(std::vector<geom::Point>{{0, 0}, {1, 0}}, 1);
+  txn.occupy(std::vector<geom::Point>{{2, 2}, {2, 3}, {2, 4}}, 3);
+  txn.rollback();
+  EXPECT_EQ(ownerSnapshot(map), round1);
+
+  // Round 3: same rip-up succeeds this time and is committed.
+  txn.releasePath(std::vector<geom::Point>{{0, 0}, {1, 0}}, 1);
+  txn.occupy(std::vector<geom::Point>{{0, 0}, {0, 1}}, 3);
+  txn.commit();
+  txn.rollback();  // empty log: must not disturb the committed round
+  EXPECT_EQ(map.owner({0, 0}), 3);
+  EXPECT_EQ(map.owner({0, 1}), 3);
+  EXPECT_TRUE(map.isFree({1, 0}));
+  EXPECT_EQ(map.owner({0, 2}), 2);
+  EXPECT_TRUE(map.isObstacle({4, 4}));
+}
+
+TEST(ObstacleMapTransaction, RandomInterleavingsMatchSnapshotModel) {
+  // Differential model check: an ObstacleMapTransaction driven by a random
+  // occupy/release/commit/rollback schedule must behave exactly like the
+  // brute-force model "commit = snapshot, rollback = restore snapshot".
+  std::mt19937 rng(20260805);
+  for (int round = 0; round < 50; ++round) {
+    ObstacleMap map(Grid(7, 7));
+    map.addObstacle({3, 3});
+    ObstacleMapTransaction txn(map);
+    auto checkpoint = ownerSnapshot(map);
+    std::vector<std::vector<geom::Point>> routed;  // paths occupied since ever
+
+    for (int step = 0; step < 40; ++step) {
+      const auto roll = rng() % 10;
+      if (roll < 5) {
+        // Occupy a short random free path for a fresh net id.
+        std::vector<geom::Point> path;
+        geom::Point p{static_cast<std::int32_t>(rng() % 7),
+                      static_cast<std::int32_t>(rng() % 7)};
+        for (int k = 0; k < 3; ++k) {
+          if (!map.grid().inBounds(p) || !map.isFree(p)) break;
+          path.push_back(p);
+          p = (rng() & 1) ? geom::Point{p.x + 1, p.y} : geom::Point{p.x, p.y + 1};
+        }
+        if (path.empty()) continue;
+        txn.occupy(path, static_cast<NetId>(100 + step));
+        routed.push_back(std::move(path));
+      } else if (roll < 7 && !routed.empty()) {
+        const auto idx = rng() % routed.size();
+        const auto path = routed[idx];
+        routed.erase(routed.begin() + static_cast<std::ptrdiff_t>(idx));
+        txn.releasePath(path, map.owner(path.front()));
+      } else if (roll < 8) {
+        txn.commit();
+        checkpoint = ownerSnapshot(map);
+      } else {
+        txn.rollback();
+        ASSERT_EQ(ownerSnapshot(map), checkpoint) << "round " << round;
+        routed.clear();  // ownership below the checkpoint is unknown to us
+      }
+    }
+    txn.rollback();
+    EXPECT_EQ(ownerSnapshot(map), checkpoint) << "round " << round;
+  }
 }
 
 }  // namespace

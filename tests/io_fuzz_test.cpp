@@ -8,6 +8,7 @@
 #include "chip/synth_spec.hpp"
 #include "pacor/pipeline.hpp"
 #include "pacor/solution_io.hpp"
+#include "verify/oracle.hpp"
 
 namespace pacor {
 namespace {
@@ -110,6 +111,53 @@ TEST_P(TruncationFuzz, MutatedChipEitherParsesValidOrThrows) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TruncationFuzz, ::testing::Range(1, 5));
+
+TEST(SolutionOracleRoundTrip, ParseWriteParseVerifyIsStable) {
+  // solution_io must be a faithful codec for the oracle: parse -> write ->
+  // parse must reproduce the same bytes, and the oracle must reach the
+  // same verdict on the original result and on its round-tripped twin.
+  const auto chip = chip::generateChip(chip::s2Params());
+  const core::PacorResult routed = core::routeChip(chip);
+  const auto original = verify::verifySolution(chip, routed);
+  EXPECT_TRUE(original.clean()) << original.str();
+
+  const std::string once = core::solutionToString(routed);
+  const core::PacorResult reparsed = core::solutionFromString(once);
+  EXPECT_EQ(core::solutionToString(reparsed), once);
+  const auto roundTripped = verify::verifySolution(chip, reparsed);
+  EXPECT_TRUE(roundTripped.clean()) << roundTripped.str();
+}
+
+TEST_P(TruncationFuzz, MutatedSolutionEitherThrowsOrVerifiesSafely) {
+  // A malformed .sol must be rejected with a diagnostic (std::runtime_error
+  // from the parser) or, if it happens to still parse, survive the full
+  // oracle without UB: unknown valve/pin ids, wild coordinates and broken
+  // channels all become typed violations, never crashes.
+  const auto chip = chip::generateChip(chip::s1Params());
+  std::stringstream routedBuf;
+  core::writeSolution(routedBuf, core::routeChip(chip));
+  const std::string full = routedBuf.str();
+
+  std::mt19937 rng(static_cast<unsigned>(400 + GetParam()));
+  for (int trial = 0; trial < 40; ++trial) {
+    std::string mutated = full;
+    for (int k = 0; k < 3; ++k) {
+      const std::size_t pos = rng() % mutated.size();
+      const char repl[] = {'0', '9', '-', 'Z', ' '};
+      mutated[pos] = repl[rng() % std::size(repl)];
+    }
+    try {
+      const core::PacorResult parsed = core::solutionFromString(mutated);
+      const auto report = verify::verifySolution(chip, parsed);
+      // Write/parse/verify again: the verdict must be codec-independent.
+      const core::PacorResult again =
+          core::solutionFromString(core::solutionToString(parsed));
+      EXPECT_EQ(verify::verifySolution(chip, again).clean(), report.clean());
+    } catch (const std::runtime_error&) {
+      // the parser's diagnostic path -- expected for most mutations
+    }
+  }
+}
 
 }  // namespace
 }  // namespace pacor

@@ -1,0 +1,191 @@
+// Property tests for the independent solution oracle (src/verify): a
+// handcrafted known-good chip/solution pair is perturbed one fault at a
+// time, and the oracle must flag exactly the injected violation class --
+// no false accepts, no bleed into unrelated classes. A routed S2 instance
+// then cross-checks the oracle against the router-side DRC.
+
+#include <gtest/gtest.h>
+
+#include "chip/generator.hpp"
+#include "pacor/drc.hpp"
+#include "pacor/pipeline.hpp"
+#include "verify/oracle.hpp"
+
+namespace pacor {
+namespace {
+
+using geom::Point;
+using verify::Fault;
+
+/// 12x12 die, two pins, one length-matched pair + one singleton, all
+/// routed by hand so every perturbation below has a known effect.
+chip::Chip makeChip() {
+  chip::Chip c;
+  c.name = "oracle-fixture";
+  c.routingGrid = grid::Grid(12, 12);
+  c.delta = 1;
+  c.valves = {{0, {3, 3}, chip::ActivationSequence("0011")},
+              {1, {5, 3}, chip::ActivationSequence("00X1")},
+              {2, {8, 8}, chip::ActivationSequence("1100")}};
+  c.pins = {{0, {4, 0}}, {1, {11, 8}}};
+  c.obstacles = {{6, 6}};
+  c.givenClusters = {{{0, 1}, true}};
+  return c;
+}
+
+core::PacorResult makeSolution() {
+  core::PacorResult r;
+  r.design = "oracle-fixture";
+  r.complete = true;
+
+  core::RoutedCluster pair;
+  pair.valves = {0, 1};
+  pair.lengthMatchRequested = true;
+  pair.lengthMatched = true;
+  pair.routed = true;
+  pair.pin = 0;
+  pair.tap = {4, 3};
+  pair.treePaths = {{{3, 3}, {4, 3}, {5, 3}}};
+  pair.escapePath = {{4, 3}, {4, 2}, {4, 1}, {4, 0}};
+  pair.valveLengths = {4, 4};
+
+  core::RoutedCluster single;
+  single.valves = {2};
+  single.routed = true;
+  single.pin = 1;
+  single.tap = {8, 8};
+  single.escapePath = {{8, 8}, {9, 8}, {10, 8}, {11, 8}};
+  single.valveLengths = {3};
+
+  r.clusters = {pair, single};
+  return r;
+}
+
+/// Asserts `fault` fires and no *other* class does.
+void expectOnly(const verify::OracleReport& report, Fault fault) {
+  EXPECT_TRUE(report.has(fault)) << report.str();
+  for (const verify::Violation& v : report.violations)
+    EXPECT_EQ(verify::faultName(v.fault), verify::faultName(fault)) << report.str();
+}
+
+TEST(Oracle, AcceptsTheHandcraftedSolution) {
+  const auto report = verify::verifySolution(makeChip(), makeSolution());
+  EXPECT_TRUE(report.clean()) << report.str();
+}
+
+TEST(Oracle, FlagsAShiftedPathCell) {
+  auto solution = makeSolution();
+  solution.clusters[0].escapePath[1] = {5, 2};  // breaks 4-adjacency both sides
+  const auto report = verify::verifySolution(makeChip(), solution);
+  EXPECT_TRUE(report.has(Fault::kBadChannel)) << report.str();
+  // The tree is cut off from the pin as a consequence; nothing else fires.
+  for (const verify::Violation& v : report.violations)
+    EXPECT_TRUE(v.fault == Fault::kBadChannel || v.fault == Fault::kDisconnected)
+        << report.str();
+}
+
+TEST(Oracle, FlagsSwappedPinAssignments) {
+  auto solution = makeSolution();
+  std::swap(solution.clusters[0].pin, solution.clusters[1].pin);
+  const auto report = verify::verifySolution(makeChip(), solution);
+  expectOnly(report, Fault::kDisconnected);
+  EXPECT_EQ(report.count(Fault::kDisconnected), 3u) << report.str();  // all valves
+}
+
+TEST(Oracle, FlagsABrokenLengthMatch) {
+  auto solution = makeSolution();
+  // Reroute valve 1 the long way around; report the true (unmatched)
+  // lengths so only the match claim itself is wrong.
+  auto& c = solution.clusters[0];
+  c.treePaths = {{{3, 3}, {4, 3}},
+                 {{4, 3}, {4, 4}, {5, 4}, {6, 4}, {6, 3}, {5, 3}}};
+  c.valveLengths = {4, 8};
+  const auto report = verify::verifySolution(makeChip(), solution);
+  expectOnly(report, Fault::kMatchBroken);
+}
+
+TEST(Oracle, FlagsACrossing) {
+  auto solution = makeSolution();
+  // The singleton sprouts a stray channel over the pair's escape column.
+  solution.clusters[1].treePaths.push_back({{4, 2}, {4, 3}});
+  const auto report = verify::verifySolution(makeChip(), solution);
+  expectOnly(report, Fault::kCrossing);
+}
+
+TEST(Oracle, FlagsMisreportedLengths) {
+  auto solution = makeSolution();
+  solution.clusters[1].valveLengths = {7};
+  const auto report = verify::verifySolution(makeChip(), solution);
+  expectOnly(report, Fault::kLengthReport);
+}
+
+TEST(Oracle, FlagsAChannelOnABlockage) {
+  auto solution = makeSolution();
+  solution.clusters[1].treePaths.push_back({{6, 6}});  // the chip's obstacle
+  const auto report = verify::verifySolution(makeChip(), solution);
+  expectOnly(report, Fault::kBlockedCell);
+}
+
+TEST(Oracle, FlagsOffGridCells) {
+  auto solution = makeSolution();
+  solution.clusters[1].treePaths.push_back({{11, 8}, {12, 8}});
+  const auto report = verify::verifySolution(makeChip(), solution);
+  // (12,8) is off the die; it also collides with nothing else.
+  expectOnly(report, Fault::kOffGrid);
+}
+
+TEST(Oracle, FlagsIncompatibleValvesOnOnePin) {
+  auto chip = makeChip();
+  chip.valves[1].sequence = chip::ActivationSequence("1111");  // conflicts with v0
+  const auto report = verify::verifySolution(chip, makeSolution());
+  expectOnly(report, Fault::kIncompatible);
+}
+
+TEST(Oracle, FlagsASharedPin) {
+  auto solution = makeSolution();
+  solution.clusters[1].pin = 0;
+  const auto report = verify::verifySolution(makeChip(), solution);
+  EXPECT_TRUE(report.has(Fault::kPinShared)) << report.str();
+  // The singleton's channels never reach pin 0, so disconnection follows.
+  for (const verify::Violation& v : report.violations)
+    EXPECT_TRUE(v.fault == Fault::kPinShared || v.fault == Fault::kDisconnected)
+        << report.str();
+}
+
+TEST(Oracle, FlagsMalformedReferencesInsteadOfThrowing) {
+  auto solution = makeSolution();
+  solution.clusters[1].valves = {99};
+  const auto report = verify::verifySolution(makeChip(), solution);
+  expectOnly(report, Fault::kBadReference);
+
+  auto dup = makeSolution();
+  dup.clusters[1].valves = {0};  // already owned by cluster 0
+  EXPECT_TRUE(verify::verifySolution(makeChip(), dup).has(Fault::kBadReference));
+
+  auto badPin = makeSolution();
+  badPin.clusters[1].pin = 42;
+  EXPECT_TRUE(verify::verifySolution(makeChip(), badPin).has(Fault::kPinMissing));
+}
+
+TEST(Oracle, FlagsARevisitedCellAsBadChannel) {
+  auto solution = makeSolution();
+  auto& escape = solution.clusters[1].escapePath;
+  escape = {{8, 8}, {9, 8}, {9, 9}, {9, 8}, {10, 8}, {11, 8}};  // doubles back
+  const auto report = verify::verifySolution(makeChip(), solution);
+  expectOnly(report, Fault::kBadChannel);
+}
+
+TEST(Oracle, AgreesWithDrcOnRoutedDesigns) {
+  for (const auto& params : {chip::s1Params(), chip::s2Params(), chip::s3Params()}) {
+    const chip::Chip chip = chip::generateChip(params);
+    const core::PacorResult result = core::routeChip(chip);
+    const auto oracle = verify::verifySolution(chip, result);
+    const auto drc = core::checkSolution(chip, result);
+    EXPECT_EQ(oracle.clean(), drc.clean())
+        << params.name << "\n" << oracle.str() << drc.str();
+    EXPECT_TRUE(oracle.clean()) << params.name << "\n" << oracle.str();
+  }
+}
+
+}  // namespace
+}  // namespace pacor

@@ -172,6 +172,32 @@ TEST(Negotiation, SameGroupSharesTerminalCell) {
   EXPECT_EQ(r.paths[1].back(), (Point{4, 4}));
 }
 
+TEST(Negotiation, ForeignGroupTerminalsAreFenced) {
+  // Edge 1's terminals arrive pre-owned by their cluster's net (as valve
+  // cells do in the pipeline). Negotiation opens them up for edge 1, but
+  // edge 0 — whose cheapest route runs straight through (4,4) — must not
+  // use another group's terminals as a shortcut: committing such a path
+  // would claim a cell the caller's map still assigns to the other net.
+  ObstacleMap obs((Grid(9, 9)));
+  const std::vector<Point> claimed = {{4, 4}, {4, 6}};
+  obs.occupy(claimed, 7);
+  std::vector<NegotiationEdge> edges(2);
+  edges[0].a = {{0, 4}};
+  edges[0].b = {{8, 4}};
+  edges[0].group = 0;
+  edges[1].a = {{4, 4}};
+  edges[1].b = {{4, 6}};
+  edges[1].group = 1;
+  const auto r = negotiatedRoute(obs, edges);
+  ASSERT_TRUE(r.success);
+  for (const Point p : r.paths[0]) {
+    EXPECT_NE(p, (Point{4, 4}));
+    EXPECT_NE(p, (Point{4, 6}));
+  }
+  EXPECT_EQ(r.paths[1].front(), (Point{4, 4}));
+  EXPECT_EQ(r.paths[1].back(), (Point{4, 6}));
+}
+
 TEST(Negotiation, ReportsFailureWhenImpossible) {
   ObstacleMap obs((Grid(3, 3)));
   for (std::int32_t y = 0; y < 3; ++y) obs.addObstacle({1, y});
@@ -456,6 +482,66 @@ TEST(ThreadPool, RethrowsFirstBodyException) {
   std::atomic<int> count{0};
   pool.parallelFor(10, [&](std::size_t, unsigned) { ++count; });
   EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, PropagatesExceptionWhenEveryTaskThrows) {
+  // Worst-case error path: all workers race to record the failure; exactly
+  // one exception must surface, every task must still be drained, and the
+  // batch must terminate (no lost wakeups on the done condition).
+  util::ThreadPool pool(4);
+  std::atomic<int> attempts{0};
+  try {
+    pool.parallelFor(64, [&](std::size_t i, unsigned) {
+      ++attempts;
+      throw std::runtime_error("task " + std::to_string(i));
+    });
+    FAIL() << "expected parallelFor to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("task "), std::string::npos);
+  }
+  EXPECT_EQ(attempts.load(), 64);
+}
+
+TEST(ThreadPool, PropagatesExceptionFromInlineSingleThreadMode) {
+  // threads <= 1 short-circuits to a plain loop; the error contract must
+  // be identical to the threaded path.
+  util::ThreadPool pool(1);
+  EXPECT_THROW(pool.parallelFor(8,
+                                [](std::size_t i, unsigned) {
+                                  if (i == 3) throw std::logic_error("inline");
+                                }),
+               std::logic_error);
+  int ran = 0;
+  pool.parallelFor(4, [&](std::size_t, unsigned) { ++ran; });
+  EXPECT_EQ(ran, 4);
+}
+
+TEST(ThreadPool, NonStdExceptionsSurviveTheWorkerBoundary) {
+  util::ThreadPool pool(3);
+  EXPECT_THROW(pool.parallelFor(16,
+                                [](std::size_t i, unsigned) {
+                                  if (i % 5 == 0) throw 42;  // not std::exception
+                                }),
+               int);
+}
+
+TEST(ThreadPool, ExceptionalBatchesAlternatingWithCleanOnes) {
+  // Regression guard for stale error state: a failure in batch N must not
+  // leak into batch N+1, across many alternations on one pool.
+  util::ThreadPool pool(4);
+  for (int round = 0; round < 25; ++round) {
+    EXPECT_THROW(pool.parallelFor(12,
+                                  [&](std::size_t i, unsigned) {
+                                    if (i == static_cast<std::size_t>(round % 12))
+                                      throw std::runtime_error("round");
+                                  }),
+                 std::runtime_error);
+    std::atomic<int> sum{0};
+    pool.parallelFor(12, [&](std::size_t i, unsigned) {
+      sum += static_cast<int>(i);
+    });
+    EXPECT_EQ(sum.load(), 66) << "round " << round;
+  }
 }
 
 TEST(AStarBends, StillRespectsObstaclesAndNets) {

@@ -22,6 +22,7 @@
 #include "pacor/pipeline.hpp"
 #include "pacor/report.hpp"
 #include "pacor/solution_io.hpp"
+#include "verify/oracle.hpp"
 #include "viz/svg.hpp"
 
 namespace {
@@ -37,6 +38,7 @@ int usage() {
       "  pacor route <in.chip> <out.sol> [--variant=pacor|wosel|detour-first]\n"
       "              [--jobs=N]   (N worker threads; 0 = all cores; same result)\n"
       "  pacor check <in.chip> <in.sol>\n"
+      "  pacor verify <in.chip> <in.sol>   (independent oracle + DRC cross-check)\n"
       "  pacor svg <in.chip> <in.sol> <out.svg>\n"
       "  pacor table1\n"
       "  pacor table2\n";
@@ -121,6 +123,24 @@ int cmdCheck(int argc, char** argv) {
   return report.clean() ? 0 : 1;
 }
 
+int cmdVerify(int argc, char** argv) {
+  if (argc != 2) return usage();
+  const chip::Chip c = chip::readChipFile(argv[0]);
+  const core::PacorResult result = core::readSolutionFile(argv[1]);
+  const verify::OracleReport oracle = verify::verifySolution(c, result);
+  const core::DrcReport drc = core::checkSolution(c, result);
+  std::cout << oracle.str();
+  std::cout << "drc: " << (drc.clean() ? "clean\n" : drc.str());
+  if (oracle.clean() != drc.clean()) {
+    std::cerr << "DISAGREEMENT: oracle says " << (oracle.clean() ? "clean" : "dirty")
+              << ", drc says " << (drc.clean() ? "clean" : "dirty")
+              << " -- one of the checkers has a bug; please report this "
+                 "chip/solution pair\n";
+    return 1;
+  }
+  return oracle.clean() ? 0 : 1;
+}
+
 int cmdSvg(int argc, char** argv) {
   if (argc != 3) return usage();
   const chip::Chip c = chip::readChipFile(argv[0]);
@@ -177,6 +197,7 @@ int main(int argc, char** argv) {
     if (cmd == "info") return cmdInfo(argc - 2, argv + 2);
     if (cmd == "route") return cmdRoute(argc - 2, argv + 2);
     if (cmd == "check") return cmdCheck(argc - 2, argv + 2);
+    if (cmd == "verify") return cmdVerify(argc - 2, argv + 2);
     if (cmd == "svg") return cmdSvg(argc - 2, argv + 2);
     if (cmd == "table1") return cmdTable1();
     if (cmd == "table2") return cmdTable2();

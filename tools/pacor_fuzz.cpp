@@ -1,0 +1,220 @@
+// pacor_fuzz -- randomized differential fuzz harness for the PACOR flow.
+//
+// Drives chip::generateChip(chip::randomParams(seed)) through seeded
+// random designs (die size, valve/cluster mix, obstacle density, delta
+// all vary), runs the full pipeline under serial and parallel configs and
+// a rotating flow variant, and asserts three properties per design:
+//
+//   (a) the independent oracle (src/verify) accepts every produced
+//       solution of a run that claims completion,
+//   (b) serial and --jobs=N output are byte-identical (canonical
+//       solution text),
+//   (c) the oracle and the router-side DRC agree on clean/dirty -- a
+//       disagreement is a bug in one of the two checkers.
+//
+// Any failure dumps a repro (<dump>/fuzz_<seed>.chip + .sol [+ .par.sol])
+// with the seed in the name; checker disagreements are first minimized by
+// greedily deleting clusters while the disagreement persists.
+//
+//   pacor_fuzz [--designs=N] [--seed=S] [--jobs=J] [--dump=DIR] [--verbose]
+//
+// Exit code 0 when every design passed, 1 otherwise, 2 on usage errors.
+
+#include <cstdint>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "chip/generator.hpp"
+#include "chip/io.hpp"
+#include "pacor/drc.hpp"
+#include "pacor/pipeline.hpp"
+#include "pacor/solution_io.hpp"
+#include "verify/oracle.hpp"
+
+namespace {
+
+using namespace pacor;
+
+struct Options {
+  std::uint32_t designs = 200;
+  std::uint32_t seed = 1;
+  int jobs = 4;
+  std::string dumpDir = "fuzz-repros";
+  bool verbose = false;
+};
+
+int usage() {
+  std::cerr << "usage: pacor_fuzz [--designs=N] [--seed=S] [--jobs=J] "
+               "[--dump=DIR] [--verbose]\n";
+  return 2;
+}
+
+bool parseOptions(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto intValue = [&](const std::string& prefix, auto& out) {
+      out = static_cast<std::remove_reference_t<decltype(out)>>(
+          std::stoll(arg.substr(prefix.size())));
+      return true;
+    };
+    try {
+      if (arg.rfind("--designs=", 0) == 0) intValue("--designs=", opt.designs);
+      else if (arg.rfind("--seed=", 0) == 0) intValue("--seed=", opt.seed);
+      else if (arg.rfind("--jobs=", 0) == 0) intValue("--jobs=", opt.jobs);
+      else if (arg.rfind("--dump=", 0) == 0) opt.dumpDir = arg.substr(7);
+      else if (arg == "--verbose") opt.verbose = true;
+      else return false;
+    } catch (const std::exception&) {
+      return false;
+    }
+  }
+  return opt.jobs >= 0;
+}
+
+/// The per-design pass/fail record the summary aggregates.
+struct Tally {
+  std::uint32_t designs = 0;
+  std::uint32_t complete = 0;
+  std::uint32_t failures = 0;
+  std::uint64_t clusters = 0;
+};
+
+core::PacorConfig configForSeed(std::uint32_t seed) {
+  switch (seed % 3) {
+    case 1: return core::withoutSelectionConfig();
+    case 2: return core::detourFirstConfig();
+    default: return core::pacorDefaultConfig();
+  }
+}
+
+void dumpRepro(const Options& opt, std::uint32_t seed, const chip::Chip& chip,
+               const core::PacorResult& serial, const core::PacorResult* parallel) {
+  std::filesystem::create_directories(opt.dumpDir);
+  const std::string stem = opt.dumpDir + "/fuzz_" + std::to_string(seed);
+  chip::writeChipFile(stem + ".chip", chip);
+  core::writeSolutionFile(stem + ".sol", serial);
+  if (parallel) core::writeSolutionFile(stem + ".par.sol", *parallel);
+  std::cerr << "  repro dumped: " << stem << ".chip / .sol"
+            << (parallel ? " / .par.sol" : "") << "  (seed " << seed
+            << "; re-check with `pacor verify " << stem << ".chip " << stem
+            << ".sol`)\n";
+}
+
+bool checkersDisagree(const chip::Chip& chip, const core::PacorResult& result) {
+  return verify::verifySolution(chip, result).clean() !=
+         core::checkSolution(chip, result).clean();
+}
+
+/// Greedy 1-cluster deletion while the oracle/DRC disagreement persists;
+/// returns the smallest disagreeing solution found.
+core::PacorResult minimizeDisagreement(const chip::Chip& chip,
+                                       core::PacorResult result) {
+  bool shrunk = true;
+  while (shrunk && result.clusters.size() > 1) {
+    shrunk = false;
+    for (std::size_t i = 0; i < result.clusters.size(); ++i) {
+      core::PacorResult trial = result;
+      trial.clusters.erase(trial.clusters.begin() + static_cast<std::ptrdiff_t>(i));
+      if (checkersDisagree(chip, trial)) {
+        result = std::move(trial);
+        shrunk = true;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+bool runDesign(const Options& opt, std::uint32_t seed, Tally& tally) {
+  const chip::GeneratorParams params = chip::randomParams(seed);
+  const chip::Chip chip = chip::generateChip(params);
+
+  core::PacorConfig serialCfg = configForSeed(seed);
+  serialCfg.jobs = 1;
+  core::PacorConfig parallelCfg = serialCfg;
+  parallelCfg.jobs = opt.jobs;
+
+  const core::PacorResult serial = core::routeChip(chip, serialCfg);
+  const core::PacorResult parallel = core::routeChip(chip, parallelCfg);
+  ++tally.designs;
+  tally.complete += serial.complete ? 1 : 0;
+  tally.clusters += serial.clusters.size();
+
+  bool ok = true;
+
+  // (b) byte-identical serial vs parallel canonical text.
+  const std::string serialText = core::solutionToString(serial);
+  if (const std::string parallelText = core::solutionToString(parallel);
+      serialText != parallelText) {
+    std::cerr << "FAIL seed " << seed << ": serial and --jobs=" << opt.jobs
+              << " solutions differ (" << serialText.size() << " vs "
+              << parallelText.size() << " bytes)\n";
+    dumpRepro(opt, seed, chip, serial, &parallel);
+    ok = false;
+  }
+
+  // (a) oracle-clean completed solutions, and the round-tripped text
+  // re-verifies the same way (covers solution_io on every design).
+  const verify::OracleReport oracle = verify::verifySolution(chip, serial);
+  if (serial.complete && !oracle.clean()) {
+    std::cerr << "FAIL seed " << seed << ": pipeline claims completion but the "
+              << "oracle found violations:\n" << oracle.str();
+    dumpRepro(opt, seed, chip, serial, nullptr);
+    ok = false;
+  }
+  const core::PacorResult reparsed = core::solutionFromString(serialText);
+  if (verify::verifySolution(chip, reparsed).clean() != oracle.clean()) {
+    std::cerr << "FAIL seed " << seed
+              << ": oracle verdict changed across a solution_io round trip\n";
+    dumpRepro(opt, seed, chip, serial, nullptr);
+    ok = false;
+  }
+
+  // (c) oracle / DRC agreement on clean-vs-dirty.
+  if (checkersDisagree(chip, serial)) {
+    const core::PacorResult minimized = minimizeDisagreement(chip, serial);
+    std::cerr << "FAIL seed " << seed << ": oracle and DRC disagree (minimized to "
+              << minimized.clusters.size() << " cluster(s))\n"
+              << verify::verifySolution(chip, minimized).str()
+              << core::checkSolution(chip, minimized).str();
+    dumpRepro(opt, seed, chip, minimized, nullptr);
+    ok = false;
+  }
+
+  if (opt.verbose)
+    std::cout << "seed " << seed << ": " << chip.name << " "
+              << chip.routingGrid.width() << "x" << chip.routingGrid.height()
+              << ", " << chip.valves.size() << " valves, delta " << chip.delta
+              << (serial.complete ? ", complete" : ", INCOMPLETE")
+              << (ok ? "" : "  <-- FAILED") << '\n';
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parseOptions(argc, argv, opt)) return usage();
+
+  Tally tally;
+  for (std::uint32_t i = 0; i < opt.designs; ++i) {
+    const std::uint32_t seed = opt.seed + i;
+    try {
+      if (!runDesign(opt, seed, tally)) ++tally.failures;
+    } catch (const std::exception& e) {
+      // Generator/pipeline exceptions on a feasible random design are
+      // harness bugs too -- surface them with the seed.
+      std::cerr << "FAIL seed " << seed << ": exception: " << e.what() << '\n';
+      ++tally.failures;
+      ++tally.designs;
+    }
+  }
+
+  std::cout << "pacor_fuzz: " << tally.designs << " designs (base seed " << opt.seed
+            << ", jobs " << opt.jobs << "), " << tally.complete
+            << " routed to completion, " << tally.clusters << " clusters total, "
+            << tally.failures << " failure(s)\n";
+  return tally.failures == 0 ? 0 : 1;
+}
