@@ -139,7 +139,10 @@ int main(int argc, char** argv) {
     jsonCounters(f, "cluster_routing", serial.result.searchClusterRouting, ",");
     jsonCounters(f, "escape", serial.result.searchEscape, ",");
     jsonCounters(f, "detour", serial.result.searchDetour, "");
-    std::fprintf(f, "      }\n    }%s\n", d + 1 < designs.size() ? "," : "");
+    std::fprintf(f, "      },\n");
+    std::fprintf(f, "      \"metrics\": %s\n",
+                 serial.result.metrics.toJson(/*pretty=*/false).c_str());
+    std::fprintf(f, "    }%s\n", d + 1 < designs.size() ? "," : "");
   }
 
   std::fprintf(f, "  ],\n  \"summary\": {\n");

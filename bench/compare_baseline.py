@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for bench_routing output.
+
+Compares a fresh BENCH_routing.json against the checked-in
+bench/baseline.json and fails (exit 1) when the run regressed:
+
+  * hard invariants -- summary all_identical / all_complete must be true,
+    and per design the routed QUALITY must be exactly the baseline's:
+    total_channel_length, matched_channel_length, matched_clusters.
+    Routing is deterministic, so any drift here is a functional change,
+    not noise, and has no tolerance band.
+  * search-effort counters (search.*.searches / expansions /
+    bounded_visits) -- allowed to drift by --counter-tolerance
+    (default 10%) to absorb intentional kernel tweaks; growth beyond
+    that is an algorithmic regression even if wall-time hides it.
+  * serial wall-time per design and in total -- allowed to grow by
+    --time-tolerance (default 100%, i.e. 2x; CI machines are noisy,
+    local runs can pass --time-tolerance=0.02 for the paper's <2% bar).
+
+Usage:
+  bench/compare_baseline.py CURRENT.json BASELINE.json \
+      [--time-tolerance=1.0] [--counter-tolerance=0.10]
+"""
+
+import json
+import sys
+
+
+def fail(violations):
+    print("\nPERF GATE: FAIL")
+    width = max(len(v[0]) for v in violations)
+    for where, what in violations:
+        print(f"  {where:<{width}}  {what}")
+    return 1
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    if len(args) != 2:
+        print(__doc__.strip())
+        return 2
+    time_tol = 1.0
+    counter_tol = 0.10
+    for a in argv[1:]:
+        if a.startswith("--time-tolerance="):
+            time_tol = float(a.split("=", 1)[1])
+        elif a.startswith("--counter-tolerance="):
+            counter_tol = float(a.split("=", 1)[1])
+        elif a.startswith("--"):
+            print(f"unknown option {a}")
+            return 2
+
+    with open(args[0]) as f:
+        current = json.load(f)
+    with open(args[1]) as f:
+        baseline = json.load(f)
+
+    violations = []
+
+    for key in ("all_identical", "all_complete"):
+        if not current["summary"].get(key, False):
+            violations.append(("summary", f"{key} is false"))
+
+    cur_by_name = {d["design"]: d for d in current["designs"]}
+    for base in baseline["designs"]:
+        name = base["design"]
+        cur = cur_by_name.get(name)
+        if cur is None:
+            violations.append((name, "design missing from current run"))
+            continue
+
+        # Routed quality: exact, no band.
+        for key in ("total_channel_length", "matched_channel_length",
+                    "matched_clusters", "complete"):
+            if cur.get(key) != base.get(key):
+                violations.append(
+                    (name, f"{key}: {cur.get(key)} != baseline {base.get(key)}"))
+
+        # Search effort: banded.
+        for stage, counters in base.get("search", {}).items():
+            for counter, ref in counters.items():
+                got = cur.get("search", {}).get(stage, {}).get(counter)
+                if got is None:
+                    violations.append((name, f"search.{stage}.{counter} missing"))
+                elif got > ref * (1.0 + counter_tol) + 1:
+                    violations.append(
+                        (name, f"search.{stage}.{counter}: {got} > "
+                               f"{ref} +{counter_tol:.0%}"))
+
+        # Wall-time: banded.
+        ref = base["serial_seconds"]
+        got = cur["serial_seconds"]
+        if got > ref * (1.0 + time_tol):
+            violations.append(
+                (name, f"serial_seconds: {got:.3f}s > {ref:.3f}s +{time_tol:.0%}"))
+
+    ref = baseline["summary"]["serial_seconds_total"]
+    got = current["summary"]["serial_seconds_total"]
+    if got > ref * (1.0 + time_tol):
+        violations.append(
+            ("summary", f"serial_seconds_total: {got:.3f}s > {ref:.3f}s "
+                        f"+{time_tol:.0%}"))
+
+    if violations:
+        return fail(violations)
+    print(f"PERF GATE: OK ({len(baseline['designs'])} designs, "
+          f"serial total {got:.3f}s vs baseline {ref:.3f}s, "
+          f"time tolerance {time_tol:.0%}, counter tolerance {counter_tol:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -7,6 +7,7 @@
 #include "geom/rect.hpp"
 #include "graph/selection.hpp"
 #include "route/negotiation.hpp"
+#include "trace/trace.hpp"
 
 namespace pacor::core {
 namespace {
@@ -169,6 +170,7 @@ LmRoutingStats routeLengthMatchingClusters(const chip::Chip& chip,
   if (clusters.empty()) return stats;
 
   // 1. Candidate construction (Sec. 4.1).
+  trace::Span spanCandidates("lm.candidates", "cluster_routing");
   std::vector<std::vector<CandidatePlan>> plans(clusters.size());
   for (std::size_t i = 0; i < clusters.size(); ++i) {
     WorkCluster& wc = *clusters[i];
@@ -187,7 +189,11 @@ LmRoutingStats routeLengthMatchingClusters(const chip::Chip& chip,
     }
   }
 
+  spanCandidates.arg("candidates", stats.candidatesBuilt);
+  spanCandidates.close();
+
   // 2. Candidate selection (Sec. 4.2). Clusters without plans are skipped.
+  trace::Span spanSelection("lm.selection", "cluster_routing");
   std::vector<std::size_t> active;
   for (std::size_t i = 0; i < clusters.size(); ++i)
     if (!plans[i].empty()) active.push_back(i);
@@ -230,7 +236,11 @@ LmRoutingStats routeLengthMatchingClusters(const chip::Chip& chip,
       chosen[active[a]] = flat[solution.chosen[a]].second;
   }
 
+  spanSelection.arg("exact", stats.selectionExact ? 1 : 0);
+  spanSelection.close();
+
   // 3. Negotiation-based routing of every selected tree edge (Sec. 4.3).
+  trace::Span spanNegotiation("lm.negotiation", "cluster_routing");
   std::vector<route::NegotiationEdge> allEdges;
   struct EdgeOrigin {
     std::size_t cluster;
@@ -249,8 +259,12 @@ LmRoutingStats routeLengthMatchingClusters(const chip::Chip& chip,
   const auto negotiated =
       route::negotiatedRoute(obstacles, allEdges, config.negotiation, pool);
   stats.negotiationIterations = negotiated.iterations;
+  spanNegotiation.arg("edges", static_cast<std::int64_t>(allEdges.size()));
+  spanNegotiation.arg("iterations", negotiated.iterations);
+  spanNegotiation.close();
 
   // 4. Commit fully-routed clusters; demote the rest.
+  trace::Span spanCommit("lm.commit", "cluster_routing");
   std::vector<std::vector<route::Path>> clusterPaths(clusters.size());
   std::vector<bool> clusterOk(clusters.size(), true);
   for (const std::size_t i : active)

@@ -1,6 +1,7 @@
 #include "pacor/detour.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cstdio>
 #include <cstdlib>
 #include <queue>
@@ -8,6 +9,7 @@
 
 #include "route/bounded_astar.hpp"
 #include "route/bump_detour.hpp"
+#include "trace/trace.hpp"
 
 namespace pacor::core {
 namespace {
@@ -108,9 +110,18 @@ bool reroutePath(const chip::Chip& chip, grid::ObstacleMap& obstacles, WorkClust
   }
 
   obstacles.occupy(newPath, wc.net);
-  // Shared endpoints are covered by the new path (same endpoints), so the
-  // endpoint owners are restored implicitly; any endpoint that belonged
-  // to a *different* net id cannot occur inside one cluster.
+  // Shared endpoints are covered by the new path (same endpoints), so
+  // endpoints owned by wc.net are restored implicitly. An endpoint owned
+  // by a *foreign* net should be impossible inside one cluster, but a
+  // silently swallowed owner would corrupt the obstacle map for the rest
+  // of the run — so re-assert it here and put any foreign owner back.
+  for (const auto& [cell, owner] : endpointOwners) {
+    assert(owner == wc.net && "detour endpoint owned by a foreign net");
+    if (owner != wc.net && obstacles.owner(cell) == wc.net) {
+      obstacles.releasePath(std::span<const Point>(&cell, 1), wc.net);
+      obstacles.occupy(std::span<const Point>(&cell, 1), owner);
+    }
+  }
   path = std::move(newPath);
   if (stats != nullptr) ++stats->reroutes;
   return true;
@@ -235,17 +246,41 @@ bool detourClusterForMatching(const chip::Chip& chip, grid::ObstacleMap& obstacl
                               int maxRounds, DetourStats* stats, bool useBoundedRoute) {
   if (!wc.lmStructured) return false;
 
+  trace::Span span("detour.cluster", "detour", trace::Level::kCluster);
+
   // Snapshot for the Alg. 2 restore-on-failure semantics.
   const std::vector<route::Path> snapshotPaths = wc.treePaths;
+  bool anyCommitted = false;  // a reroute changed the obstacle map
+
+  // Alg. 2 steps 22-24: put the original paths back and give up. Used on
+  // a failed round AND on budget exhaustion with matching unsatisfied —
+  // leaving a half-detoured tree committed would waste channel length
+  // without buying the match.
+  const auto restoreSnapshot = [&] {
+    obstacles.release(wc.net);
+    wc.treePaths = snapshotPaths;
+    for (const route::Path& p : wc.treePaths) obstacles.occupy(p, wc.net);
+    if (!wc.escapePath.empty()) obstacles.occupy(wc.escapePath, wc.net);
+    for (const chip::ValveId v : wc.spec.valves) {
+      const Point cell = chip.valve(v).pos;
+      obstacles.occupy(std::span<const Point>(&cell, 1), wc.net);
+    }
+    wc.lengthMatched = false;
+    if (stats != nullptr) ++stats->restores;
+  };
 
   const auto measure = [&] { return measureValveLengths(chip, wc, origin); };
 
   for (int round = 0; round < maxRounds; ++round) {
-    if (stats != nullptr) stats->iterations = round + 1;
+    if (stats != nullptr) ++stats->iterations;
     const auto lengths = measure();
     if (std::any_of(lengths.begin(), lengths.end(),
-                    [](std::int64_t l) { return l < 0; }))
-      return false;  // cluster not fully connected from origin
+                    [](std::int64_t l) { return l < 0; })) {
+      // Cluster not fully connected from origin. Reachable mid-loop only
+      // if an earlier round's reroute broke connectivity — undo it.
+      if (anyCommitted) restoreSnapshot();
+      return false;
+    }
     const std::int64_t maxL = *std::max_element(lengths.begin(), lengths.end());
 
     std::vector<std::size_t> shortSinks;
@@ -270,6 +305,7 @@ bool detourClusterForMatching(const chip::Chip& chip, grid::ObstacleMap& obstacl
         if (reroutePath(chip, obstacles, wc, pathIdx, needLo, needHi, stats,
                         useBoundedRoute)) {
           detoured[static_cast<std::size_t>(pathIdx)] = true;
+          anyCommitted = true;
           success = true;
           break;
         }
@@ -287,16 +323,7 @@ bool detourClusterForMatching(const chip::Chip& chip, grid::ObstacleMap& obstacl
     }
 
     if (roundFailed) {
-      // Alg. 2 steps 22-24: restore the original paths and give up.
-      obstacles.release(wc.net);
-      wc.treePaths = snapshotPaths;
-      for (const route::Path& p : wc.treePaths) obstacles.occupy(p, wc.net);
-      if (!wc.escapePath.empty()) obstacles.occupy(wc.escapePath, wc.net);
-      for (const chip::ValveId v : wc.spec.valves) {
-        const Point cell = chip.valve(v).pos;
-        obstacles.occupy(std::span<const Point>(&cell, 1), wc.net);
-      }
-      wc.lengthMatched = false;
+      restoreSnapshot();
       return false;
     }
   }
@@ -304,6 +331,9 @@ bool detourClusterForMatching(const chip::Chip& chip, grid::ObstacleMap& obstacl
   const auto lengths = measure();
   const auto [lo, hi] = std::minmax_element(lengths.begin(), lengths.end());
   wc.lengthMatched = !lengths.empty() && *lo >= 0 && (*hi - *lo) <= delta;
+  // Budget exhausted without reaching the match: the same restore applies
+  // here, otherwise the partially-detoured paths stay committed.
+  if (!wc.lengthMatched && anyCommitted) restoreSnapshot();
   return wc.lengthMatched;
 }
 

@@ -32,7 +32,8 @@ bool rebuildDetourStructure(const chip::Chip& chip, WorkCluster& wc);
 struct DetourStats {
   int reroutes = 0;       ///< successful bounded-length reroutes
   int bumpFallbacks = 0;  ///< of which via bump insertion
-  int iterations = 0;     ///< Alg. 2 outer rounds used
+  int iterations = 0;     ///< Alg. 2 outer rounds used (cumulative across calls)
+  int restores = 0;       ///< clusters rolled back to their pre-detour snapshot
 };
 
 /// Path detouring for length matching (Algorithm 2): while some full path

@@ -6,6 +6,7 @@
 
 #include "graph/min_cost_flow.hpp"
 #include "route/astar.hpp"
+#include "trace/trace.hpp"
 
 namespace pacor::core {
 namespace {
@@ -35,6 +36,8 @@ EscapeOutcome escapeRoute(const chip::Chip& chip, grid::ObstacleMap& obstacles,
     if (clusters[i]->internallyRouted && clusters[i]->pin < 0) pendingIdx.push_back(i);
   outcome.requested = static_cast<int>(pendingIdx.size());
   if (pendingIdx.empty()) return outcome;
+
+  trace::Span spanBuild("escape.flow_build", "escape", trace::Level::kCluster);
 
   // Pins already consumed by previously escaped clusters stay reserved.
   std::unordered_set<Point> takenPins;
@@ -113,10 +116,18 @@ EscapeOutcome escapeRoute(const chip::Chip& chip, grid::ObstacleMap& obstacles,
     flow.addEdge(ids.out(g.index(pin.pos)), ids.sink, 1, 0);
   }
 
+  spanBuild.arg("pending", static_cast<std::int64_t>(pendingIdx.size()));
+  spanBuild.close();
+
+  trace::Span spanRun("escape.flow_run", "escape", trace::Level::kCluster);
   const auto result =
       flow.run(ids.source, ids.sink, static_cast<std::int64_t>(pendingIdx.size()));
   outcome.routedCount = static_cast<int>(result.flow);
   outcome.flowCost = result.cost;
+  spanRun.arg("routed", result.flow);
+  spanRun.close();
+
+  trace::Span spanDecompose("escape.decompose", "escape", trace::Level::kCluster);
 
   // Pin lookup by cell for assignment.
   std::unordered_map<Point, chip::PinId> pinAt;
@@ -171,6 +182,7 @@ EscapeOutcome escapeRoute(const chip::Chip& chip, grid::ObstacleMap& obstacles,
 EscapeOutcome escapeRouteSequential(const chip::Chip& chip,
                                     grid::ObstacleMap& obstacles,
                                     std::span<WorkCluster*> clusters) {
+  trace::Span span("escape.sequential", "escape", trace::Level::kCluster);
   EscapeOutcome outcome;
 
   std::unordered_set<Point> takenPins;

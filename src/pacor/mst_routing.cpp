@@ -6,6 +6,7 @@
 
 #include "route/astar.hpp"
 #include "route/workspace.hpp"
+#include "trace/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace pacor::core {
@@ -78,6 +79,8 @@ void markPaths(std::vector<char>& changed, const grid::Grid& g,
 
 bool routePlainCluster(const chip::Chip& chip, grid::ObstacleMap& obstacles,
                        WorkCluster& wc) {
+  trace::Span span("mst.cluster", "mst_routing", trace::Level::kCluster);
+  span.arg("valves", static_cast<std::int64_t>(wc.spec.valves.size()));
   wc.treePaths.clear();
   wc.tapCells.clear();
 
@@ -180,6 +183,8 @@ std::vector<WorkCluster> routeClustersStage(const chip::Chip& chip,
     // Phase 1: grow every pending tree against the stage-start occupancy.
     // The map is read-only here, so all workers share it without copies;
     // each worker's searches run in its own thread-local workspace.
+    trace::Span span("mst.speculate", "mst_routing", trace::Level::kCluster);
+    span.arg("clusters", static_cast<std::int64_t>(pendingIdx.size()));
     spec.resize(pendingIdx.size());
     pool->parallelFor(pendingIdx.size(), [&](std::size_t k, unsigned) {
       const WorkCluster& wc = clusters[pendingIdx[k]];

@@ -14,6 +14,7 @@
 #include "pacor/escape.hpp"
 #include "pacor/mst_routing.hpp"
 #include "route/workspace.hpp"
+#include "trace/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace pacor::core {
@@ -132,6 +133,7 @@ PacorResult routeChip(const chip::Chip& chip, const PacorConfig& config) {
   const auto tStart = Clock::now();
   PacorResult result;
   result.design = chip.name;
+  trace::Span rootSpan("pacor.route", "pipeline");
 
   // Worker pool for the speculative-parallel routing stages. jobs <= 1
   // spawns no threads and every stage takes the exact serial path.
@@ -153,6 +155,7 @@ PacorResult routeChip(const chip::Chip& chip, const PacorConfig& config) {
   }
 
   // --- Stage 1: valve clustering -----------------------------------------
+  trace::Span spanClustering("stage.clustering", "pipeline");
   const auto tCluster = Clock::now();
   std::vector<ClusterSpec> specs = clusterValves(chip);
   result.multiValveClusterCount = static_cast<int>(
@@ -175,8 +178,11 @@ PacorResult routeChip(const chip::Chip& chip, const PacorConfig& config) {
   }
   const auto tClusterEnd = Clock::now();
   result.times.clustering = seconds(tCluster, tClusterEnd);
+  spanClustering.arg("clusters", static_cast<std::int64_t>(clusters.size()));
+  spanClustering.close();
 
   // --- Stage 2: length-matching cluster routing --------------------------
+  trace::Span spanLm("stage.cluster_routing", "pipeline");
   std::vector<WorkCluster*> lmClusters;
   for (WorkCluster& wc : clusters)
     if (wc.wantsMatching() && wc.spec.valves.size() >= 2) lmClusters.push_back(&wc);
@@ -185,10 +191,15 @@ PacorResult routeChip(const chip::Chip& chip, const PacorConfig& config) {
   result.lmCandidatesBuilt = lmStats.candidatesBuilt;
   result.selectionExact = lmStats.selectionExact;
   result.negotiationIterations = lmStats.negotiationIterations;
+  spanLm.arg("lm_clusters", static_cast<std::int64_t>(lmClusters.size()));
+  spanLm.arg("candidates", lmStats.candidatesBuilt);
+  spanLm.close();
 
   // --- Stage 3: MST-based routing of everything else ---------------------
+  trace::Span spanMst("stage.mst_routing", "pipeline");
   clusters = routeClustersStage(chip, obstacles, std::move(clusters), allocateNet,
                                 &result.declusteredCount, poolPtr);
+  spanMst.close();
   const auto tRouteEnd = Clock::now();
   result.times.clusterRouting = seconds(tClusterEnd, tRouteEnd);
   const route::SearchCounters tallyRoute = route::searchTally();
@@ -196,17 +207,25 @@ PacorResult routeChip(const chip::Chip& chip, const PacorConfig& config) {
 
   // --- Optional: detour-first baseline (match around the tap) ------------
   if (config.detourStage == DetourStage::kAfterClusterRouting) {
+    trace::Span spanFirst("detour.first_pass", "pipeline");
     for (WorkCluster& wc : clusters) {
       if (!wc.lmStructured || !wc.internallyRouted) continue;
+      DetourStats stats;
       detourClusterForMatching(chip, obstacles, wc, wc.tap, chip.delta,
-                               config.detourIterations, nullptr,
+                               config.detourIterations, &stats,
                                config.useBoundedDetour);
+      result.detourReroutes += stats.reroutes;
+      result.detourBumpFallbacks += stats.bumpFallbacks;
+      result.detourIterations += stats.iterations;
+      result.detourRestores += stats.restores;
     }
   }
 
   // --- Stage 4: escape routing with de-clustering / rip-up rounds --------
   const auto runEscapeLoop = [&] {
     for (int round = 0; round < config.maxEscapeRounds; ++round) {
+      trace::Span roundSpan("escape.round", "escape", trace::Level::kCluster);
+      roundSpan.arg("round", round);
       ++result.escapeRounds;
       std::vector<WorkCluster*> ptrs;
       ptrs.reserve(clusters.size());
@@ -214,6 +233,7 @@ PacorResult routeChip(const chip::Chip& chip, const PacorConfig& config) {
       const EscapeOutcome outcome = config.escapeMode == EscapeMode::kMinCostFlow
                                         ? escapeRoute(chip, obstacles, ptrs)
                                         : escapeRouteSequential(chip, obstacles, ptrs);
+      roundSpan.arg("failed", static_cast<std::int64_t>(outcome.failed.size()));
       if (std::getenv("PACOR_DEBUG")) {
         std::fprintf(stderr, "escape round %d: requested %d routed %d failed %zu [",
                      round, outcome.requested, outcome.routedCount,
@@ -271,6 +291,7 @@ PacorResult routeChip(const chip::Chip& chip, const PacorConfig& config) {
           wc.tapCells.assign(cells.begin(), cells.end());
           std::sort(wc.tapCells.begin(), wc.tapCells.end());
           wc.wideTap = true;
+          ++result.escapeWideTapRemedies;
           next.push_back(std::move(wc));
           continue;
         }
@@ -287,10 +308,12 @@ PacorResult routeChip(const chip::Chip& chip, const PacorConfig& config) {
           wc.treePaths.clear();
           wc.sinkSequences.clear();
           ++result.declusteredCount;
+          ++result.escapeDemotions;
           auto parts = routeWithDeclustering(chip, obstacles, std::move(wc),
                                              allocateNet, &result.declusteredCount);
           for (auto& p : parts) next.push_back(std::move(p));
         } else {
+          ++result.escapeSplits;
           auto parts = forceSplit(chip, obstacles, std::move(wc), allocateNet,
                                   &result.declusteredCount);
           for (auto& p : parts) next.push_back(std::move(p));
@@ -316,6 +339,8 @@ PacorResult routeChip(const chip::Chip& chip, const PacorConfig& config) {
                                  config.useBoundedDetour);
         result.detourReroutes += stats.reroutes;
         result.detourBumpFallbacks += stats.bumpFallbacks;
+        result.detourIterations += stats.iterations;
+        result.detourRestores += stats.restores;
       } else {
         // Detour-first: verify that tap-side matching survived escape.
         const auto lengths = measureValveLengths(chip, wc, origin);
@@ -325,12 +350,16 @@ PacorResult routeChip(const chip::Chip& chip, const PacorConfig& config) {
     }
   };
 
+  trace::Span spanEscape("stage.escape", "pipeline");
   runEscapeLoop();
+  spanEscape.arg("rounds", result.escapeRounds);
+  spanEscape.close();
   const auto tEscapeEnd = Clock::now();
   result.times.escape = seconds(tRouteEnd, tEscapeEnd);
   const route::SearchCounters tallyEscape = route::searchTally();
   result.searchEscape = tallyEscape - tallyRoute;
 
+  trace::Span spanDetour("stage.detour", "pipeline");
   runFinalDetour();
 
   // --- Matching-driven rip-up: a constrained cluster that routed but could
@@ -365,6 +394,7 @@ PacorResult routeChip(const chip::Chip& chip, const PacorConfig& config) {
     for (std::size_t i = 0; i < clusters.size(); ++i) {
       WorkCluster& wc = clusters[i];
       if (relax[i]) {
+        ++result.escapeSplits;
         auto parts = forceSplit(chip, obstacles, std::move(wc), allocateNet,
                                 &result.declusteredCount);
         for (auto& p : parts) next.push_back(std::move(p));
@@ -383,6 +413,9 @@ PacorResult routeChip(const chip::Chip& chip, const PacorConfig& config) {
     runEscapeLoop();
     runFinalDetour();
   }
+  spanDetour.arg("reroutes", result.detourReroutes);
+  spanDetour.arg("restores", result.detourRestores);
+  spanDetour.close();
   const auto tDetourEnd = Clock::now();
   result.times.detour = seconds(tEscapeEnd, tDetourEnd);
   result.searchDetour = route::searchTally() - tallyEscape;
@@ -414,6 +447,46 @@ PacorResult routeChip(const chip::Chip& chip, const PacorConfig& config) {
     result.clusters.push_back(std::move(rc));
   }
   result.times.total = seconds(tStart, Clock::now());
+
+  // --- Metrics registry: every counter of the run in one structure -------
+  trace::MetricsRegistry& m = result.metrics;
+  m.setInt("config.jobs", result.parallelJobs);
+  m.setInt("pipeline.complete", result.complete ? 1 : 0);
+  m.setInt("clusters.total", static_cast<std::int64_t>(result.clusters.size()));
+  m.setInt("clusters.multi_valve", result.multiValveClusterCount);
+  m.setInt("clusters.matched", result.matchedClusterCount);
+  m.setInt("clusters.declustered", result.declusteredCount);
+  m.setInt("length.total", result.totalChannelLength);
+  m.setInt("length.matched", result.matchedChannelLength);
+  m.setInt("lm.dme_clusters", lmStats.dmeClusters);
+  m.setInt("lm.pair_clusters", lmStats.pairClusters);
+  m.setInt("lm.candidates_built", lmStats.candidatesBuilt);
+  m.setInt("lm.demoted", lmStats.demoted);
+  m.setInt("lm.selection_exact", lmStats.selectionExact ? 1 : 0);
+  m.setReal("lm.selection_objective", lmStats.selectionObjective);
+  m.setInt("lm.negotiation_iterations", lmStats.negotiationIterations);
+  m.setInt("escape.rounds", result.escapeRounds);
+  m.setInt("escape.wide_tap_remedies", result.escapeWideTapRemedies);
+  m.setInt("escape.demotions", result.escapeDemotions);
+  m.setInt("escape.splits", result.escapeSplits);
+  m.setInt("detour.reroutes", result.detourReroutes);
+  m.setInt("detour.bump_fallbacks", result.detourBumpFallbacks);
+  m.setInt("detour.iterations", result.detourIterations);
+  m.setInt("detour.restores", result.detourRestores);
+  const auto fillSearch = [&m](const std::string& prefix,
+                               const route::SearchCounters& c) {
+    m.setInt(prefix + ".searches", static_cast<std::int64_t>(c.searches));
+    m.setInt(prefix + ".expansions", static_cast<std::int64_t>(c.expansions));
+    m.setInt(prefix + ".bounded_visits", static_cast<std::int64_t>(c.boundedVisits));
+  };
+  fillSearch("search.cluster_routing", result.searchClusterRouting);
+  fillSearch("search.escape", result.searchEscape);
+  fillSearch("search.detour", result.searchDetour);
+  m.setReal("time.clustering_s", result.times.clustering);
+  m.setReal("time.cluster_routing_s", result.times.clusterRouting);
+  m.setReal("time.escape_s", result.times.escape);
+  m.setReal("time.detour_s", result.times.detour);
+  m.setReal("time.total_s", result.times.total);
   return result;
 }
 

@@ -7,6 +7,7 @@
 #include "chip/chip.hpp"
 #include "route/path.hpp"
 #include "route/workspace.hpp"
+#include "trace/metrics.hpp"
 
 namespace pacor::core {
 
@@ -63,6 +64,13 @@ struct PacorResult {
   int negotiationIterations = 0;  ///< Alg. 1 iterations consumed
   int detourReroutes = 0;         ///< successful bounded-length reroutes
   int detourBumpFallbacks = 0;    ///< of which via bump insertion
+  int detourIterations = 0;       ///< Alg. 2 outer rounds, summed over clusters
+  int detourRestores = 0;         ///< clusters rolled back to their snapshot
+
+  // Escape rip-up remedy decisions across all rounds (incl. retries).
+  int escapeWideTapRemedies = 0;  ///< matched trees given a wide tap
+  int escapeDemotions = 0;        ///< matched trees demoted to plain
+  int escapeSplits = 0;           ///< plain trees force-split in half
 
   /// Search-kernel effort per stage (A* invocations / settled expansions /
   /// bounded-DFS visits), measured as global-tally deltas around each
@@ -75,6 +83,12 @@ struct PacorResult {
   /// Worker threads the routing stages actually used (config.jobs with
   /// 0 resolved to the hardware concurrency).
   int parallelJobs = 1;
+
+  /// Every counter above (plus the LM-routing and remedy breakdowns) in
+  /// one queryable, deterministically-dumpable registry. Filled by the
+  /// pipeline at harvest time; `pacor route --metrics=out.json` and
+  /// bench_routing serialize it verbatim.
+  trace::MetricsRegistry metrics;
 };
 
 }  // namespace pacor::core

@@ -6,6 +6,7 @@
 
 #include "geom/rect.hpp"
 #include "route/workspace.hpp"
+#include "trace/trace.hpp"
 
 namespace pacor::route {
 namespace {
@@ -238,6 +239,7 @@ AStarResult aStarRouteWithBends(const grid::ObstacleMap& obstacles,
 AStarResult aStarRoute(const grid::ObstacleMap& obstacles, const AStarRequest& request,
                        RouterWorkspace* workspace) {
   if (request.sources.empty() || request.targets.empty()) return {};
+  trace::Span span("route.astar", "search", trace::Level::kSearch);
   RouterWorkspace& ws = workspace != nullptr ? *workspace : localWorkspace();
   ws.bind(obstacles.grid());
   ws.beginSearch();
@@ -248,6 +250,8 @@ AStarResult aStarRoute(const grid::ObstacleMap& obstacles, const AStarRequest& r
     result = aStarRouteBuckets(obstacles, request, ws);
   else
     result = aStarRouteHeap(obstacles, request, ws);
+  span.arg("expansions", static_cast<std::int64_t>(ws.expansions));
+  span.arg("found", result.success ? 1 : 0);
   ws.flushCounters();
   return result;
 }

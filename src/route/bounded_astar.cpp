@@ -4,6 +4,7 @@
 #include <array>
 
 #include "route/workspace.hpp"
+#include "trace/trace.hpp"
 
 namespace pacor::route {
 namespace {
@@ -117,11 +118,14 @@ BoundedAStarResult boundedLengthRoute(const grid::ObstacleMap& obstacles,
     return result;
   }
 
+  trace::Span span("route.bounded_dfs", "search", trace::Level::kSearch);
   RouterWorkspace& ws = workspace != nullptr ? *workspace : localWorkspace();
   ws.bind(g);
   ws.beginSearch();
   Dfs dfs{obstacles, request, ws, {}, 0};
   const bool found = dfs.run();
+  span.arg("visits", static_cast<std::int64_t>(ws.boundedVisits));
+  span.arg("found", found ? 1 : 0);
   ws.flushCounters();
   if (!found) return result;
   result.success = true;

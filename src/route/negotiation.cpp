@@ -6,6 +6,7 @@
 
 #include "route/astar.hpp"
 #include "route/workspace.hpp"
+#include "trace/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace pacor::route {
@@ -102,6 +103,8 @@ NegotiationResult negotiatedRoute(const grid::ObstacleMap& obstacles,
   std::vector<SpeculativeEdge> spec;
 
   for (int r = 0; r < config.maxIterations; ++r) {
+    trace::Span iterSpan("negotiation.iteration", "route", trace::Level::kCluster);
+    iterSpan.arg("iteration", r);
     result.iterations = r + 1;
     const auto marker = static_cast<std::uint32_t>(r) + 1;
     grid::ObstacleMapTransaction txn(local);

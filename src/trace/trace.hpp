@@ -1,0 +1,106 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pacor::trace {
+
+/// Span granularity. A session enabled at level L records every span whose
+/// level is <= L: kStage keeps only the five pipeline stages (plus their
+/// sub-phases), kCluster adds per-cluster and per-iteration work, kSearch
+/// adds one span per search-kernel invocation (large traces).
+enum class Level : int {
+  kOff = 0,
+  kStage = 1,
+  kCluster = 2,
+  kSearch = 3,
+};
+
+/// Parses "off" / "stage" / "cluster" / "search"; nullopt otherwise.
+std::optional<Level> parseLevel(std::string_view name) noexcept;
+
+namespace detail {
+/// Session level, read on every Span construction. Relaxed is enough: the
+/// only writers are beginSession/endSession, which the usage contract
+/// places strictly before/after the traced region.
+extern std::atomic<int> gLevel;
+}  // namespace detail
+
+/// True when spans of `need` are being recorded. With tracing off this is
+/// a single relaxed atomic load + compare -- the entire disabled-path cost
+/// of the subsystem.
+inline bool enabled(Level need = Level::kStage) noexcept {
+  return detail::gLevel.load(std::memory_order_relaxed) >= static_cast<int>(need);
+}
+
+/// One key/value annotation on a span. Keys must be string literals (or
+/// otherwise outlive the session): events store the pointer only.
+struct Arg {
+  const char* key = nullptr;
+  std::int64_t value = 0;
+};
+
+/// One completed span, Chrome trace_event "X" (complete) phase. Name and
+/// category are static strings; times are nanoseconds relative to the
+/// session start.
+struct Event {
+  const char* name = nullptr;
+  const char* cat = nullptr;
+  std::int64_t startNs = 0;
+  std::int64_t durNs = 0;
+  int tid = 0;  ///< per-thread buffer id, dense from 0 (0 = first tracer)
+  Arg args[2];
+};
+
+/// Starts a recording session at `level` (kOff clears and disables).
+/// Buffers from any previous session are discarded. Call strictly before
+/// the traced region -- spans already open keep their old session's fate.
+void beginSession(Level level);
+
+/// Stops recording, merges every per-thread buffer, and returns the
+/// events sorted by (startNs, tid). Returns an empty vector when no
+/// session was active.
+std::vector<Event> endSession();
+
+/// True between beginSession(level > kOff) and endSession().
+bool sessionActive() noexcept;
+
+/// RAII scoped span. Construction is inert (no clock read, no buffer
+/// touch) unless the session level admits `level`; destruction records
+/// one Event into the calling thread's buffer. Spans on one thread must
+/// nest (natural for scoped lifetimes), which is what makes the merged
+/// trace laminar per tid.
+class Span {
+ public:
+  Span(const char* name, const char* cat, Level level = Level::kStage) noexcept;
+  ~Span() noexcept { close(); }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches up to two integer annotations; no-op when inert or full.
+  void arg(const char* key, std::int64_t value) noexcept;
+
+  /// Records the span now (instead of at destruction) and inerts it.
+  void close() noexcept;
+
+ private:
+  const char* name_ = nullptr;
+  const char* cat_ = nullptr;
+  std::int64_t startNs_ = -1;  ///< -1 = inert (tracing disabled at ctor)
+  Arg args_[2];
+};
+
+/// Serializes events as Chrome trace_event JSON ({"traceEvents": [...]}),
+/// loadable in chrome://tracing and Perfetto. Timestamps become
+/// microseconds (the trace_event unit).
+std::string toChromeJson(const std::vector<Event>& events);
+
+/// Writes toChromeJson(events) to `path`; false on I/O failure.
+bool writeChromeTrace(const std::string& path, const std::vector<Event>& events);
+
+}  // namespace pacor::trace

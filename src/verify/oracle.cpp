@@ -33,6 +33,8 @@ class Oracle {
       : chip_(chip), result_(result) {
     blocked_.reserve(chip.obstacles.size());
     for (const Point p : chip.obstacles) blocked_.insert(p);
+    valveAt_.reserve(chip.valves.size());
+    for (const chip::Valve& v : chip.valves) valveAt_.emplace(v.pos, v.id);
   }
 
   OracleReport run() {
@@ -131,6 +133,30 @@ class Oracle {
     std::unordered_map<Point, std::vector<Point>> adjacency;
     for (const auto& path : c.treePaths) checkChannel(ci, path, adjacency);
     checkChannel(ci, c.escapePath, adjacency);
+
+    // Terminal exclusivity: a channel cell sitting on the valve of ANOTHER
+    // cluster shorts that valve onto this control line. The router keeps
+    // valve cells owned by their cluster from clustering time on, so this
+    // only fires on corrupted occupancy bookkeeping (e.g. a reroute that
+    // swallowed a foreign endpoint owner). Skipped when the cluster's own
+    // valve references are malformed: the own-valve set is meaningless then
+    // and every touched valve cell would misreport as foreign.
+    if (refsOk) {
+      const std::unordered_set<chip::ValveId> own(c.valves.begin(), c.valves.end());
+      std::unordered_set<Point> flagged;
+      const auto checkForeign = [&](const std::vector<Point>& path) {
+        for (const Point p : path) {
+          const auto it = valveAt_.find(p);
+          if (it == valveAt_.end() || own.contains(it->second)) continue;
+          if (!flagged.insert(p).second) continue;
+          add(Fault::kForeignValve, ci,
+              "channel cell " + cellStr(p) + " sits on foreign valve " +
+                  std::to_string(it->second));
+        }
+      };
+      for (const auto& path : c.treePaths) checkForeign(path);
+      checkForeign(c.escapePath);
+    }
 
     if (c.pin < 0 || static_cast<std::size_t>(c.pin) >= chip_.pins.size()) {
       add(Fault::kPinMissing, ci, "no valid control pin (id " + std::to_string(c.pin) + ")");
@@ -301,6 +327,7 @@ class Oracle {
   const chip::Chip& chip_;
   const core::PacorResult& result_;
   std::unordered_set<Point> blocked_;
+  std::unordered_map<Point, chip::ValveId> valveAt_;
   std::unordered_set<chip::ValveId> claimedValves_;
   std::unordered_map<chip::PinId, std::size_t> pinOwner_;
   std::vector<Run> runs_;
@@ -323,6 +350,7 @@ std::string faultName(Fault fault) {
     case Fault::kDisconnected: return "disconnected";
     case Fault::kLengthReport: return "length-report";
     case Fault::kMatchBroken: return "match-broken";
+    case Fault::kForeignValve: return "foreign-valve";
   }
   return "unknown";
 }

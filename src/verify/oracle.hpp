@@ -24,6 +24,7 @@ enum class Fault {
   kDisconnected,  ///< a valve has no channel to its control pin
   kLengthReport,  ///< reported per-valve length disagrees with the geometry
   kMatchBroken,   ///< claimed length-matched but recomputed spread > delta
+  kForeignValve,  ///< a channel crosses a valve cell of another cluster
 };
 
 std::string faultName(Fault fault);

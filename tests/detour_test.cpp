@@ -150,6 +150,64 @@ TEST(Detour, RestoresOnImpossibleGeometry) {
   EXPECT_EQ(fx.wc.treePaths, before);  // Alg. 2 restore semantics
 }
 
+TEST(Detour, MaxRoundsExhaustionRestoresSnapshot) {
+  // Three-sink cluster where round 0 lengthens the shared trunk for the
+  // first short sink but the second short sink stays stuck: its own arm
+  // cannot detour and the trunk is already marked detoured, so the round
+  // "succeeds" via the shared-ancestor skip. The budget then runs out
+  // with the lengths still spread wider than delta. Alg. 2 steps 22-24
+  // demand the snapshot restore on this exit exactly as on a failed
+  // round: no partially-detoured trunk may stay committed.
+  chip::Chip chip;
+  chip.name = "exhaust";
+  chip.routingGrid = grid::Grid(32, 32);
+  chip.valves = {{0, Point{8, 8}, chip::ActivationSequence("01")},
+                 {1, Point{14, 8}, chip::ActivationSequence("01")},
+                 {2, Point{24, 4}, chip::ActivationSequence("01")}};
+  chip.pins = {{0, Point{12, 0}}};
+  grid::ObstacleMap obs = chip.makeObstacleMap();
+
+  WorkCluster wc;
+  wc.spec.valves = {0, 1, 2};
+  wc.spec.lengthMatched = true;
+  wc.net = 0;
+  route::Path trunk;  // tap (12,4) up to the junction (12,8)
+  for (std::int32_t y = 4; y <= 8; ++y) trunk.push_back({12, y});
+  route::Path armA;  // valve 0 east to the junction
+  for (std::int32_t x = 8; x <= 12; ++x) armA.push_back({x, 8});
+  route::Path armB{{14, 8}, {13, 8}, {12, 8}};  // valve 1 to the junction
+  route::Path armC;  // valve 2 west to the tap
+  for (std::int32_t x = 24; x >= 12; --x) armC.push_back({x, 4});
+  wc.treePaths = {trunk, armA, armB, armC};
+  wc.sinkSequences = {{1, 0}, {2, 0}, {3}};
+  wc.tap = {12, 4};
+  wc.tapCells = {{12, 4}};
+  wc.lmStructured = true;
+  wc.internallyRouted = true;
+  for (std::int32_t y = 4; y >= 0; --y) wc.escapePath.push_back({12, y});
+  wc.pin = 0;
+  for (const auto& p : wc.treePaths) obs.occupy(p, wc.net);
+  obs.occupy(wc.escapePath, wc.net);
+
+  // Wall off the junction corridor: the short arms sit in a one-cell-wide
+  // slot and cannot detour; only the trunk can grow, through its own
+  // released cells at x = 12.
+  for (std::int32_t x = 5; x <= 17; ++x)
+    for (std::int32_t y : {7, 9})
+      if (obs.isFree({x, y})) obs.addObstacle({x, y});
+
+  const auto before = wc.treePaths;
+  const std::int64_t ownedBefore = obs.countOwnedBy(wc.net);
+  DetourStats stats;
+  EXPECT_FALSE(detourClusterForMatching(chip, obs, wc, {12, 0}, 1, 1, &stats));
+  EXPECT_FALSE(wc.lengthMatched);
+  EXPECT_EQ(stats.iterations, 1);
+  EXPECT_EQ(stats.reroutes, 1);  // the trunk was lengthened mid-round...
+  EXPECT_EQ(stats.restores, 1);  // ...and rolled back on exhaustion
+  EXPECT_EQ(wc.treePaths, before);
+  EXPECT_EQ(obs.countOwnedBy(wc.net), ownedBefore);
+}
+
 TEST(Detour, DisconnectedClusterFailsCleanly) {
   PairFixture fx({4, 10}, {10, 10}, {16, 10}, {10, 0});
   fx.wc.treePaths[0].clear();

@@ -112,6 +112,18 @@ TEST(Oracle, FlagsACrossing) {
   expectOnly(report, Fault::kCrossing);
 }
 
+TEST(Oracle, FlagsAChannelOnAForeignValve) {
+  auto solution = makeSolution();
+  // Drop the singleton so its valve at (8,8) is unclaimed, then let the
+  // pair sprout a stray channel ending on that cell -- the occupancy
+  // corruption a reroute that swallowed a foreign endpoint would leave.
+  solution.clusters.pop_back();
+  solution.clusters[0].treePaths.push_back({{8, 7}, {8, 8}});
+  const auto report = verify::verifySolution(makeChip(), solution);
+  expectOnly(report, Fault::kForeignValve);
+  EXPECT_EQ(report.count(Fault::kForeignValve), 1u) << report.str();
+}
+
 TEST(Oracle, FlagsMisreportedLengths) {
   auto solution = makeSolution();
   solution.clusters[1].valveLengths = {7};

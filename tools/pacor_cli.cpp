@@ -11,6 +11,7 @@
 // 2 on usage errors.
 
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -22,6 +23,7 @@
 #include "pacor/pipeline.hpp"
 #include "pacor/report.hpp"
 #include "pacor/solution_io.hpp"
+#include "trace/trace.hpp"
 #include "verify/oracle.hpp"
 #include "viz/svg.hpp"
 
@@ -37,6 +39,9 @@ int usage() {
       "  pacor info <in.chip>\n"
       "  pacor route <in.chip> <out.sol> [--variant=pacor|wosel|detour-first]\n"
       "              [--jobs=N]   (N worker threads; 0 = all cores; same result)\n"
+      "              [--trace=out.json]   (Chrome trace_event timeline of the run)\n"
+      "              [--trace-level=stage|cluster|search]   (default cluster)\n"
+      "              [--metrics=out.json]   (every pipeline counter of the run)\n"
       "  pacor check <in.chip> <in.sol>\n"
       "  pacor verify <in.chip> <in.sol>   (independent oracle + DRC cross-check)\n"
       "  pacor svg <in.chip> <in.sol> <out.svg>\n"
@@ -84,9 +89,12 @@ int cmdInfo(int argc, char** argv) {
 }
 
 int cmdRoute(int argc, char** argv) {
-  if (argc < 2 || argc > 4) return usage();
+  if (argc < 2 || argc > 7) return usage();
   core::PacorConfig cfg = core::pacorDefaultConfig();
   int jobs = 1;
+  std::string tracePath;
+  std::string metricsPath;
+  trace::Level traceLevel = trace::Level::kCluster;
   for (int i = 2; i < argc; ++i) {
     const std::string v = argv[i];
     if (v == "--variant=pacor") {
@@ -101,13 +109,42 @@ int cmdRoute(int argc, char** argv) {
         return usage();
       }
       if (jobs < 0) return usage();
+    } else if (v.rfind("--trace=", 0) == 0) {
+      tracePath = v.substr(8);
+      if (tracePath.empty()) return usage();
+    } else if (v.rfind("--trace-level=", 0) == 0) {
+      const auto level = trace::parseLevel(v.substr(14));
+      if (!level) return usage();
+      traceLevel = *level;
+    } else if (v.rfind("--metrics=", 0) == 0) {
+      metricsPath = v.substr(10);
+      if (metricsPath.empty()) return usage();
     } else {
       return usage();
     }
   }
   cfg.jobs = jobs;
   const chip::Chip c = chip::readChipFile(argv[0]);
+  if (!tracePath.empty()) trace::beginSession(traceLevel);
   const core::PacorResult result = core::routeChip(c, cfg);
+  if (!tracePath.empty()) {
+    const auto events = trace::endSession();
+    if (!trace::writeChromeTrace(tracePath, events)) {
+      std::cerr << "error: cannot write trace file " << tracePath << '\n';
+      return 1;
+    }
+    std::cout << "wrote " << tracePath << " (" << events.size() << " spans)\n";
+  }
+  if (!metricsPath.empty()) {
+    std::ofstream out(metricsPath);
+    out << "{\n  \"design\": \"" << result.design << "\",\n  \"metrics\": "
+        << result.metrics.toJson(/*pretty=*/true) << "\n}\n";
+    if (!out) {
+      std::cerr << "error: cannot write metrics file " << metricsPath << '\n';
+      return 1;
+    }
+    std::cout << "wrote " << metricsPath << '\n';
+  }
   core::writeSolutionFile(argv[1], result);
   std::cout << core::describeResult(result);
   std::cout << "wrote " << argv[1] << '\n';

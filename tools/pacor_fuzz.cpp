@@ -17,6 +17,11 @@
 // greedily deleting clusters while the disagreement persists.
 //
 //   pacor_fuzz [--designs=N] [--seed=S] [--jobs=J] [--dump=DIR] [--verbose]
+//              [--trace=FILE]
+//
+// --trace=FILE records the first design's serial+parallel runs at search
+// granularity and writes one Chrome trace_event file, exercising the
+// tracing subsystem under the same build (e.g. ASan in CI).
 //
 // Exit code 0 when every design passed, 1 otherwise, 2 on usage errors.
 
@@ -31,6 +36,7 @@
 #include "pacor/drc.hpp"
 #include "pacor/pipeline.hpp"
 #include "pacor/solution_io.hpp"
+#include "trace/trace.hpp"
 #include "verify/oracle.hpp"
 
 namespace {
@@ -42,12 +48,13 @@ struct Options {
   std::uint32_t seed = 1;
   int jobs = 4;
   std::string dumpDir = "fuzz-repros";
+  std::string tracePath;
   bool verbose = false;
 };
 
 int usage() {
   std::cerr << "usage: pacor_fuzz [--designs=N] [--seed=S] [--jobs=J] "
-               "[--dump=DIR] [--verbose]\n";
+               "[--dump=DIR] [--trace=FILE] [--verbose]\n";
   return 2;
 }
 
@@ -64,6 +71,7 @@ bool parseOptions(int argc, char** argv, Options& opt) {
       else if (arg.rfind("--seed=", 0) == 0) intValue("--seed=", opt.seed);
       else if (arg.rfind("--jobs=", 0) == 0) intValue("--jobs=", opt.jobs);
       else if (arg.rfind("--dump=", 0) == 0) opt.dumpDir = arg.substr(7);
+      else if (arg.rfind("--trace=", 0) == 0) opt.tracePath = arg.substr(8);
       else if (arg == "--verbose") opt.verbose = true;
       else return false;
     } catch (const std::exception&) {
@@ -201,6 +209,10 @@ int main(int argc, char** argv) {
   Tally tally;
   for (std::uint32_t i = 0; i < opt.designs; ++i) {
     const std::uint32_t seed = opt.seed + i;
+    // Trace the first design end to end (serial + parallel runs) so the
+    // tracing subsystem is exercised under the harness build's sanitizers.
+    const bool traceThis = i == 0 && !opt.tracePath.empty();
+    if (traceThis) trace::beginSession(trace::Level::kSearch);
     try {
       if (!runDesign(opt, seed, tally)) ++tally.failures;
     } catch (const std::exception& e) {
@@ -209,6 +221,16 @@ int main(int argc, char** argv) {
       std::cerr << "FAIL seed " << seed << ": exception: " << e.what() << '\n';
       ++tally.failures;
       ++tally.designs;
+    }
+    if (traceThis) {
+      const auto events = trace::endSession();
+      if (!trace::writeChromeTrace(opt.tracePath, events)) {
+        std::cerr << "FAIL: cannot write trace file " << opt.tracePath << '\n';
+        ++tally.failures;
+      } else {
+        std::cout << "trace: wrote " << opt.tracePath << " (" << events.size()
+                  << " spans)\n";
+      }
     }
   }
 
