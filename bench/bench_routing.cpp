@@ -15,6 +15,8 @@
 
 #include "chip/generator.hpp"
 #include "pacor/pipeline.hpp"
+#include "pacor/solution_io.hpp"
+#include "util/sha256.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -130,6 +132,12 @@ int main(int argc, char** argv) {
                  static_cast<long long>(serial.result.matchedChannelLength));
     std::fprintf(f, "      \"matched_clusters\": %d,\n",
                  serial.result.matchedClusterCount);
+    // Hash of the canonical solution text: lets compare_baseline.py verify
+    // that routed quality only moves together with a golden-hash re-pin.
+    std::fprintf(f, "      \"solution_sha256\": \"%s\",\n",
+                 pacor::util::sha256Hex(
+                     pacor::core::solutionToString(serial.result))
+                     .c_str());
     std::fprintf(f,
                  "      \"stage_seconds\": {\"clustering\": %.6f, "
                  "\"cluster_routing\": %.6f, \"escape\": %.6f, "

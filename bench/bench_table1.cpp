@@ -8,6 +8,8 @@
 #include <cstdio>
 
 #include "chip/generator.hpp"
+#include "pacor/pipeline.hpp"
+#include "pacor/report.hpp"
 
 namespace {
 
@@ -21,6 +23,16 @@ void printTable1() {
                   chip.routingGrid.height());
     std::printf("%-8s %-10s %8zu %8zu %8zu\n", chip.name.c_str(), size,
                 chip.valves.size(), chip.pins.size(), chip.obstacles.size());
+  }
+  std::printf("\n");
+
+  // Search-effort companion: route each Table 1 design once with the
+  // default flow and summarize its MetricsRegistry counters.
+  std::printf("=== Table 1 companion: search effort (default flow) ===\n");
+  for (const auto& params : pacor::chip::table1Designs()) {
+    const auto chip = pacor::chip::generateChip(params);
+    const auto result = routeChip(chip, pacor::core::pacorDefaultConfig());
+    std::printf("%s\n", pacor::core::describeEffort(result).c_str());
   }
   std::printf("\n");
 }

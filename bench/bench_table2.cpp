@@ -9,8 +9,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <array>
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "chip/generator.hpp"
 #include "pacor/pipeline.hpp"
@@ -24,17 +26,26 @@ void printTable2() {
   std::printf("\n=== Table 2: Computational simulation ===\n");
   pacor::core::printTable2Header(std::cout);
   int incomplete = 0;
+  std::vector<std::array<PacorResult, 3>> rows;
   for (const auto& params : pacor::chip::table1Designs()) {
     const auto chip = pacor::chip::generateChip(params);
-    const PacorResult woSel = routeChip(chip, pacor::core::withoutSelectionConfig());
-    const PacorResult detourFirst = routeChip(chip, pacor::core::detourFirstConfig());
-    const PacorResult full = routeChip(chip, pacor::core::pacorDefaultConfig());
+    PacorResult woSel = routeChip(chip, pacor::core::withoutSelectionConfig());
+    PacorResult detourFirst = routeChip(chip, pacor::core::detourFirstConfig());
+    PacorResult full = routeChip(chip, pacor::core::pacorDefaultConfig());
     pacor::core::printTable2Row(std::cout, woSel, detourFirst, full);
     incomplete += !woSel.complete + !detourFirst.complete + !full.complete;
+    rows.push_back({std::move(woSel), std::move(detourFirst), std::move(full)});
   }
   std::printf("routing completion: %s\n\n",
               incomplete == 0 ? "100%% on all designs/variants"
                               : "INCOMPLETE RUNS PRESENT");
+
+  // Search-effort companion table, from each run's MetricsRegistry.
+  std::printf("=== Table 2 companion: search effort ===\n");
+  pacor::core::printEffortHeader(std::cout);
+  for (const auto& row : rows)
+    pacor::core::printEffortRow(std::cout, row[0], row[1], row[2]);
+  std::printf("\n");
 }
 
 void BM_PacorFullFlow(benchmark::State& state) {

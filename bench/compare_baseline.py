@@ -16,13 +16,22 @@ bench/baseline.json and fails (exit 1) when the run regressed:
   * serial wall-time per design and in total -- allowed to grow by
     --time-tolerance (default 100%, i.e. 2x; CI machines are noisy,
     local runs can pass --time-tolerance=0.02 for the paper's <2% bar).
+  * golden-hash cross-check -- each design's solution_sha256 (the SHA-256
+    of the canonical solution text, emitted by bench_routing) must match
+    tests/golden/solution_hashes.txt, in BOTH the current run and the
+    baseline. Routed quality may only ever move together with a golden
+    re-pin, so baseline.json and the goldens cannot drift apart silently:
+    regenerate the hashes and the baseline in the same change.
+    --golden=PATH overrides the hash file (default: resolved relative to
+    this script); --golden=none skips the cross-check.
 
 Usage:
   bench/compare_baseline.py CURRENT.json BASELINE.json \
-      [--time-tolerance=1.0] [--counter-tolerance=0.10]
+      [--time-tolerance=1.0] [--counter-tolerance=0.10] [--golden=PATH]
 """
 
 import json
+import os
 import sys
 
 
@@ -34,6 +43,43 @@ def fail(violations):
     return 1
 
 
+REPIN_HINT = ("re-pin tests/golden/solution_hashes.txt and regenerate "
+              "bench/baseline.json in the same change")
+
+
+def default_golden_path():
+    return os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        os.pardir, "tests", "golden", "solution_hashes.txt")
+
+
+def load_golden(path):
+    """{design: sha256} from the 'name hash' lines of the golden file."""
+    golden = {}
+    with open(path) as f:
+        for line in f:
+            parts = line.split()
+            if len(parts) == 2:
+                golden[parts[0]] = parts[1]
+    return golden
+
+
+def check_golden(golden, label, design, violations):
+    """Cross-checks one design record against the pinned golden hash."""
+    name = design["design"]
+    got = design.get("solution_sha256")
+    ref = golden.get(name)
+    if ref is None:
+        violations.append((name, f"no golden hash pinned for this design; "
+                                 f"{REPIN_HINT}"))
+    elif got is None:
+        violations.append((name, f"{label} lacks solution_sha256 (rerun "
+                                 f"bench_routing; {REPIN_HINT})"))
+    elif got != ref:
+        violations.append((name, f"{label} solution_sha256 {got[:12]}... != "
+                                 f"golden {ref[:12]}...: routed output moved "
+                                 f"without a golden re-pin; {REPIN_HINT}"))
+
+
 def main(argv):
     args = [a for a in argv[1:] if not a.startswith("--")]
     if len(args) != 2:
@@ -41,13 +87,24 @@ def main(argv):
         return 2
     time_tol = 1.0
     counter_tol = 0.10
+    golden_path = default_golden_path()
     for a in argv[1:]:
         if a.startswith("--time-tolerance="):
             time_tol = float(a.split("=", 1)[1])
         elif a.startswith("--counter-tolerance="):
             counter_tol = float(a.split("=", 1)[1])
+        elif a.startswith("--golden="):
+            golden_path = a.split("=", 1)[1]
         elif a.startswith("--"):
             print(f"unknown option {a}")
+            return 2
+
+    golden = None
+    if golden_path != "none":
+        try:
+            golden = load_golden(golden_path)
+        except OSError as e:
+            print(f"cannot read golden hash file {golden_path}: {e}")
             return 2
 
     with open(args[0]) as f:
@@ -76,6 +133,12 @@ def main(argv):
                 violations.append(
                     (name, f"{key}: {cur.get(key)} != baseline {base.get(key)}"))
 
+        # Golden cross-check: quality may only move together with a golden
+        # re-pin, in the current run AND in the committed baseline.
+        if golden is not None:
+            check_golden(golden, "current run", cur, violations)
+            check_golden(golden, "baseline", base, violations)
+
         # Search effort: banded.
         for stage, counters in base.get("search", {}).items():
             for counter, ref in counters.items():
@@ -103,9 +166,12 @@ def main(argv):
 
     if violations:
         return fail(violations)
+    golden_note = ("golden hashes cross-checked" if golden is not None
+                   else "golden cross-check skipped")
     print(f"PERF GATE: OK ({len(baseline['designs'])} designs, "
           f"serial total {got:.3f}s vs baseline {ref:.3f}s, "
-          f"time tolerance {time_tol:.0%}, counter tolerance {counter_tol:.0%})")
+          f"time tolerance {time_tol:.0%}, counter tolerance {counter_tol:.0%}, "
+          f"{golden_note})")
     return 0
 
 

@@ -8,6 +8,7 @@
 #include <unordered_set>
 
 #include "geom/tilted.hpp"
+#include "trace/trace.hpp"
 
 namespace pacor::dme {
 
@@ -258,6 +259,8 @@ std::vector<DmeCandidate> buildCandidateTrees(const grid::ObstacleMap& obstacles
                                               grid::NetId net,
                                               std::span<const Point> sinks,
                                               const CandidateOptions& options) {
+  trace::Span span("dme.build_candidates", "dme", trace::Level::kCluster);
+  span.arg("sinks", static_cast<std::int64_t>(sinks.size()));
   std::vector<DmeCandidate> out;
   if (sinks.empty() || options.count <= 0) return out;
 
@@ -268,6 +271,7 @@ std::vector<DmeCandidate> buildCandidateTrees(const grid::ObstacleMap& obstacles
     cand.embed = {sinks[0]};
     cand.targetHalfLen = {0};
     out.push_back(std::move(cand));
+    span.arg("candidates", 1);
     return out;
   }
   const MergePlan plan = computeMergePlan(topo, sinks);
@@ -315,6 +319,7 @@ std::vector<DmeCandidate> buildCandidateTrees(const grid::ObstacleMap& obstacles
       if (!duplicate) out.push_back(std::move(*cand));
     }
   }
+  span.arg("candidates", static_cast<std::int64_t>(out.size()));
   return out;
 }
 

@@ -51,7 +51,7 @@ std::size_t MinCostFlow::addEdge(std::size_t u, std::size_t v, std::int64_t capa
   assert(u < nodes_.size() && v < nodes_.size());
   assert(capacity >= 0 && cost >= 0);
   assert(cost <= std::numeric_limits<std::int32_t>::max());
-  const std::size_t id = originalCap_.size();
+  const std::size_t id = baseCap_.size();
   arcFrom_.push_back(static_cast<std::int32_t>(u));
   arcTo_.push_back(static_cast<std::int32_t>(v));
   arcCap_.push_back(capacity);
@@ -60,22 +60,69 @@ std::size_t MinCostFlow::addEdge(std::size_t u, std::size_t v, std::int64_t capa
   arcTo_.push_back(static_cast<std::int32_t>(u));
   arcCap_.push_back(0);
   arcCost_.push_back(-cost);
-  originalCap_.push_back(capacity);
+  baseCap_.push_back(capacity);
+  if (csrBuilt_) {
+    linkOverlayArc(2 * id);
+    linkOverlayArc(2 * id + 1);
+    // A new residual arc may have negative reduced cost under the current
+    // potentials; harmless when the network is at zero flow (the repair
+    // degenerates to re-zeroing).
+    if (capacity > 0) potentialsDirty_ = true;
+  }
   return id;
 }
 
-std::int64_t MinCostFlow::capOf(std::size_t arcId) const {
-  // Caps move into csrArc_ once the CSR exists; arcs added afterwards are
-  // still in arcCap_ until the next rebuild.
-  return arcId < builtArcs_ ? csrArc_[static_cast<std::size_t>(arcPos_[arcId])].cap
-                            : arcCap_[arcId];
+void MinCostFlow::linkOverlayArc(std::size_t arcId) {
+  if (ovHead_.empty()) {
+    ovHead_.assign(nodes_.size(), -1);
+    ovTail_.assign(nodes_.size(), -1);
+  }
+  const std::size_t j = arcId - builtArcs_;
+  if (ovNext_.size() <= j) {
+    ovNext_.resize(j + 1);
+    ovPrev_.resize(j + 1);
+  }
+  const auto u = static_cast<std::size_t>(arcFrom_[arcId]);
+  ovNext_[j] = -1;
+  ovPrev_[j] = ovTail_[u];
+  if (ovTail_[u] == -1)
+    ovHead_[u] = static_cast<std::int32_t>(arcId);
+  else
+    ovNext_[static_cast<std::size_t>(ovTail_[u]) - builtArcs_] =
+        static_cast<std::int32_t>(arcId);
+  ovTail_[u] = static_cast<std::int32_t>(arcId);
+}
+
+std::int64_t MinCostFlow::capOfArc(std::size_t arcId) const {
+  // Caps move into csrArc_ once the CSR exists; overlay arcs (and all arcs
+  // before the build) keep theirs in arcCap_.
+  return csrBuilt_ && arcId < builtArcs_
+             ? csrArc_[static_cast<std::size_t>(arcPos_[arcId])].cap
+             : arcCap_[arcId];
+}
+
+void MinCostFlow::setArcResidual(std::size_t arcId, std::int64_t cap) {
+  if (csrBuilt_ && arcId < builtArcs_)
+    csrArc_[static_cast<std::size_t>(arcPos_[arcId])].cap = cap;
+  else
+    arcCap_[arcId] = cap;
+}
+
+std::int64_t MinCostFlow::zeroFlowCap(std::size_t arcId) const {
+  if (arcEndpointDisabled(arcId)) return 0;
+  return (arcId & 1) != 0 ? 0 : baseCap_[arcId >> 1];
+}
+
+void MinCostFlow::markDirtyArc(std::size_t arcId) {
+  if (arcId < builtArcs_)
+    dirtyCsr_.push_back(arcPos_[arcId]);
+  else
+    dirtyOv_.push_back(static_cast<std::int32_t>(arcId));
 }
 
 void MinCostFlow::ensureCsr() {
-  if (builtArcs_ == arcFrom_.size()) return;
-  // Flow already routed lives in csrArc_; fold it back before rebuilding.
-  for (std::size_t a = 0; a < builtArcs_; ++a)
-    arcCap_[a] = csrArc_[static_cast<std::size_t>(arcPos_[a])].cap;
+  if (csrBuilt_) return;
+  csrBuilt_ = true;
   builtArcs_ = arcFrom_.size();
 
   const std::size_t n = nodes_.size();
@@ -92,19 +139,323 @@ void MinCostFlow::ensureCsr() {
 
   csrArc_.resize(builtArcs_);
   csrRev_.resize(builtArcs_);
+  csrArcId_.resize(builtArcs_);
   for (std::size_t a = 0; a < builtArcs_; ++a) {
     const auto k = static_cast<std::size_t>(arcPos_[a]);
     csrArc_[k] = {arcCap_[a], arcTo_[a], static_cast<std::int32_t>(arcCost_[a])};
     csrRev_[k] = arcPos_[a ^ 1];
+    csrArcId_[k] = static_cast<std::int32_t>(a);
   }
 
   for (Node& node : nodes_) node.distStamp = node.doneStamp = 0;
   epoch_ = 0;
 }
 
+namespace {
+
+/// Visits every arc out of `node` in scan order (CSR arcs, then overlay
+/// chain); stops early when `fn` returns true.
+template <typename Fn>
+void forEachArcFromImpl(const std::vector<std::size_t>& csrStart,
+                        const std::vector<std::int32_t>& csrArcId, bool csrBuilt,
+                        const std::vector<std::int32_t>& ovHead,
+                        const std::vector<std::int32_t>& ovNext,
+                        std::size_t builtArcs, std::size_t node, Fn&& fn) {
+  if (csrBuilt) {
+    const std::size_t end = csrStart[node + 1];
+    for (std::size_t k = csrStart[node]; k < end; ++k)
+      if (fn(static_cast<std::size_t>(csrArcId[k]))) return;
+  }
+  if (!ovHead.empty()) {
+    for (std::int32_t a = ovHead[node]; a != -1;
+         a = ovNext[static_cast<std::size_t>(a) - builtArcs])
+      if (fn(static_cast<std::size_t>(a))) return;
+  }
+}
+
+}  // namespace
+
+template <typename Pred>
+std::int64_t MinCostFlow::findArcFrom(std::size_t node, Pred&& pred) const {
+  std::int64_t found = -1;
+  forEachArcFromImpl(csrStart_, csrArcId_, csrBuilt_, ovHead_, ovNext_, builtArcs_,
+                     node, [&](std::size_t a) {
+                       if (!pred(a)) return false;
+                       found = static_cast<std::int64_t>(a);
+                       return true;
+                     });
+  return found;
+}
+
+void MinCostFlow::cancelUnitBackwardFrom(std::size_t node) {
+  // Remove one unit of flow arriving at `node` by walking flow-carrying
+  // arcs backwards; stops at the source (no incoming flow). Every step
+  // lowers total routed volume by one unit, so the walk terminates even if
+  // the flow decomposition contains cycles.
+  for (;;) {
+    const std::int64_t back = findArcFrom(
+        node, [&](std::size_t a) { return (a & 1) != 0 && capOfArc(a) > 0; });
+    if (back < 0) return;
+    const auto b = static_cast<std::size_t>(back);
+    setArcResidual(b, capOfArc(b) - 1);
+    setArcResidual(b ^ 1, capOfArc(b ^ 1) + 1);
+    markDirtyArc(b);
+    markDirtyArc(b ^ 1);
+    node = static_cast<std::size_t>(arcTo_[b]);
+  }
+}
+
+void MinCostFlow::cancelUnitForwardFrom(std::size_t node) {
+  // Remove one unit of flow leaving `node`, walking toward the sink.
+  for (;;) {
+    const std::int64_t fwd = findArcFrom(
+        node, [&](std::size_t a) { return (a & 1) == 0 && capOfArc(a ^ 1) > 0; });
+    if (fwd < 0) return;
+    const auto a = static_cast<std::size_t>(fwd);
+    setArcResidual(a, capOfArc(a) + 1);
+    setArcResidual(a ^ 1, capOfArc(a ^ 1) - 1);
+    markDirtyArc(a);
+    markDirtyArc(a ^ 1);
+    node = static_cast<std::size_t>(arcTo_[a]);
+  }
+}
+
+std::int64_t MinCostFlow::cancelFlowThrough(std::size_t edgeId,
+                                            std::int64_t maxUnits) {
+  ensureCsr();
+  std::int64_t cancelled = 0;
+  const std::size_t fwd = 2 * edgeId;
+  while (cancelled < maxUnits && flowOn(edgeId) > 0) {
+    setArcResidual(fwd, capOfArc(fwd) + 1);
+    setArcResidual(fwd ^ 1, capOfArc(fwd ^ 1) - 1);
+    markDirtyArc(fwd);
+    markDirtyArc(fwd ^ 1);
+    cancelUnitBackwardFrom(static_cast<std::size_t>(arcFrom_[fwd]));
+    cancelUnitForwardFrom(static_cast<std::size_t>(arcTo_[fwd]));
+    ++cancelled;
+  }
+  if (cancelled > 0) {
+    flowUnits_ = std::max<std::int64_t>(0, flowUnits_ - cancelled);
+    // Restored forward residual capacity can carry negative reduced cost.
+    potentialsDirty_ = true;
+  }
+  return cancelled;
+}
+
+std::int64_t MinCostFlow::cancelFlowThroughNode(std::size_t node) {
+  ensureCsr();
+  std::int64_t cancelled = 0;
+  // Units passing through (or terminating at) `node`: consume an incoming
+  // unit, then its matching outgoing unit if conservation forwards one.
+  for (;;) {
+    const std::int64_t in = findArcFrom(
+        node, [&](std::size_t a) { return (a & 1) != 0 && capOfArc(a) > 0; });
+    if (in < 0) break;
+    const auto b = static_cast<std::size_t>(in);
+    setArcResidual(b, capOfArc(b) - 1);
+    setArcResidual(b ^ 1, capOfArc(b ^ 1) + 1);
+    markDirtyArc(b);
+    markDirtyArc(b ^ 1);
+    cancelUnitBackwardFrom(static_cast<std::size_t>(arcTo_[b]));
+    const std::int64_t out = findArcFrom(
+        node, [&](std::size_t a) { return (a & 1) == 0 && capOfArc(a ^ 1) > 0; });
+    if (out >= 0) {
+      const auto a = static_cast<std::size_t>(out);
+      setArcResidual(a, capOfArc(a) + 1);
+      setArcResidual(a ^ 1, capOfArc(a ^ 1) - 1);
+      markDirtyArc(a);
+      markDirtyArc(a ^ 1);
+      cancelUnitForwardFrom(static_cast<std::size_t>(arcTo_[a]));
+    }
+    ++cancelled;
+  }
+  // Units originating at `node` (source-like): leftover outgoing flow.
+  for (;;) {
+    const std::int64_t out = findArcFrom(
+        node, [&](std::size_t a) { return (a & 1) == 0 && capOfArc(a ^ 1) > 0; });
+    if (out < 0) break;
+    const auto a = static_cast<std::size_t>(out);
+    setArcResidual(a, capOfArc(a) + 1);
+    setArcResidual(a ^ 1, capOfArc(a ^ 1) - 1);
+    markDirtyArc(a);
+    markDirtyArc(a ^ 1);
+    cancelUnitForwardFrom(static_cast<std::size_t>(arcTo_[a]));
+    ++cancelled;
+  }
+  if (cancelled > 0) {
+    flowUnits_ = std::max<std::int64_t>(0, flowUnits_ - cancelled);
+    potentialsDirty_ = true;
+  }
+  return cancelled;
+}
+
+void MinCostFlow::setCapacity(std::size_t edgeId, std::int64_t capacity) {
+  assert(edgeId < baseCap_.size());
+  assert(capacity >= 0);
+  ensureCsr();
+  std::int64_t flow = flowOn(edgeId);
+  if (flow > capacity) {
+    cancelFlowThrough(edgeId, flow - capacity);
+    flow = capacity;
+  }
+  const std::int64_t old = baseCap_[edgeId];
+  baseCap_[edgeId] = capacity;
+  if (!arcEndpointDisabled(2 * edgeId)) {
+    setArcResidual(2 * edgeId, capacity - flow);
+    if (capacity > old) potentialsDirty_ = true;
+  }
+}
+
+void MinCostFlow::disableNode(std::size_t node) {
+  assert(node < nodes_.size());
+  ensureCsr();
+  if (disabled_.empty()) disabled_.assign(nodes_.size(), 0);
+  if (disabled_[node] != 0) return;
+  cancelFlowThroughNode(node);
+  disabled_[node] = 1;
+  // Zero every incident arc: the node's own arcs plus their reverses cover
+  // each incident edge exactly once. Capacity only shrinks here, so the
+  // potentials stay valid (beyond what the cancellation already flagged).
+  forEachArcFromImpl(csrStart_, csrArcId_, csrBuilt_, ovHead_, ovNext_, builtArcs_,
+                     node, [&](std::size_t a) {
+                       setArcResidual(a, 0);
+                       setArcResidual(a ^ 1, 0);
+                       return false;
+                     });
+}
+
+void MinCostFlow::enableNode(std::size_t node) {
+  assert(node < nodes_.size());
+  ensureCsr();
+  if (disabled_.empty() || disabled_[node] == 0) return;
+  disabled_[node] = 0;
+  forEachArcFromImpl(csrStart_, csrArcId_, csrBuilt_, ovHead_, ovNext_, builtArcs_,
+                     node, [&](std::size_t a) {
+                       // Arcs to a still-disabled neighbor stay closed; the
+                       // rest return to their zero-flow capacity (no flow
+                       // can traverse a disabled node, so there is none to
+                       // preserve on any incident arc).
+                       if (!nodeDisabled(static_cast<std::size_t>(arcTo_[a]))) {
+                         setArcResidual(a, zeroFlowCap(a));
+                         setArcResidual(a ^ 1, zeroFlowCap(a ^ 1));
+                       }
+                       return false;
+                     });
+  potentialsDirty_ = true;
+}
+
+void MinCostFlow::resetFlow() {
+  for (const std::int32_t k : dirtyCsr_)
+    csrArc_[static_cast<std::size_t>(k)].cap =
+        zeroFlowCap(static_cast<std::size_t>(csrArcId_[static_cast<std::size_t>(k)]));
+  for (const std::int32_t a : dirtyOv_)
+    arcCap_[static_cast<std::size_t>(a)] = zeroFlowCap(static_cast<std::size_t>(a));
+  dirtyCsr_.clear();
+  dirtyOv_.clear();
+  for (Node& node : nodes_) node.potential = 0;
+  flowUnits_ = 0;
+  potentialsDirty_ = false;
+}
+
+void MinCostFlow::truncateEdges(std::size_t edgeCount) {
+  assert(edgeCount <= baseCap_.size());
+  const std::size_t keepArcs = 2 * edgeCount;
+  if (csrBuilt_) {
+    assert(keepArcs >= builtArcs_ && "only overlay edges can be truncated");
+    for (std::size_t a = arcFrom_.size(); a > keepArcs;) {
+      --a;
+      assert(capOfArc(a) == zeroFlowCap(a) && "truncated edges must be flow-free");
+      // Dropping the suffix in reverse insertion order means each dropped
+      // arc is currently the tail of its node's overlay chain.
+      const auto u = static_cast<std::size_t>(arcFrom_[a]);
+      const std::size_t j = a - builtArcs_;
+      assert(ovTail_[u] == static_cast<std::int32_t>(a));
+      const std::int32_t prev = ovPrev_[j];
+      ovTail_[u] = prev;
+      if (prev == -1)
+        ovHead_[u] = -1;
+      else
+        ovNext_[static_cast<std::size_t>(prev) - builtArcs_] = -1;
+    }
+    ovNext_.resize(keepArcs - builtArcs_);
+    ovPrev_.resize(keepArcs - builtArcs_);
+    dirtyOv_.erase(std::remove_if(dirtyOv_.begin(), dirtyOv_.end(),
+                                  [&](std::int32_t a) {
+                                    return static_cast<std::size_t>(a) >= keepArcs;
+                                  }),
+                   dirtyOv_.end());
+  }
+  arcFrom_.resize(keepArcs);
+  arcTo_.resize(keepArcs);
+  arcCap_.resize(keepArcs);
+  arcCost_.resize(keepArcs);
+  baseCap_.resize(edgeCount);
+}
+
+void MinCostFlow::repairPotentials() {
+  potentialsDirty_ = false;
+  if (flowUnits_ == 0 && dirtyCsr_.empty() && dirtyOv_.empty()) {
+    // Zero flow: zero potentials are trivially valid (all costs >= 0).
+    for (Node& node : nodes_) node.potential = 0;
+    return;
+  }
+  // General repair: Bellman-Ford from a virtual source at distance zero to
+  // every node yields potentials under which all reduced costs are
+  // non-negative -- provided the residual graph has no negative cycle.
+  // Cancellation can leave one (the remaining flow need not be min-cost
+  // for its value); push flow around any such cycle first, which keeps the
+  // flow value, strictly lowers its cost, and therefore terminates. This
+  // path is never taken by the escape session (it resets to zero flow
+  // before editing).
+  const std::size_t n = nodes_.size();
+  std::vector<std::int32_t> parent(n, -1);
+  for (;;) {
+    for (Node& node : nodes_) node.potential = 0;
+    std::fill(parent.begin(), parent.end(), -1);
+    std::int64_t relaxedNode = -1;
+    for (std::size_t iter = 0; iter < n; ++iter) {
+      relaxedNode = -1;
+      for (std::size_t a = 0; a < arcFrom_.size(); ++a) {
+        if (capOfArc(a) <= 0) continue;
+        const auto u = static_cast<std::size_t>(arcFrom_[a]);
+        const auto v = static_cast<std::size_t>(arcTo_[a]);
+        const std::int64_t nd = nodes_[u].potential + arcCost_[a];
+        if (nd < nodes_[v].potential) {
+          nodes_[v].potential = nd;
+          parent[v] = static_cast<std::int32_t>(a);
+          relaxedNode = static_cast<std::int64_t>(v);
+        }
+      }
+      if (relaxedNode < 0) break;
+    }
+    if (relaxedNode < 0) return;  // converged: potentials valid
+    // A relaxation surviving n sweeps pinpoints a negative cycle: walk the
+    // parent chain n steps to land on it, then collect and cancel it.
+    auto x = static_cast<std::size_t>(relaxedNode);
+    for (std::size_t i = 0; i < n; ++i)
+      x = static_cast<std::size_t>(arcFrom_[static_cast<std::size_t>(parent[x])]);
+    std::vector<std::size_t> cycleArcs;
+    std::int64_t bottleneck = std::numeric_limits<std::int64_t>::max();
+    for (std::size_t v = x;;) {
+      const auto a = static_cast<std::size_t>(parent[v]);
+      cycleArcs.push_back(a);
+      bottleneck = std::min(bottleneck, capOfArc(a));
+      v = static_cast<std::size_t>(arcFrom_[a]);
+      if (v == x) break;
+    }
+    for (const std::size_t a : cycleArcs) {
+      setArcResidual(a, capOfArc(a) - bottleneck);
+      setArcResidual(a ^ 1, capOfArc(a ^ 1) + bottleneck);
+      markDirtyArc(a);
+      markDirtyArc(a ^ 1);
+    }
+  }
+}
+
 MinCostFlow::Result MinCostFlow::run(std::size_t s, std::size_t t,
                                      std::int64_t maxFlow) {
   ensureCsr();
+  if (potentialsDirty_) repairPotentials();
   Result result;
 
   while (result.flow < maxFlow) {
@@ -163,6 +514,28 @@ MinCostFlow::Result MinCostFlow::run(std::size_t s, std::size_t t,
                    static_cast<std::uint64_t>(v));
         }
       }
+      // Overlay arcs (added after the CSR build) scan after the node's CSR
+      // arcs -- exactly their per-node insertion-order position, so the
+      // relaxation sequence matches a solver handed these arcs up front.
+      if (!ovHead_.empty()) {
+        for (std::int32_t oa = ovHead_[u]; oa != -1;
+             oa = ovNext_[static_cast<std::size_t>(oa) - builtArcs_]) {
+          const auto a = static_cast<std::size_t>(oa);
+          if (arcCap_[a] <= 0) continue;
+          const auto v = static_cast<std::size_t>(arcTo_[a]);
+          Node& node = nodes_[v];
+          if (node.doneStamp == epoch_) continue;
+          const std::int64_t nd = d + arcCost_[a] + potU - node.potential;
+          assert(nd >= d && "reduced cost must be non-negative");
+          if (node.distStamp != epoch_ || nd < node.dist) {
+            node.dist = nd;
+            node.prevArc = -static_cast<std::int32_t>(a) - 2;
+            node.distStamp = epoch_;
+            heapPush((static_cast<std::uint64_t>(nd) << nodeBits_) |
+                     static_cast<std::uint64_t>(v));
+          }
+        }
+      }
     }
     if (!reachedSink) break;  // no augmenting path
 
@@ -182,32 +555,62 @@ MinCostFlow::Result MinCostFlow::run(std::size_t s, std::size_t t,
     }
     settled_.clear();
 
-    // Bottleneck along the path (prevArc holds CSR positions; the tail of
-    // the arc is the head of its reverse arc).
+    // Bottleneck along the path. prevArc holds CSR positions (>= 0, tail
+    // reachable via the reverse arc) or overlay arc ids encoded as
+    // -(arc + 2) (tail stored directly in the ingest arrays).
     std::int64_t push = maxFlow - result.flow;
     for (std::size_t v = t; v != s;) {
-      const auto k = static_cast<std::size_t>(nodes_[v].prevArc);
-      push = std::min(push, csrArc_[k].cap);
-      v = static_cast<std::size_t>(csrArc_[static_cast<std::size_t>(csrRev_[k])].to);
+      const std::int32_t code = nodes_[v].prevArc;
+      if (code >= 0) {
+        const auto k = static_cast<std::size_t>(code);
+        push = std::min(push, csrArc_[k].cap);
+        v = static_cast<std::size_t>(csrArc_[static_cast<std::size_t>(csrRev_[k])].to);
+      } else {
+        const auto a = static_cast<std::size_t>(-code - 2);
+        push = std::min(push, arcCap_[a]);
+        v = static_cast<std::size_t>(arcFrom_[a]);
+      }
     }
     for (std::size_t v = t; v != s;) {
-      const auto k = static_cast<std::size_t>(nodes_[v].prevArc);
-      csrArc_[k].cap -= push;
-      csrArc_[static_cast<std::size_t>(csrRev_[k])].cap += push;
-      result.cost += push * csrArc_[k].cost;
-      v = static_cast<std::size_t>(csrArc_[static_cast<std::size_t>(csrRev_[k])].to);
+      const std::int32_t code = nodes_[v].prevArc;
+      if (code >= 0) {
+        const auto k = static_cast<std::size_t>(code);
+        const auto r = static_cast<std::size_t>(csrRev_[k]);
+        csrArc_[k].cap -= push;
+        csrArc_[r].cap += push;
+        result.cost += push * csrArc_[k].cost;
+        dirtyCsr_.push_back(code);
+        dirtyCsr_.push_back(csrRev_[k]);
+        v = static_cast<std::size_t>(csrArc_[r].to);
+      } else {
+        const auto a = static_cast<std::size_t>(-code - 2);
+        arcCap_[a] -= push;
+        arcCap_[a ^ 1] += push;
+        result.cost += push * arcCost_[a];
+        dirtyOv_.push_back(static_cast<std::int32_t>(a));
+        dirtyOv_.push_back(static_cast<std::int32_t>(a ^ 1));
+        v = static_cast<std::size_t>(arcFrom_[a]);
+      }
     }
     result.flow += push;
+    flowUnits_ += push;
   }
   return result;
 }
 
+MinCostFlow::Result MinCostFlow::rerun(std::size_t s, std::size_t t,
+                                       std::int64_t maxFlow) {
+  resetFlow();
+  return run(s, t, maxFlow);
+}
+
 std::int64_t MinCostFlow::flowOn(std::size_t edgeId) const {
-  return originalCap_[edgeId] - capOf(2 * edgeId);
+  if (!disabled_.empty() && arcEndpointDisabled(2 * edgeId)) return 0;
+  return baseCap_[edgeId] - capOfArc(2 * edgeId);
 }
 
 std::int64_t MinCostFlow::residual(std::size_t edgeId) const {
-  return capOf(2 * edgeId);
+  return capOfArc(2 * edgeId);
 }
 
 }  // namespace pacor::graph

@@ -27,13 +27,44 @@ namespace pacor::graph {
 /// (distance, node) pairs — distance ties break toward the smaller node
 /// id — so results are identical to the original adjacency-list
 /// implementation, augmenting path for augmenting path.
+///
+/// ## Mutable-solver API (incremental sessions)
+///
+/// Beyond the classic build-once/run-once usage, the solver is a mutable
+/// object that supports warm restarts across topology edits:
+///
+///  * The CSR is built exactly once (at the first run or mutation). Edges
+///    added afterwards land in a small *overlay* adjacency that is scanned
+///    after a node's CSR arcs — which is exactly the position they would
+///    occupy under per-node insertion order, so a solver that received the
+///    same edges pre-build relaxes arcs in the same sequence and computes
+///    the same flow, augmenting path for augmenting path.
+///  * setCapacity / disableNode / enableNode edit capacities in place
+///    (cancelling any flow that the edit strands), cancelFlowThrough pushes
+///    routed flow back along the residual graph so conservation holds
+///    after an edit, and truncateEdges drops a suffix of overlay edges
+///    (the per-round arcs of a session).
+///  * resetFlow() returns the network to its zero-flow state in
+///    O(arcs touched by augmentation), not O(arcs), via a dirty list, and
+///    rerun() = resetFlow() + run(): a warm restart that reuses the CSR,
+///    the stamped search state, and all allocations. Potentials are
+///    cleared on reset — re-solving from the zero state with zeroed
+///    potentials reproduces the cold solver's augmentation sequence
+///    bit-for-bit, which keeps incremental results byte-identical to
+///    from-scratch solves (reusing the previous solve's potentials would
+///    silently change (distance, node) tie-breaking on equal-cost paths).
 class MinCostFlow {
  public:
   explicit MinCostFlow(std::size_t nodeCount);
 
   std::size_t nodeCount() const noexcept { return nodes_.size(); }
 
+  /// Number of edges added so far; edge ids are dense in [0, edgeCount()).
+  std::size_t edgeCount() const noexcept { return baseCap_.size(); }
+
   /// Adds a directed edge u -> v. Returns an edge id usable with flowOn().
+  /// Edges added after the first run/mutation go to the overlay (no CSR
+  /// rebuild); they behave as if inserted at the same point pre-build.
   std::size_t addEdge(std::size_t u, std::size_t v, std::int64_t capacity,
                       std::int64_t cost);
 
@@ -42,10 +73,22 @@ class MinCostFlow {
     std::int64_t cost = 0;
   };
 
+  /// Builds the CSR over the edges added so far (normally deferred to the
+  /// first run or mutation). Every edge added afterwards goes to the
+  /// overlay; a session calls this once after laying down its persistent
+  /// network so truncateEdges() can drop per-round edges later.
+  void freeze() { ensureCsr(); }
+
   /// Sends up to `maxFlow` units from s to t along successively cheapest
   /// augmenting paths. May be called repeatedly; flow accumulates.
   Result run(std::size_t s, std::size_t t,
              std::int64_t maxFlow = std::int64_t{1} << 60);
+
+  /// Warm restart: resetFlow() followed by run(). Reuses the CSR, the
+  /// stamped per-node search state, and every allocation of the previous
+  /// solve; only the arcs the previous solve actually touched are repaired.
+  Result rerun(std::size_t s, std::size_t t,
+               std::int64_t maxFlow = std::int64_t{1} << 60);
 
   /// Flow currently on edge `edgeId` (as returned by addEdge).
   std::int64_t flowOn(std::size_t edgeId) const;
@@ -53,17 +96,97 @@ class MinCostFlow {
   /// Residual capacity of edge `edgeId`.
   std::int64_t residual(std::size_t edgeId) const;
 
+  /// Current base capacity of edge `edgeId` (as set by addEdge/setCapacity).
+  std::int64_t capacityOf(std::size_t edgeId) const { return baseCap_[edgeId]; }
+
+  /// Total s->t units currently routed in the network (augmented minus
+  /// cancelled).
+  std::int64_t totalFlowUnits() const noexcept { return flowUnits_; }
+
+  /// Changes the capacity of `edgeId`. If the edge currently carries more
+  /// than `capacity` units, the excess is cancelled first (pushed back
+  /// along the residual graph), so capacity/flow invariants hold.
+  void setCapacity(std::size_t edgeId, std::int64_t capacity);
+
+  /// Disables `node`: cancels all flow through it, then zeroes the
+  /// residual capacity of every incident arc, so no future augmenting
+  /// path can use it. Idempotent.
+  void disableNode(std::size_t node);
+
+  /// Re-enables `node`: restores the base capacity of every incident arc
+  /// whose other endpoint is not itself disabled. Idempotent.
+  void enableNode(std::size_t node);
+
+  bool nodeDisabled(std::size_t node) const {
+    return !disabled_.empty() && disabled_[node] != 0;
+  }
+
+  /// Cancels up to `maxUnits` units of flow crossing `edgeId`, pushing
+  /// each unit back along flow-carrying arcs toward the source and sink
+  /// (the residual-graph repair that keeps conservation intact after an
+  /// edit). Returns the number of units cancelled; the network's total
+  /// s->t flow drops by that amount.
+  std::int64_t cancelFlowThrough(std::size_t edgeId,
+                                 std::int64_t maxUnits = std::int64_t{1} << 60);
+
+  /// Cancels every unit of flow passing through `node` (including flow
+  /// originating or terminating there). Returns the units cancelled.
+  std::int64_t cancelFlowThroughNode(std::size_t node);
+
+  /// Returns the network to its zero-flow state and clears the Johnson
+  /// potentials. Cost is proportional to the number of arcs the previous
+  /// solves touched, not the size of the graph.
+  void resetFlow();
+
+  /// Drops every edge with id >= `edgeCount` (a suffix). The dropped
+  /// edges must be overlay edges (added after the CSR build) and must be
+  /// flow-free — call resetFlow() or cancel their flow first. This is how
+  /// a session discards its per-round arcs while keeping the persistent
+  /// network.
+  void truncateEdges(std::size_t edgeCount);
+
+  /// Visits every edge that currently carries flow, in O(arcs touched by
+  /// augmentation) instead of O(edges): calls fn(edgeId, flow). An edge
+  /// may be visited more than once (the dirty list is not deduplicated);
+  /// callers must be idempotent per edge.
+  template <typename Fn>
+  void forEachPositiveFlowEdge(Fn&& fn) const {
+    const auto visit = [&](std::size_t arcId) {
+      if ((arcId & 1) != 0) return;  // forward arcs only
+      const std::size_t e = arcId >> 1;
+      const std::int64_t f = flowOn(e);
+      if (f > 0) fn(e, f);
+    };
+    for (const std::int32_t k : dirtyCsr_)
+      visit(static_cast<std::size_t>(csrArcId_[static_cast<std::size_t>(k)]));
+    for (const std::int32_t a : dirtyOv_) visit(static_cast<std::size_t>(a));
+  }
+
  private:
   void ensureCsr();
-  std::int64_t capOf(std::size_t arcId) const;
+  std::int64_t capOfArc(std::size_t arcId) const;
+  void setArcResidual(std::size_t arcId, std::int64_t cap);
+  std::int64_t zeroFlowCap(std::size_t arcId) const;
+  void markDirtyArc(std::size_t arcId);
+  bool arcEndpointDisabled(std::size_t arcId) const {
+    return nodeDisabled(static_cast<std::size_t>(arcFrom_[arcId])) ||
+           nodeDisabled(static_cast<std::size_t>(arcTo_[arcId]));
+  }
+  /// First arc out of `node` (scan order) with `pred(arcId)`; -1 if none.
+  template <typename Pred>
+  std::int64_t findArcFrom(std::size_t node, Pred&& pred) const;
+  void cancelUnitBackwardFrom(std::size_t node);
+  void cancelUnitForwardFrom(std::size_t node);
+  void repairPotentials();
 
-  // Edge ingest order; arc a = 2 * edge + (backward ? 1 : 0). Caps are
-  // authoritative here only until ensureCsr() moves them into csrCap_.
+  // Edge ingest order; arc a = 2 * edge + (backward ? 1 : 0). arcCap_ is
+  // authoritative for overlay arcs (and for all arcs until the CSR is
+  // built); CSR arcs keep their live residual in csrArc_.
   std::vector<std::int32_t> arcFrom_;
   std::vector<std::int32_t> arcTo_;
   std::vector<std::int64_t> arcCap_;
   std::vector<std::int64_t> arcCost_;
-  std::vector<std::int64_t> originalCap_;  ///< per edge
+  std::vector<std::int64_t> baseCap_;  ///< per edge; mutable via setCapacity
 
   // CSR adjacency: node u's arcs are CSR positions csrStart_[u] ..
   // csrStart_[u+1), in arc-id (= insertion) order. The Dijkstra-hot arc
@@ -76,16 +199,29 @@ class MinCostFlow {
   };
   static_assert(sizeof(CsrArc) == 16);
   std::vector<std::size_t> csrStart_;
-  std::vector<CsrArc> csrArc_;         ///< per CSR position
-  std::vector<std::int32_t> csrRev_;   ///< CSR position of the reverse arc
-  std::vector<std::int32_t> arcPos_;   ///< arc id -> CSR position
+  std::vector<CsrArc> csrArc_;           ///< per CSR position
+  std::vector<std::int32_t> csrRev_;     ///< CSR position of the reverse arc
+  std::vector<std::int32_t> arcPos_;     ///< arc id -> CSR position
+  std::vector<std::int32_t> csrArcId_;   ///< CSR position -> arc id
   std::size_t builtArcs_ = 0;
+  bool csrBuilt_ = false;
+
+  // Overlay adjacency for arcs added after the CSR build: doubly-linked
+  // per-node chains in insertion order, scanned after a node's CSR arcs.
+  // Indexed by (arcId - builtArcs_).
+  std::vector<std::int32_t> ovNext_;
+  std::vector<std::int32_t> ovPrev_;
+  std::vector<std::int32_t> ovHead_;  ///< per node; lazily sized
+  std::vector<std::int32_t> ovTail_;  ///< per node; lazily sized
+  void linkOverlayArc(std::size_t arcId);
 
   // Per-node search state; dist/prevArc valid when distStamp == epoch_.
+  // prevArc encodes a CSR position (>= 0) or an overlay arc id a as
+  // -(a + 2); -1 is the no-predecessor sentinel.
   struct Node {
     std::int64_t dist;
     std::int64_t potential;
-    std::int32_t prevArc;  ///< CSR position of the arc into this node
+    std::int32_t prevArc;
     std::uint32_t distStamp;
     std::uint32_t doneStamp;
     std::uint32_t pad;
@@ -93,6 +229,16 @@ class MinCostFlow {
   static_assert(sizeof(Node) == 32);
   std::vector<Node> nodes_;
   std::uint32_t epoch_ = 0;
+
+  std::vector<std::uint8_t> disabled_;  ///< per node; lazily sized
+
+  // Arcs whose residual diverged from the zero-flow value because of
+  // augmentation / cancellation; resetFlow() repairs exactly these.
+  // Entries may repeat (restoration is idempotent).
+  std::vector<std::int32_t> dirtyCsr_;  ///< CSR positions
+  std::vector<std::int32_t> dirtyOv_;   ///< overlay arc ids
+  std::int64_t flowUnits_ = 0;
+  bool potentialsDirty_ = false;  ///< an edit may have broken reduced costs
 
   // Open list: a 4-ary heap of keys packed as (distance << nodeBits_) |
   // node. Packed comparison is exactly the lexicographic (distance, node)

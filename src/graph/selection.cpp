@@ -5,6 +5,8 @@
 #include <limits>
 #include <numeric>
 
+#include "trace/trace.hpp"
+
 namespace pacor::graph {
 
 std::size_t SelectionProblem::addCandidate(std::size_t cluster, double nodeWeight) {
@@ -175,11 +177,14 @@ SelectionProblem::Solution SelectionProblem::solveGreedy() const {
 }
 
 SelectionProblem::Solution SelectionProblem::solveExact(std::size_t nodeBudget) const {
+  trace::Span span("selection.exact_bnb", "graph", trace::Level::kCluster);
   Solution greedy = solveGreedy();
   if (clusters_.empty()) return {{}, 0.0, true};
 
   BnB bnb{*this, clusters_, nodeBudget, 0, false, {}, {}, -std::numeric_limits<double>::infinity(), {}, {}};
   bnb.run(greedy.chosen, greedy.objective);
+  span.arg("explored", static_cast<std::int64_t>(bnb.explored));
+  span.arg("exhausted", bnb.exhausted ? 1 : 0);
 
   Solution sol;
   sol.chosen = bnb.best;

@@ -60,6 +60,13 @@ struct PacorConfig {
   /// Escape solver (kSequential is the ablation baseline of Sec. 5).
   EscapeMode escapeMode = EscapeMode::kMinCostFlow;
 
+  /// Serve the min-cost-flow escape passes from one persistent
+  /// EscapeFlowSession (warm restarts with per-round deltas) instead of
+  /// rebuilding the flow network every rip-up round. Results are
+  /// bit-identical either way; this only removes build work. The
+  /// `--no-incremental-escape` CLI flag clears it as an escape hatch.
+  bool incrementalEscape = true;
+
   /// Matching-driven rip-up passes: when a constrained cluster routes but
   /// cannot be equalized (its escape anchored at a leaf because a plain
   /// tree walls it in), relax the nearest plain blocker and redo the

@@ -1,8 +1,11 @@
 #pragma once
 
 #include <span>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "graph/min_cost_flow.hpp"
 #include "grid/obstacle_map.hpp"
 #include "pacor/work.hpp"
 
@@ -14,6 +17,12 @@ struct EscapeOutcome {
   int routedCount = 0;
   std::vector<std::size_t> failed;  ///< indices into the cluster span
   std::int64_t flowCost = 0;        ///< total channel length of escape paths
+  /// Seconds spent building the flow network (or, for a warm session
+  /// round, applying the per-round delta) and solving it. Measured
+  /// unconditionally so the pipeline can report cumulative flow time as
+  /// time.escape_flow_{build,run}_s metrics without a trace session.
+  double flowBuildSeconds = 0.0;
+  double flowRunSeconds = 0.0;
 };
 
 /// Simultaneous escape routing of all internally-routed clusters to the
@@ -31,6 +40,66 @@ struct EscapeOutcome {
 /// are left untouched and their pins stay reserved.
 EscapeOutcome escapeRoute(const chip::Chip& chip, grid::ObstacleMap& obstacles,
                           std::span<WorkCluster*> clusters);
+
+/// Persistent escape-flow solver that survives across pipeline rip-up
+/// rounds. Constructed once per design, it lays down the full node-split
+/// flow network over *every* cell (blocked cells are disabled nodes, so
+/// their arcs are zero-capacity rather than absent) plus one sink arc per
+/// control pin, freezes that as the solver's CSR, and then serves each
+/// escape round by applying deltas:
+///
+///  * cells whose occupancy changed since the last round (committed escape
+///    paths, rip-ups, re-routed trees) are disabled/enabled in place;
+///  * pin arcs are re-priced to 1/0 as pins are consumed or released;
+///  * per-round cluster supply and tap arcs go to the solver's overlay and
+///    are truncated again at the start of the next round;
+///  * the solve itself is a warm rerun() -- no node renumbering, no arc
+///    re-insertion, no CSR rebuild.
+///
+/// The delta rules are chosen so the positive-capacity arc set, and its
+/// per-node scan order, is identical to what escapeRoute() builds from
+/// scratch each round: zero-capacity arcs relax exactly like absent arcs,
+/// overlay arcs scan after a node's CSR arcs (their insertion-order
+/// position), and cluster virtual nodes are renumbered per round in
+/// pending order. Solutions are therefore bit-identical to the
+/// from-scratch path; only the build work disappears.
+class EscapeFlowSession {
+ public:
+  /// Snapshots the current obstacle state; later rounds diff against it.
+  EscapeFlowSession(const chip::Chip& chip, grid::ObstacleMap& obstacles);
+
+  /// Drop-in replacement for escapeRoute(): one escape pass over the
+  /// given clusters against the session's obstacle map.
+  EscapeOutcome route(std::span<WorkCluster*> clusters);
+
+  /// Warm-restart counters for the `escape.flow.warm_*` metrics.
+  struct Stats {
+    int rounds = 0;           ///< route() calls served
+    int warmRounds = 0;       ///< rounds after the first (delta-applied)
+    std::int64_t warmDeltaCells = 0;  ///< cells toggled across warm rounds
+    std::int64_t warmDeltaArcs = 0;   ///< overlay arcs added across warm rounds
+    std::int64_t persistentArcs = 0;  ///< arcs in the frozen network
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  const chip::Chip& chip_;
+  grid::ObstacleMap& obstacles_;
+  graph::MinCostFlow flow_;
+  std::size_t clusterBase_ = 0;
+  std::size_t source_ = 0;
+  std::size_t sink_ = 0;
+  std::size_t persistentEdges_ = 0;
+  std::vector<std::size_t> splitEdge_;  ///< per cell
+  std::vector<std::pair<std::int32_t, std::int32_t>> stepArc_;  ///< per edge
+  std::vector<std::size_t> pinEdge_;    ///< per chip pin index
+  std::vector<std::uint8_t> freeMirror_;  ///< last-synced isFree() per cell
+  std::vector<std::int32_t> nextCell_;    ///< decompose scratch, kept at -1
+  std::unordered_map<Point, chip::PinId> pinAt_;
+  Stats stats_;
+  double ctorSeconds_ = 0.0;  ///< charged to the first round's build time
+  bool firstRound_ = true;
+};
 
 /// Sequential greedy baseline for the same problem: clusters escape one at
 /// a time via multi-target A* to the nearest free pin, each committed path

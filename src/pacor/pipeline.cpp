@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
+#include <memory>
 #include <stdexcept>
 #include <unordered_set>
 
@@ -222,6 +223,27 @@ PacorResult routeChip(const chip::Chip& chip, const PacorConfig& config) {
   }
 
   // --- Stage 4: escape routing with de-clustering / rip-up rounds --------
+  // One escape-flow session serves every round of both the rip-up loop and
+  // the matching-retry re-escapes; created lazily at the first flow pass so
+  // it snapshots the post-routing obstacle state.
+  std::unique_ptr<EscapeFlowSession> escapeSession;
+  double escapeFlowBuildS = 0.0;
+  double escapeFlowRunS = 0.0;
+  const auto escapePass = [&](std::span<WorkCluster*> ptrs) {
+    EscapeOutcome outcome;
+    if (config.escapeMode != EscapeMode::kMinCostFlow) {
+      outcome = escapeRouteSequential(chip, obstacles, ptrs);
+    } else if (!config.incrementalEscape) {
+      outcome = escapeRoute(chip, obstacles, ptrs);
+    } else {
+      if (!escapeSession)
+        escapeSession = std::make_unique<EscapeFlowSession>(chip, obstacles);
+      outcome = escapeSession->route(ptrs);
+    }
+    escapeFlowBuildS += outcome.flowBuildSeconds;
+    escapeFlowRunS += outcome.flowRunSeconds;
+    return outcome;
+  };
   const auto runEscapeLoop = [&] {
     for (int round = 0; round < config.maxEscapeRounds; ++round) {
       trace::Span roundSpan("escape.round", "escape", trace::Level::kCluster);
@@ -230,9 +252,7 @@ PacorResult routeChip(const chip::Chip& chip, const PacorConfig& config) {
       std::vector<WorkCluster*> ptrs;
       ptrs.reserve(clusters.size());
       for (WorkCluster& wc : clusters) ptrs.push_back(&wc);
-      const EscapeOutcome outcome = config.escapeMode == EscapeMode::kMinCostFlow
-                                        ? escapeRoute(chip, obstacles, ptrs)
-                                        : escapeRouteSequential(chip, obstacles, ptrs);
+      const EscapeOutcome outcome = escapePass(ptrs);
       roundSpan.arg("failed", static_cast<std::int64_t>(outcome.failed.size()));
       if (std::getenv("PACOR_DEBUG")) {
         std::fprintf(stderr, "escape round %d: requested %d routed %d failed %zu [",
@@ -469,6 +489,22 @@ PacorResult routeChip(const chip::Chip& chip, const PacorConfig& config) {
   m.setInt("escape.wide_tap_remedies", result.escapeWideTapRemedies);
   m.setInt("escape.demotions", result.escapeDemotions);
   m.setInt("escape.splits", result.escapeSplits);
+  // Warm-restart effort of the incremental escape session; zeros when the
+  // session was disabled or never constructed (keeps the schema stable).
+  {
+    const EscapeFlowSession::Stats es =
+        escapeSession ? escapeSession->stats() : EscapeFlowSession::Stats{};
+    m.setInt("escape.flow.incremental", escapeSession ? 1 : 0);
+    m.setInt("escape.flow.cold_builds", escapeSession ? 1 : 0);
+    m.setInt("escape.flow.warm_rounds", es.warmRounds);
+    m.setInt("escape.flow.warm_delta_cells", es.warmDeltaCells);
+    m.setInt("escape.flow.warm_delta_arcs", es.warmDeltaArcs);
+    m.setInt("escape.flow.persistent_arcs", es.persistentArcs);
+  }
+  // Cumulative flow network build (or warm-delta) and solve time across
+  // every escape pass; the incremental session's win shows up here.
+  m.setReal("time.escape_flow_build_s", escapeFlowBuildS);
+  m.setReal("time.escape_flow_run_s", escapeFlowRunS);
   m.setInt("detour.reroutes", result.detourReroutes);
   m.setInt("detour.bump_fallbacks", result.detourBumpFallbacks);
   m.setInt("detour.iterations", result.detourIterations);

@@ -82,4 +82,57 @@ void printTable2Row(std::ostream& os, const PacorResult& withoutSel,
   os.unsetf(std::ios::fixed);
 }
 
+namespace {
+
+std::int64_t totalExpansions(const PacorResult& r) {
+  return r.metrics.getInt("search.cluster_routing.expansions") +
+         r.metrics.getInt("search.escape.expansions") +
+         r.metrics.getInt("search.detour.expansions");
+}
+
+}  // namespace
+
+std::string describeEffort(const PacorResult& result) {
+  const trace::MetricsRegistry& m = result.metrics;
+  std::ostringstream os;
+  os << "effort " << result.design << ": " << totalExpansions(result)
+     << " expansions (" << m.getInt("search.cluster_routing.searches")
+     << " route + " << m.getInt("search.detour.searches")
+     << " detour searches), " << m.getInt("escape.rounds")
+     << " escape round(s) (" << m.getInt("escape.flow.warm_rounds")
+     << " warm), " << m.getInt("detour.iterations") << " detour iteration(s)";
+  return os.str();
+}
+
+void printEffortHeader(std::ostream& os) {
+  os << std::left << std::setw(8) << "Design" << std::right;
+  for (int group = 0; group < 3; ++group)
+    os << " |" << std::setw(10) << "w/oSel" << std::setw(10) << "DetF"
+       << std::setw(10) << "PACOR";
+  os << '\n';
+  os << std::left << std::setw(8) << "" << std::right
+     << " |" << std::setw(30) << "Search expansions"
+     << " |" << std::setw(30) << "Escape rounds (warm)"
+     << " |" << std::setw(30) << "Detour iterations" << '\n';
+}
+
+void printEffortRow(std::ostream& os, const PacorResult& withoutSel,
+                    const PacorResult& detourFirst, const PacorResult& pacor) {
+  const PacorResult* variants[3] = {&withoutSel, &detourFirst, &pacor};
+  os << std::left << std::setw(8) << pacor.design << std::right << " |";
+  for (const PacorResult* r : variants)
+    os << std::setw(10) << totalExpansions(*r);
+  os << " |";
+  for (const PacorResult* r : variants) {
+    std::ostringstream cell;
+    cell << r->metrics.getInt("escape.rounds") << " ("
+         << r->metrics.getInt("escape.flow.warm_rounds") << ')';
+    os << std::setw(10) << cell.str();
+  }
+  os << " |";
+  for (const PacorResult* r : variants)
+    os << std::setw(10) << r->metrics.getInt("detour.iterations");
+  os << '\n';
+}
+
 }  // namespace pacor::core

@@ -19,4 +19,19 @@ void printTable2Header(std::ostream& os);
 void printTable2Row(std::ostream& os, const PacorResult& withoutSel,
                     const PacorResult& detourFirst, const PacorResult& pacor);
 
+/// One-line search-effort summary of a result, drawn from its
+/// MetricsRegistry: total A* expansions across the three search stages,
+/// escape rounds (and how many of them the incremental flow session served
+/// warm), and detour iterations. The Table 1 companion of describeResult.
+std::string describeEffort(const PacorResult& result);
+
+/// Prints the header of the search-effort companion of Table 2: the same
+/// three-variant grouping as printTable2Header, with effort columns from
+/// each result's MetricsRegistry instead of quality columns.
+void printEffortHeader(std::ostream& os);
+
+/// Prints one search-effort row for the three flow variants on a design.
+void printEffortRow(std::ostream& os, const PacorResult& withoutSel,
+                    const PacorResult& detourFirst, const PacorResult& pacor);
+
 }  // namespace pacor::core

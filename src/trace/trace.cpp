@@ -32,9 +32,10 @@ struct Buffer {
 };
 
 std::mutex gMutex;
-std::deque<Buffer> gBuffers;               // stable addresses, never freed
-std::atomic<std::uint64_t> gSession{0};    // bumped by beginSession
+std::deque<Buffer> gBuffers;               // the active session's buffers
+std::atomic<std::uint64_t> gSession{0};    // bumped by Session::begin/end
 std::atomic<std::int64_t> gT0{0};          // session time origin (ns)
+std::atomic<Session*> gActive{nullptr};    // the session owning gBuffers
 
 thread_local Buffer* tlBuffer = nullptr;
 thread_local std::uint64_t tlSession = 0;
@@ -60,17 +61,25 @@ std::optional<Level> parseLevel(std::string_view name) noexcept {
   return std::nullopt;
 }
 
-void beginSession(Level level) {
+Session::~Session() {
+  if (active()) end();  // discard: nobody is left to receive the events
+}
+
+void Session::begin(Level level) {
   std::lock_guard<std::mutex> lock(gMutex);
   gBuffers.clear();  // invalidated thread_local pointers re-acquire below
   gSession.fetch_add(1, std::memory_order_release);
   gT0.store(nowNs(), std::memory_order_relaxed);
+  gActive.store(level > Level::kOff ? this : nullptr,
+                std::memory_order_relaxed);
   detail::gLevel.store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
-std::vector<Event> endSession() {
+std::vector<Event> Session::end() {
+  if (!active()) return {};
   detail::gLevel.store(static_cast<int>(Level::kOff), std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(gMutex);
+  gActive.store(nullptr, std::memory_order_relaxed);
   std::vector<Event> merged;
   for (const Buffer& b : gBuffers)
     merged.insert(merged.end(), b.events.begin(), b.events.end());
@@ -82,6 +91,15 @@ std::vector<Event> endSession() {
     return a.durNs > b.durNs;  // enclosing span first
   });
   return merged;
+}
+
+bool Session::active() const noexcept {
+  return gActive.load(std::memory_order_relaxed) == this;
+}
+
+Session& defaultSession() noexcept {
+  static Session instance;
+  return instance;
 }
 
 bool sessionActive() noexcept { return enabled(Level::kStage); }

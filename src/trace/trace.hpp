@@ -56,17 +56,57 @@ struct Event {
   Arg args[2];
 };
 
+/// A recording session as a first-class handle: owns the per-thread event
+/// buffers collected while it is the active recorder. At most one Session
+/// records at a time (Span construction reads one global level atomic, so
+/// the disabled path stays a single load); begin() on one session while
+/// another is active supersedes it, discarding the superseded session's
+/// events -- the same fate repeated beginSession() calls always had.
+///
+/// The process-wide default instance is defaultSession(); the historical
+/// free functions beginSession/endSession/sessionActive are thin wrappers
+/// over it, so existing call sites compile (and behave) unchanged. Local
+/// Session objects are for isolated collection -- a test or a library
+/// consumer can record a region without disturbing anyone holding events
+/// from the default instance.
+class Session {
+ public:
+  Session() = default;
+  ~Session();  ///< ends (and discards) the session if still active
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Makes this session the active recorder at `level` (kOff just ends
+  /// it). Any previously active session -- this one included -- is ended
+  /// first and its buffered events are discarded. Call strictly before
+  /// the traced region; spans already open keep their old session's fate.
+  void begin(Level level);
+
+  /// Stops recording if this session is the active one, merges every
+  /// per-thread buffer, and returns the events sorted by (startNs, tid).
+  /// Returns an empty vector when this session was not active.
+  std::vector<Event> end();
+
+  /// True between begin(level > kOff) and end() of *this* session.
+  bool active() const noexcept;
+};
+
+/// The process-wide default session the free-function API drives.
+Session& defaultSession() noexcept;
+
 /// Starts a recording session at `level` (kOff clears and disables).
 /// Buffers from any previous session are discarded. Call strictly before
 /// the traced region -- spans already open keep their old session's fate.
-void beginSession(Level level);
+/// Equivalent to defaultSession().begin(level).
+inline void beginSession(Level level) { defaultSession().begin(level); }
 
 /// Stops recording, merges every per-thread buffer, and returns the
 /// events sorted by (startNs, tid). Returns an empty vector when no
-/// session was active.
-std::vector<Event> endSession();
+/// session was active. Equivalent to defaultSession().end().
+inline std::vector<Event> endSession() { return defaultSession().end(); }
 
-/// True between beginSession(level > kOff) and endSession().
+/// True while any session (default or local) is recording.
 bool sessionActive() noexcept;
 
 /// RAII scoped span. Construction is inert (no clock read, no buffer

@@ -53,6 +53,41 @@ TEST(Report, Table2RowsAlignUnderHeader) {
   }
 }
 
+TEST(Report, EffortSummaryDrawsFromMetricsRegistry) {
+  const auto chip = chip::generateChip(chip::s1Params());
+  const auto r = core::routeChip(chip);
+  const std::string text = core::describeEffort(r);
+  EXPECT_NE(text.find(r.design), std::string::npos);
+  EXPECT_NE(text.find("expansions"), std::string::npos);
+  EXPECT_NE(text.find("escape round"), std::string::npos);
+  // The counts come straight from the registry, not from stale result
+  // fields: the escape-round figure matches the metric.
+  const std::string rounds =
+      std::to_string(r.metrics.getInt("escape.rounds")) + " escape round";
+  EXPECT_NE(text.find(rounds), std::string::npos);
+}
+
+TEST(Report, EffortRowsAlignUnderHeader) {
+  const auto chip = chip::generateChip(chip::s1Params());
+  const auto r = core::routeChip(chip);
+  std::ostringstream os;
+  core::printEffortHeader(os);
+  core::printEffortRow(os, r, r, r);
+  std::istringstream lines(os.str());
+  std::string l1, l2, l3;
+  std::getline(lines, l1);
+  std::getline(lines, l2);
+  std::getline(lines, l3);
+  for (std::size_t pos = l1.find('|'); pos != std::string::npos;
+       pos = l1.find('|', pos + 1)) {
+    ASSERT_LT(pos, l3.size());
+    EXPECT_EQ(l3[pos], '|') << "column bar misaligned at " << pos;
+  }
+  // All three identical variants print identical effort cells.
+  EXPECT_NE(l3.find(std::to_string(r.metrics.getInt("detour.iterations"))),
+            std::string::npos);
+}
+
 TEST(Report, LengthSpreadEdgeCases) {
   core::RoutedCluster c;
   EXPECT_EQ(c.lengthSpread(), 0);  // no lengths

@@ -183,6 +183,49 @@ TEST(Trace, ParallelSearchTraceIsLaminarAndOutputUnchanged) {
   for (const trace::Event& e : serialEvents) EXPECT_EQ(e.tid, 0);
 }
 
+TEST(Trace, SessionHandleCollectsItsOwnEvents) {
+  // A local Session records a region in isolation; the free-function API
+  // (backed by the default instance) sees nothing of it.
+  trace::Session local;
+  EXPECT_FALSE(local.active());
+  local.begin(trace::Level::kStage);
+  EXPECT_TRUE(local.active());
+  EXPECT_TRUE(trace::sessionActive());
+  { trace::Span span("local.work", "test"); }
+  EXPECT_TRUE(trace::endSession().empty());  // default instance not active
+  EXPECT_TRUE(local.active());               // ... and did not end `local`
+  const auto events = local.end();
+  EXPECT_FALSE(local.active());
+  EXPECT_TRUE(contains(names(events), "local.work"));
+  EXPECT_TRUE(local.end().empty());  // ended sessions return nothing
+}
+
+TEST(Trace, SessionBeginSupersedesActiveRecorder) {
+  trace::Session first;
+  trace::Session second;
+  first.begin(trace::Level::kStage);
+  { trace::Span span("first.work", "test"); }
+  second.begin(trace::Level::kStage);  // discards first's events
+  EXPECT_FALSE(first.active());
+  EXPECT_TRUE(second.active());
+  { trace::Span span("second.work", "test"); }
+  EXPECT_TRUE(first.end().empty());
+  const auto events = second.end();
+  EXPECT_TRUE(contains(names(events), "second.work"));
+  EXPECT_FALSE(contains(names(events), "first.work"));
+  EXPECT_FALSE(trace::sessionActive());
+}
+
+TEST(Trace, DefaultSessionBacksFreeFunctions) {
+  EXPECT_FALSE(trace::defaultSession().active());
+  trace::beginSession(trace::Level::kStage);
+  EXPECT_TRUE(trace::defaultSession().active());
+  { trace::Span span("default.work", "test"); }
+  const auto events = trace::defaultSession().end();  // mix-and-match APIs
+  EXPECT_TRUE(contains(names(events), "default.work"));
+  EXPECT_FALSE(trace::sessionActive());
+}
+
 TEST(Trace, ChromeJsonShapeAndFileRoundTrip) {
   trace::beginSession(trace::Level::kCluster);
   {

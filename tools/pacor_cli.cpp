@@ -10,10 +10,12 @@
 // Exit code 0 on success / clean DRC, 1 on routing failure or violations,
 // 2 on usage errors.
 
+#include <array>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "chip/generator.hpp"
 #include "chip/io.hpp"
@@ -42,10 +44,13 @@ int usage() {
       "              [--trace=out.json]   (Chrome trace_event timeline of the run)\n"
       "              [--trace-level=stage|cluster|search]   (default cluster)\n"
       "              [--metrics=out.json]   (every pipeline counter of the run)\n"
+      "              [--no-incremental-escape]   (rebuild the escape flow\n"
+      "               network every rip-up round instead of warm-restarting\n"
+      "               one persistent session; same result, more work)\n"
       "  pacor check <in.chip> <in.sol>\n"
       "  pacor verify <in.chip> <in.sol>   (independent oracle + DRC cross-check)\n"
       "  pacor svg <in.chip> <in.sol> <out.svg>\n"
-      "  pacor table1\n"
+      "  pacor table1 [--effort]   (--effort also routes and prints search effort)\n"
       "  pacor table2\n";
   return 2;
 }
@@ -89,9 +94,10 @@ int cmdInfo(int argc, char** argv) {
 }
 
 int cmdRoute(int argc, char** argv) {
-  if (argc < 2 || argc > 7) return usage();
+  if (argc < 2 || argc > 8) return usage();
   core::PacorConfig cfg = core::pacorDefaultConfig();
   int jobs = 1;
+  bool incrementalEscape = true;
   std::string tracePath;
   std::string metricsPath;
   trace::Level traceLevel = trace::Level::kCluster;
@@ -119,11 +125,15 @@ int cmdRoute(int argc, char** argv) {
     } else if (v.rfind("--metrics=", 0) == 0) {
       metricsPath = v.substr(10);
       if (metricsPath.empty()) return usage();
+    } else if (v == "--no-incremental-escape") {
+      incrementalEscape = false;  // applied after the loop: --variant=
+                                  // resets cfg wholesale
     } else {
       return usage();
     }
   }
   cfg.jobs = jobs;
+  cfg.incrementalEscape = incrementalEscape;
   const chip::Chip c = chip::readChipFile(argv[0]);
   if (!tracePath.empty()) trace::beginSession(traceLevel);
   const core::PacorResult result = core::routeChip(c, cfg);
@@ -196,7 +206,10 @@ int cmdSvg(int argc, char** argv) {
   return 0;
 }
 
-int cmdTable1() {
+int cmdTable1(int argc, char** argv) {
+  if (argc > 1) return usage();
+  const bool effort = argc == 1 && std::string(argv[0]) == "--effort";
+  if (argc == 1 && !effort) return usage();
   std::printf("%-8s %-10s %8s %8s %8s\n", "Design", "Size", "#Valves", "#CP", "#Obs");
   for (const auto& params : chip::table1Designs()) {
     const auto c = chip::generateChip(params);
@@ -206,20 +219,33 @@ int cmdTable1() {
     std::printf("%-8s %-10s %8zu %8zu %8zu\n", c.name.c_str(), size, c.valves.size(),
                 c.pins.size(), c.obstacles.size());
   }
+  if (effort) {
+    std::printf("\n");
+    for (const auto& params : chip::table1Designs()) {
+      const auto c = chip::generateChip(params);
+      const auto result = routeChip(c, core::pacorDefaultConfig());
+      std::printf("%s\n", core::describeEffort(result).c_str());
+    }
+  }
   return 0;
 }
 
 int cmdTable2() {
   core::printTable2Header(std::cout);
   bool allComplete = true;
+  std::vector<std::array<core::PacorResult, 3>> rows;
   for (const auto& params : chip::table1Designs()) {
     const auto c = chip::generateChip(params);
-    const auto woSel = routeChip(c, core::withoutSelectionConfig());
-    const auto detourFirst = routeChip(c, core::detourFirstConfig());
-    const auto full = routeChip(c, core::pacorDefaultConfig());
+    auto woSel = routeChip(c, core::withoutSelectionConfig());
+    auto detourFirst = routeChip(c, core::detourFirstConfig());
+    auto full = routeChip(c, core::pacorDefaultConfig());
     core::printTable2Row(std::cout, woSel, detourFirst, full);
     allComplete &= woSel.complete && detourFirst.complete && full.complete;
+    rows.push_back({std::move(woSel), std::move(detourFirst), std::move(full)});
   }
+  std::cout << "\nSearch effort:\n";
+  core::printEffortHeader(std::cout);
+  for (const auto& row : rows) core::printEffortRow(std::cout, row[0], row[1], row[2]);
   return allComplete ? 0 : 1;
 }
 
@@ -236,7 +262,7 @@ int main(int argc, char** argv) {
     if (cmd == "check") return cmdCheck(argc - 2, argv + 2);
     if (cmd == "verify") return cmdVerify(argc - 2, argv + 2);
     if (cmd == "svg") return cmdSvg(argc - 2, argv + 2);
-    if (cmd == "table1") return cmdTable1();
+    if (cmd == "table1") return cmdTable1(argc - 2, argv + 2);
     if (cmd == "table2") return cmdTable2();
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';

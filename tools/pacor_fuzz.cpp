@@ -3,14 +3,17 @@
 // Drives chip::generateChip(chip::randomParams(seed)) through seeded
 // random designs (die size, valve/cluster mix, obstacle density, delta
 // all vary), runs the full pipeline under serial and parallel configs and
-// a rotating flow variant, and asserts three properties per design:
+// a rotating flow variant, and asserts four properties per design:
 //
 //   (a) the independent oracle (src/verify) accepts every produced
 //       solution of a run that claims completion,
 //   (b) serial and --jobs=N output are byte-identical (canonical
 //       solution text),
 //   (c) the oracle and the router-side DRC agree on clean/dirty -- a
-//       disagreement is a bug in one of the two checkers.
+//       disagreement is a bug in one of the two checkers,
+//   (d) the incremental escape-flow session is invisible in the output:
+//       a --no-incremental-escape run (flow network rebuilt from scratch
+//       every rip-up round) is byte-identical to the warm-restart run.
 //
 // Any failure dumps a repro (<dump>/fuzz_<seed>.chip + .sol [+ .par.sol])
 // with the seed in the name; checker disagreements are first minimized by
@@ -177,6 +180,20 @@ bool runDesign(const Options& opt, std::uint32_t seed, Tally& tally) {
     std::cerr << "FAIL seed " << seed
               << ": oracle verdict changed across a solution_io round trip\n";
     dumpRepro(opt, seed, chip, serial, nullptr);
+    ok = false;
+  }
+
+  // (d) incremental-escape runs stay byte-identical to from-scratch runs.
+  core::PacorConfig scratchCfg = serialCfg;
+  scratchCfg.incrementalEscape = !serialCfg.incrementalEscape;
+  const core::PacorResult scratch = core::routeChip(chip, scratchCfg);
+  if (const std::string scratchText = core::solutionToString(scratch);
+      scratchText != serialText) {
+    std::cerr << "FAIL seed " << seed << ": incrementalEscape="
+              << serialCfg.incrementalEscape << " and its inverse produce "
+              << "different solutions (" << serialText.size() << " vs "
+              << scratchText.size() << " bytes)\n";
+    dumpRepro(opt, seed, chip, serial, &scratch);
     ok = false;
   }
 
