@@ -236,6 +236,7 @@ EscapeFlowSession::EscapeFlowSession(const chip::Chip& chip,
     pinAt_.emplace(pin.pos, pin.id);
   }
   persistentEdges_ = flow_.edgeCount();
+  ++stats_.coldBuilds;
   stats_.persistentArcs = static_cast<std::int64_t>(2 * persistentEdges_);
 
   flow_.freeze();

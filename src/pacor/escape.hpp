@@ -72,8 +72,9 @@ class EscapeFlowSession {
   /// given clusters against the session's obstacle map.
   EscapeOutcome route(std::span<WorkCluster*> clusters);
 
-  /// Warm-restart counters for the `escape.flow.warm_*` metrics.
+  /// Warm-restart counters for the `escape.flow.*` metrics.
   struct Stats {
+    int coldBuilds = 0;       ///< full network constructions (1 per session)
     int rounds = 0;           ///< route() calls served
     int warmRounds = 0;       ///< rounds after the first (delta-applied)
     std::int64_t warmDeltaCells = 0;  ///< cells toggled across warm rounds

@@ -186,7 +186,10 @@ std::vector<WorkCluster> routeClustersStage(const chip::Chip& chip,
     trace::Span span("mst.speculate", "mst_routing", trace::Level::kCluster);
     span.arg("clusters", static_cast<std::int64_t>(pendingIdx.size()));
     spec.resize(pendingIdx.size());
-    pool->parallelFor(pendingIdx.size(), [&](std::size_t k, unsigned) {
+    route::SharedTally* const tally = route::activeTally();
+    pool->parallelFor(pendingIdx.size(), [&, tally](std::size_t k, unsigned) {
+      // Credit worker-thread searches to the requesting thread's sink.
+      route::TallyScope tallyScope(tally);
       const WorkCluster& wc = clusters[pendingIdx[k]];
       std::vector<Point> valveCells;
       valveCells.reserve(wc.spec.valves.size());

@@ -6,7 +6,9 @@
 #include <cstdlib>
 #include <limits>
 #include <memory>
+#include <optional>
 #include <stdexcept>
+#include <string>
 #include <unordered_set>
 
 #include "pacor/cluster_routing.hpp"
@@ -127,33 +129,61 @@ PacorConfig detourFirstConfig() {
   return cfg;
 }
 
+grid::ObstacleMap makeRoutingObstacleTemplate(const chip::Chip& chip) {
+  grid::ObstacleMap obstacles = chip.makeObstacleMap();
+  std::unordered_set<geom::Point> pinCells;
+  for (const chip::ControlPin& p : chip.pins) pinCells.insert(p.pos);
+  for (const geom::Point b : chip.routingGrid.boundaryCells())
+    if (!pinCells.contains(b) && obstacles.isFree(b)) obstacles.addObstacle(b);
+  return obstacles;
+}
+
 PacorResult routeChip(const chip::Chip& chip, const PacorConfig& config) {
+  return routeChip(chip, config, RouteResources{});
+}
+
+PacorResult routeChip(const chip::Chip& chip, const PacorConfig& config,
+                      const RouteResources& resources) {
   if (const auto err = chip.validate())
     throw std::invalid_argument("routeChip: invalid chip: " + *err);
+  if (resources.obstacleTemplate != nullptr &&
+      resources.obstacleTemplate->grid().cellCount() != chip.routingGrid.cellCount())
+    throw std::invalid_argument(
+        "routeChip: obstacle template does not match the chip's routing grid");
 
   const auto tStart = Clock::now();
   PacorResult result;
   result.design = chip.name;
   trace::Span rootSpan("pacor.route", "pipeline");
 
-  // Worker pool for the speculative-parallel routing stages. jobs <= 1
-  // spawns no threads and every stage takes the exact serial path.
-  const int jobs = config.jobs == 0 ? static_cast<int>(util::hardwareJobs())
-                                    : config.jobs;
-  util::ThreadPool pool(static_cast<unsigned>(std::max(1, jobs)));
+  // Worker pool for the speculative-parallel routing stages. A shared
+  // pool (serve mode) is reused as-is; otherwise one is built for this
+  // call. jobs <= 1 spawns no threads and every stage takes the exact
+  // serial path.
+  std::optional<util::ThreadPool> ownedPool;
+  if (resources.pool == nullptr) {
+    const int jobs = config.jobs == 0 ? static_cast<int>(util::hardwareJobs())
+                                      : config.jobs;
+    ownedPool.emplace(static_cast<unsigned>(std::max(1, jobs)));
+  }
+  util::ThreadPool& pool = resources.pool != nullptr ? *resources.pool : *ownedPool;
   util::ThreadPool* poolPtr = pool.threadCount() > 1 ? &pool : nullptr;
   result.parallelJobs = static_cast<int>(pool.threadCount());
-  const route::SearchCounters tally0 = route::searchTally();
+
+  // Request-scoped search-effort accounting. Per-stage counters are
+  // snapshots of this sink, never differences of the process-wide
+  // searchTally(): concurrent in-process requests each see only their own
+  // searches (pool workers re-install the sink inside every task).
+  route::SharedTally requestTally;
+  route::TallyScope tallyScope(&requestTally);
+  const route::SearchCounters tally0 = requestTally.snapshot();
 
   // Routing workspace: static obstacles plus blocked non-pin boundary
-  // cells (escape constraint 8 applied globally for consistency).
-  grid::ObstacleMap obstacles = chip.makeObstacleMap();
-  {
-    std::unordered_set<geom::Point> pinCells;
-    for (const chip::ControlPin& p : chip.pins) pinCells.insert(p.pos);
-    for (const geom::Point b : chip.routingGrid.boundaryCells())
-      if (!pinCells.contains(b) && obstacles.isFree(b)) obstacles.addObstacle(b);
-  }
+  // cells (escape constraint 8 applied globally for consistency); copied
+  // from the caller's cached template when one is supplied.
+  grid::ObstacleMap obstacles = resources.obstacleTemplate != nullptr
+                                    ? *resources.obstacleTemplate
+                                    : makeRoutingObstacleTemplate(chip);
 
   // --- Stage 1: valve clustering -----------------------------------------
   trace::Span spanClustering("stage.clustering", "pipeline");
@@ -203,7 +233,7 @@ PacorResult routeChip(const chip::Chip& chip, const PacorConfig& config) {
   spanMst.close();
   const auto tRouteEnd = Clock::now();
   result.times.clusterRouting = seconds(tClusterEnd, tRouteEnd);
-  const route::SearchCounters tallyRoute = route::searchTally();
+  const route::SearchCounters tallyRoute = requestTally.snapshot();
   result.searchClusterRouting = tallyRoute - tally0;
 
   // --- Optional: detour-first baseline (match around the tap) ------------
@@ -254,14 +284,25 @@ PacorResult routeChip(const chip::Chip& chip, const PacorConfig& config) {
       for (WorkCluster& wc : clusters) ptrs.push_back(&wc);
       const EscapeOutcome outcome = escapePass(ptrs);
       roundSpan.arg("failed", static_cast<std::int64_t>(outcome.failed.size()));
-      if (std::getenv("PACOR_DEBUG")) {
-        std::fprintf(stderr, "escape round %d: requested %d routed %d failed %zu [",
-                     round, outcome.requested, outcome.routedCount,
-                     outcome.failed.size());
-        for (const std::size_t f : outcome.failed)
-          std::fprintf(stderr, " %zu(%zuv,%s)", f, clusters[f].spec.valves.size(),
-                       clusters[f].lmStructured ? "lm" : "plain");
-        std::fprintf(stderr, " ]\n");
+      // The env is read once per process and each round's diagnostics go
+      // out as one write: concurrent requests' lines interleave whole, not
+      // character-by-character, and the hot loop never calls getenv.
+      static const bool kDebug = std::getenv("PACOR_DEBUG") != nullptr;
+      if (kDebug) {
+        char buf[96];
+        std::snprintf(buf, sizeof buf,
+                      "[%s] escape round %d: requested %d routed %d failed %zu [",
+                      chip.name.c_str(), round, outcome.requested,
+                      outcome.routedCount, outcome.failed.size());
+        std::string line = buf;
+        for (const std::size_t f : outcome.failed) {
+          std::snprintf(buf, sizeof buf, " %zu(%zuv,%s)", f,
+                        clusters[f].spec.valves.size(),
+                        clusters[f].lmStructured ? "lm" : "plain");
+          line += buf;
+        }
+        line += " ]\n";
+        std::fwrite(line.data(), 1, line.size(), stderr);
       }
       if (outcome.failed.empty()) break;
       if (round + 1 >= config.maxEscapeRounds) break;
@@ -376,7 +417,7 @@ PacorResult routeChip(const chip::Chip& chip, const PacorConfig& config) {
   spanEscape.close();
   const auto tEscapeEnd = Clock::now();
   result.times.escape = seconds(tRouteEnd, tEscapeEnd);
-  const route::SearchCounters tallyEscape = route::searchTally();
+  const route::SearchCounters tallyEscape = requestTally.snapshot();
   result.searchEscape = tallyEscape - tallyRoute;
 
   trace::Span spanDetour("stage.detour", "pipeline");
@@ -438,7 +479,7 @@ PacorResult routeChip(const chip::Chip& chip, const PacorConfig& config) {
   spanDetour.close();
   const auto tDetourEnd = Clock::now();
   result.times.detour = seconds(tEscapeEnd, tDetourEnd);
-  result.searchDetour = route::searchTally() - tallyEscape;
+  result.searchDetour = requestTally.snapshot() - tallyEscape;
 
   // --- Harvest ------------------------------------------------------------
   result.complete = true;
@@ -495,7 +536,7 @@ PacorResult routeChip(const chip::Chip& chip, const PacorConfig& config) {
     const EscapeFlowSession::Stats es =
         escapeSession ? escapeSession->stats() : EscapeFlowSession::Stats{};
     m.setInt("escape.flow.incremental", escapeSession ? 1 : 0);
-    m.setInt("escape.flow.cold_builds", escapeSession ? 1 : 0);
+    m.setInt("escape.flow.cold_builds", es.coldBuilds);
     m.setInt("escape.flow.warm_rounds", es.warmRounds);
     m.setInt("escape.flow.warm_delta_cells", es.warmDeltaCells);
     m.setInt("escape.flow.warm_delta_arcs", es.warmDeltaArcs);

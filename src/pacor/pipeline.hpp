@@ -1,10 +1,45 @@
 #pragma once
 
 #include "chip/chip.hpp"
+#include "grid/obstacle_map.hpp"
 #include "pacor/config.hpp"
 #include "pacor/result.hpp"
 
+namespace pacor::util {
+class ThreadPool;
+}
+
 namespace pacor::core {
+
+/// Long-lived resources an embedding caller (the serve loop) can supply
+/// to routeChip so repeated in-process requests stop re-doing per-call
+/// setup. Every field is optional; a default-constructed RouteResources
+/// reproduces the self-contained one-shot behavior.
+///
+/// The routed output is byte-identical (canonical solutionToString text)
+/// with or without shared resources, for any pool size -- reusing them
+/// only removes setup work, never changes results.
+struct RouteResources {
+  /// Worker pool shared across requests instead of constructing (and
+  /// joining) one per routeChip call. When set, config.jobs is ignored:
+  /// the pool's size decides the parallelism. The pool may be used by
+  /// several concurrent routeChip calls; batches are serialized inside
+  /// ThreadPool::parallelFor.
+  util::ThreadPool* pool = nullptr;
+
+  /// Prebuilt routing obstacle template for this chip, exactly as
+  /// makeRoutingObstacleTemplate() returns it. routeChip copies it
+  /// instead of re-deriving static obstacles + blocked boundary cells on
+  /// every request. Must match the chip's routing grid.
+  const grid::ObstacleMap* obstacleTemplate = nullptr;
+};
+
+/// The initial routing workspace of a chip: static obstacles plus blocked
+/// non-pin boundary cells (escape constraint 8 applied globally). This is
+/// what routeChip derives on every call when no template is supplied; a
+/// long-lived server builds it once per design and passes it through
+/// RouteResources.
+grid::ObstacleMap makeRoutingObstacleTemplate(const chip::Chip& chip);
 
 /// Runs the full PACOR control-layer routing flow (paper Fig. 2) on a
 /// chip instance: valve clustering, length-matching cluster routing (DME
@@ -12,7 +47,14 @@ namespace pacor::core {
 /// clusters, min-cost-flow escape routing with de-clustering / rip-up
 /// rounds, and path detouring for length matching. Throws
 /// std::invalid_argument when the chip fails validation.
+///
+/// Safe to call from several threads at once: each call owns its routing
+/// state, search-effort counters are scoped to the request (not diffed
+/// from the process-wide tally), and shared RouteResources are designed
+/// for concurrent use.
 PacorResult routeChip(const chip::Chip& chip, const PacorConfig& config = {});
+PacorResult routeChip(const chip::Chip& chip, const PacorConfig& config,
+                      const RouteResources& resources);
 
 /// Convenience configurations for the paper's Table 2 self-comparison.
 PacorConfig pacorDefaultConfig();   ///< the full flow

@@ -114,7 +114,10 @@ NegotiationResult negotiatedRoute(const grid::ObstacleMap& obstacles,
     // uses its own thread-local workspace.
     if (speculate) {
       spec.resize(edges.size());
-      pool->parallelFor(edges.size(), [&](std::size_t i, unsigned) {
+      SharedTally* const tally = activeTally();
+      pool->parallelFor(edges.size(), [&, tally](std::size_t i, unsigned) {
+        // Credit worker-thread searches to the requesting thread's sink.
+        TallyScope tallyScope(tally);
         RouterWorkspace& ws = localWorkspace();
         spec[i].found =
             aStarRoute(local, requestFor(edges[i], i, history, fenceFor(i)), &ws);

@@ -12,6 +12,8 @@ std::atomic<std::uint64_t> gSearches{0};
 std::atomic<std::uint64_t> gExpansions{0};
 std::atomic<std::uint64_t> gBoundedVisits{0};
 
+thread_local SharedTally* tlTally = nullptr;
+
 }  // namespace
 
 SearchCounters searchTally() noexcept {
@@ -20,11 +22,25 @@ SearchCounters searchTally() noexcept {
           gBoundedVisits.load(std::memory_order_relaxed)};
 }
 
+TallyScope::TallyScope(SharedTally* sink) noexcept : prev_(tlTally) {
+  // Counts accrued before this scope belong to the previous sink.
+  localWorkspace().flushCounters();
+  tlTally = sink;
+}
+
+TallyScope::~TallyScope() noexcept {
+  localWorkspace().flushCounters();
+  tlTally = prev_;
+}
+
+SharedTally* activeTally() noexcept { return tlTally; }
+
 void RouterWorkspace::flushCounters() noexcept {
   if (searches == 0 && expansions == 0 && boundedVisits == 0) return;
   gSearches.fetch_add(searches, std::memory_order_relaxed);
   gExpansions.fetch_add(expansions, std::memory_order_relaxed);
   gBoundedVisits.fetch_add(boundedVisits, std::memory_order_relaxed);
+  if (tlTally != nullptr) tlTally->add({searches, expansions, boundedVisits});
   searches = expansions = boundedVisits = 0;
 }
 

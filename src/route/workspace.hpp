@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -7,9 +8,9 @@
 
 namespace pacor::route {
 
-/// Aggregate search-effort counters, flushed from the workspaces into a
-/// process-wide tally (see searchTally()) so the pipeline can report
-/// per-stage A* work in machine-readable form.
+/// Aggregate search-effort counters, flushed from the workspaces into the
+/// thread's active SharedTally (and the process-wide tally) so the
+/// pipeline can report per-stage A* work in machine-readable form.
 struct SearchCounters {
   std::uint64_t searches = 0;       ///< A* invocations (all variants)
   std::uint64_t expansions = 0;     ///< settled open-list pops
@@ -27,9 +28,61 @@ struct SearchCounters {
   }
 };
 
-/// Reads the process-wide search tally (thread-safe). Callers snapshot it
-/// before and after a stage and subtract.
+/// Reads the process-wide search tally (thread-safe). This aggregates
+/// every search of the process lifetime across all concurrent callers;
+/// per-request accounting must use a SharedTally scope instead --
+/// differencing the process tally around a stage cross-contaminates
+/// concurrent in-process routeChip calls.
 SearchCounters searchTally() noexcept;
+
+/// A caller-owned counter sink multiple threads can flush into
+/// concurrently. One instance per routing request gives contamination-free
+/// per-request (and, via snapshots, per-stage) search effort even when
+/// several requests run in the same process at once.
+class SharedTally {
+ public:
+  void add(const SearchCounters& c) noexcept {
+    searches_.fetch_add(c.searches, std::memory_order_relaxed);
+    expansions_.fetch_add(c.expansions, std::memory_order_relaxed);
+    boundedVisits_.fetch_add(c.boundedVisits, std::memory_order_relaxed);
+  }
+  SearchCounters snapshot() const noexcept {
+    return {searches_.load(std::memory_order_relaxed),
+            expansions_.load(std::memory_order_relaxed),
+            boundedVisits_.load(std::memory_order_relaxed)};
+  }
+
+ private:
+  std::atomic<std::uint64_t> searches_{0};
+  std::atomic<std::uint64_t> expansions_{0};
+  std::atomic<std::uint64_t> boundedVisits_{0};
+};
+
+/// RAII scope routing this thread's flushed workspace counters into
+/// `sink` (in addition to the process tally) until destruction; the
+/// previous sink is restored on exit, so scopes nest. Construction and
+/// destruction flush the thread's workspace so counts settle into the
+/// sink that was active while they accrued.
+///
+/// The scope is per-thread: pool workers executing tasks on behalf of a
+/// request re-install the requesting thread's sink inside the task body
+/// (see activeTally()).
+class TallyScope {
+ public:
+  explicit TallyScope(SharedTally* sink) noexcept;
+  ~TallyScope() noexcept;
+
+  TallyScope(const TallyScope&) = delete;
+  TallyScope& operator=(const TallyScope&) = delete;
+
+ private:
+  SharedTally* prev_;
+};
+
+/// The calling thread's active sink (nullptr when none). parallelFor
+/// bodies capture this before the fan-out and re-install it per task so
+/// worker-thread searches are credited to the request that spawned them.
+SharedTally* activeTally() noexcept;
 
 /// Reusable scratch memory for the grid-search kernels (A*, the bend-aware
 /// variant, and the bounded-length DFS).

@@ -1,0 +1,267 @@
+#include "serve/serve.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "chip/generator.hpp"
+#include "chip/io.hpp"
+#include "pacor/solution_io.hpp"
+#include "util/sha256.hpp"
+
+namespace pacor::serve {
+
+namespace {
+
+unsigned poolSize(int jobs) {
+  const int resolved = jobs == 0 ? static_cast<int>(util::hardwareJobs()) : jobs;
+  return static_cast<unsigned>(std::max(1, resolved));
+}
+
+}  // namespace
+
+Server::Server(int jobs) : pool_(poolSize(jobs)) {}
+
+DesignContext& Server::context(const std::string& key,
+                               const std::function<chip::Chip()>& load) {
+  // Holding the map lock through `load` serializes first-touch loads of
+  // the same design (cheap: a generate or one file read, paid once).
+  std::lock_guard<std::mutex> lock(contextsMutex_);
+  auto it = contexts_.find(key);
+  if (it == contexts_.end())
+    it = contexts_.emplace(key, std::make_unique<DesignContext>(load())).first;
+  return *it->second;
+}
+
+std::size_t Server::designCount() const {
+  std::lock_guard<std::mutex> lock(contextsMutex_);
+  return contexts_.size();
+}
+
+Response Server::route(DesignContext& ctx, const RequestOptions& options) {
+  Response resp;
+  resp.design = ctx.chip().name;
+
+  // Trace ownership is serialized explicitly: a traced request waits for
+  // every in-flight request to drain and runs alone, so its session is
+  // neither superseded mid-flight nor polluted by concurrent requests'
+  // spans. Untraced requests share the fence and run concurrently.
+  const bool traced = !options.tracePath.empty();
+  std::shared_lock<std::shared_mutex> shared(traceFence_, std::defer_lock);
+  std::unique_lock<std::shared_mutex> exclusive(traceFence_, std::defer_lock);
+  if (traced)
+    exclusive.lock();
+  else
+    shared.lock();
+
+  if (traced) ctx.traceSession().begin(options.traceLevel);
+  try {
+    core::RouteResources resources;
+    resources.pool = &pool_;
+    resources.obstacleTemplate = &ctx.obstacleTemplate();
+    const core::PacorResult result =
+        core::routeChip(ctx.chip(), options.config, resources);
+    resp.complete = result.complete;
+    resp.solutionText = core::solutionToString(result);
+    resp.solutionHash = util::sha256Hex(resp.solutionText);
+    resp.clusterCount = result.clusters.size();
+    resp.totalLength = result.totalChannelLength;
+    resp.ok = true;
+    if (!options.solutionPath.empty())
+      core::writeSolutionFile(options.solutionPath, result);
+    if (!options.metricsPath.empty()) {
+      std::ofstream os(options.metricsPath);
+      os << "{\n  \"design\": \"" << result.design << "\",\n  \"metrics\": "
+         << result.metrics.toJson(/*pretty=*/true) << "\n}\n";
+      if (!os) {
+        resp.ok = false;
+        resp.error = "cannot write metrics file " + options.metricsPath;
+      }
+    }
+  } catch (const std::exception& e) {
+    resp.ok = false;
+    resp.error = e.what();
+  }
+
+  if (traced) {
+    const std::vector<trace::Event> events = ctx.traceSession().end();
+    // Belt and braces: the fence makes supersession impossible here, but a
+    // discarded trace must be reported, never returned as "empty".
+    if (ctx.traceSession().superseded()) {
+      resp.traceDiscarded = true;
+      resp.ok = false;
+      if (!resp.error.empty()) resp.error += "; ";
+      resp.error += "trace discarded: session superseded by a concurrent request";
+    } else {
+      resp.traceSpans = static_cast<int>(events.size());
+      if (!trace::writeChromeTrace(options.tracePath, events)) {
+        resp.ok = false;
+        if (!resp.error.empty()) resp.error += "; ";
+        resp.error += "cannot write trace file " + options.tracePath;
+      }
+    }
+  }
+  return resp;
+}
+
+Response Server::route(const std::string& key, const chip::Chip& chip,
+                       const RequestOptions& options) {
+  return route(context(key, [&] { return chip; }), options);
+}
+
+namespace {
+
+/// One parsed manifest line; `error` non-empty when the line is malformed.
+struct BatchRequest {
+  std::string design;
+  RequestOptions options;
+  std::string error;
+};
+
+std::optional<chip::GeneratorParams> findTable1Design(const std::string& name) {
+  for (const auto& params : chip::table1Designs())
+    if (params.name == name) return params;
+  return std::nullopt;
+}
+
+BatchRequest parseLine(const std::string& line) {
+  BatchRequest req;
+  std::istringstream is(line);
+  if (!(is >> req.design)) {
+    req.error = "empty request line";
+    return req;
+  }
+  std::string variant = "pacor";
+  bool incrementalEscape = true;
+  std::string token;
+  while (is >> token) {
+    if (token.rfind("sol=", 0) == 0) {
+      req.options.solutionPath = token.substr(4);
+    } else if (token.rfind("metrics=", 0) == 0) {
+      req.options.metricsPath = token.substr(8);
+    } else if (token.rfind("trace=", 0) == 0) {
+      req.options.tracePath = token.substr(6);
+    } else if (token.rfind("trace-level=", 0) == 0) {
+      const auto level = trace::parseLevel(token.substr(12));
+      if (!level) {
+        req.error = "bad trace-level '" + token.substr(12) + "'";
+        return req;
+      }
+      req.options.traceLevel = *level;
+    } else if (token.rfind("variant=", 0) == 0) {
+      variant = token.substr(8);
+    } else if (token == "no-incremental-escape") {
+      incrementalEscape = false;
+    } else {
+      req.error = "unknown option '" + token + "'";
+      return req;
+    }
+  }
+  if (variant == "pacor")
+    req.options.config = core::pacorDefaultConfig();
+  else if (variant == "wosel")
+    req.options.config = core::withoutSelectionConfig();
+  else if (variant == "detour-first")
+    req.options.config = core::detourFirstConfig();
+  else {
+    req.error = "unknown variant '" + variant + "'";
+    return req;
+  }
+  req.options.config.incrementalEscape = incrementalEscape;
+  return req;
+}
+
+Response executeRequest(Server& server, const BatchRequest& req) {
+  Response resp;
+  resp.design = req.design;
+  if (!req.error.empty()) {
+    resp.error = req.error;
+    return resp;
+  }
+  try {
+    DesignContext& ctx = server.context(req.design, [&req]() -> chip::Chip {
+      if (const auto params = findTable1Design(req.design))
+        return chip::generateChip(*params);
+      return chip::readChipFile(req.design);
+    });
+    resp = server.route(ctx, req.options);
+    resp.design = req.design;  // report the manifest key, not chip.name
+  } catch (const std::exception& e) {
+    resp.ok = false;
+    resp.error = e.what();
+  }
+  return resp;
+}
+
+void printResponse(std::ostream& out, const Response& resp) {
+  if (!resp.ok) {
+    out << "error " << resp.design << ' '
+        << (resp.error.empty() ? "unknown failure" : resp.error) << '\n';
+    return;
+  }
+  out << "ok " << resp.design << " sha256=" << resp.solutionHash
+      << " complete=" << (resp.complete ? 1 : 0) << " clusters="
+      << resp.clusterCount << " length=" << resp.totalLength;
+  if (resp.traceSpans >= 0) out << " trace_spans=" << resp.traceSpans;
+  out << '\n';
+}
+
+}  // namespace
+
+int runBatch(std::istream& manifest, std::ostream& out, const BatchOptions& options) {
+  std::vector<BatchRequest> requests;
+  std::string line;
+  while (std::getline(manifest, line)) {
+    const std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    requests.push_back(parseLine(line));
+  }
+
+  Server server(options.jobs);
+  std::vector<Response> responses(requests.size());
+  const auto t0 = std::chrono::steady_clock::now();
+
+  const std::size_t inFlight = std::min<std::size_t>(
+      static_cast<std::size_t>(std::max(1, options.concurrency)), requests.size());
+  if (inFlight <= 1) {
+    for (std::size_t i = 0; i < requests.size(); ++i)
+      responses[i] = executeRequest(server, requests[i]);
+  } else {
+    std::atomic<std::size_t> next{0};
+    const auto worker = [&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= requests.size()) break;
+        responses[i] = executeRequest(server, requests[i]);
+      }
+    };
+    std::vector<std::thread> threads;
+    threads.reserve(inFlight);
+    for (std::size_t t = 0; t < inFlight; ++t) threads.emplace_back(worker);
+    for (std::thread& t : threads) t.join();
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  // Responses print in request order; timing goes to stderr so stdout is
+  // byte-stable for a given manifest.
+  int failed = 0;
+  for (const Response& resp : responses) {
+    printResponse(out, resp);
+    if (!resp.ok || !resp.complete) ++failed;
+  }
+  std::fprintf(stderr,
+               "pacor serve: %zu request(s), %zu design context(s), jobs=%u, "
+               "concurrency=%zu, %d failure(s), %.2fs\n",
+               requests.size(), server.designCount(), server.threadCount(),
+               inFlight, failed, seconds);
+  return failed;
+}
+
+}  // namespace pacor::serve

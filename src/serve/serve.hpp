@@ -1,0 +1,150 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+
+#include "chip/chip.hpp"
+#include "grid/obstacle_map.hpp"
+#include "pacor/config.hpp"
+#include "pacor/pipeline.hpp"
+#include "trace/trace.hpp"
+#include "util/thread_pool.hpp"
+
+namespace pacor::serve {
+
+/// Options of one routing request. The config carries the flow variant
+/// knobs; config.jobs is ignored -- the server's shared pool decides the
+/// parallelism (the routed output is byte-identical for every value).
+struct RequestOptions {
+  core::PacorConfig config;
+
+  std::string solutionPath;  ///< write the solution file here when set
+  std::string metricsPath;   ///< write the metrics JSON here when set
+
+  /// Per-request Chrome trace. Tracing is a process-wide single-recorder
+  /// facility, so the server runs traced requests exclusively (no other
+  /// request in flight) -- see Server::route.
+  std::string tracePath;
+  trace::Level traceLevel = trace::Level::kCluster;
+};
+
+/// Result of one request, carrying the canonical solution bytes so callers
+/// can assert byte-identity against one-shot routeChip runs.
+struct Response {
+  std::string design;
+  bool ok = false;        ///< request executed without an exception
+  bool complete = false;  ///< 100% routing completion
+  std::string solutionText;  ///< canonical solutionToString bytes
+  std::string solutionHash;  ///< SHA-256 of solutionText
+  std::size_t clusterCount = 0;
+  std::int64_t totalLength = 0;
+  int traceSpans = -1;         ///< recorded spans; -1 = no trace requested
+  bool traceDiscarded = false; ///< trace superseded by a concurrent session
+  std::string error;           ///< non-empty when !ok (or trace/file I/O failed)
+};
+
+/// Per-design state the server keeps alive across requests: the parsed
+/// chip, the routing obstacle template (static obstacles + blocked
+/// boundary cells, derived once instead of per request), and this
+/// design's trace session handle. Thread-local RouterWorkspaces live on
+/// the shared pool's workers, so they too survive across requests without
+/// being owned here.
+///
+/// An EscapeFlowSession is deliberately NOT persisted yet: it snapshots
+/// one request's obstacle state at construction, so reusing it across
+/// requests needs a re-snapshot/diff API first. This context is where it
+/// will live once that lands.
+class DesignContext {
+ public:
+  explicit DesignContext(chip::Chip chip)
+      : chip_(std::move(chip)),
+        obstacleTemplate_(core::makeRoutingObstacleTemplate(chip_)) {}
+
+  const chip::Chip& chip() const noexcept { return chip_; }
+  const grid::ObstacleMap& obstacleTemplate() const noexcept {
+    return obstacleTemplate_;
+  }
+  trace::Session& traceSession() noexcept { return traceSession_; }
+
+ private:
+  chip::Chip chip_;
+  grid::ObstacleMap obstacleTemplate_;
+  trace::Session traceSession_;
+};
+
+/// Long-lived request loop state: one shared worker pool, one
+/// DesignContext per distinct design. Requests may be submitted from any
+/// number of threads concurrently; each gets an isolated result (own
+/// MetricsRegistry, request-scoped search counters) that is byte-identical
+/// to a fresh one-shot routeChip of the same chip and config.
+class Server {
+ public:
+  /// `jobs` sizes the shared routing pool (0 = all hardware threads).
+  explicit Server(int jobs = 1);
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The context for `key`, constructing it via `load` on first use.
+  /// Construction is serialized; later lookups are a map find. The
+  /// reference stays valid for the server's lifetime.
+  DesignContext& context(const std::string& key,
+                         const std::function<chip::Chip()>& load);
+
+  /// Routes one request against a held context.
+  Response route(DesignContext& ctx, const RequestOptions& options);
+
+  /// Convenience: get-or-create the context for `key` from `chip`, then
+  /// route. Later calls with the same key reuse the cached context (the
+  /// chip argument is ignored then).
+  Response route(const std::string& key, const chip::Chip& chip,
+                 const RequestOptions& options);
+
+  std::size_t designCount() const;
+  unsigned threadCount() const noexcept { return pool_.threadCount(); }
+
+ private:
+  util::ThreadPool pool_;
+  mutable std::mutex contextsMutex_;
+  // node-stable map: context references survive later insertions.
+  std::map<std::string, std::unique_ptr<DesignContext>> contexts_;
+
+  /// Trace ownership fence: tracing has one process-wide recorder, so a
+  /// traced request takes this exclusively (draining in-flight requests
+  /// and blocking new ones until its session ended), while untraced
+  /// requests run concurrently under shared locks. This is what keeps one
+  /// request's begin() from discarding another's events -- and keeps
+  /// concurrent requests' spans out of the active trace.
+  mutable std::shared_mutex traceFence_;
+};
+
+/// Batch/stdin line protocol. Each non-blank, non-'#' manifest line is one
+/// request:
+///
+///   <design> [sol=PATH] [metrics=PATH] [trace=PATH]
+///            [trace-level=stage|cluster|search]
+///            [variant=pacor|wosel|detour-first] [no-incremental-escape]
+///
+/// <design> is a Table-1 name (Chip1, Chip2, S1..S5; generated in-process)
+/// or a path to a .chip file. Responses go to `out` in request order, one
+/// line each:
+///
+///   ok <design> sha256=<hash> complete=<0|1> clusters=<n> length=<L> [trace_spans=<n>]
+///   error <design> <message>
+///
+/// Timing and throughput go to stderr so stdout stays byte-stable for a
+/// given manifest. Returns the number of failed requests (error responses
+/// plus incomplete routings).
+struct BatchOptions {
+  int jobs = 1;         ///< shared routing pool size (0 = all cores)
+  int concurrency = 1;  ///< requests in flight at once
+};
+int runBatch(std::istream& manifest, std::ostream& out, const BatchOptions& options);
+
+}  // namespace pacor::serve

@@ -20,12 +20,13 @@ std::int64_t nowNs() noexcept {
       .count();
 }
 
-/// Per-thread event storage. Buffers are owned by the registry and never
-/// freed: ThreadPool workers die with every routeChip call, but their
-/// spans must survive until endSession() merges them. A thread re-acquires
-/// a fresh buffer per session (the session stamp invalidates the cached
-/// thread_local pointer), so one long-lived thread across two sessions
-/// never writes into a drained buffer.
+/// Per-thread event storage. Buffers are owned by the registry, not the
+/// threads: a one-shot routeChip call's pool workers die before
+/// endSession() merges their spans, while a server's shared pool workers
+/// outlive many sessions. A thread re-acquires a fresh buffer per session
+/// (the session stamp invalidates the cached thread_local pointer), so
+/// one long-lived thread across two sessions never writes into a drained
+/// buffer.
 struct Buffer {
   int tid = 0;
   std::vector<Event> events;
@@ -67,6 +68,14 @@ Session::~Session() {
 
 void Session::begin(Level level) {
   std::lock_guard<std::mutex> lock(gMutex);
+  // Mark the session we are about to kick out so its owner can tell a
+  // silent discard from a trace that was simply empty. gActive always
+  // points at a live session: a Session that dies while active ends (and
+  // clears gActive) in its destructor.
+  if (Session* prev = gActive.load(std::memory_order_relaxed);
+      prev != nullptr && prev != this)
+    prev->superseded_ = true;
+  superseded_ = false;
   gBuffers.clear();  // invalidated thread_local pointers re-acquire below
   gSession.fetch_add(1, std::memory_order_release);
   gT0.store(nowNs(), std::memory_order_relaxed);
@@ -95,6 +104,11 @@ std::vector<Event> Session::end() {
 
 bool Session::active() const noexcept {
   return gActive.load(std::memory_order_relaxed) == this;
+}
+
+bool Session::superseded() const noexcept {
+  std::lock_guard<std::mutex> lock(gMutex);
+  return superseded_;
 }
 
 Session& defaultSession() noexcept {

@@ -61,7 +61,10 @@ struct Event {
 /// records at a time (Span construction reads one global level atomic, so
 /// the disabled path stays a single load); begin() on one session while
 /// another is active supersedes it, discarding the superseded session's
-/// events -- the same fate repeated beginSession() calls always had.
+/// events -- the same fate repeated beginSession() calls always had. The
+/// loser's superseded() flag is set so its owner can observe and report
+/// the discard; callers that must not lose events (the serve loop) are
+/// expected to serialize trace ownership instead of racing begin().
 ///
 /// The process-wide default instance is defaultSession(); the historical
 /// free functions beginSession/endSession/sessionActive are thin wrappers
@@ -85,11 +88,23 @@ class Session {
 
   /// Stops recording if this session is the active one, merges every
   /// per-thread buffer, and returns the events sorted by (startNs, tid).
-  /// Returns an empty vector when this session was not active.
+  /// Returns an empty vector when this session was not active -- check
+  /// superseded() to distinguish "never began" from "another session's
+  /// begin() discarded my events".
   std::vector<Event> end();
 
   /// True between begin(level > kOff) and end() of *this* session.
   bool active() const noexcept;
+
+  /// True when another session's begin() ended this one while it was
+  /// recording, discarding its buffered events before end() could collect
+  /// them. The flag survives end() (which then returns empty) so callers
+  /// can report the discard instead of silently accepting an empty trace;
+  /// it resets on the next begin() of this session.
+  bool superseded() const noexcept;
+
+ private:
+  bool superseded_ = false;  ///< guarded by the trace registry mutex
 };
 
 /// The process-wide default session the free-function API drives.

@@ -19,9 +19,10 @@ inline unsigned hardwareJobs() noexcept {
 }
 
 /// Minimal persistent thread pool for the routing pipeline's fork/join
-/// loops. One pool is created per routeChip call and reused across stages,
-/// so worker threads (and their thread-local RouterWorkspaces) are spawned
-/// once, not per cluster.
+/// loops. A one-shot routeChip call creates one pool and reuses it across
+/// stages; a long-lived server shares a single pool across every request
+/// (core::RouteResources), so worker threads -- and their thread-local
+/// RouterWorkspaces -- are spawned once per process, not per call.
 ///
 /// The only primitive is parallelFor: workers (and the calling thread)
 /// pull task indices from a shared atomic counter until exhausted. The
@@ -29,6 +30,12 @@ inline unsigned hardwareJobs() noexcept {
 /// one parallelFor call and < threadCount(), which lets callers keep
 /// per-worker scratch without locks. Exceptions thrown by the body are
 /// captured and the first one rethrown on the caller after the join.
+///
+/// parallelFor may be called from multiple threads concurrently: whole
+/// batches are serialized on an internal mutex, so concurrent callers
+/// take turns (each batch still sees the exact single-caller semantics,
+/// including stable workerIndex assignment). It remains non-reentrant
+/// from within a task body.
 ///
 /// A pool constructed with threads <= 1 spawns nothing and runs
 /// parallelFor inline; `--jobs 1` therefore exercises the exact serial
@@ -63,13 +70,15 @@ class ThreadPool {
 
   /// Runs body(taskIndex, workerIndex) for every taskIndex in
   /// [0, taskCount). Blocks until all tasks finished and every
-  /// participating worker has left the batch. Not reentrant.
+  /// participating worker has left the batch. Concurrent callers are
+  /// serialized batch-by-batch; not reentrant from a task body.
   void parallelFor(std::size_t taskCount, const Body& body) {
     if (taskCount == 0) return;
     if (workers_.empty()) {
       for (std::size_t i = 0; i < taskCount; ++i) body(i, 0);
       return;
     }
+    std::lock_guard batchLock(batchMutex_);
     {
       std::lock_guard lock(mutex_);
       body_ = &body;
@@ -136,6 +145,7 @@ class ThreadPool {
   }
 
   std::vector<std::thread> workers_;
+  std::mutex batchMutex_;  ///< serializes whole batches across callers
   std::mutex mutex_;
   std::condition_variable wake_;
   std::condition_variable done_;

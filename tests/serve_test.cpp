@@ -1,0 +1,218 @@
+// Long-lived serve mode: per-request isolation contracts.
+//
+//  * Request-scoped search counters: two concurrent in-process routeChip
+//    calls must report exactly the per-stage search effort of the same
+//    designs run serially (the seed implementation differenced a
+//    process-wide tally, so concurrent calls cross-contaminated each
+//    other's search.* metrics).
+//  * Serve-vs-oneshot byte-identity: requests through one Server -- which
+//    shares a thread pool and per-design obstacle templates across
+//    requests, sequentially and concurrently -- produce canonical
+//    solution text identical to a fresh one-shot routeChip.
+//  * Trace ownership: concurrent traced requests are serialized by the
+//    server, so both get their own complete trace and neither is
+//    silently discarded by supersession.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "chip/generator.hpp"
+#include "pacor/pipeline.hpp"
+#include "pacor/solution_io.hpp"
+#include "serve/serve.hpp"
+#include "util/sha256.hpp"
+
+namespace pacor {
+namespace {
+
+core::PacorConfig serialConfig() {
+  core::PacorConfig cfg = core::pacorDefaultConfig();
+  cfg.jobs = 1;
+  return cfg;
+}
+
+void expectCountersEqual(const route::SearchCounters& a,
+                         const route::SearchCounters& b, const char* stage) {
+  SCOPED_TRACE(stage);
+  EXPECT_EQ(a.searches, b.searches);
+  EXPECT_EQ(a.expansions, b.expansions);
+  EXPECT_EQ(a.boundedVisits, b.boundedVisits);
+}
+
+void expectSameStageCounters(const core::PacorResult& a, const core::PacorResult& b) {
+  expectCountersEqual(a.searchClusterRouting, b.searchClusterRouting,
+                      "cluster_routing");
+  expectCountersEqual(a.searchEscape, b.searchEscape, "escape");
+  expectCountersEqual(a.searchDetour, b.searchDetour, "detour");
+}
+
+TEST(RequestIsolation, ConcurrentRouteChipCountersMatchSerial) {
+  const chip::Chip chipA = chip::generateChip(chip::s3Params());
+  const chip::Chip chipB = chip::generateChip(chip::s4Params());
+
+  const core::PacorResult serialA = core::routeChip(chipA, serialConfig());
+  const core::PacorResult serialB = core::routeChip(chipB, serialConfig());
+
+  // Both calls run in flight together (spin barrier), so a process-global
+  // tally difference would attribute each call's searches to the other.
+  // These designs route in a few milliseconds, so one round can miss the
+  // contamination window; many rounds make a pre-fix failure near-certain.
+  constexpr int kRounds = 20;
+  for (int round = 0; round < kRounds; ++round) {
+    SCOPED_TRACE(round);
+    core::PacorResult concurrentA;
+    core::PacorResult concurrentB;
+    std::atomic<int> ready{0};
+    const auto runOn = [&ready](const chip::Chip& chip, core::PacorResult& out) {
+      ready.fetch_add(1);
+      while (ready.load() < 2) {
+      }
+      out = core::routeChip(chip, serialConfig());
+    };
+    std::thread ta(runOn, std::cref(chipA), std::ref(concurrentA));
+    std::thread tb(runOn, std::cref(chipB), std::ref(concurrentB));
+    ta.join();
+    tb.join();
+
+    expectSameStageCounters(serialA, concurrentA);
+    expectSameStageCounters(serialB, concurrentB);
+    ASSERT_EQ(core::solutionToString(serialA), core::solutionToString(concurrentA));
+    ASSERT_EQ(core::solutionToString(serialB), core::solutionToString(concurrentB));
+  }
+}
+
+TEST(RequestIsolation, ObstacleTemplateMustMatchTheChip) {
+  const chip::Chip small = chip::generateChip(chip::s1Params());
+  const chip::Chip big = chip::generateChip(chip::s3Params());
+  const grid::ObstacleMap wrongTemplate = core::makeRoutingObstacleTemplate(small);
+  core::RouteResources resources;
+  resources.obstacleTemplate = &wrongTemplate;
+  EXPECT_THROW(core::routeChip(big, serialConfig(), resources),
+               std::invalid_argument);
+}
+
+TEST(ServeIdentity, SequentialRequestsMatchOneShot) {
+  const chip::Chip chipA = chip::generateChip(chip::s2Params());
+  const chip::Chip chipB = chip::generateChip(chip::s3Params());
+  const std::string oneShotA =
+      core::solutionToString(core::routeChip(chipA, serialConfig()));
+  const std::string oneShotB =
+      core::solutionToString(core::routeChip(chipB, serialConfig()));
+
+  serve::Server server(/*jobs=*/2);
+  serve::RequestOptions options;
+  // Two rounds per design: the second request reuses the cached context
+  // (obstacle template) and the warm worker pool.
+  for (int round = 0; round < 2; ++round) {
+    SCOPED_TRACE(round);
+    const serve::Response a = server.route("A", chipA, options);
+    const serve::Response b = server.route("B", chipB, options);
+    ASSERT_TRUE(a.ok) << a.error;
+    ASSERT_TRUE(b.ok) << b.error;
+    EXPECT_TRUE(a.complete);
+    EXPECT_TRUE(b.complete);
+    EXPECT_EQ(a.solutionText, oneShotA);
+    EXPECT_EQ(b.solutionText, oneShotB);
+    EXPECT_EQ(a.solutionHash, util::sha256Hex(oneShotA));
+  }
+  EXPECT_EQ(server.designCount(), 2u);
+}
+
+TEST(ServeIdentity, ConcurrentRequestsMatchOneShot) {
+  const std::vector<chip::Chip> chips = {
+      chip::generateChip(chip::s2Params()),
+      chip::generateChip(chip::s3Params()),
+      chip::generateChip(chip::s4Params()),
+  };
+  std::vector<std::string> oneShot;
+  for (const chip::Chip& c : chips)
+    oneShot.push_back(core::solutionToString(core::routeChip(c, serialConfig())));
+
+  serve::Server server(/*jobs=*/2);
+  constexpr int kThreads = 4;
+  constexpr int kRequestsPerThread = 3;
+  std::vector<serve::Response> responses(kThreads * kRequestsPerThread);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&, t] {
+      for (int r = 0; r < kRequestsPerThread; ++r) {
+        const int i = t * kRequestsPerThread + r;
+        const std::size_t design = static_cast<std::size_t>(i) % chips.size();
+        responses[i] = server.route("design" + std::to_string(design),
+                                    chips[design], serve::RequestOptions{});
+      }
+    });
+  for (std::thread& t : threads) t.join();
+
+  for (int i = 0; i < kThreads * kRequestsPerThread; ++i) {
+    SCOPED_TRACE(i);
+    const std::size_t design = static_cast<std::size_t>(i) % chips.size();
+    ASSERT_TRUE(responses[i].ok) << responses[i].error;
+    EXPECT_EQ(responses[i].solutionText, oneShot[design]);
+  }
+  EXPECT_EQ(server.designCount(), chips.size());
+}
+
+TEST(ServeTrace, ConcurrentTracedRequestsBothRecord) {
+  const chip::Chip chipA = chip::generateChip(chip::s2Params());
+  const chip::Chip chipB = chip::generateChip(chip::s3Params());
+
+  serve::Server server(/*jobs=*/2);
+  serve::RequestOptions optionsA;
+  optionsA.tracePath = testing::TempDir() + "serve_trace_a.json";
+  serve::RequestOptions optionsB;
+  optionsB.tracePath = testing::TempDir() + "serve_trace_b.json";
+
+  serve::Response a;
+  serve::Response b;
+  std::thread ta([&] { a = server.route("A", chipA, optionsA); });
+  std::thread tb([&] { b = server.route("B", chipB, optionsB); });
+  ta.join();
+  tb.join();
+
+  for (const serve::Response* resp : {&a, &b}) {
+    ASSERT_TRUE(resp->ok) << resp->error;
+    EXPECT_FALSE(resp->traceDiscarded);
+    EXPECT_GT(resp->traceSpans, 0);
+  }
+  EXPECT_TRUE(std::ifstream(optionsA.tracePath).good());
+  EXPECT_TRUE(std::ifstream(optionsB.tracePath).good());
+}
+
+TEST(ServeBatch, ManifestRoutesInOrderAndReportsHashes) {
+  const chip::Chip s1 = chip::generateChip(chip::s1Params());
+  const std::string hash =
+      util::sha256Hex(core::solutionToString(core::routeChip(s1, serialConfig())));
+
+  std::istringstream manifest(
+      "# comment and blank lines are skipped\n"
+      "\n"
+      "S1\n"
+      "S1\n"
+      "no-such-design\n");
+  std::ostringstream out;
+  serve::BatchOptions options;
+  options.jobs = 2;
+  options.concurrency = 2;
+  const int failed = serve::runBatch(manifest, out, options);
+  EXPECT_EQ(failed, 1);  // the unknown design, and nothing else
+
+  std::istringstream lines(out.str());
+  std::string line;
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(std::getline(lines, line));
+    EXPECT_EQ(line.rfind("ok S1 sha256=" + hash + " complete=1", 0), 0u) << line;
+  }
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line.rfind("error no-such-design ", 0), 0u) << line;
+  EXPECT_FALSE(std::getline(lines, line));
+}
+
+}  // namespace
+}  // namespace pacor

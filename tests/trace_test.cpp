@@ -208,12 +208,21 @@ TEST(Trace, SessionBeginSupersedesActiveRecorder) {
   second.begin(trace::Level::kStage);  // discards first's events
   EXPECT_FALSE(first.active());
   EXPECT_TRUE(second.active());
+  // The loser is told about the discard instead of just returning an
+  // empty event list (callers like the serve loop surface this).
+  EXPECT_TRUE(first.superseded());
+  EXPECT_FALSE(second.superseded());
   { trace::Span span("second.work", "test"); }
   EXPECT_TRUE(first.end().empty());
   const auto events = second.end();
   EXPECT_TRUE(contains(names(events), "second.work"));
   EXPECT_FALSE(contains(names(events), "first.work"));
   EXPECT_FALSE(trace::sessionActive());
+
+  // A fresh begin() clears the stale flag.
+  first.begin(trace::Level::kStage);
+  EXPECT_FALSE(first.superseded());
+  first.end();
 }
 
 TEST(Trace, DefaultSessionBacksFreeFunctions) {

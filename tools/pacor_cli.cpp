@@ -2,6 +2,7 @@
 //
 //   pacor generate <design|params...> <out.chip>   synthesize an instance
 //   pacor route <in.chip> <out.sol> [--variant=pacor|wosel|detour-first]
+//   pacor serve [--batch=<manifest>]               long-lived request loop
 //   pacor check <in.chip> <in.sol>                 independent DRC verify
 //   pacor svg <in.chip> <in.sol> <out.svg>         render a routed chip
 //   pacor table1                                   print Table 1
@@ -25,6 +26,7 @@
 #include "pacor/pipeline.hpp"
 #include "pacor/report.hpp"
 #include "pacor/solution_io.hpp"
+#include "serve/serve.hpp"
 #include "trace/trace.hpp"
 #include "verify/oracle.hpp"
 #include "viz/svg.hpp"
@@ -47,6 +49,12 @@ int usage() {
       "              [--no-incremental-escape]   (rebuild the escape flow\n"
       "               network every rip-up round instead of warm-restarting\n"
       "               one persistent session; same result, more work)\n"
+      "  pacor serve [--batch=FILE] [--jobs=N] [--concurrency=N]\n"
+      "              long-lived request loop: routes one request per manifest\n"
+      "              line (from FILE, or stdin when --batch is omitted or '-'),\n"
+      "              reusing one worker pool and per-design contexts across\n"
+      "              requests. Line: <design|file.chip> [sol=P] [metrics=P]\n"
+      "              [trace=P] [trace-level=L] [variant=V] [no-incremental-escape]\n"
       "  pacor check <in.chip> <in.sol>\n"
       "  pacor verify <in.chip> <in.sol>   (independent oracle + DRC cross-check)\n"
       "  pacor svg <in.chip> <in.sol> <out.svg>\n"
@@ -161,6 +169,37 @@ int cmdRoute(int argc, char** argv) {
   return result.complete ? 0 : 1;
 }
 
+int cmdServe(int argc, char** argv) {
+  serve::BatchOptions opt;
+  std::string batchPath = "-";
+  for (int i = 0; i < argc; ++i) {
+    const std::string v = argv[i];
+    try {
+      if (v.rfind("--batch=", 0) == 0) {
+        batchPath = v.substr(8);
+        if (batchPath.empty()) return usage();
+      } else if (v.rfind("--jobs=", 0) == 0) {
+        opt.jobs = std::stoi(v.substr(7));
+        if (opt.jobs < 0) return usage();
+      } else if (v.rfind("--concurrency=", 0) == 0) {
+        opt.concurrency = std::stoi(v.substr(14));
+        if (opt.concurrency < 1) return usage();
+      } else {
+        return usage();
+      }
+    } catch (const std::exception&) {
+      return usage();
+    }
+  }
+  if (batchPath == "-") return serve::runBatch(std::cin, std::cout, opt) == 0 ? 0 : 1;
+  std::ifstream manifest(batchPath);
+  if (!manifest) {
+    std::cerr << "error: cannot read manifest " << batchPath << '\n';
+    return 2;
+  }
+  return serve::runBatch(manifest, std::cout, opt) == 0 ? 0 : 1;
+}
+
 int cmdCheck(int argc, char** argv) {
   if (argc != 2) return usage();
   const chip::Chip c = chip::readChipFile(argv[0]);
@@ -259,6 +298,7 @@ int main(int argc, char** argv) {
     if (cmd == "synth") return cmdSynth(argc - 2, argv + 2);
     if (cmd == "info") return cmdInfo(argc - 2, argv + 2);
     if (cmd == "route") return cmdRoute(argc - 2, argv + 2);
+    if (cmd == "serve") return cmdServe(argc - 2, argv + 2);
     if (cmd == "check") return cmdCheck(argc - 2, argv + 2);
     if (cmd == "verify") return cmdVerify(argc - 2, argv + 2);
     if (cmd == "svg") return cmdSvg(argc - 2, argv + 2);

@@ -13,7 +13,11 @@
 //       disagreement is a bug in one of the two checkers,
 //   (d) the incremental escape-flow session is invisible in the output:
 //       a --no-incremental-escape run (flow network rebuilt from scratch
-//       every rip-up round) is byte-identical to the warm-restart run.
+//       every rip-up round) is byte-identical to the warm-restart run,
+//   (e) the long-lived serve loop is invisible too: routing the design
+//       through one shared serve::Server (shared pool, reused workspaces
+//       and obstacle templates across all previous seeds' requests) is
+//       byte-identical to the independent one-shot run.
 //
 // Any failure dumps a repro (<dump>/fuzz_<seed>.chip + .sol [+ .par.sol])
 // with the seed in the name; checker disagreements are first minimized by
@@ -39,6 +43,7 @@
 #include "pacor/drc.hpp"
 #include "pacor/pipeline.hpp"
 #include "pacor/solution_io.hpp"
+#include "serve/serve.hpp"
 #include "trace/trace.hpp"
 #include "verify/oracle.hpp"
 
@@ -138,7 +143,8 @@ core::PacorResult minimizeDisagreement(const chip::Chip& chip,
   return result;
 }
 
-bool runDesign(const Options& opt, std::uint32_t seed, Tally& tally) {
+bool runDesign(const Options& opt, serve::Server& server, std::uint32_t seed,
+               Tally& tally) {
   const chip::GeneratorParams params = chip::randomParams(seed);
   const chip::Chip chip = chip::generateChip(params);
 
@@ -197,6 +203,22 @@ bool runDesign(const Options& opt, std::uint32_t seed, Tally& tally) {
     ok = false;
   }
 
+  // (e) N requests through one long-lived server == N independent runs.
+  // The server is shared across all seeds, so every request after the
+  // first exercises reused worker threads and a warm request loop.
+  serve::RequestOptions request;
+  request.config = serialCfg;
+  const serve::Response served =
+      server.route("fuzz_" + std::to_string(seed), chip, request);
+  if (!served.ok || served.solutionText != serialText) {
+    std::cerr << "FAIL seed " << seed << ": serve::Server output differs from "
+              << "the independent one-shot run ("
+              << (served.ok ? "different bytes" : "error: " + served.error)
+              << ")\n";
+    dumpRepro(opt, seed, chip, serial, nullptr);
+    ok = false;
+  }
+
   // (c) oracle / DRC agreement on clean-vs-dirty.
   if (checkersDisagree(chip, serial)) {
     const core::PacorResult minimized = minimizeDisagreement(chip, serial);
@@ -224,6 +246,7 @@ int main(int argc, char** argv) {
   if (!parseOptions(argc, argv, opt)) return usage();
 
   Tally tally;
+  serve::Server server(opt.jobs);  // shared across all seeds (property e)
   for (std::uint32_t i = 0; i < opt.designs; ++i) {
     const std::uint32_t seed = opt.seed + i;
     // Trace the first design end to end (serial + parallel runs) so the
@@ -231,7 +254,7 @@ int main(int argc, char** argv) {
     const bool traceThis = i == 0 && !opt.tracePath.empty();
     if (traceThis) trace::beginSession(trace::Level::kSearch);
     try {
-      if (!runDesign(opt, seed, tally)) ++tally.failures;
+      if (!runDesign(opt, server, seed, tally)) ++tally.failures;
     } catch (const std::exception& e) {
       // Generator/pipeline exceptions on a feasible random design are
       // harness bugs too -- surface them with the seed.
