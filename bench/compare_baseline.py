@@ -16,6 +16,11 @@ bench/baseline.json and fails (exit 1) when the run regressed:
   * serial wall-time per design and in total -- allowed to grow by
     --time-tolerance (default 100%, i.e. 2x; CI machines are noisy,
     local runs can pass --time-tolerance=0.02 for the paper's <2% bar).
+  * escape-stage wall-time per design (metrics time.escape_s) -- banded
+    by --stage-time-tolerance (defaults to --time-tolerance). The escape
+    stage is ~99% of the serial time on the flow-dominated designs, so a
+    regression in the escape-flow kernel fails the gate here even when
+    total-time noise would hide it.
   * golden-hash cross-check -- each design's solution_sha256 (the SHA-256
     of the canonical solution text, emitted by bench_routing) must match
     tests/golden/solution_hashes.txt, in BOTH the current run and the
@@ -27,7 +32,8 @@ bench/baseline.json and fails (exit 1) when the run regressed:
 
 Usage:
   bench/compare_baseline.py CURRENT.json BASELINE.json \
-      [--time-tolerance=1.0] [--counter-tolerance=0.10] [--golden=PATH]
+      [--time-tolerance=1.0] [--stage-time-tolerance=T] \
+      [--counter-tolerance=0.10] [--golden=PATH]
 """
 
 import json
@@ -86,11 +92,14 @@ def main(argv):
         print(__doc__.strip())
         return 2
     time_tol = 1.0
+    stage_time_tol = None
     counter_tol = 0.10
     golden_path = default_golden_path()
     for a in argv[1:]:
         if a.startswith("--time-tolerance="):
             time_tol = float(a.split("=", 1)[1])
+        elif a.startswith("--stage-time-tolerance="):
+            stage_time_tol = float(a.split("=", 1)[1])
         elif a.startswith("--counter-tolerance="):
             counter_tol = float(a.split("=", 1)[1])
         elif a.startswith("--golden="):
@@ -98,6 +107,8 @@ def main(argv):
         elif a.startswith("--"):
             print(f"unknown option {a}")
             return 2
+    if stage_time_tol is None:
+        stage_time_tol = time_tol
 
     golden = None
     if golden_path != "none":
@@ -150,6 +161,18 @@ def main(argv):
                         (name, f"search.{stage}.{counter}: {got} > "
                                f"{ref} +{counter_tol:.0%}"))
 
+        # Escape-stage wall-time: banded separately, so an escape-kernel
+        # regression is caught even when the design's total time is noisy.
+        ref = base.get("metrics", {}).get("time.escape_s")
+        got = cur.get("metrics", {}).get("time.escape_s")
+        if ref is not None:
+            if got is None:
+                violations.append((name, "metrics time.escape_s missing"))
+            elif got > ref * (1.0 + stage_time_tol):
+                violations.append(
+                    (name, f"time.escape_s: {got:.3f}s > {ref:.3f}s "
+                           f"+{stage_time_tol:.0%}"))
+
         # Wall-time: banded.
         ref = base["serial_seconds"]
         got = cur["serial_seconds"]
@@ -170,8 +193,8 @@ def main(argv):
                    else "golden cross-check skipped")
     print(f"PERF GATE: OK ({len(baseline['designs'])} designs, "
           f"serial total {got:.3f}s vs baseline {ref:.3f}s, "
-          f"time tolerance {time_tol:.0%}, counter tolerance {counter_tol:.0%}, "
-          f"{golden_note})")
+          f"time tolerance {time_tol:.0%}, stage tolerance {stage_time_tol:.0%}, "
+          f"counter tolerance {counter_tol:.0%}, {golden_note})")
     return 0
 
 

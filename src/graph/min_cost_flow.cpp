@@ -4,6 +4,7 @@
 #include <bit>
 #include <cassert>
 #include <limits>
+#include <unordered_map>
 
 namespace pacor::graph {
 
@@ -11,23 +12,23 @@ MinCostFlow::MinCostFlow(std::size_t nodeCount)
     : nodes_(nodeCount, Node{0, 0, -1, 0, 0, 0}),
       nodeBits_(std::max<unsigned>(1, std::bit_width(nodeCount))) {}
 
-void MinCostFlow::heapPush(std::uint64_t key) {
-  std::size_t i = heap_.size();
-  heap_.push_back(key);
+void MinCostFlow::heapPush(std::vector<std::uint64_t>& heap, std::uint64_t key) {
+  std::size_t i = heap.size();
+  heap.push_back(key);
   while (i > 0) {
     const std::size_t p = (i - 1) >> 2;
-    if (heap_[p] <= key) break;
-    heap_[i] = heap_[p];
+    if (heap[p] <= key) break;
+    heap[i] = heap[p];
     i = p;
   }
-  heap_[i] = key;
+  heap[i] = key;
 }
 
-std::uint64_t MinCostFlow::heapPop() {
-  const std::uint64_t top = heap_.front();
-  const std::uint64_t last = heap_.back();
-  heap_.pop_back();
-  const std::size_t n = heap_.size();
+std::uint64_t MinCostFlow::heapPop(std::vector<std::uint64_t>& heap) {
+  const std::uint64_t top = heap.front();
+  const std::uint64_t last = heap.back();
+  heap.pop_back();
+  const std::size_t n = heap.size();
   if (n > 0) {
     std::size_t i = 0;
     for (;;) {
@@ -36,14 +37,61 @@ std::uint64_t MinCostFlow::heapPop() {
       std::size_t m = c;
       const std::size_t hi = std::min(c + 4, n);
       for (std::size_t j = c + 1; j < hi; ++j)
-        if (heap_[j] < heap_[m]) m = j;
-      if (last <= heap_[m]) break;
-      heap_[i] = heap_[m];
+        if (heap[j] < heap[m]) m = j;
+      if (last <= heap[m]) break;
+      heap[i] = heap[m];
       i = m;
     }
-    heap_[i] = last;
+    heap[i] = last;
   }
   return top;
+}
+
+void MinCostFlow::bmInsert(std::size_t v) {
+  const std::size_t w0 = v >> 6;
+  const std::uint64_t bit = std::uint64_t{1} << (v & 63);
+  if ((bmL0_[w0] & bit) != 0) return;  // idempotent: dedups same-distance pushes
+  bmL0_[w0] |= bit;
+  bmL1_[w0 >> 6] |= std::uint64_t{1} << (w0 & 63);
+  bmL2_[w0 >> 12] |= std::uint64_t{1} << ((w0 >> 6) & 63);
+  ++bmCount_;
+}
+
+std::size_t MinCostFlow::bmPopMin() {
+  std::size_t w2 = 0;
+  while (bmL2_[w2] == 0) ++w2;
+  const std::size_t w1 =
+      (w2 << 6) + static_cast<std::size_t>(std::countr_zero(bmL2_[w2]));
+  const std::size_t w0 =
+      (w1 << 6) + static_cast<std::size_t>(std::countr_zero(bmL1_[w1]));
+  const std::size_t v =
+      (w0 << 6) + static_cast<std::size_t>(std::countr_zero(bmL0_[w0]));
+  bmL0_[w0] &= bmL0_[w0] - 1;
+  if (bmL0_[w0] == 0) {
+    bmL1_[w1] &= ~(std::uint64_t{1} << (w0 & 63));
+    if (bmL1_[w1] == 0) bmL2_[w2] &= ~(std::uint64_t{1} << (w1 & 63));
+  }
+  --bmCount_;
+  return v;
+}
+
+void MinCostFlow::bmClearAll() {
+  for (std::size_t w2 = 0; w2 < bmL2_.size(); ++w2) {
+    std::uint64_t m2 = bmL2_[w2];
+    while (m2 != 0) {
+      const std::size_t w1 =
+          (w2 << 6) + static_cast<std::size_t>(std::countr_zero(m2));
+      std::uint64_t m1 = bmL1_[w1];
+      while (m1 != 0) {
+        bmL0_[(w1 << 6) + static_cast<std::size_t>(std::countr_zero(m1))] = 0;
+        m1 &= m1 - 1;
+      }
+      bmL1_[w1] = 0;
+      m2 &= m2 - 1;
+    }
+    bmL2_[w2] = 0;
+  }
+  bmCount_ = 0;
 }
 
 std::size_t MinCostFlow::addEdge(std::size_t u, std::size_t v, std::int64_t capacity,
@@ -83,6 +131,11 @@ void MinCostFlow::linkOverlayArc(std::size_t arcId) {
     ovPrev_.resize(j + 1);
   }
   const auto u = static_cast<std::size_t>(arcFrom_[arcId]);
+  // Sticky "may have overlay arcs" marker in the node's own (hot, already
+  // loaded) record: the Dijkstra settle loop reads it instead of a random
+  // ovHead_ lookup per settle. Conservative -- truncateEdges leaves it set,
+  // and a stale marker just re-checks ovHead_ once.
+  nodes_[u].pad |= 1;
   ovNext_[j] = -1;
   ovPrev_[j] = ovTail_[u];
   if (ovTail_[u] == -1)
@@ -345,6 +398,7 @@ void MinCostFlow::enableNode(std::size_t node) {
 }
 
 void MinCostFlow::resetFlow() {
+  counters_.warmArcTouches += dirtyCsr_.size() + dirtyOv_.size();
   for (const std::int32_t k : dirtyCsr_)
     csrArc_[static_cast<std::size_t>(k)].cap =
         zeroFlowCap(static_cast<std::size_t>(csrArcId_[static_cast<std::size_t>(k)]));
@@ -452,13 +506,444 @@ void MinCostFlow::repairPotentials() {
   }
 }
 
+std::int64_t MinCostFlow::firstArcCode(std::size_t u) const {
+  if (csrStart_[u] < csrStart_[u + 1])
+    return static_cast<std::int64_t>(csrStart_[u]);
+  if (!ovHead_.empty() && ovHead_[u] != -1)
+    return -static_cast<std::int64_t>(ovHead_[u]) - 2;
+  return -1;
+}
+
+std::int64_t MinCostFlow::nextArcCode(std::size_t u, std::int64_t code) const {
+  if (code >= 0) {
+    const std::size_t k = static_cast<std::size_t>(code) + 1;
+    if (k < csrStart_[u + 1]) return static_cast<std::int64_t>(k);
+    if (!ovHead_.empty() && ovHead_[u] != -1)
+      return -static_cast<std::int64_t>(ovHead_[u]) - 2;
+    return -1;
+  }
+  const auto a = static_cast<std::size_t>(-code - 2);
+  const std::int32_t next = ovNext_[a - builtArcs_];
+  return next == -1 ? -1 : -static_cast<std::int64_t>(next) - 2;
+}
+
+std::int64_t MinCostFlow::residualOfCode(std::int64_t code) const {
+  return code >= 0 ? csrArc_[static_cast<std::size_t>(code)].cap
+                   : arcCap_[static_cast<std::size_t>(-code - 2)];
+}
+
+std::int32_t MinCostFlow::headOfCode(std::int64_t code) const {
+  return code >= 0 ? csrArc_[static_cast<std::size_t>(code)].to
+                   : arcTo_[static_cast<std::size_t>(-code - 2)];
+}
+
+std::int32_t MinCostFlow::tailOfCode(std::int64_t code) const {
+  if (code >= 0) {
+    const auto k = static_cast<std::size_t>(code);
+    return csrArc_[static_cast<std::size_t>(csrRev_[k])].to;
+  }
+  return arcFrom_[static_cast<std::size_t>(-code - 2)];
+}
+
+std::int64_t MinCostFlow::costOfCode(std::int64_t code) const {
+  return code >= 0 ? csrArc_[static_cast<std::size_t>(code)].cost
+                   : arcCost_[static_cast<std::size_t>(-code - 2)];
+}
+
+void MinCostFlow::pushOnCode(std::int64_t code, std::int64_t units) {
+  if (code >= 0) {
+    const auto k = static_cast<std::size_t>(code);
+    const auto r = static_cast<std::size_t>(csrRev_[k]);
+    csrArc_[k].cap -= units;
+    csrArc_[r].cap += units;
+    dirtyCsr_.push_back(static_cast<std::int32_t>(k));
+    dirtyCsr_.push_back(csrRev_[k]);
+  } else {
+    const auto a = static_cast<std::size_t>(-code - 2);
+    arcCap_[a] -= units;
+    arcCap_[a ^ 1] += units;
+    dirtyOv_.push_back(static_cast<std::int32_t>(a));
+    dirtyOv_.push_back(static_cast<std::int32_t>(a ^ 1));
+  }
+}
+
+std::int64_t MinCostFlow::remainingSinkCapacity(std::size_t t) const {
+  // Residual capacity of every arc INTO t = the partners of t's outgoing
+  // arcs (arcs come in 2e/2e+1 pairs). Every augmenting path is simple
+  // and ends on one such arc, so each routed unit consumes exactly one
+  // unit of this sum: zero remaining capacity proves no augmenting path
+  // exists, making the skip exactly equivalent to running a failing pass.
+  std::int64_t cap = 0;
+  forEachArcFromImpl(csrStart_, csrArcId_, csrBuilt_, ovHead_, ovNext_, builtArcs_,
+                     t, [&](std::size_t a) {
+                       cap += capOfArc(a ^ 1);
+                       return false;
+                     });
+  return cap;
+}
+
+std::int64_t MinCostFlow::augmentTightPaths(std::size_t s, std::size_t t,
+                                            std::int64_t budget, std::int64_t& cost) {
+  // Blocking-flow DFS over the admissible subgraph: residual arcs whose
+  // reduced cost under the just-updated potentials is zero. Every tight
+  // s->t path costs exactly the pass's sink distance (reduced costs
+  // telescope to zero), so saturating any set of them preserves the SSP
+  // optimality invariant; reverse arcs of tight arcs are tight too, so
+  // the potentials stay valid for the next Dijkstra pass. Standard
+  // current-arc + blocked-node marking bounds the phase by O(arcs +
+  // paths * length); a node marked blocked cannot regain an admissible
+  // outgoing arc within the phase, because augmentations only add
+  // residual on reverse arcs out of on-path nodes.
+  const std::size_t n = nodes_.size();
+  if (dfsCur_.size() < n) {
+    dfsCur_.assign(n, -1);
+    dfsCurStamp_.assign(n, 0);
+    dfsBlockedStamp_.assign(n, 0);
+    dfsOnPathStamp_.assign(n, 0);
+  }
+  if (++dfsPhase_ == 0) {
+    std::fill(dfsCurStamp_.begin(), dfsCurStamp_.end(), 0);
+    std::fill(dfsBlockedStamp_.begin(), dfsBlockedStamp_.end(), 0);
+    dfsPhase_ = 1;
+  }
+  std::int64_t total = 0;
+  while (total < budget) {
+    if (++dfsPathId_ == 0) {
+      std::fill(dfsOnPathStamp_.begin(), dfsOnPathStamp_.end(), 0);
+      dfsPathId_ = 1;
+    }
+    dfsStackNode_.clear();
+    dfsStackArc_.clear();
+    dfsStackNode_.push_back(static_cast<std::int32_t>(s));
+    dfsOnPathStamp_[s] = dfsPathId_;
+    bool reached = false;
+    while (!dfsStackNode_.empty()) {
+      const auto u = static_cast<std::size_t>(dfsStackNode_.back());
+      if (u == t) {
+        reached = true;
+        break;
+      }
+      std::int64_t cur = dfsCurStamp_[u] == dfsPhase_ ? dfsCur_[u] : firstArcCode(u);
+      dfsCurStamp_[u] = dfsPhase_;
+      const std::int64_t potU = nodes_[u].potential;
+      std::int64_t chosen = -1;
+      for (; cur != -1; cur = nextArcCode(u, cur)) {
+        if (residualOfCode(cur) <= 0) continue;
+        const auto v = static_cast<std::size_t>(headOfCode(cur));
+        if (dfsBlockedStamp_[v] == dfsPhase_ || dfsOnPathStamp_[v] == dfsPathId_)
+          continue;
+        if (costOfCode(cur) + potU - nodes_[v].potential != 0) continue;
+        chosen = cur;
+        break;
+      }
+      dfsCur_[u] = cur;
+      // Arc codes are >= 0 (CSR) or <= -2 (overlay); only the -1 sentinel
+      // means no admissible arc survived the scan.
+      if (chosen == -1) {
+        dfsBlockedStamp_[u] = dfsPhase_;
+        dfsStackNode_.pop_back();
+        if (!dfsStackArc_.empty()) dfsStackArc_.pop_back();
+      } else {
+        const auto v = static_cast<std::size_t>(headOfCode(chosen));
+        dfsStackNode_.push_back(static_cast<std::int32_t>(v));
+        dfsOnPathStamp_[v] = dfsPathId_;
+        dfsStackArc_.push_back(chosen);
+      }
+    }
+    if (!reached) break;
+    std::int64_t push = budget - total;
+    for (const std::int64_t code : dfsStackArc_)
+      push = std::min(push, residualOfCode(code));
+    for (const std::int64_t code : dfsStackArc_) {
+      pushOnCode(code, push);
+      cost += push * costOfCode(code);
+    }
+    total += push;
+    ++counters_.augmentations;
+    ++counters_.multiAugPaths;
+  }
+  return total;
+}
+
+bool MinCostFlow::augmentBidir(std::size_t s, std::size_t t, std::int64_t& cost) {
+  // Bidirectional Dijkstra over reduced costs for the final unit of
+  // demand: forward from s over residual arcs, backward from t over the
+  // partners of each settled node's outgoing arcs (= its incoming residual
+  // arcs), stopping once the best meeting-node path cannot be beaten by
+  // the two frontier minima. The found path is a shortest path w.r.t.
+  // reduced (hence actual) cost, so augmenting it keeps the flow optimal;
+  // it is generally NOT tight under the current potentials, so they are
+  // flagged dirty for any later run() on the accumulated flow.
+  ++counters_.bidirPasses;
+  const std::size_t n = nodes_.size();
+  if (bnodes_.size() < n) bnodes_.assign(n, BNode{0, -1, 0, 0});
+  if (epoch_ == std::numeric_limits<std::uint32_t>::max()) {
+    for (Node& node : nodes_) node.distStamp = node.doneStamp = 0;
+    epoch_ = 0;
+  }
+  ++epoch_;
+  if (bepoch_ == std::numeric_limits<std::uint32_t>::max()) {
+    for (BNode& node : bnodes_) node.distStamp = node.doneStamp = 0;
+    bepoch_ = 0;
+  }
+  ++bepoch_;
+  heap_.clear();
+  heapB_.clear();
+
+  constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
+  std::int64_t best = kInf;
+  std::size_t meet = static_cast<std::size_t>(-1);
+  const auto consider = [&](std::size_t v) {
+    if (nodes_[v].distStamp == epoch_ && bnodes_[v].distStamp == bepoch_) {
+      const std::int64_t c = nodes_[v].dist + bnodes_[v].dist;
+      if (c < best) {
+        best = c;
+        meet = v;
+      }
+    }
+  };
+
+  const std::uint64_t nodeMask = (std::uint64_t{1} << nodeBits_) - 1;
+  nodes_[s].dist = 0;
+  nodes_[s].prevArc = -1;
+  nodes_[s].distStamp = epoch_;
+  bnodes_[t].dist = 0;
+  bnodes_[t].prevArc = -1;
+  bnodes_[t].distStamp = bepoch_;
+  heapPush(heap_, static_cast<std::uint64_t>(s));
+  heapPush(heapB_, static_cast<std::uint64_t>(t));
+  consider(s);
+  consider(t);
+
+  while (!heap_.empty() || !heapB_.empty()) {
+    const std::int64_t topF =
+        heap_.empty() ? kInf : static_cast<std::int64_t>(heap_.front() >> nodeBits_);
+    const std::int64_t topB =
+        heapB_.empty() ? kInf
+                       : static_cast<std::int64_t>(heapB_.front() >> nodeBits_);
+    if (best <= (topF >= kInf || topB >= kInf ? kInf : topF + topB)) break;
+    if (topF <= topB) {
+      const std::uint64_t top = heapPop(heap_);
+      ++counters_.queuePops;
+      const auto u = static_cast<std::size_t>(top & nodeMask);
+      if (nodes_[u].doneStamp == epoch_) continue;
+      nodes_[u].doneStamp = epoch_;
+      ++counters_.settles;
+      const auto d = static_cast<std::int64_t>(top >> nodeBits_);
+      const std::int64_t potU = nodes_[u].potential;
+      for (std::int64_t code = firstArcCode(u); code != -1;
+           code = nextArcCode(u, code)) {
+        if (residualOfCode(code) <= 0) continue;
+        const auto v = static_cast<std::size_t>(headOfCode(code));
+        Node& node = nodes_[v];
+        if (node.doneStamp == epoch_) continue;
+        const std::int64_t nd = d + costOfCode(code) + potU - node.potential;
+        assert(nd >= d && "reduced cost must be non-negative");
+        if (node.distStamp != epoch_ || nd < node.dist) {
+          node.dist = nd;
+          node.prevArc = static_cast<std::int32_t>(code);
+          node.distStamp = epoch_;
+          heapPush(heap_, (static_cast<std::uint64_t>(nd) << nodeBits_) |
+                              static_cast<std::uint64_t>(v));
+          ++counters_.heapPushes;
+          consider(v);
+        }
+      }
+    } else {
+      const std::uint64_t top = heapPop(heapB_);
+      ++counters_.queuePops;
+      const auto w = static_cast<std::size_t>(top & nodeMask);
+      if (bnodes_[w].doneStamp == bepoch_) continue;
+      bnodes_[w].doneStamp = bepoch_;
+      ++counters_.settles;
+      const auto d = static_cast<std::int64_t>(top >> nodeBits_);
+      const std::int64_t potW = nodes_[w].potential;
+      for (std::int64_t code = firstArcCode(w); code != -1;
+           code = nextArcCode(w, code)) {
+        // Partner arc: x -> w, the residual arc into w this step relaxes.
+        std::int64_t partner;
+        std::size_t x;
+        if (code >= 0) {
+          partner = static_cast<std::int64_t>(csrRev_[static_cast<std::size_t>(code)]);
+          x = static_cast<std::size_t>(csrArc_[static_cast<std::size_t>(code)].to);
+        } else {
+          const auto a = static_cast<std::size_t>(-code - 2);
+          partner = -static_cast<std::int64_t>(a ^ 1) - 2;
+          x = static_cast<std::size_t>(arcTo_[a]);
+        }
+        if (residualOfCode(partner) <= 0) continue;
+        BNode& node = bnodes_[x];
+        if (node.doneStamp == bepoch_) continue;
+        const std::int64_t nd =
+            d + costOfCode(partner) + nodes_[x].potential - potW;
+        assert(nd >= d && "reduced cost must be non-negative");
+        if (node.distStamp != bepoch_ || nd < node.dist) {
+          node.dist = nd;
+          node.prevArc = static_cast<std::int32_t>(partner);
+          node.distStamp = bepoch_;
+          heapPush(heapB_, (static_cast<std::uint64_t>(nd) << nodeBits_) |
+                               static_cast<std::uint64_t>(x));
+          ++counters_.heapPushes;
+          consider(x);
+        }
+      }
+    }
+  }
+  if (meet == static_cast<std::size_t>(-1)) return false;
+
+  // Stitch the two prevArc chains into one arc-code walk s -> ... -> t.
+  std::vector<std::int64_t> codes;
+  for (std::size_t v = meet; v != s;) {
+    const std::int32_t code = nodes_[v].prevArc;
+    codes.push_back(code);
+    v = static_cast<std::size_t>(tailOfCode(code));
+  }
+  std::reverse(codes.begin(), codes.end());
+  for (std::size_t v = meet; v != t;) {
+    const std::int32_t code = bnodes_[v].prevArc;
+    codes.push_back(code);
+    v = static_cast<std::size_t>(headOfCode(code));
+  }
+
+  // The halves may overlap (a node settled by both sides); excise any
+  // cycle so each arc appears at most once — cycles on a shortest walk
+  // have zero reduced cost, so the remaining simple path is still minimal.
+  std::vector<std::int64_t> path;
+  std::vector<std::size_t> nodeSeq{s};
+  std::unordered_map<std::size_t, std::size_t> at{{s, 0}};
+  for (const std::int64_t code : codes) {
+    const auto v = static_cast<std::size_t>(headOfCode(code));
+    if (const auto it = at.find(v); it != at.end()) {
+      while (nodeSeq.size() > it->second + 1) {
+        at.erase(nodeSeq.back());
+        nodeSeq.pop_back();
+        path.pop_back();
+      }
+      continue;
+    }
+    path.push_back(code);
+    nodeSeq.push_back(v);
+    at.emplace(v, nodeSeq.size() - 1);
+  }
+
+  for (const std::int64_t code : path) {
+    assert(residualOfCode(code) > 0);
+    pushOnCode(code, 1);
+    cost += costOfCode(code);
+  }
+  ++counters_.augmentations;
+  potentialsDirty_ = true;
+  return true;
+}
+
 MinCostFlow::Result MinCostFlow::run(std::size_t s, std::size_t t,
                                      std::int64_t maxFlow) {
   ensureCsr();
   if (potentialsDirty_) repairPotentials();
   Result result;
 
+  // Lazy queue storage. Bucket array is distance-indexed (kBucketSpan
+  // slots); the bitmap covers node ids and represents the ACTIVE bucket.
+  if (useBucketQueue_) {
+    if (buckets_.size() < static_cast<std::size_t>(kBucketSpan))
+      buckets_.resize(static_cast<std::size_t>(kBucketSpan));
+    const std::size_t words = (nodes_.size() + 63) / 64;
+    if (bmL0_.size() < words) {
+      bmL0_.assign(words, 0);
+      bmL1_.assign((words + 63) / 64, 0);
+      bmL2_.assign((bmL1_.size() + 63) / 64, 0);
+      bmCount_ = 0;
+    }
+  }
+  const std::uint64_t nodeMask = (std::uint64_t{1} << nodeBits_) - 1;
+
+  // Effort tallies live in registers inside the hot loop and flush to
+  // counters_ once per run().
+  std::uint64_t nBucketPushes = 0, nHeapPushes = 0, nQueuePops = 0, nSettles = 0;
+
+  // Push/pop over the combined Dial-bucket + overflow-heap queue. The
+  // pop sequence reproduces the packed-heap comparator order exactly:
+  //   - every bucketed dist is < kBucketSpan <= every heap dist, so the
+  //     heap drains strictly after the buckets;
+  //   - buckets drain in increasing dist (activeDist_ is monotone within
+  //     a pass) and the active bucket's bitmap pops in node-id order,
+  //     matching the (dist << nodeBits_) | node key order;
+  //   - stale queue entries (node improved after an earlier push) pop at
+  //     their original dist and are skipped by doneStamp, as in the heap.
+  // Same-dist pushes during settling (the zero-reduced-cost plateau the
+  // sink cut exists for) are O(1) bit-sets instead of heap sift-ups.
+  const auto queuePush = [&](std::int64_t nd, std::size_t v) {
+    if (useBucketQueue_ && nd < kBucketSpan) {
+      ++nBucketPushes;
+      if (nd == activeDist_) {
+        bmInsert(v);
+      } else {
+        auto& bucket = buckets_[static_cast<std::size_t>(nd)];
+        if (bucket.empty()) usedBuckets_.push_back(static_cast<std::int32_t>(nd));
+        bucket.push_back(static_cast<std::int32_t>(v));
+        if (nd > bucketHi_) bucketHi_ = nd;
+      }
+    } else {
+      ++nHeapPushes;
+      heapPush(heap_, (static_cast<std::uint64_t>(nd) << nodeBits_) |
+                          static_cast<std::uint64_t>(v));
+    }
+  };
+  const auto queuePop = [&](std::size_t& u, std::int64_t& d) -> bool {
+    if (useBucketQueue_) {
+      if (bmCount_ != 0) {
+        u = bmPopMin();
+        d = activeDist_;
+        ++nQueuePops;
+        return true;
+      }
+      // Advance the cursor to the next non-empty bucket and promote it to
+      // the bitmap. The scan segments are disjoint across a pass
+      // (activeDist_ only grows), so the total scan cost is O(kBucketSpan)
+      // per pass, dominated by the relaxation work.
+      while (activeDist_ < bucketHi_) {
+        ++activeDist_;
+        auto& bucket = buckets_[static_cast<std::size_t>(activeDist_)];
+        if (bucket.empty()) continue;
+        for (const std::int32_t x : bucket) bmInsert(static_cast<std::size_t>(x));
+        bucket.clear();
+        u = bmPopMin();
+        d = activeDist_;
+        ++nQueuePops;
+        return true;
+      }
+    }
+    if (heap_.empty()) return false;
+    const std::uint64_t top = heapPop(heap_);
+    u = static_cast<std::size_t>(top & nodeMask);
+    d = static_cast<std::int64_t>(top >> nodeBits_);
+    ++nQueuePops;
+    return true;
+  };
+
+  // Remaining residual capacity into the sink bounds every future
+  // augmentation one-for-one, so hitting zero proves the next Dijkstra
+  // pass would fail -- skip it. The skipped pass has no observable
+  // effect (a failing pass never updates potentials), so default-mode
+  // output is unchanged.
+  std::int64_t sinkCap = s != t ? remainingSinkCapacity(t)
+                                : std::numeric_limits<std::int64_t>::max();
+
   while (result.flow < maxFlow) {
+    if (sinkCap <= 0) {
+      ++counters_.earlyExits;
+      break;
+    }
+    // Opt-in fast path for the last unit of demand: meet-in-the-middle
+    // Dijkstra instead of a full forward pass. Runs at most once per
+    // run() call (the unit either routes, finishing the loop, or fails).
+    if (fastSsp_ && maxFlow - result.flow == 1 && s != t) {
+      if (!augmentBidir(s, t, result.cost)) break;
+      result.flow += 1;
+      flowUnits_ += 1;
+      sinkCap -= 1;
+      continue;
+    }
     // Dijkstra on reduced costs. "Clearing" dist/done is an epoch bump;
     // unlabeled == stamp mismatch.
     if (epoch_ == std::numeric_limits<std::uint32_t>::max()) {
@@ -466,73 +951,105 @@ MinCostFlow::Result MinCostFlow::run(std::size_t s, std::size_t t,
       epoch_ = 0;
     }
     ++epoch_;
+    ++counters_.dijkstraPasses;
     heap_.clear();
     settled_.clear();
+    const std::size_t dbWords = (nodes_.size() + 63) / 64;
+    if (doneBits_.size() < dbWords) doneBits_.resize(dbWords);
+    std::fill_n(doneBits_.begin(), dbWords, 0);
+    if (useBucketQueue_) {
+      // A sink cut can abandon queued entries; clearing touches only the
+      // buckets and bitmap words actually used last pass.
+      if (bmCount_ != 0) bmClearAll();
+      for (const std::int32_t b : usedBuckets_)
+        buckets_[static_cast<std::size_t>(b)].clear();
+      usedBuckets_.clear();
+      activeDist_ = 0;
+      bucketHi_ = -1;
+    }
     nodes_[s].dist = 0;
     nodes_[s].prevArc = -1;
     nodes_[s].distStamp = epoch_;
-    const std::uint64_t nodeMask = (std::uint64_t{1} << nodeBits_) - 1;
-    heapPush(static_cast<std::uint64_t>(s));
+    queuePush(0, s);
+    // Once the sink is labeled at B, an entry pushed with key > B can
+    // never settle: pops are monotone and the sink cut fires at the first
+    // pop with d >= sink.dist <= B. Skipping those pushes (the label
+    // write still happens, so later comparisons are unchanged) prunes the
+    // plateau boundary without touching the settle sequence. Strictly
+    // greater only -- entries AT the bound (the sink's own included) must
+    // stay queued so the cut always fires.
+    std::int64_t sinkBound = std::numeric_limits<std::int64_t>::max();
     bool reachedSink = false;
     std::int64_t sinkDist = 0;
-    while (!heap_.empty()) {
-      // Sink cut: once the sink's label equals the heap minimum, no strict
-      // improvement at or below that key is possible (arc costs are
-      // non-negative), so the sink's predecessor chain is already final --
-      // settling the remaining equal-key nodes first, as a (distance,
-      // node-id) queue would, cannot change the augmenting path or any
-      // label below the sink distance. Stopping here skips the zero-
-      // reduced-cost plateau that Johnson potentials create around the
-      // previous shortest-path tree.
-      if (nodes_[t].distStamp == epoch_ &&
-          nodes_[t].dist <= static_cast<std::int64_t>(heap_.front() >> nodeBits_)) {
+    std::size_t u = 0;
+    std::int64_t d = 0;
+    while (queuePop(u, d)) {
+      // Sink cut: once the sink's label equals the queue minimum, no
+      // strict improvement at or below that key is possible (arc costs
+      // are non-negative), so the sink's predecessor chain is already
+      // final -- settling the remaining equal-key nodes first, as a
+      // (distance, node-id) queue would, cannot change the augmenting
+      // path or any label below the sink distance. Stopping here skips
+      // the zero-reduced-cost plateau that Johnson potentials create
+      // around the previous shortest-path tree. Checking after the pop
+      // is equivalent to checking against the queue front: the popped
+      // key IS the front, and the consumed entry would be discarded at
+      // the next pass reset anyway.
+      if (nodes_[t].distStamp == epoch_ && nodes_[t].dist <= d) {
         reachedSink = true;
         sinkDist = nodes_[t].dist;
         break;
       }
-      const std::uint64_t top = heapPop();
-      const auto u = static_cast<std::size_t>(top & nodeMask);
-      if (nodes_[u].doneStamp == epoch_) continue;
+      if ((doneBits_[u >> 6] >> (u & 63)) & 1) continue;
+      doneBits_[u >> 6] |= std::uint64_t{1} << (u & 63);
       nodes_[u].doneStamp = epoch_;
       settled_.push_back(static_cast<std::int32_t>(u));
-      const auto d = static_cast<std::int64_t>(top >> nodeBits_);
+      ++nSettles;
       const std::int64_t potU = nodes_[u].potential;
       const std::size_t end = csrStart_[u + 1];
       for (std::size_t k = csrStart_[u]; k < end; ++k) {
         const CsrArc& arc = csrArc_[k];
+        // The relax loop is bound by the random Node load below; hide it
+        // behind the current iteration by prefetching the next arc's head.
+        // Zero-cap arcs (unused reverse residuals, about half the CSR) are
+        // skipped below and not worth the prefetch bandwidth.
+        if (k + 1 < end && csrArc_[k + 1].cap > 0)
+          __builtin_prefetch(&nodes_[static_cast<std::size_t>(csrArc_[k + 1].to)]);
         if (arc.cap <= 0) continue;
         const auto v = static_cast<std::size_t>(arc.to);
+        if ((doneBits_[v >> 6] >> (v & 63)) & 1) continue;
         Node& node = nodes_[v];
-        if (node.doneStamp == epoch_) continue;
         const std::int64_t nd = d + arc.cost + potU - node.potential;
         assert(nd >= d && "reduced cost must be non-negative");
         if (node.distStamp != epoch_ || nd < node.dist) {
           node.dist = nd;
           node.prevArc = static_cast<std::int32_t>(k);
           node.distStamp = epoch_;
-          heapPush((static_cast<std::uint64_t>(nd) << nodeBits_) |
-                   static_cast<std::uint64_t>(v));
+          if (v == t) sinkBound = nd;
+          if (nd <= sinkBound) queuePush(nd, v);
         }
       }
       // Overlay arcs (added after the CSR build) scan after the node's CSR
       // arcs -- exactly their per-node insertion-order position, so the
       // relaxation sequence matches a solver handed these arcs up front.
-      if (!ovHead_.empty()) {
+      // Gated on the node-local marker so overlay-free nodes (almost all
+      // of them) skip the ovHead_ load entirely.
+      if ((nodes_[u].pad & 1) != 0) {
         for (std::int32_t oa = ovHead_[u]; oa != -1;
              oa = ovNext_[static_cast<std::size_t>(oa) - builtArcs_]) {
           const auto a = static_cast<std::size_t>(oa);
           if (arcCap_[a] <= 0) continue;
           const auto v = static_cast<std::size_t>(arcTo_[a]);
+          if ((doneBits_[v >> 6] >> (v & 63)) & 1) continue;
           Node& node = nodes_[v];
-          if (node.doneStamp == epoch_) continue;
           const std::int64_t nd = d + arcCost_[a] + potU - node.potential;
           assert(nd >= d && "reduced cost must be non-negative");
           if (node.distStamp != epoch_ || nd < node.dist) {
             node.dist = nd;
             node.prevArc = -static_cast<std::int32_t>(a) - 2;
             node.distStamp = epoch_;
-            heapPush((static_cast<std::uint64_t>(nd) << nodeBits_) |
-                     static_cast<std::uint64_t>(v));
+            if (v == t) sinkBound = nd;
+            if (nd <= sinkBound) queuePush(nd, v);
           }
         }
       }
@@ -549,11 +1066,32 @@ MinCostFlow::Result MinCostFlow::run(std::size_t s, std::size_t t,
     // correction dist[v] - dist[t] on settled nodes -- any labeled-but-
     // unsettled node has dist >= dist[t] once the sink cut fires, hence
     // zero correction.
-    for (const std::int32_t v : settled_) {
-      Node& node = nodes_[static_cast<std::size_t>(v)];
-      if (node.dist < sinkDist) node.potential += node.dist - sinkDist;
+    // sinkDist == 0 means every settled label is 0 too (pops are
+    // monotone), making the correction below a no-op -- skip the sweep.
+    // Otherwise settled_ is in pop order, so labels are non-decreasing:
+    // stop at the first dist >= sinkDist instead of scanning the rest.
+    if (sinkDist > 0) {
+      for (const std::int32_t v : settled_) {
+        Node& node = nodes_[static_cast<std::size_t>(v)];
+        if (node.dist >= sinkDist) break;
+        node.potential += node.dist - sinkDist;
+      }
     }
     settled_.clear();
+
+    // Opt-in multi-augmentation: saturate every admissible shortest path
+    // in the zero-reduced-cost subgraph left by the potential update,
+    // instead of one path per pass. The sink's predecessor path is tight
+    // under the new potentials, so at least one unit always routes.
+    if (fastSsp_) {
+      const std::int64_t pushed =
+          augmentTightPaths(s, t, maxFlow - result.flow, result.cost);
+      if (pushed <= 0) break;  // unreachable; guards against a stall
+      result.flow += pushed;
+      flowUnits_ += pushed;
+      sinkCap -= pushed;
+      continue;
+    }
 
     // Bottleneck along the path. prevArc holds CSR positions (>= 0, tail
     // reachable via the reverse arc) or overlay arc ids encoded as
@@ -592,9 +1130,15 @@ MinCostFlow::Result MinCostFlow::run(std::size_t s, std::size_t t,
         v = static_cast<std::size_t>(arcFrom_[a]);
       }
     }
+    ++counters_.augmentations;
     result.flow += push;
     flowUnits_ += push;
+    sinkCap -= push;
   }
+  counters_.bucketPushes += nBucketPushes;
+  counters_.heapPushes += nHeapPushes;
+  counters_.queuePops += nQueuePops;
+  counters_.settles += nSettles;
   return result;
 }
 

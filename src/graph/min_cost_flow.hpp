@@ -53,6 +53,42 @@ namespace pacor::graph {
 ///    bit-for-bit, which keeps incremental results byte-identical to
 ///    from-scratch solves (reusing the previous solve's potentials would
 ///    silently change (distance, node) tie-breaking on equal-cost paths).
+///
+/// ## Open list: Dial buckets with a heap fallback
+///
+/// Reduced costs under Johnson potentials are small non-negative integers
+/// on the escape networks (unit grid steps plus bounded tap biases), so
+/// the default open list is a Dial/bucket queue: labels below kBucketSpan
+/// go to per-distance buckets, and the *active* bucket is drained through
+/// a three-level bitmap over node ids, so the frequent case — a zero-
+/// reduced-cost plateau flooding one bucket — pops in O(1) word scans
+/// instead of heap sifts. Labels at or beyond kBucketSpan overflow into
+/// the packed 4-ary heap and drain strictly after every bucket (all
+/// bucket distances are smaller), so the settle sequence is *exactly* the
+/// lexicographic (distance, node) order of the pure-heap implementation,
+/// stale entries included: default-mode results stay bit-identical, and
+/// setBucketQueue(false) selects the pure heap for A/B tests and
+/// benchmarks.
+///
+/// ## Fast mode (multi-augmentation + bidirectional refinement)
+///
+/// setFastSsp(true) enables two refinements that keep the (flow, cost)
+/// optimum but reorder augmentations, so equal-cost ties may resolve to
+/// different (equally optimal) paths:
+///
+///  * after each Dijkstra pass + potential update, a blocking-flow DFS
+///    saturates *every* admissible path of the zero-reduced-cost subgraph
+///    (all such paths cost exactly the sink distance, and augmenting
+///    tight arcs keeps the potentials valid), instead of one path per
+///    pass;
+///  * when exactly one unit of demand remains — the warm-rerun / ECO
+///    shape — the final path comes from a bidirectional Dijkstra over
+///    reduced costs (forward from the source, backward over reverse
+///    residual arcs from the sink) that stops as soon as the frontiers
+///    prove a meeting path minimal.
+///
+/// Both preserve the min-cost max-flow optimum: callers that need
+/// bit-identical output to the classic solver simply leave fast mode off.
 class MinCostFlow {
  public:
   explicit MinCostFlow(std::size_t nodeCount);
@@ -72,6 +108,36 @@ class MinCostFlow {
     std::int64_t flow = 0;
     std::int64_t cost = 0;
   };
+
+  /// Cumulative solver-effort counters across run()/rerun() calls; the
+  /// escape metrics (`escape.flow.*`) and bench_min_cost_flow read these.
+  struct Counters {
+    std::uint64_t dijkstraPasses = 0;  ///< label passes started
+    std::uint64_t augmentations = 0;   ///< augmenting paths applied (all kinds)
+    std::uint64_t multiAugPaths = 0;   ///< paths found by the fast-mode DFS
+    std::uint64_t bidirPasses = 0;     ///< bidirectional last-unit searches
+    std::uint64_t bucketPushes = 0;    ///< open-list inserts into Dial buckets
+    std::uint64_t heapPushes = 0;      ///< open-list inserts into the 4-ary heap
+    std::uint64_t queuePops = 0;       ///< open-list pops, stale entries included
+    std::uint64_t settles = 0;         ///< nodes settled across all passes
+    std::uint64_t earlyExits = 0;      ///< passes skipped by the sink-capacity cut
+    std::uint64_t warmArcTouches = 0;  ///< arcs repaired by resetFlow()
+  };
+  const Counters& counters() const noexcept { return counters_; }
+  void resetCounters() noexcept { counters_ = {}; }
+
+  /// Selects the open list: Dial buckets (default) or the pure packed
+  /// heap. Both settle in the identical (distance, node) order; the knob
+  /// exists for differential tests and the solver microbenchmark.
+  void setBucketQueue(bool on) noexcept { useBucketQueue_ = on; }
+  bool bucketQueue() const noexcept { return useBucketQueue_; }
+
+  /// Enables multi-augmentation + the bidirectional last-unit refinement.
+  /// The (flow, cost) optimum is unchanged; individual equal-cost paths
+  /// may differ from the classic solver, so callers relying on golden
+  /// hashes must leave this off.
+  void setFastSsp(bool on) noexcept { fastSsp_ = on; }
+  bool fastSsp() const noexcept { return fastSsp_; }
 
   /// Builds the CSR over the edges added so far (normally deferred to the
   /// first run or mutation). Every edge added afterwards goes to the
@@ -178,6 +244,21 @@ class MinCostFlow {
   void cancelUnitBackwardFrom(std::size_t node);
   void cancelUnitForwardFrom(std::size_t node);
   void repairPotentials();
+  std::int64_t remainingSinkCapacity(std::size_t t) const;
+  std::int64_t augmentTightPaths(std::size_t s, std::size_t t, std::int64_t budget,
+                                 std::int64_t& cost);
+  bool augmentBidir(std::size_t s, std::size_t t, std::int64_t& cost);
+
+  // Arc-code helpers shared by the fast-mode refinements. A code is the
+  // prevArc encoding: a CSR position (>= 0) or an overlay arc id a as
+  // -(a + 2); -1 is the end-of-scan sentinel.
+  std::int64_t firstArcCode(std::size_t u) const;
+  std::int64_t nextArcCode(std::size_t u, std::int64_t code) const;
+  std::int64_t residualOfCode(std::int64_t code) const;
+  std::int32_t headOfCode(std::int64_t code) const;
+  std::int32_t tailOfCode(std::int64_t code) const;
+  std::int64_t costOfCode(std::int64_t code) const;
+  void pushOnCode(std::int64_t code, std::int64_t units);
 
   // Edge ingest order; arc a = 2 * edge + (backward ? 1 : 0). arcCap_ is
   // authoritative for overlay arcs (and for all arcs until the CSR is
@@ -218,7 +299,7 @@ class MinCostFlow {
   // Per-node search state; dist/prevArc valid when distStamp == epoch_.
   // prevArc encodes a CSR position (>= 0) or an overlay arc id a as
   // -(a + 2); -1 is the no-predecessor sentinel.
-  struct Node {
+  struct alignas(32) Node {
     std::int64_t dist;
     std::int64_t potential;
     std::int32_t prevArc;
@@ -226,7 +307,7 @@ class MinCostFlow {
     std::uint32_t doneStamp;
     std::uint32_t pad;
   };
-  static_assert(sizeof(Node) == 32);
+  static_assert(sizeof(Node) == 32);  // over-aligned: never straddles cache lines
   std::vector<Node> nodes_;
   std::uint32_t epoch_ = 0;
 
@@ -240,16 +321,67 @@ class MinCostFlow {
   std::int64_t flowUnits_ = 0;
   bool potentialsDirty_ = false;  ///< an edit may have broken reduced costs
 
-  // Open list: a 4-ary heap of keys packed as (distance << nodeBits_) |
-  // node. Packed comparison is exactly the lexicographic (distance, node)
-  // order of a pair heap — distance ties break toward the smaller node id
-  // — and any correct priority queue pops the comparator minimum, so the
-  // settle sequence is independent of heap arity and layout.
+  // Open list, heap part: a 4-ary heap of keys packed as
+  // (distance << nodeBits_) | node. Packed comparison is exactly the
+  // lexicographic (distance, node) order of a pair heap — distance ties
+  // break toward the smaller node id — and any correct priority queue
+  // pops the comparator minimum, so the settle sequence is independent of
+  // heap arity and layout. In bucket mode the heap holds only the
+  // overflow (distance >= kBucketSpan), which drains after every bucket.
   unsigned nodeBits_ = 1;
   std::vector<std::uint64_t> heap_;
   std::vector<std::int32_t> settled_;  ///< pop order, for the potential update
-  void heapPush(std::uint64_t key);
-  std::uint64_t heapPop();
+  /// Per-pass mirror of `doneStamp == epoch_`, one bit per node. The
+  /// relax loop checks this 17-KB-per-134k-nodes bitset (L1/L2-resident)
+  /// before touching the 32-byte Node record, so arcs into already-
+  /// settled nodes -- roughly half of a grid pass's relaxations -- skip
+  /// the random Node load entirely. Cleared at the start of every pass.
+  std::vector<std::uint64_t> doneBits_;
+  static void heapPush(std::vector<std::uint64_t>& heap, std::uint64_t key);
+  static std::uint64_t heapPop(std::vector<std::uint64_t>& heap);
+
+  // Open list, Dial part: per-distance buckets of node ids below
+  // kBucketSpan. The bucket being drained ("active") lives in a
+  // three-level bitmap over node ids, so pop-min is a handful of word
+  // scans and inserting into the active distance (zero-reduced-cost
+  // relaxations) is three bit-sets. Future distances append to plain
+  // vectors; usedBuckets_ lets a pass that ends on the sink cut clear
+  // only what it touched.
+  static constexpr std::int64_t kBucketSpan = std::int64_t{1} << 14;
+  bool useBucketQueue_ = true;
+  std::vector<std::vector<std::int32_t>> buckets_;
+  std::vector<std::int32_t> usedBuckets_;
+  std::int64_t activeDist_ = 0;  ///< distance held by the bitmap
+  std::int64_t bucketHi_ = -1;   ///< highest non-empty future bucket
+  std::vector<std::uint64_t> bmL0_, bmL1_, bmL2_;
+  std::size_t bmCount_ = 0;
+  void bmInsert(std::size_t v);
+  std::size_t bmPopMin();
+  void bmClearAll();
+
+  // Fast-mode scratch: blocking-flow DFS state (current-arc cursors,
+  // blocked/on-path stamps) and the backward labels + heap of the
+  // bidirectional refinement. All lazily sized; idle unless fastSsp_.
+  bool fastSsp_ = false;
+  std::vector<std::int64_t> dfsCur_;
+  std::vector<std::uint32_t> dfsCurStamp_;
+  std::vector<std::uint32_t> dfsBlockedStamp_;
+  std::vector<std::uint32_t> dfsOnPathStamp_;
+  std::vector<std::int32_t> dfsStackNode_;
+  std::vector<std::int64_t> dfsStackArc_;
+  std::uint32_t dfsPhase_ = 0;
+  std::uint32_t dfsPathId_ = 0;
+  struct BNode {
+    std::int64_t dist;
+    std::int32_t prevArc;
+    std::uint32_t distStamp;
+    std::uint32_t doneStamp;
+  };
+  std::vector<BNode> bnodes_;
+  std::vector<std::uint64_t> heapB_;
+  std::uint32_t bepoch_ = 0;
+
+  Counters counters_;
 };
 
 }  // namespace pacor::graph

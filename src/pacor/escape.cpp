@@ -33,7 +33,7 @@ double secondsSince(std::chrono::steady_clock::time_point t0) {
 }  // namespace
 
 EscapeOutcome escapeRoute(const chip::Chip& chip, grid::ObstacleMap& obstacles,
-                          std::span<WorkCluster*> clusters) {
+                          std::span<WorkCluster*> clusters, bool fastEscape) {
   EscapeOutcome outcome;
   const grid::Grid& g = obstacles.grid();
 
@@ -56,6 +56,7 @@ EscapeOutcome escapeRoute(const chip::Chip& chip, grid::ObstacleMap& obstacles,
               static_cast<std::size_t>(2 * g.cellCount()) + pendingIdx.size(),
               static_cast<std::size_t>(2 * g.cellCount()) + pendingIdx.size() + 1};
   graph::MinCostFlow flow(ids.sink + 1);
+  flow.setFastSsp(fastEscape);
 
   // Usable transit cells: free cells only (routed nets and obstacles
   // block; constraint 8 additionally blocks non-pin boundary cells, which
@@ -134,6 +135,7 @@ EscapeOutcome escapeRoute(const chip::Chip& chip, grid::ObstacleMap& obstacles,
   outcome.routedCount = static_cast<int>(result.flow);
   outcome.flowCost = result.cost;
   outcome.flowRunSeconds = secondsSince(runT0);
+  outcome.flowCounters = flow.counters();
   spanRun.arg("routed", result.flow);
   spanRun.close();
 
@@ -190,11 +192,13 @@ EscapeOutcome escapeRoute(const chip::Chip& chip, grid::ObstacleMap& obstacles,
 }
 
 EscapeFlowSession::EscapeFlowSession(const chip::Chip& chip,
-                                     grid::ObstacleMap& obstacles)
+                                     grid::ObstacleMap& obstacles,
+                                     bool fastEscape)
     : chip_(chip),
       obstacles_(obstacles),
       flow_(static_cast<std::size_t>(2 * obstacles.grid().cellCount()) +
             chip.valves.size() + 2) {
+  flow_.setFastSsp(fastEscape);
   trace::Span spanBuild("escape.flow_build", "escape", trace::Level::kCluster);
   const auto buildT0 = std::chrono::steady_clock::now();
   const grid::Grid& g = obstacles_.grid();
@@ -266,6 +270,10 @@ EscapeOutcome EscapeFlowSession::route(std::span<WorkCluster*> clusters) {
 
   trace::Span spanDelta("escape.flow_delta", "escape", trace::Level::kCluster);
   const auto deltaT0 = std::chrono::steady_clock::now();
+
+  // Per-round counters: reset before the warm repair so the round's
+  // outcome records its own resetFlow arc touches.
+  flow_.resetCounters();
 
   // Back to the persistent zero-flow network: repair the arcs the last
   // solve touched and drop its per-round cluster arcs.
@@ -343,6 +351,7 @@ EscapeOutcome EscapeFlowSession::route(std::span<WorkCluster*> clusters) {
   outcome.routedCount = static_cast<int>(result.flow);
   outcome.flowCost = result.cost;
   outcome.flowRunSeconds = secondsSince(runT0);
+  outcome.flowCounters = flow_.counters();
   spanRun.arg("routed", result.flow);
   spanRun.close();
 

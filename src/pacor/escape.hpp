@@ -23,6 +23,10 @@ struct EscapeOutcome {
   /// time.escape_flow_{build,run}_s metrics without a trace session.
   double flowBuildSeconds = 0.0;
   double flowRunSeconds = 0.0;
+  /// Solver-effort counters for this pass (Dijkstra passes, augmentations,
+  /// queue traffic, ...), surfaced as `escape.flow.*` metrics and the
+  /// `search.escape` block of bench_routing.
+  graph::MinCostFlow::Counters flowCounters;
 };
 
 /// Simultaneous escape routing of all internally-routed clusters to the
@@ -38,8 +42,13 @@ struct EscapeOutcome {
 /// Successful clusters get escapePath (tap ... pin) committed into
 /// `obstacles` and their pin assigned. Already-escaped clusters (pin >= 0)
 /// are left untouched and their pins stay reserved.
+/// `fastEscape` enables the solver's multi-augmentation/bidirectional fast
+/// mode (MinCostFlow::setFastSsp): same (flow, cost) optimum, but
+/// equal-cost ties may route along different paths, so it is opt-in and
+/// validated by the oracle rather than golden hashes.
 EscapeOutcome escapeRoute(const chip::Chip& chip, grid::ObstacleMap& obstacles,
-                          std::span<WorkCluster*> clusters);
+                          std::span<WorkCluster*> clusters,
+                          bool fastEscape = false);
 
 /// Persistent escape-flow solver that survives across pipeline rip-up
 /// rounds. Constructed once per design, it lays down the full node-split
@@ -66,7 +75,9 @@ EscapeOutcome escapeRoute(const chip::Chip& chip, grid::ObstacleMap& obstacles,
 class EscapeFlowSession {
  public:
   /// Snapshots the current obstacle state; later rounds diff against it.
-  EscapeFlowSession(const chip::Chip& chip, grid::ObstacleMap& obstacles);
+  /// `fastEscape` selects the solver's opt-in fast mode for every round.
+  EscapeFlowSession(const chip::Chip& chip, grid::ObstacleMap& obstacles,
+                    bool fastEscape = false);
 
   /// Drop-in replacement for escapeRoute(): one escape pass over the
   /// given clusters against the session's obstacle map.

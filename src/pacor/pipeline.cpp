@@ -169,6 +169,11 @@ PacorResult routeChip(const chip::Chip& chip, const PacorConfig& config,
   util::ThreadPool& pool = resources.pool != nullptr ? *resources.pool : *ownedPool;
   util::ThreadPool* poolPtr = pool.threadCount() > 1 ? &pool : nullptr;
   result.parallelJobs = static_cast<int>(pool.threadCount());
+  // Dispatch-decision accounting (inline vs. worker handoff), diffed over
+  // the request so a shared serve-mode pool reports per-request numbers
+  // (approximate when requests overlap on one pool).
+  const std::uint64_t poolInline0 = pool.inlineBatches();
+  const std::uint64_t poolDispatched0 = pool.dispatchedBatches();
 
   // Request-scoped search-effort accounting. Per-stage counters are
   // snapshots of this sink, never differences of the process-wide
@@ -259,19 +264,43 @@ PacorResult routeChip(const chip::Chip& chip, const PacorConfig& config,
   std::unique_ptr<EscapeFlowSession> escapeSession;
   double escapeFlowBuildS = 0.0;
   double escapeFlowRunS = 0.0;
+  graph::MinCostFlow::Counters escapeCounters;
+  std::int64_t escapeFlowCost = 0;
+  std::int64_t escapeFirstCost = -1;   // first pass with pending demand
+  std::int64_t escapeFirstRouted = -1;
   const auto escapePass = [&](std::span<WorkCluster*> ptrs) {
     EscapeOutcome outcome;
     if (config.escapeMode != EscapeMode::kMinCostFlow) {
       outcome = escapeRouteSequential(chip, obstacles, ptrs);
     } else if (!config.incrementalEscape) {
-      outcome = escapeRoute(chip, obstacles, ptrs);
+      outcome = escapeRoute(chip, obstacles, ptrs, config.fastEscape);
     } else {
       if (!escapeSession)
-        escapeSession = std::make_unique<EscapeFlowSession>(chip, obstacles);
+        escapeSession = std::make_unique<EscapeFlowSession>(chip, obstacles,
+                                                            config.fastEscape);
       outcome = escapeSession->route(ptrs);
     }
     escapeFlowBuildS += outcome.flowBuildSeconds;
     escapeFlowRunS += outcome.flowRunSeconds;
+    const auto& fc = outcome.flowCounters;
+    escapeCounters.dijkstraPasses += fc.dijkstraPasses;
+    escapeCounters.augmentations += fc.augmentations;
+    escapeCounters.multiAugPaths += fc.multiAugPaths;
+    escapeCounters.bidirPasses += fc.bidirPasses;
+    escapeCounters.bucketPushes += fc.bucketPushes;
+    escapeCounters.heapPushes += fc.heapPushes;
+    escapeCounters.queuePops += fc.queuePops;
+    escapeCounters.settles += fc.settles;
+    escapeCounters.earlyExits += fc.earlyExits;
+    escapeCounters.warmArcTouches += fc.warmArcTouches;
+    escapeFlowCost += outcome.flowCost;
+    // First pass with actual demand: the fuzz harness compares this
+    // (routed count, cost) pair across solver variants -- later rounds may
+    // legitimately diverge through different equal-cost tie resolutions.
+    if (escapeFirstRouted < 0 && outcome.requested > 0) {
+      escapeFirstCost = outcome.flowCost;
+      escapeFirstRouted = outcome.routedCount;
+    }
     return outcome;
   };
   const auto runEscapeLoop = [&] {
@@ -419,6 +448,13 @@ PacorResult routeChip(const chip::Chip& chip, const PacorConfig& config,
   result.times.escape = seconds(tRouteEnd, tEscapeEnd);
   const route::SearchCounters tallyEscape = requestTally.snapshot();
   result.searchEscape = tallyEscape - tallyRoute;
+  // The flow solver has no A* tally of its own; graft its effort counters
+  // into the escape search block (searches = label passes, expansions =
+  // settled nodes, bounded visits = augmentations applied).
+  result.searchEscape.searches +=
+      escapeCounters.dijkstraPasses + escapeCounters.bidirPasses;
+  result.searchEscape.expansions += escapeCounters.settles;
+  result.searchEscape.boundedVisits += escapeCounters.augmentations;
 
   trace::Span spanDetour("stage.detour", "pipeline");
   runFinalDetour();
@@ -512,6 +548,10 @@ PacorResult routeChip(const chip::Chip& chip, const PacorConfig& config,
   // --- Metrics registry: every counter of the run in one structure -------
   trace::MetricsRegistry& m = result.metrics;
   m.setInt("config.jobs", result.parallelJobs);
+  m.setInt("pool.batches_inline",
+           static_cast<std::int64_t>(pool.inlineBatches() - poolInline0));
+  m.setInt("pool.batches_dispatched",
+           static_cast<std::int64_t>(pool.dispatchedBatches() - poolDispatched0));
   m.setInt("pipeline.complete", result.complete ? 1 : 0);
   m.setInt("clusters.total", static_cast<std::int64_t>(result.clusters.size()));
   m.setInt("clusters.multi_valve", result.multiValveClusterCount);
@@ -542,6 +582,31 @@ PacorResult routeChip(const chip::Chip& chip, const PacorConfig& config,
     m.setInt("escape.flow.warm_delta_arcs", es.warmDeltaArcs);
     m.setInt("escape.flow.persistent_arcs", es.persistentArcs);
   }
+  // Solver-effort counters summed over every escape pass.
+  m.setInt("escape.flow.fast", config.fastEscape ? 1 : 0);
+  m.setInt("escape.flow.dijkstra_passes",
+           static_cast<std::int64_t>(escapeCounters.dijkstraPasses));
+  m.setInt("escape.flow.augmentations",
+           static_cast<std::int64_t>(escapeCounters.augmentations));
+  m.setInt("escape.flow.multi_aug_paths",
+           static_cast<std::int64_t>(escapeCounters.multiAugPaths));
+  m.setInt("escape.flow.bidir_passes",
+           static_cast<std::int64_t>(escapeCounters.bidirPasses));
+  m.setInt("escape.flow.bucket_pushes",
+           static_cast<std::int64_t>(escapeCounters.bucketPushes));
+  m.setInt("escape.flow.heap_pushes",
+           static_cast<std::int64_t>(escapeCounters.heapPushes));
+  m.setInt("escape.flow.queue_pops",
+           static_cast<std::int64_t>(escapeCounters.queuePops));
+  m.setInt("escape.flow.settles",
+           static_cast<std::int64_t>(escapeCounters.settles));
+  m.setInt("escape.flow.early_exits",
+           static_cast<std::int64_t>(escapeCounters.earlyExits));
+  m.setInt("escape.flow.warm_arc_touches",
+           static_cast<std::int64_t>(escapeCounters.warmArcTouches));
+  m.setInt("escape.flow.cost", escapeFlowCost);
+  m.setInt("escape.flow.first_cost", escapeFirstCost);
+  m.setInt("escape.flow.first_routed", escapeFirstRouted);
   // Cumulative flow network build (or warm-delta) and solve time across
   // every escape pass; the incremental session's win shows up here.
   m.setReal("time.escape_flow_build_s", escapeFlowBuildS);

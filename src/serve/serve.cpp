@@ -139,6 +139,7 @@ BatchRequest parseLine(const std::string& line) {
   }
   std::string variant = "pacor";
   bool incrementalEscape = true;
+  bool fastEscape = false;
   std::string token;
   while (is >> token) {
     if (token.rfind("sol=", 0) == 0) {
@@ -158,6 +159,8 @@ BatchRequest parseLine(const std::string& line) {
       variant = token.substr(8);
     } else if (token == "no-incremental-escape") {
       incrementalEscape = false;
+    } else if (token == "fast-escape") {
+      fastEscape = true;
     } else {
       req.error = "unknown option '" + token + "'";
       return req;
@@ -174,6 +177,7 @@ BatchRequest parseLine(const std::string& line) {
     return req;
   }
   req.options.config.incrementalEscape = incrementalEscape;
+  req.options.config.fastEscape = fastEscape;
   return req;
 }
 

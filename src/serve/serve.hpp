@@ -130,6 +130,7 @@ class Server {
 ///   <design> [sol=PATH] [metrics=PATH] [trace=PATH]
 ///            [trace-level=stage|cluster|search]
 ///            [variant=pacor|wosel|detour-first] [no-incremental-escape]
+///            [fast-escape]
 ///
 /// <design> is a Table-1 name (Chip1, Chip2, S1..S5; generated in-process)
 /// or a path to a .chip file. Responses go to `out` in request order, one

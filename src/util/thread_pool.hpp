@@ -68,16 +68,31 @@ class ThreadPool {
     return static_cast<unsigned>(workers_.size()) + 1;
   }
 
+  /// Batches run inline on the caller (<= 1 task, or a serial pool) vs.
+  /// batches dispatched to the worker threads, cumulative over the pool's
+  /// lifetime. Surfaced as the `pool.batches_*` pipeline metrics.
+  std::uint64_t inlineBatches() const noexcept {
+    return inlineBatches_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t dispatchedBatches() const noexcept {
+    return dispatchedBatches_.load(std::memory_order_relaxed);
+  }
+
   /// Runs body(taskIndex, workerIndex) for every taskIndex in
   /// [0, taskCount). Blocks until all tasks finished and every
   /// participating worker has left the batch. Concurrent callers are
   /// serialized batch-by-batch; not reentrant from a task body.
   void parallelFor(std::size_t taskCount, const Body& body) {
     if (taskCount == 0) return;
-    if (workers_.empty()) {
+    // A single task (or a serial pool) gains nothing from waking workers
+    // and paying two mutex handoffs -- run it inline on the caller. The
+    // counters let the pipeline report how often dispatch was worth it.
+    if (workers_.empty() || taskCount == 1) {
+      inlineBatches_.fetch_add(1, std::memory_order_relaxed);
       for (std::size_t i = 0; i < taskCount; ++i) body(i, 0);
       return;
     }
+    dispatchedBatches_.fetch_add(1, std::memory_order_relaxed);
     std::lock_guard batchLock(batchMutex_);
     {
       std::lock_guard lock(mutex_);
@@ -157,6 +172,8 @@ class ThreadPool {
   std::uint64_t generation_ = 0;
   std::exception_ptr error_;
   bool stopping_ = false;
+  std::atomic<std::uint64_t> inlineBatches_{0};
+  std::atomic<std::uint64_t> dispatchedBatches_{0};
 };
 
 }  // namespace pacor::util

@@ -1,0 +1,46 @@
+#include <gtest/gtest.h>
+
+#include "chip/generator.hpp"
+#include "pacor/pipeline.hpp"
+#include "verify/oracle.hpp"
+
+// `--fast-escape` (PacorConfig::fastEscape) reorders augmentations inside
+// the escape-flow solver, so its output is not covered by the golden
+// hashes; this suite is the gate instead. For every Table-1 design the
+// fast route must be oracle-clean and exactly as complete as the classic
+// one, and the *first* escape pass -- the only pass where both solvers
+// see the identical network, before committed paths diverge -- must
+// reach the same lexicographic (routed count, flow cost) optimum.
+
+namespace pacor {
+namespace {
+
+class FastEscapeOracle : public ::testing::TestWithParam<int> {};
+
+TEST_P(FastEscapeOracle, Table1DesignIsOracleCleanAndCostEqual) {
+  const chip::GeneratorParams params =
+      chip::table1Designs()[static_cast<std::size_t>(GetParam())];
+  const chip::Chip chip = chip::generateChip(params);
+
+  const core::PacorResult classic = core::routeChip(chip);
+  core::PacorConfig cfg = core::pacorDefaultConfig();
+  cfg.fastEscape = true;
+  const core::PacorResult fast = core::routeChip(chip, cfg);
+
+  const auto report = verify::verifySolution(chip, fast);
+  EXPECT_TRUE(report.clean()) << params.name << ": " << report.str();
+  EXPECT_EQ(classic.complete, fast.complete) << params.name;
+
+  EXPECT_EQ(fast.metrics.getInt("escape.flow.fast", -1), 1) << params.name;
+  EXPECT_EQ(classic.metrics.getInt("escape.flow.first_routed", -1),
+            fast.metrics.getInt("escape.flow.first_routed", -2))
+      << params.name;
+  EXPECT_EQ(classic.metrics.getInt("escape.flow.first_cost", -1),
+            fast.metrics.getInt("escape.flow.first_cost", -2))
+      << params.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Table1, FastEscapeOracle, ::testing::Range(0, 7));
+
+}  // namespace
+}  // namespace pacor

@@ -49,12 +49,16 @@ int usage() {
       "              [--no-incremental-escape]   (rebuild the escape flow\n"
       "               network every rip-up round instead of warm-restarting\n"
       "               one persistent session; same result, more work)\n"
+      "              [--fast-escape]   (multi-augmenting escape-flow solver:\n"
+      "               same routed count and escape cost, but equal-cost ties\n"
+      "               may pick different paths -- validate with `pacor verify`)\n"
       "  pacor serve [--batch=FILE] [--jobs=N] [--concurrency=N]\n"
       "              long-lived request loop: routes one request per manifest\n"
       "              line (from FILE, or stdin when --batch is omitted or '-'),\n"
       "              reusing one worker pool and per-design contexts across\n"
       "              requests. Line: <design|file.chip> [sol=P] [metrics=P]\n"
       "              [trace=P] [trace-level=L] [variant=V] [no-incremental-escape]\n"
+      "              [fast-escape]\n"
       "  pacor check <in.chip> <in.sol>\n"
       "  pacor verify <in.chip> <in.sol>   (independent oracle + DRC cross-check)\n"
       "  pacor svg <in.chip> <in.sol> <out.svg>\n"
@@ -102,10 +106,11 @@ int cmdInfo(int argc, char** argv) {
 }
 
 int cmdRoute(int argc, char** argv) {
-  if (argc < 2 || argc > 8) return usage();
+  if (argc < 2 || argc > 9) return usage();
   core::PacorConfig cfg = core::pacorDefaultConfig();
   int jobs = 1;
   bool incrementalEscape = true;
+  bool fastEscape = false;
   std::string tracePath;
   std::string metricsPath;
   trace::Level traceLevel = trace::Level::kCluster;
@@ -136,12 +141,15 @@ int cmdRoute(int argc, char** argv) {
     } else if (v == "--no-incremental-escape") {
       incrementalEscape = false;  // applied after the loop: --variant=
                                   // resets cfg wholesale
+    } else if (v == "--fast-escape") {
+      fastEscape = true;
     } else {
       return usage();
     }
   }
   cfg.jobs = jobs;
   cfg.incrementalEscape = incrementalEscape;
+  cfg.fastEscape = fastEscape;
   const chip::Chip c = chip::readChipFile(argv[0]);
   if (!tracePath.empty()) trace::beginSession(traceLevel);
   const core::PacorResult result = core::routeChip(c, cfg);

@@ -17,7 +17,12 @@
 //   (e) the long-lived serve loop is invisible too: routing the design
 //       through one shared serve::Server (shared pool, reused workspaces
 //       and obstacle templates across all previous seeds' requests) is
-//       byte-identical to the independent one-shot run.
+//       byte-identical to the independent one-shot run,
+//   (f) a --fast-escape run (multi-augmenting escape-flow solver) that
+//       claims completion is oracle-clean, and its first escape pass --
+//       the only pass where both solvers see the identical flow network,
+//       before committed paths diverge -- reaches the same lexicographic
+//       (routed count, flow cost) optimum as the classic run.
 //
 // Any failure dumps a repro (<dump>/fuzz_<seed>.chip + .sol [+ .par.sol])
 // with the seed in the name; checker disagreements are first minimized by
@@ -216,6 +221,33 @@ bool runDesign(const Options& opt, serve::Server& server, std::uint32_t seed,
               << (served.ok ? "different bytes" : "error: " + served.error)
               << ")\n";
     dumpRepro(opt, seed, chip, serial, nullptr);
+    ok = false;
+  }
+
+  // (f) fast-escape completions are oracle-clean and first-pass
+  // cost-equal to the classic solver.
+  core::PacorConfig fastCfg = serialCfg;
+  fastCfg.fastEscape = true;
+  const core::PacorResult fast = core::routeChip(chip, fastCfg);
+  if (fast.complete && !verify::verifySolution(chip, fast).clean()) {
+    std::cerr << "FAIL seed " << seed << ": --fast-escape run claims "
+              << "completion but the oracle found violations:\n"
+              << verify::verifySolution(chip, fast).str();
+    dumpRepro(opt, seed, chip, fast, nullptr);
+    ok = false;
+  }
+  if (fast.metrics.getInt("escape.flow.first_routed", -1) !=
+          serial.metrics.getInt("escape.flow.first_routed", -1) ||
+      fast.metrics.getInt("escape.flow.first_cost", -1) !=
+          serial.metrics.getInt("escape.flow.first_cost", -1)) {
+    std::cerr << "FAIL seed " << seed << ": --fast-escape first escape pass "
+              << "optimum differs from the classic solver (routed "
+              << fast.metrics.getInt("escape.flow.first_routed", -1) << " vs "
+              << serial.metrics.getInt("escape.flow.first_routed", -1)
+              << ", cost " << fast.metrics.getInt("escape.flow.first_cost", -1)
+              << " vs " << serial.metrics.getInt("escape.flow.first_cost", -1)
+              << ")\n";
+    dumpRepro(opt, seed, chip, fast, nullptr);
     ok = false;
   }
 
