@@ -6,14 +6,23 @@
 // directory. Intended for before/after comparisons of the routing
 // kernels: routed quality must not move, only the seconds.
 //
+// Each design record also carries an "eco" row: the best-of-kRepetitions
+// rerouteChip() latency for the canonical 1-valve-move edit (valve 0 to
+// the nearest free cell) and its speedup over the serial from-scratch
+// time. compare_baseline.py bands the latency and hard-gates the Chip1
+// speedup; bench_eco covers more edit kinds in depth.
+//
 // Usage: bench_routing [out.json]   (default: BENCH_routing.json)
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <unordered_set>
 
+#include "chip/delta.hpp"
 #include "chip/generator.hpp"
+#include "pacor/eco.hpp"
 #include "pacor/pipeline.hpp"
 #include "pacor/solution_io.hpp"
 #include "util/sha256.hpp"
@@ -61,6 +70,38 @@ TimedRun bestOf(const pacor::chip::Chip& chip, const PacorConfig& cfg) {
     }
   }
   return best;
+}
+
+/// Free cell closest (Manhattan) to `from`, y-major ties -- deterministic,
+/// so the measured ECO edit is identical run to run.
+pacor::geom::Point nearestFreeCell(const pacor::chip::Chip& chip,
+                                   pacor::geom::Point from) {
+  std::unordered_set<pacor::geom::Point> used(chip.obstacles.begin(),
+                                              chip.obstacles.end());
+  for (const auto& v : chip.valves) used.insert(v.pos);
+  for (const auto& p : chip.pins) used.insert(p.pos);
+  pacor::geom::Point best{-1, -1};
+  std::int64_t bestDist = -1;
+  for (std::int32_t y = 0; y < chip.routingGrid.height(); ++y)
+    for (std::int32_t x = 0; x < chip.routingGrid.width(); ++x) {
+      const pacor::geom::Point p{x, y};
+      if (used.count(p)) continue;
+      const std::int64_t d = pacor::geom::manhattan(from, p);
+      if (bestDist < 0 || d < bestDist) {
+        best = p;
+        bestDist = d;
+      }
+    }
+  return best;
+}
+
+const char* ecoModeName(pacor::core::EcoInfo::Mode mode) {
+  switch (mode) {
+    case pacor::core::EcoInfo::Mode::kIdentity: return "identity";
+    case pacor::core::EcoInfo::Mode::kIncremental: return "incremental";
+    case pacor::core::EcoInfo::Mode::kFull: return "full";
+  }
+  return "?";
 }
 
 void jsonCounters(std::FILE* f, const char* key,
@@ -148,6 +189,32 @@ int main(int argc, char** argv) {
     jsonCounters(f, "escape", serial.result.searchEscape, ",");
     jsonCounters(f, "detour", serial.result.searchDetour, "");
     std::fprintf(f, "      },\n");
+
+    // ECO row: 1-valve-move rerouteChip latency against the serial
+    // from-scratch time (the edited chip's scratch cost is statistically
+    // the base chip's -- one valve moved).
+    {
+      pacor::chip::ChipDelta delta;
+      delta.moveValve(0, nearestFreeCell(chip, chip.valves.front().pos));
+      pacor::core::EcoInfo info;
+      double ecoSeconds = 0.0;
+      for (int rep = 0; rep < kRepetitions; ++rep) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const PacorResult eco = pacor::core::rerouteChip(
+            chip, serial.result, delta, serialCfg, {}, &info);
+        const double s = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+        if (rep == 0 || s < ecoSeconds) ecoSeconds = s;
+        allComplete &= eco.complete;
+      }
+      std::fprintf(f,
+                   "      \"eco\": {\"edit\": \"valve_move\", \"mode\": \"%s\", "
+                   "\"seconds\": %.6f, \"speedup\": %.4f},\n",
+                   ecoModeName(info.mode), ecoSeconds,
+                   ecoSeconds > 0.0 ? serial.seconds / ecoSeconds : 0.0);
+    }
+
     std::fprintf(f, "      \"metrics\": %s\n",
                  serial.result.metrics.toJson(/*pretty=*/false).c_str());
     std::fprintf(f, "    }%s\n", d + 1 < designs.size() ? "," : "");

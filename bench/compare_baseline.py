@@ -29,11 +29,17 @@ bench/baseline.json and fails (exit 1) when the run regressed:
     regenerate the hashes and the baseline in the same change.
     --golden=PATH overrides the hash file (default: resolved relative to
     this script); --golden=none skips the cross-check.
+  * ECO re-route rows (eco.seconds, the 1-valve-move rerouteChip latency)
+    -- banded by --time-tolerance when the baseline carries them, and the
+    Chip1 speedup over from-scratch routing is hard-gated at
+    --eco-speedup-min (default 3x) whenever the current run reports it:
+    the incremental path losing its edge over routeChip is a regression
+    with no tolerance band.
 
 Usage:
   bench/compare_baseline.py CURRENT.json BASELINE.json \
       [--time-tolerance=1.0] [--stage-time-tolerance=T] \
-      [--counter-tolerance=0.10] [--golden=PATH]
+      [--counter-tolerance=0.10] [--golden=PATH] [--eco-speedup-min=3.0]
 """
 
 import json
@@ -94,6 +100,7 @@ def main(argv):
     time_tol = 1.0
     stage_time_tol = None
     counter_tol = 0.10
+    eco_speedup_min = 3.0
     golden_path = default_golden_path()
     for a in argv[1:]:
         if a.startswith("--time-tolerance="):
@@ -102,6 +109,8 @@ def main(argv):
             stage_time_tol = float(a.split("=", 1)[1])
         elif a.startswith("--counter-tolerance="):
             counter_tol = float(a.split("=", 1)[1])
+        elif a.startswith("--eco-speedup-min="):
+            eco_speedup_min = float(a.split("=", 1)[1])
         elif a.startswith("--golden="):
             golden_path = a.split("=", 1)[1]
         elif a.startswith("--"):
@@ -173,6 +182,28 @@ def main(argv):
                     (name, f"time.escape_s: {got:.3f}s > {ref:.3f}s "
                            f"+{stage_time_tol:.0%}"))
 
+        # ECO re-route latency: banded like wall-time when the baseline
+        # carries an eco row. The mode must not degrade either -- a
+        # valve-move answered in full mode means the incremental path
+        # stopped recognizing the edit.
+        ref_eco = base.get("eco")
+        cur_eco = cur.get("eco")
+        if ref_eco is not None:
+            if cur_eco is None:
+                violations.append((name, "eco row missing from current run "
+                                         "(rerun bench_routing)"))
+            else:
+                if cur_eco.get("mode") != ref_eco.get("mode"):
+                    violations.append(
+                        (name, f"eco.mode: {cur_eco.get('mode')} != baseline "
+                               f"{ref_eco.get('mode')}"))
+                ref_s = ref_eco["seconds"]
+                got_s = cur_eco["seconds"]
+                if got_s > ref_s * (1.0 + time_tol):
+                    violations.append(
+                        (name, f"eco.seconds: {got_s:.4f}s > {ref_s:.4f}s "
+                               f"+{time_tol:.0%}"))
+
         # Wall-time: banded.
         ref = base["serial_seconds"]
         got = cur["serial_seconds"]
@@ -187,14 +218,27 @@ def main(argv):
             ("summary", f"serial_seconds_total: {got:.3f}s > {ref:.3f}s "
                         f"+{time_tol:.0%}"))
 
+    # Hard ECO floor: the Chip1 1-valve-move re-route must beat
+    # from-scratch routing by at least --eco-speedup-min, no band.
+    chip1_eco = cur_by_name.get("Chip1", {}).get("eco")
+    if chip1_eco is not None:
+        speedup = chip1_eco.get("speedup", 0.0)
+        if speedup < eco_speedup_min:
+            violations.append(
+                ("Chip1", f"eco.speedup: {speedup:.2f}x < required "
+                          f"{eco_speedup_min:g}x over from-scratch routing"))
+
     if violations:
         return fail(violations)
     golden_note = ("golden hashes cross-checked" if golden is not None
                    else "golden cross-check skipped")
+    eco_note = (f"Chip1 eco speedup {chip1_eco['speedup']:.1f}x >= "
+                f"{eco_speedup_min:g}x" if chip1_eco is not None
+                else "no eco rows")
     print(f"PERF GATE: OK ({len(baseline['designs'])} designs, "
           f"serial total {got:.3f}s vs baseline {ref:.3f}s, "
           f"time tolerance {time_tol:.0%}, stage tolerance {stage_time_tol:.0%}, "
-          f"counter tolerance {counter_tol:.0%}, {golden_note})")
+          f"counter tolerance {counter_tol:.0%}, {golden_note}, {eco_note})")
     return 0
 
 

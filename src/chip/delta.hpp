@@ -1,0 +1,114 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "chip/chip.hpp"
+
+namespace pacor::chip {
+
+/// One edit of a chip instance. Ops are applied in order; valve and pin
+/// ids refer to the instance state at the moment the op applies (removals
+/// renumber the ids above the removed one down by one, exactly like the
+/// dense-id invariant of Chip::validate() demands).
+struct DeltaOp {
+  enum class Kind : std::uint8_t {
+    kSetName,           ///< name = text
+    kSetGrid,           ///< routingGrid = Grid(pos.x, pos.y)
+    kSetRules,          ///< rules = {pos.x, pos.y}
+    kSetDelta,          ///< delta = value
+    kMoveValve,         ///< valves[id].pos = pos
+    kSetValveSequence,  ///< valves[id].sequence = ActivationSequence(text)
+    kAddValve,          ///< append Valve{next id, pos, text}
+    kRemoveValve,       ///< erase valve id, renumber, fix cluster members
+    kMovePin,           ///< pins[id].pos = pos
+    kAddPin,            ///< append ControlPin{next id, pos}
+    kRemovePin,         ///< erase pin id, renumber
+    kAddObstacle,       ///< append pos to obstacles
+    kRemoveObstacle,    ///< erase the first obstacle equal to pos
+    kSetCluster,        ///< givenClusters[id] = cluster
+    kAddCluster,        ///< append cluster
+    kRemoveCluster,     ///< erase givenClusters[id]
+  };
+
+  Kind kind = Kind::kSetName;
+  std::int32_t id = -1;   ///< valve/pin/cluster index where applicable
+  geom::Point pos{0, 0};  ///< position / (w,h) / (width,spacing) payload
+  std::int64_t value = 0; ///< delta-threshold payload
+  std::string text;       ///< name or activation-sequence payload
+  ValveCluster cluster;   ///< cluster payload
+
+  friend bool operator==(const DeltaOp& a, const DeltaOp& b) {
+    return a.kind == b.kind && a.id == b.id && a.pos == b.pos &&
+           a.value == b.value && a.text == b.text &&
+           a.cluster.valves == b.cluster.valves &&
+           a.cluster.lengthMatched == b.cluster.lengthMatched;
+  }
+};
+
+/// An ordered edit script between two chip instances. The contract is
+/// `apply(A, diff(A, B)) == B` field-for-field (diff() self-checks it);
+/// hand-built deltas express ECO edits (move a valve, add an obstacle,
+/// retarget a cluster) without rewriting the whole instance.
+struct ChipDelta {
+  std::vector<DeltaOp> ops;
+
+  bool empty() const noexcept { return ops.empty(); }
+
+  // Convenience builders for hand-written ECO edit scripts.
+  ChipDelta& moveValve(ValveId id, Point to);
+  ChipDelta& setValveSequence(ValveId id, std::string seq);
+  ChipDelta& addValve(Point at, std::string seq);
+  ChipDelta& removeValve(ValveId id);
+  ChipDelta& movePin(PinId id, Point to);
+  ChipDelta& addPin(Point at);
+  ChipDelta& removePin(PinId id);
+  ChipDelta& addObstacle(Point at);
+  ChipDelta& removeObstacle(Point at);
+  ChipDelta& setCluster(std::int32_t index, ValveCluster cluster);
+  ChipDelta& addCluster(ValveCluster cluster);
+  ChipDelta& removeCluster(std::int32_t index);
+  ChipDelta& setDelta(std::int64_t value);
+  ChipDelta& setName(std::string name);
+};
+
+/// Field-for-field equality of two chip instances (vectors compared in
+/// order). This is the equality diff()/apply() are specified against.
+bool chipsEqual(const Chip& a, const Chip& b);
+
+/// Minimal-ish edit script turning A into B: scalar edits, per-index
+/// valve/pin moves plus trailing removals/appends, an obstacle multiset
+/// diff (falling back to a rewrite when B reorders survivors), and
+/// per-index cluster rewrites. Self-checks `apply(A, result) == B` and
+/// throws std::logic_error if the reconstruction ever misses.
+ChipDelta diff(const Chip& a, const Chip& b);
+
+/// Applies the edit script to a copy of `base` and returns it. Throws
+/// std::invalid_argument on structurally impossible ops (id out of range,
+/// removing a missing obstacle); the result is NOT validated -- callers
+/// decide whether intermediate or final states must pass Chip::validate().
+Chip apply(const Chip& base, const ChipDelta& delta);
+
+/// apply() variant that also reports where base's valves ended up:
+/// valveMap[oldId] = id in the result, or -1 when the valve was removed.
+/// The incremental router uses this to match surviving clusters.
+struct AppliedDelta {
+  Chip chip;
+  std::vector<ValveId> valveMap;
+};
+AppliedDelta applyWithMap(const Chip& base, const ChipDelta& delta);
+
+/// Plain-text serialization of an edit script ("pacor-delta 1" header,
+/// one op per line). Same conventions as chip/io.hpp: '#' comments and
+/// blank lines are skipped on input, malformed input throws
+/// std::runtime_error.
+void writeDelta(std::ostream& os, const ChipDelta& delta);
+ChipDelta readDelta(std::istream& is);
+void writeDeltaFile(const std::string& path, const ChipDelta& delta);
+ChipDelta readDeltaFile(const std::string& path);
+std::string deltaToString(const ChipDelta& delta);
+ChipDelta deltaFromString(const std::string& text);
+
+}  // namespace pacor::chip

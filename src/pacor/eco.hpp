@@ -1,0 +1,62 @@
+#pragma once
+
+#include <string>
+
+#include "chip/chip.hpp"
+#include "chip/delta.hpp"
+#include "pacor/config.hpp"
+#include "pacor/pipeline.hpp"
+#include "pacor/result.hpp"
+
+namespace pacor::core {
+
+/// How rerouteChip answered an ECO request.
+struct EcoInfo {
+  enum class Mode {
+    kIdentity,     ///< no cluster affected: previous result returned verbatim
+    kIncremental,  ///< dirty clusters re-routed against frozen survivors
+    kFull,         ///< from-scratch routeChip (structural edit or fallback)
+  };
+
+  Mode mode = Mode::kFull;
+  bool fellBack = false;       ///< incremental attempt rejected, re-ran full
+  std::string fullReason;      ///< why full mode was chosen (empty otherwise)
+  int dirtyClusters = 0;       ///< clusters re-routed (B's clustering)
+  int frozenClusters = 0;      ///< previous routed clusters carried verbatim
+  int totalSpecs = 0;          ///< clusters of the edited chip
+  double reuseRatio = 0.0;     ///< frozen / total previous clusters
+};
+
+/// Incremental ECO re-routing: applies `delta` to `base`, computes the set
+/// of clusters the edit can affect, and re-routes ONLY those -- every
+/// untouched cluster of `prev` is carried into the result byte-for-byte
+/// (geometry, pin, matching verdict), marked with RoutedCluster::ecoCarried.
+///
+/// `prev` must be the result of routing `base` (any config); the edited
+/// chip must pass Chip::validate() or std::invalid_argument is thrown.
+///
+/// Mode selection:
+///  - identity: no cluster is affected -> `prev` is returned as-is (with
+///    the edited chip's name), no routing work at all.
+///  - incremental: the edit's dirty set -- clusters whose membership
+///    changed under re-clustering, whose valves moved, whose committed
+///    cells collide with new obstacles / new valve sites, or (for
+///    length-matched clusters) when the delta threshold changed -- is
+///    re-routed through the normal stage 2-5 pipeline with the survivors
+///    frozen in place. Falls back to full when the seeded run is
+///    incomplete or a previously-matched cluster loses its matching.
+///  - full: grid / design-rule / pin edits (they invalidate every escape),
+///    an unusable `prev`, or the fallback above -> plain routeChip on the
+///    edited chip.
+///
+/// In every mode the returned solution is oracle-clean for the edited chip
+/// exactly as if it came from routeChip; `result.metrics` carries eco.*
+/// rows (mode, dirty/frozen counts, reuse ratio) and `info`, when given,
+/// the same as a struct.
+PacorResult rerouteChip(const chip::Chip& base, const PacorResult& prev,
+                        const chip::ChipDelta& delta,
+                        const PacorConfig& config = {},
+                        const RouteResources& resources = {},
+                        EcoInfo* info = nullptr);
+
+}  // namespace pacor::core

@@ -194,25 +194,26 @@ EscapeOutcome escapeRoute(const chip::Chip& chip, grid::ObstacleMap& obstacles,
 EscapeFlowSession::EscapeFlowSession(const chip::Chip& chip,
                                      grid::ObstacleMap& obstacles,
                                      bool fastEscape)
-    : chip_(chip),
-      obstacles_(obstacles),
+    : chip_(&chip),
+      obstacles_(&obstacles),
       flow_(static_cast<std::size_t>(2 * obstacles.grid().cellCount()) +
-            chip.valves.size() + 2) {
+            chip.valves.size() + 2),
+      valveCapacity_(chip.valves.size()) {
   flow_.setFastSsp(fastEscape);
   trace::Span spanBuild("escape.flow_build", "escape", trace::Level::kCluster);
   const auto buildT0 = std::chrono::steady_clock::now();
-  const grid::Grid& g = obstacles_.grid();
+  const grid::Grid& g = obstacles_->grid();
   const auto cellCount = static_cast<std::size_t>(g.cellCount());
   clusterBase_ = 2 * cellCount;
   // One virtual cluster node per pending cluster, renumbered every round in
   // pending order; clusters never outnumber valves, so valves.size() slots
   // always suffice and source/sink ids stay fixed across rounds.
-  source_ = clusterBase_ + chip_.valves.size();
+  source_ = clusterBase_ + chip_->valves.size();
   sink_ = source_ + 1;
 
   freeMirror_.resize(cellCount);
   for (std::size_t c = 0; c < cellCount; ++c)
-    freeMirror_[c] = obstacles_.isFree(g.point(static_cast<std::int32_t>(c))) ? 1 : 0;
+    freeMirror_[c] = obstacles_->isFree(g.point(static_cast<std::int32_t>(c))) ? 1 : 0;
 
   // Persistent network over every cell. Arcs match escapeRoute()'s
   // insertion order per node: split, then adjacency, then the pin arc.
@@ -233,8 +234,8 @@ EscapeFlowSession::EscapeFlowSession(const chip::Chip& chip,
       stepArc_[e] = {static_cast<std::int32_t>(c), static_cast<std::int32_t>(qi)};
     });
   }
-  pinEdge_.reserve(chip_.pins.size());
-  for (const chip::ControlPin& pin : chip_.pins) {
+  pinEdge_.reserve(chip_->pins.size());
+  for (const chip::ControlPin& pin : chip_->pins) {
     const auto c = static_cast<std::size_t>(g.index(pin.pos));
     pinEdge_.push_back(flow_.addEdge(2 * c + 1, sink_, 1, 0));
     pinAt_.emplace(pin.pos, pin.id);
@@ -253,9 +254,31 @@ EscapeFlowSession::EscapeFlowSession(const chip::Chip& chip,
   ctorSeconds_ = secondsSince(buildT0);
 }
 
+bool EscapeFlowSession::compatibleWith(const chip::Chip& chip) const noexcept {
+  if (chip.valves.size() > valveCapacity_) return false;
+  if (static_cast<std::size_t>(chip.routingGrid.cellCount()) != freeMirror_.size())
+    return false;
+  if (chip.pins.size() != pinEdge_.size()) return false;
+  for (const chip::ControlPin& pin : chip.pins) {
+    const auto it = pinAt_.find(pin.pos);
+    if (it == pinAt_.end() || it->second != pin.id) return false;
+  }
+  return true;
+}
+
+void EscapeFlowSession::rebind(const chip::Chip& chip, grid::ObstacleMap& obstacles,
+                               bool fastEscape) {
+  chip_ = &chip;
+  obstacles_ = &obstacles;
+  flow_.setFastSsp(fastEscape);
+  // Nothing else: the next route() already resets the flow, truncates the
+  // overlay, and diffs freeMirror_ against the new map's occupancy -- the
+  // same path every warm round takes within one request.
+}
+
 EscapeOutcome EscapeFlowSession::route(std::span<WorkCluster*> clusters) {
   EscapeOutcome outcome;
-  const grid::Grid& g = obstacles_.grid();
+  const grid::Grid& g = obstacles_->grid();
 
   std::vector<std::size_t> pendingIdx;
   for (std::size_t i = 0; i < clusters.size(); ++i)
@@ -283,7 +306,7 @@ EscapeOutcome EscapeFlowSession::route(std::span<WorkCluster*> clusters) {
   // Cell occupancy deltas since the last round.
   std::int64_t deltaCells = 0;
   for (std::size_t c = 0; c < freeMirror_.size(); ++c) {
-    const bool free = obstacles_.isFree(g.point(static_cast<std::int32_t>(c)));
+    const bool free = obstacles_->isFree(g.point(static_cast<std::int32_t>(c)));
     if (free == (freeMirror_[c] != 0)) continue;
     freeMirror_[c] = free ? 1 : 0;
     ++deltaCells;
@@ -296,10 +319,10 @@ EscapeOutcome EscapeFlowSession::route(std::span<WorkCluster*> clusters) {
   // Pin arcs: open iff the pin is unconsumed and its cell is free.
   std::unordered_set<Point> takenPins;
   for (const WorkCluster* wc : clusters)
-    if (wc->pin >= 0) takenPins.insert(chip_.pin(wc->pin).pos);
-  for (std::size_t i = 0; i < chip_.pins.size(); ++i) {
-    const Point pos = chip_.pins[i].pos;
-    const bool open = !takenPins.contains(pos) && obstacles_.isFree(pos);
+    if (wc->pin >= 0) takenPins.insert(chip_->pin(wc->pin).pos);
+  for (std::size_t i = 0; i < chip_->pins.size(); ++i) {
+    const Point pos = chip_->pins[i].pos;
+    const bool open = !takenPins.contains(pos) && obstacles_->isFree(pos);
     flow_.setCapacity(pinEdge_[i], open ? 1 : 0);
   }
 
@@ -316,7 +339,7 @@ EscapeOutcome EscapeFlowSession::route(std::span<WorkCluster*> clusters) {
     for (const Point tap : wc.tapCells) {
       const std::int64_t bias = wc.wideTap ? 2 * geom::manhattan(tap, wc.tap) : 0;
       g.forNeighbors(tap, [&](Point q) {
-        if (!obstacles_.isFree(q)) return;
+        if (!obstacles_->isFree(q)) return;
         const auto [it, fresh] = fanout.emplace(q, bias);
         if (!fresh) it->second = std::min(it->second, bias);
       });
@@ -398,7 +421,7 @@ EscapeOutcome EscapeFlowSession::route(std::span<WorkCluster*> clusters) {
 
     wc.escapePath = path;
     wc.pin = pinAt_.at(path.back());
-    obstacles_.occupy(std::span<const Point>(path.data() + 1, path.size() - 1),
+    obstacles_->occupy(std::span<const Point>(path.data() + 1, path.size() - 1),
                       wc.net);
   }
 

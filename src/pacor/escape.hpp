@@ -79,6 +79,21 @@ class EscapeFlowSession {
   EscapeFlowSession(const chip::Chip& chip, grid::ObstacleMap& obstacles,
                     bool fastEscape = false);
 
+  /// True when this session's frozen network can serve `chip`: same grid
+  /// cell count, identical control pins, and no more valves than the
+  /// network was sized for. Callers holding a session across requests
+  /// (serve::DesignContext, RouteResources::escapeSession) reset the
+  /// session when this turns false -- valve moves and obstacle edits keep
+  /// it true, pin or grid edits do not.
+  bool compatibleWith(const chip::Chip& chip) const noexcept;
+
+  /// Re-targets the session at another request's chip + obstacle map
+  /// (compatibleWith must hold). The next route() call diffs the free
+  /// mirror against the new map -- exactly the per-round occupancy-diff
+  /// path -- so a rebound session stays bit-identical to a session built
+  /// fresh on the new map. `fastEscape` may change per request.
+  void rebind(const chip::Chip& chip, grid::ObstacleMap& obstacles, bool fastEscape);
+
   /// Drop-in replacement for escapeRoute(): one escape pass over the
   /// given clusters against the session's obstacle map.
   EscapeOutcome route(std::span<WorkCluster*> clusters);
@@ -95,9 +110,10 @@ class EscapeFlowSession {
   const Stats& stats() const { return stats_; }
 
  private:
-  const chip::Chip& chip_;
-  grid::ObstacleMap& obstacles_;
+  const chip::Chip* chip_;
+  grid::ObstacleMap* obstacles_;
   graph::MinCostFlow flow_;
+  std::size_t valveCapacity_ = 0;  ///< cluster-node slots in the network
   std::size_t clusterBase_ = 0;
   std::size_t source_ = 0;
   std::size_t sink_ = 0;

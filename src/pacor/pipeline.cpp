@@ -72,10 +72,12 @@ std::vector<WorkCluster> forceSplit(const chip::Chip& chip, grid::ObstacleMap& o
 }
 
 /// Releases every escape path and pin so the next flow pass re-decides
-/// all pin assignments globally.
+/// all pin assignments globally. ECO-frozen survivors keep theirs: their
+/// escape is part of the carried-over contract, and their pins stay
+/// reserved through the takenPins set of the next flow pass.
 void ripAllEscapes(grid::ObstacleMap& obstacles, std::vector<WorkCluster>& clusters) {
   for (WorkCluster& wc : clusters) {
-    if (wc.pin < 0) continue;
+    if (wc.pin < 0 || wc.ecoFrozen) continue;
     if (wc.escapePath.size() > 1)
       obstacles.releasePath(
           std::span<const geom::Point>(wc.escapePath.data() + 1, wc.escapePath.size() - 1),
@@ -95,7 +97,9 @@ std::size_t nearestRelaxable(const chip::Chip& chip,
     std::size_t nearest = clusters.size();
     std::int64_t nearestDist = std::numeric_limits<std::int64_t>::max();
     for (std::size_t j = 0; j < clusters.size(); ++j) {
-      if (j == self || relax[j] || clusters[j].spec.valves.size() < 2) continue;
+      if (j == self || relax[j] || clusters[j].spec.valves.size() < 2 ||
+          clusters[j].ecoFrozen)
+        continue;
       if (clusters[j].lmStructured == wantPlain) continue;
       for (const chip::ValveId v : clusters[j].spec.valves) {
         const std::int64_t d = geom::chebyshev(cell, chip.valve(v).pos);
@@ -138,15 +142,14 @@ grid::ObstacleMap makeRoutingObstacleTemplate(const chip::Chip& chip) {
   return obstacles;
 }
 
-PacorResult routeChip(const chip::Chip& chip, const PacorConfig& config) {
-  return routeChip(chip, config, RouteResources{});
-}
+namespace {
 
-PacorResult routeChip(const chip::Chip& chip, const PacorConfig& config,
-                      const RouteResources& resources) {
+PacorResult routeChipImpl(const chip::Chip& chip, const PacorConfig& config,
+                          const RouteResources& resources,
+                          detail::PipelineSeed* seed) {
   if (const auto err = chip.validate())
     throw std::invalid_argument("routeChip: invalid chip: " + *err);
-  if (resources.obstacleTemplate != nullptr &&
+  if (seed == nullptr && resources.obstacleTemplate != nullptr &&
       resources.obstacleTemplate->grid().cellCount() != chip.routingGrid.cellCount())
     throw std::invalid_argument(
         "routeChip: obstacle template does not match the chip's routing grid");
@@ -185,32 +188,40 @@ PacorResult routeChip(const chip::Chip& chip, const PacorConfig& config,
 
   // Routing workspace: static obstacles plus blocked non-pin boundary
   // cells (escape constraint 8 applied globally for consistency); copied
-  // from the caller's cached template when one is supplied.
-  grid::ObstacleMap obstacles = resources.obstacleTemplate != nullptr
-                                    ? *resources.obstacleTemplate
-                                    : makeRoutingObstacleTemplate(chip);
+  // from the caller's cached template when one is supplied. An ECO seed
+  // brings its own map, pre-loaded with the frozen survivors' occupancy.
+  grid::ObstacleMap obstacles =
+      seed != nullptr ? std::move(seed->obstacles)
+      : resources.obstacleTemplate != nullptr
+          ? *resources.obstacleTemplate
+          : makeRoutingObstacleTemplate(chip);
 
-  // --- Stage 1: valve clustering -----------------------------------------
+  // --- Stage 1: valve clustering (or the ECO seed in its place) ----------
   trace::Span spanClustering("stage.clustering", "pipeline");
   const auto tCluster = Clock::now();
-  std::vector<ClusterSpec> specs = clusterValves(chip);
-  result.multiValveClusterCount = static_cast<int>(
-      std::count_if(specs.begin(), specs.end(),
-                    [](const ClusterSpec& s) { return s.valves.size() >= 2; }));
-
   grid::NetId nextNet = 0;
   const auto allocateNet = [&nextNet] { return nextNet++; };
   std::vector<WorkCluster> clusters;
-  clusters.reserve(specs.size());
-  for (ClusterSpec& spec : specs) {
-    WorkCluster wc;
-    wc.spec = std::move(spec);
-    wc.net = allocateNet();
-    for (const chip::ValveId v : wc.spec.valves) {
-      const geom::Point cell = chip.valve(v).pos;
-      obstacles.occupy(std::span<const geom::Point>(&cell, 1), wc.net);
+  if (seed != nullptr) {
+    clusters = std::move(seed->clusters);
+    nextNet = seed->nextNet;
+    result.multiValveClusterCount = seed->multiValveClusterCount;
+  } else {
+    std::vector<ClusterSpec> specs = clusterValves(chip);
+    result.multiValveClusterCount = static_cast<int>(
+        std::count_if(specs.begin(), specs.end(),
+                      [](const ClusterSpec& s) { return s.valves.size() >= 2; }));
+    clusters.reserve(specs.size());
+    for (ClusterSpec& spec : specs) {
+      WorkCluster wc;
+      wc.spec = std::move(spec);
+      wc.net = allocateNet();
+      for (const chip::ValveId v : wc.spec.valves) {
+        const geom::Point cell = chip.valve(v).pos;
+        obstacles.occupy(std::span<const geom::Point>(&cell, 1), wc.net);
+      }
+      clusters.push_back(std::move(wc));
     }
-    clusters.push_back(std::move(wc));
   }
   const auto tClusterEnd = Clock::now();
   result.times.clustering = seconds(tCluster, tClusterEnd);
@@ -221,7 +232,8 @@ PacorResult routeChip(const chip::Chip& chip, const PacorConfig& config,
   trace::Span spanLm("stage.cluster_routing", "pipeline");
   std::vector<WorkCluster*> lmClusters;
   for (WorkCluster& wc : clusters)
-    if (wc.wantsMatching() && wc.spec.valves.size() >= 2) lmClusters.push_back(&wc);
+    if (wc.wantsMatching() && wc.spec.valves.size() >= 2 && !wc.internallyRouted)
+      lmClusters.push_back(&wc);
   const LmRoutingStats lmStats =
       routeLengthMatchingClusters(chip, config, obstacles, lmClusters, poolPtr);
   result.lmCandidatesBuilt = lmStats.candidatesBuilt;
@@ -245,7 +257,7 @@ PacorResult routeChip(const chip::Chip& chip, const PacorConfig& config,
   if (config.detourStage == DetourStage::kAfterClusterRouting) {
     trace::Span spanFirst("detour.first_pass", "pipeline");
     for (WorkCluster& wc : clusters) {
-      if (!wc.lmStructured || !wc.internallyRouted) continue;
+      if (!wc.lmStructured || !wc.internallyRouted || wc.ecoFrozen) continue;
       DetourStats stats;
       detourClusterForMatching(chip, obstacles, wc, wc.tap, chip.delta,
                                config.detourIterations, &stats,
@@ -260,8 +272,17 @@ PacorResult routeChip(const chip::Chip& chip, const PacorConfig& config,
   // --- Stage 4: escape routing with de-clustering / rip-up rounds --------
   // One escape-flow session serves every round of both the rip-up loop and
   // the matching-retry re-escapes; created lazily at the first flow pass so
-  // it snapshots the post-routing obstacle state.
-  std::unique_ptr<EscapeFlowSession> escapeSession;
+  // it snapshots the post-routing obstacle state. A caller-held slot
+  // (serve mode) keeps the session alive across requests: the first flow
+  // pass warm-rebinds it to this request's obstacle map -- or rebuilds it
+  // when pin/grid edits made it incompatible -- and stats are diffed so
+  // the metrics stay request-scoped.
+  std::unique_ptr<EscapeFlowSession> ownedEscapeSession;
+  std::unique_ptr<EscapeFlowSession>& escapeSessionSlot =
+      resources.escapeSession != nullptr ? *resources.escapeSession
+                                         : ownedEscapeSession;
+  EscapeFlowSession* escapeSession = nullptr;  // non-null once prepared
+  EscapeFlowSession::Stats escapeStats0;
   double escapeFlowBuildS = 0.0;
   double escapeFlowRunS = 0.0;
   graph::MinCostFlow::Counters escapeCounters;
@@ -275,9 +296,22 @@ PacorResult routeChip(const chip::Chip& chip, const PacorConfig& config,
     } else if (!config.incrementalEscape) {
       outcome = escapeRoute(chip, obstacles, ptrs, config.fastEscape);
     } else {
-      if (!escapeSession)
-        escapeSession = std::make_unique<EscapeFlowSession>(chip, obstacles,
-                                                            config.fastEscape);
+      if (escapeSession == nullptr) {
+        if (escapeSessionSlot && !escapeSessionSlot->compatibleWith(chip))
+          escapeSessionSlot.reset();
+        if (escapeSessionSlot) {
+          // Warm reuse: baseline the counters before this request's work.
+          escapeStats0 = escapeSessionSlot->stats();
+          escapeSessionSlot->rebind(chip, obstacles, config.fastEscape);
+        } else {
+          escapeSessionSlot = std::make_unique<EscapeFlowSession>(
+              chip, obstacles, config.fastEscape);
+          // Fresh construction belongs to this request: baseline zero so
+          // the cold build shows up in the request's metrics.
+          escapeStats0 = EscapeFlowSession::Stats{};
+        }
+        escapeSession = escapeSessionSlot.get();
+      }
       outcome = escapeSession->route(ptrs);
     }
     escapeFlowBuildS += outcome.flowBuildSeconds;
@@ -416,7 +450,7 @@ PacorResult routeChip(const chip::Chip& chip, const PacorConfig& config,
   // --- Stage 5: final path detouring for length matching ------------------
   const auto runFinalDetour = [&] {
     for (WorkCluster& wc : clusters) {
-      if (!wc.lmStructured || wc.pin < 0) continue;
+      if (!wc.lmStructured || wc.pin < 0 || wc.ecoFrozen) continue;
       // The escape may have attached away from the structure's root (wide
       // taps): re-derive which segments lie on each sink's pin path.
       if (!wc.escapePath.empty() && wc.escapePath.front() != wc.tap)
@@ -468,7 +502,8 @@ PacorResult routeChip(const chip::Chip& chip, const PacorConfig& config,
     std::vector<std::size_t> hopeless;
     for (std::size_t i = 0; i < clusters.size(); ++i) {
       const WorkCluster& wc = clusters[i];
-      if (wc.lmStructured && wc.pin >= 0 && wc.wantsMatching() && !wc.lengthMatched)
+      if (wc.lmStructured && wc.pin >= 0 && wc.wantsMatching() &&
+          !wc.lengthMatched && !wc.ecoFrozen)
         hopeless.push_back(i);
     }
     if (hopeless.empty()) break;
@@ -497,7 +532,8 @@ PacorResult routeChip(const chip::Chip& chip, const PacorConfig& config,
         for (auto& p : parts) next.push_back(std::move(p));
         continue;
       }
-      if (wc.lmStructured && wc.wantsMatching() && !wc.lengthMatched) {
+      if (wc.lmStructured && wc.wantsMatching() && !wc.lengthMatched &&
+          !wc.ecoFrozen) {
         // Give the original DME root another chance now that space opened.
         wc.wideTap = false;
         wc.tap = wc.rootTap;
@@ -528,6 +564,7 @@ PacorResult routeChip(const chip::Chip& chip, const PacorConfig& config,
     rc.treePaths = wc.treePaths;
     rc.escapePath = wc.escapePath;
     rc.tap = wc.tap;
+    rc.ecoCarried = wc.ecoFrozen;
     rc.routed = wc.pin >= 0;
     if (rc.routed) {
       rc.valveLengths = measureValveLengths(chip, wc, chip.pin(wc.pin).pos);
@@ -572,14 +609,19 @@ PacorResult routeChip(const chip::Chip& chip, const PacorConfig& config,
   m.setInt("escape.splits", result.escapeSplits);
   // Warm-restart effort of the incremental escape session; zeros when the
   // session was disabled or never constructed (keeps the schema stable).
+  // Counters are diffed against the pre-request snapshot so a session
+  // shared across serve requests still reports per-request numbers
+  // (cold_builds = 0 is the signature of a warm cross-request reuse).
   {
     const EscapeFlowSession::Stats es =
-        escapeSession ? escapeSession->stats() : EscapeFlowSession::Stats{};
-    m.setInt("escape.flow.incremental", escapeSession ? 1 : 0);
-    m.setInt("escape.flow.cold_builds", es.coldBuilds);
-    m.setInt("escape.flow.warm_rounds", es.warmRounds);
-    m.setInt("escape.flow.warm_delta_cells", es.warmDeltaCells);
-    m.setInt("escape.flow.warm_delta_arcs", es.warmDeltaArcs);
+        escapeSession != nullptr ? escapeSession->stats() : EscapeFlowSession::Stats{};
+    m.setInt("escape.flow.incremental", escapeSession != nullptr ? 1 : 0);
+    m.setInt("escape.flow.cold_builds", es.coldBuilds - escapeStats0.coldBuilds);
+    m.setInt("escape.flow.warm_rounds", es.warmRounds - escapeStats0.warmRounds);
+    m.setInt("escape.flow.warm_delta_cells",
+             es.warmDeltaCells - escapeStats0.warmDeltaCells);
+    m.setInt("escape.flow.warm_delta_arcs",
+             es.warmDeltaArcs - escapeStats0.warmDeltaArcs);
     m.setInt("escape.flow.persistent_arcs", es.persistentArcs);
   }
   // Solver-effort counters summed over every escape pass.
@@ -631,5 +673,25 @@ PacorResult routeChip(const chip::Chip& chip, const PacorConfig& config,
   m.setReal("time.total_s", result.times.total);
   return result;
 }
+
+}  // namespace
+
+PacorResult routeChip(const chip::Chip& chip, const PacorConfig& config) {
+  return routeChipImpl(chip, config, RouteResources{}, nullptr);
+}
+
+PacorResult routeChip(const chip::Chip& chip, const PacorConfig& config,
+                      const RouteResources& resources) {
+  return routeChipImpl(chip, config, resources, nullptr);
+}
+
+namespace detail {
+
+PacorResult routeChipSeeded(const chip::Chip& chip, const PacorConfig& config,
+                            const RouteResources& resources, PipelineSeed seed) {
+  return routeChipImpl(chip, config, resources, &seed);
+}
+
+}  // namespace detail
 
 }  // namespace pacor::core

@@ -1,15 +1,21 @@
 #pragma once
 
+#include <memory>
+#include <vector>
+
 #include "chip/chip.hpp"
 #include "grid/obstacle_map.hpp"
 #include "pacor/config.hpp"
 #include "pacor/result.hpp"
+#include "pacor/work.hpp"
 
 namespace pacor::util {
 class ThreadPool;
 }
 
 namespace pacor::core {
+
+class EscapeFlowSession;
 
 /// Long-lived resources an embedding caller (the serve loop) can supply
 /// to routeChip so repeated in-process requests stop re-doing per-call
@@ -32,6 +38,16 @@ struct RouteResources {
   /// instead of re-deriving static obstacles + blocked boundary cells on
   /// every request. Must match the chip's routing grid.
   const grid::ObstacleMap* obstacleTemplate = nullptr;
+
+  /// Slot for a persistent EscapeFlowSession that survives across
+  /// requests of one design (the serve loop owns the unique_ptr). When
+  /// set, routeChip constructs the session into the slot on first use and
+  /// warm-rebinds it afterwards -- resetting it first whenever
+  /// EscapeFlowSession::compatibleWith rejects the request's chip (pin or
+  /// grid edits). The slot must not be used by two in-flight requests at
+  /// once; Server::route arbitrates with a try-lock and falls back to a
+  /// request-local session, which is byte-identical either way.
+  std::unique_ptr<EscapeFlowSession>* escapeSession = nullptr;
 };
 
 /// The initial routing workspace of a chip: static obstacles plus blocked
@@ -60,5 +76,27 @@ PacorResult routeChip(const chip::Chip& chip, const PacorConfig& config,
 PacorConfig pacorDefaultConfig();   ///< the full flow
 PacorConfig withoutSelectionConfig();  ///< "w/o Sel"
 PacorConfig detourFirstConfig();    ///< "Detour First"
+
+namespace detail {
+
+/// Pre-seeded pipeline state for ECO re-routing (eco.cpp): the clustering
+/// stage is replaced by a caller-supplied work-cluster set -- frozen
+/// survivors carrying their committed geometry plus dirty clusters ready
+/// for routing -- over an obstacle map already loaded with the frozen
+/// occupancy. Stages 2-5 then run exactly as in routeChip, with every
+/// rip-up / relax / detour pass skipping ecoFrozen clusters.
+struct PipelineSeed {
+  std::vector<WorkCluster> clusters;
+  grid::ObstacleMap obstacles;
+  grid::NetId nextNet = 0;
+  int multiValveClusterCount = 0;
+};
+
+/// routeChip with stage 1 replaced by the seed. Internal to the ECO entry
+/// point; validation and equivalence guarantees live on core::rerouteChip.
+PacorResult routeChipSeeded(const chip::Chip& chip, const PacorConfig& config,
+                            const RouteResources& resources, PipelineSeed seed);
+
+}  // namespace detail
 
 }  // namespace pacor::core

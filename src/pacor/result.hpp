@@ -30,6 +30,12 @@ struct RoutedCluster {
   /// Edge count of all channels of this cluster (cells - 1 of the union).
   std::int64_t totalLength = 0;
 
+  /// ECO re-routing provenance: true when this cluster was carried
+  /// verbatim from the previous result by rerouteChip (its geometry is
+  /// guaranteed byte-equal to the prior run's). Not serialized -- the
+  /// canonical solution text is unchanged by ECO bookkeeping.
+  bool ecoCarried = false;
+
   std::int64_t lengthSpread() const;  ///< max - min of valveLengths (0 if unrouted)
 };
 

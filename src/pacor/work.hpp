@@ -46,6 +46,12 @@ struct WorkCluster {
   bool lengthMatched = false;  ///< set by the detour stage
   bool wasDemoted = false;     ///< LM constraint dropped during the flow
 
+  /// ECO re-routing: this cluster is a survivor carried verbatim from a
+  /// previous result. Its geometry, pin, and matching verdict are frozen
+  /// -- every rip-up, relax, and detour pass skips it (eco.cpp seeds
+  /// these; the fresh pipeline never sets the flag).
+  bool ecoFrozen = false;
+
   bool isSingleton() const noexcept { return spec.valves.size() == 1; }
   bool wantsMatching() const noexcept { return spec.lengthMatched && !wasDemoted; }
 };

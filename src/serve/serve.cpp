@@ -12,6 +12,8 @@
 
 #include "chip/generator.hpp"
 #include "chip/io.hpp"
+#include "pacor/eco.hpp"
+#include "pacor/escape.hpp"
 #include "pacor/solution_io.hpp"
 #include "util/sha256.hpp"
 
@@ -24,7 +26,56 @@ unsigned poolSize(int jobs) {
   return static_cast<unsigned>(std::max(1, resolved));
 }
 
+/// True when two configs produce byte-identical routed output, so a result
+/// cached under one can serve as the ECO base under the other. Every
+/// output-affecting knob is compared; jobs and incrementalEscape are
+/// excluded by the pipeline's bit-identity contract.
+bool configsEquivalent(const core::PacorConfig& a, const core::PacorConfig& b) {
+  return a.candidates.count == b.candidates.count &&
+         a.candidates.ringSearchRadius == b.candidates.ringSearchRadius &&
+         a.lambda == b.lambda && a.useSelection == b.useSelection &&
+         a.exactSelectionLimit == b.exactSelectionLimit &&
+         a.negotiation.baseHistoryCost == b.negotiation.baseHistoryCost &&
+         a.negotiation.alpha == b.negotiation.alpha &&
+         a.negotiation.maxIterations == b.negotiation.maxIterations &&
+         a.detourIterations == b.detourIterations &&
+         a.useBoundedDetour == b.useBoundedDetour &&
+         a.detourStage == b.detourStage &&
+         a.maxEscapeRounds == b.maxEscapeRounds &&
+         a.escapeMode == b.escapeMode && a.fastEscape == b.fastEscape &&
+         a.matchingRetries == b.matchingRetries &&
+         a.legalizeRadius == b.legalizeRadius;
+}
+
+/// Response fields + side files every successful routing request shares.
+void fillRouteResponse(Response& resp, const core::PacorResult& result,
+                       const RequestOptions& options) {
+  resp.complete = result.complete;
+  resp.solutionText = core::solutionToString(result);
+  resp.solutionHash = util::sha256Hex(resp.solutionText);
+  resp.clusterCount = result.clusters.size();
+  resp.totalLength = result.totalChannelLength;
+  resp.ok = true;
+  if (!options.solutionPath.empty())
+    core::writeSolutionFile(options.solutionPath, result);
+  if (!options.metricsPath.empty()) {
+    std::ofstream os(options.metricsPath);
+    os << "{\n  \"design\": \"" << result.design << "\",\n  \"metrics\": "
+       << result.metrics.toJson(/*pretty=*/true) << "\n}\n";
+    if (!os) {
+      resp.ok = false;
+      resp.error = "cannot write metrics file " + options.metricsPath;
+    }
+  }
+}
+
 }  // namespace
+
+DesignContext::DesignContext(chip::Chip chip)
+    : chip_(std::move(chip)),
+      obstacleTemplate_(core::makeRoutingObstacleTemplate(chip_)) {}
+
+DesignContext::~DesignContext() = default;
 
 Server::Server(int jobs) : pool_(poolSize(jobs)) {}
 
@@ -61,29 +112,25 @@ Response Server::route(DesignContext& ctx, const RequestOptions& options) {
     shared.lock();
 
   if (traced) ctx.traceSession().begin(options.traceLevel);
+  // The chip and template must stay put while this request routes; eco()
+  // takes the same lock exclusively to swap them.
+  std::shared_lock<std::shared_mutex> state(ctx.stateMutex_);
+  // One request at a time drives the persistent escape session; losers of
+  // the try-lock route through a request-local session (byte-identical,
+  // just without the cross-request warm start).
+  std::unique_lock<std::mutex> sessionLock(ctx.escapeMutex_, std::try_to_lock);
   try {
     core::RouteResources resources;
     resources.pool = &pool_;
-    resources.obstacleTemplate = &ctx.obstacleTemplate();
+    resources.obstacleTemplate = &ctx.obstacleTemplate_;
+    if (sessionLock.owns_lock()) resources.escapeSession = &ctx.escapeSession_;
     const core::PacorResult result =
-        core::routeChip(ctx.chip(), options.config, resources);
-    resp.complete = result.complete;
-    resp.solutionText = core::solutionToString(result);
-    resp.solutionHash = util::sha256Hex(resp.solutionText);
-    resp.clusterCount = result.clusters.size();
-    resp.totalLength = result.totalChannelLength;
-    resp.ok = true;
-    if (!options.solutionPath.empty())
-      core::writeSolutionFile(options.solutionPath, result);
-    if (!options.metricsPath.empty()) {
-      std::ofstream os(options.metricsPath);
-      os << "{\n  \"design\": \"" << result.design << "\",\n  \"metrics\": "
-         << result.metrics.toJson(/*pretty=*/true) << "\n}\n";
-      if (!os) {
-        resp.ok = false;
-        resp.error = "cannot write metrics file " + options.metricsPath;
-      }
-    }
+        core::routeChip(ctx.chip_, options.config, resources);
+    fillRouteResponse(resp, result, options);
+    std::lock_guard<std::mutex> cache(ctx.cacheMutex_);
+    ctx.lastResult_ = result;
+    ctx.lastConfig_ = options.config;
+    ctx.hasLast_ = true;
   } catch (const std::exception& e) {
     resp.ok = false;
     resp.error = e.what();
@@ -115,6 +162,96 @@ Response Server::route(const std::string& key, const chip::Chip& chip,
   return route(context(key, [&] { return chip; }), options);
 }
 
+Response Server::eco(DesignContext& ctx, const chip::ChipDelta& delta,
+                     const RequestOptions& options) {
+  Response resp;
+
+  // Same trace-ownership discipline as route(); then the context's state
+  // lock is taken exclusively -- an eco edit replaces the chip and the
+  // obstacle template, so no request may route the design concurrently.
+  const bool traced = !options.tracePath.empty();
+  std::shared_lock<std::shared_mutex> shared(traceFence_, std::defer_lock);
+  std::unique_lock<std::shared_mutex> exclusive(traceFence_, std::defer_lock);
+  if (traced)
+    exclusive.lock();
+  else
+    shared.lock();
+
+  if (traced) ctx.traceSession().begin(options.traceLevel);
+  std::unique_lock<std::shared_mutex> state(ctx.stateMutex_);
+  // Uncontended given the exclusive state lock, but keeps the invariant
+  // that whoever routes through the persistent session holds this mutex.
+  std::unique_lock<std::mutex> sessionLock(ctx.escapeMutex_);
+  resp.design = ctx.chip_.name;
+  try {
+    const chip::Chip base = ctx.chip_;
+    core::RouteResources resources;
+    resources.pool = &pool_;
+    resources.escapeSession = &ctx.escapeSession_;
+
+    // The ECO base: the cached previous result when its config routes
+    // byte-identically under this request's config, else a fresh route of
+    // the pre-edit chip (paid once; subsequent eco requests chain).
+    bool havePrev = false;
+    core::PacorResult prev;
+    {
+      std::lock_guard<std::mutex> cache(ctx.cacheMutex_);
+      if (ctx.hasLast_ && configsEquivalent(ctx.lastConfig_, options.config)) {
+        prev = ctx.lastResult_;
+        havePrev = true;
+      }
+    }
+    if (!havePrev) {
+      core::RouteResources baseResources = resources;
+      baseResources.obstacleTemplate = &ctx.obstacleTemplate_;
+      prev = core::routeChip(base, options.config, baseResources);
+    }
+
+    core::EcoInfo info;
+    const core::PacorResult result =
+        core::rerouteChip(base, prev, delta, options.config, resources, &info);
+
+    // Commit the edited design: later requests (route or eco) see it.
+    ctx.chip_ = chip::apply(base, delta);
+    ctx.obstacleTemplate_ = core::makeRoutingObstacleTemplate(ctx.chip_);
+    {
+      std::lock_guard<std::mutex> cache(ctx.cacheMutex_);
+      ctx.lastResult_ = result;
+      ctx.lastConfig_ = options.config;
+      ctx.hasLast_ = true;
+    }
+    resp.design = ctx.chip_.name;
+    fillRouteResponse(resp, result, options);
+    resp.ecoMode = info.mode == core::EcoInfo::Mode::kIdentity ? "identity"
+                   : info.mode == core::EcoInfo::Mode::kIncremental
+                       ? "incremental"
+                       : "full";
+    resp.ecoDirty = info.dirtyClusters;
+    resp.ecoFrozen = info.frozenClusters;
+  } catch (const std::exception& e) {
+    resp.ok = false;
+    resp.error = e.what();
+  }
+
+  if (traced) {
+    const std::vector<trace::Event> events = ctx.traceSession().end();
+    if (ctx.traceSession().superseded()) {
+      resp.traceDiscarded = true;
+      resp.ok = false;
+      if (!resp.error.empty()) resp.error += "; ";
+      resp.error += "trace discarded: session superseded by a concurrent request";
+    } else {
+      resp.traceSpans = static_cast<int>(events.size());
+      if (!trace::writeChromeTrace(options.tracePath, events)) {
+        resp.ok = false;
+        if (!resp.error.empty()) resp.error += "; ";
+        resp.error += "cannot write trace file " + options.tracePath;
+      }
+    }
+  }
+  return resp;
+}
+
 namespace {
 
 /// One parsed manifest line; `error` non-empty when the line is malformed.
@@ -122,6 +259,8 @@ struct BatchRequest {
   std::string design;
   RequestOptions options;
   std::string error;
+  bool eco = false;       ///< line used the `eco` verb
+  std::string deltaPath;  ///< edit script path (eco requests)
 };
 
 std::optional<chip::GeneratorParams> findTable1Design(const std::string& name) {
@@ -137,12 +276,21 @@ BatchRequest parseLine(const std::string& line) {
     req.error = "empty request line";
     return req;
   }
+  if (req.design == "eco") {
+    req.eco = true;
+    if (!(is >> req.design)) {
+      req.error = "eco request without a design";
+      return req;
+    }
+  }
   std::string variant = "pacor";
   bool incrementalEscape = true;
   bool fastEscape = false;
   std::string token;
   while (is >> token) {
-    if (token.rfind("sol=", 0) == 0) {
+    if (req.eco && token.rfind("delta=", 0) == 0) {
+      req.deltaPath = token.substr(6);
+    } else if (token.rfind("sol=", 0) == 0) {
       req.options.solutionPath = token.substr(4);
     } else if (token.rfind("metrics=", 0) == 0) {
       req.options.metricsPath = token.substr(8);
@@ -178,6 +326,7 @@ BatchRequest parseLine(const std::string& line) {
   }
   req.options.config.incrementalEscape = incrementalEscape;
   req.options.config.fastEscape = fastEscape;
+  if (req.eco && req.deltaPath.empty()) req.error = "eco request without delta=PATH";
   return req;
 }
 
@@ -194,7 +343,8 @@ Response executeRequest(Server& server, const BatchRequest& req) {
         return chip::generateChip(*params);
       return chip::readChipFile(req.design);
     });
-    resp = server.route(ctx, req.options);
+    resp = req.eco ? server.eco(ctx, chip::readDeltaFile(req.deltaPath), req.options)
+                   : server.route(ctx, req.options);
     resp.design = req.design;  // report the manifest key, not chip.name
   } catch (const std::exception& e) {
     resp.ok = false;
@@ -213,6 +363,11 @@ void printResponse(std::ostream& out, const Response& resp) {
       << " complete=" << (resp.complete ? 1 : 0) << " clusters="
       << resp.clusterCount << " length=" << resp.totalLength;
   if (resp.traceSpans >= 0) out << " trace_spans=" << resp.traceSpans;
+  // Only eco responses carry the extra fields: stdout stays byte-stable
+  // for any manifest that predates the verb.
+  if (!resp.ecoMode.empty())
+    out << " eco=" << resp.ecoMode << " dirty=" << resp.ecoDirty
+        << " reused=" << resp.ecoFrozen;
   out << '\n';
 }
 

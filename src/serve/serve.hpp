@@ -10,9 +10,11 @@
 #include <string>
 
 #include "chip/chip.hpp"
+#include "chip/delta.hpp"
 #include "grid/obstacle_map.hpp"
 #include "pacor/config.hpp"
 #include "pacor/pipeline.hpp"
+#include "pacor/result.hpp"
 #include "trace/trace.hpp"
 #include "util/thread_pool.hpp"
 
@@ -47,24 +49,25 @@ struct Response {
   int traceSpans = -1;         ///< recorded spans; -1 = no trace requested
   bool traceDiscarded = false; ///< trace superseded by a concurrent session
   std::string error;           ///< non-empty when !ok (or trace/file I/O failed)
+
+  /// ECO responses only (empty / -1 otherwise): how rerouteChip answered.
+  std::string ecoMode;  ///< "identity", "incremental", or "full"
+  int ecoDirty = -1;    ///< clusters re-routed
+  int ecoFrozen = -1;   ///< previous clusters carried verbatim
 };
 
 /// Per-design state the server keeps alive across requests: the parsed
-/// chip, the routing obstacle template (static obstacles + blocked
-/// boundary cells, derived once instead of per request), and this
-/// design's trace session handle. Thread-local RouterWorkspaces live on
-/// the shared pool's workers, so they too survive across requests without
-/// being owned here.
-///
-/// An EscapeFlowSession is deliberately NOT persisted yet: it snapshots
-/// one request's obstacle state at construction, so reusing it across
-/// requests needs a re-snapshot/diff API first. This context is where it
-/// will live once that lands.
+/// chip (mutated only by ECO edits), the routing obstacle template (static
+/// obstacles + blocked boundary cells, derived once instead of per
+/// request), the design's persistent EscapeFlowSession (warm-rebound into
+/// each request that wins the try-lock; see Server::route), the previous
+/// routed result for ECO chains, and this design's trace session handle.
+/// Thread-local RouterWorkspaces live on the shared pool's workers, so
+/// they too survive across requests without being owned here.
 class DesignContext {
  public:
-  explicit DesignContext(chip::Chip chip)
-      : chip_(std::move(chip)),
-        obstacleTemplate_(core::makeRoutingObstacleTemplate(chip_)) {}
+  explicit DesignContext(chip::Chip chip);
+  ~DesignContext();
 
   const chip::Chip& chip() const noexcept { return chip_; }
   const grid::ObstacleMap& obstacleTemplate() const noexcept {
@@ -73,9 +76,31 @@ class DesignContext {
   trace::Session& traceSession() noexcept { return traceSession_; }
 
  private:
+  friend class Server;
+
   chip::Chip chip_;
   grid::ObstacleMap obstacleTemplate_;
   trace::Session traceSession_;
+
+  /// ECO fence: route() holds it shared (the chip and template must stay
+  /// put while a request routes), eco() exclusively (it swaps both for the
+  /// edited design). Acquired after the server's trace fence, always.
+  mutable std::shared_mutex stateMutex_;
+
+  /// Persistent escape-flow session of this design. One request at a time
+  /// may drive it: route() try-locks escapeMutex_ and the winner passes
+  /// the slot into routeChip (which warm-rebinds or lazily builds it);
+  /// losers route with a request-local session, byte-identical either way.
+  std::mutex escapeMutex_;
+  std::unique_ptr<core::EscapeFlowSession> escapeSession_;
+
+  /// Most recent routed result + the config that produced it: the `prev`
+  /// an ECO request chains from when the configs are output-equivalent
+  /// (otherwise eco() re-routes the base once before applying the edit).
+  std::mutex cacheMutex_;
+  bool hasLast_ = false;
+  core::PacorConfig lastConfig_;
+  core::PacorResult lastResult_;
 };
 
 /// Long-lived request loop state: one shared worker pool, one
@@ -106,6 +131,16 @@ class Server {
   Response route(const std::string& key, const chip::Chip& chip,
                  const RequestOptions& options);
 
+  /// Applies an ECO edit script to a held context and re-routes
+  /// incrementally (core::rerouteChip) against the context's cached
+  /// previous result -- routing the pre-edit chip first when no previous
+  /// result exists or it came from an output-inequivalent config. On
+  /// success the context's chip, obstacle template, and result cache are
+  /// advanced to the edited design, so eco requests chain. Runs
+  /// exclusively against concurrent route() calls on the same context.
+  Response eco(DesignContext& ctx, const chip::ChipDelta& delta,
+               const RequestOptions& options);
+
   std::size_t designCount() const;
   unsigned threadCount() const noexcept { return pool_.threadCount(); }
 
@@ -131,12 +166,16 @@ class Server {
 ///            [trace-level=stage|cluster|search]
 ///            [variant=pacor|wosel|detour-first] [no-incremental-escape]
 ///            [fast-escape]
+///   eco <design> delta=PATH [same options]
 ///
 /// <design> is a Table-1 name (Chip1, Chip2, S1..S5; generated in-process)
-/// or a path to a .chip file. Responses go to `out` in request order, one
-/// line each:
+/// or a path to a .chip file. The `eco` verb applies the edit script at
+/// delta=PATH (chip/delta.hpp text format) to the design's current state
+/// and re-routes incrementally; later requests against the same design see
+/// the edited chip. Responses go to `out` in request order, one line each:
 ///
 ///   ok <design> sha256=<hash> complete=<0|1> clusters=<n> length=<L> [trace_spans=<n>]
+///       [eco=identity|incremental|full dirty=<n> reused=<n>]
 ///   error <design> <message>
 ///
 /// Timing and throughput go to stderr so stdout stays byte-stable for a

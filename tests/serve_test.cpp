@@ -22,6 +22,7 @@
 #include <thread>
 #include <vector>
 
+#include "chip/delta.hpp"
 #include "chip/generator.hpp"
 #include "pacor/pipeline.hpp"
 #include "pacor/solution_io.hpp"
@@ -183,6 +184,154 @@ TEST(ServeTrace, ConcurrentTracedRequestsBothRecord) {
   }
   EXPECT_TRUE(std::ifstream(optionsA.tracePath).good());
   EXPECT_TRUE(std::ifstream(optionsB.tracePath).good());
+}
+
+/// An interior cell owned by nothing in the routed design: legal to turn
+/// into an obstacle without touching any committed channel.
+geom::Point freeCellOf(const chip::Chip& c, const core::PacorResult& r) {
+  const auto taken = [&](geom::Point p) {
+    for (const chip::Valve& v : c.valves)
+      if (v.pos == p) return true;
+    for (const chip::ControlPin& pin : c.pins)
+      if (pin.pos == p) return true;
+    for (const geom::Point o : c.obstacles)
+      if (o == p) return true;
+    for (const core::RoutedCluster& rc : r.clusters) {
+      for (const route::Path& path : rc.treePaths)
+        for (const geom::Point cell : path)
+          if (cell == p) return true;
+      for (const geom::Point cell : rc.escapePath)
+        if (cell == p) return true;
+    }
+    return false;
+  };
+  for (std::int32_t y = 1; y + 1 < c.routingGrid.height(); ++y)
+    for (std::int32_t x = 1; x + 1 < c.routingGrid.width(); ++x)
+      if (!taken({x, y})) return {x, y};
+  ADD_FAILURE() << "no free interior cell";
+  return {1, 1};
+}
+
+TEST(ServeSession, WarmEscapeSessionIsByteIdenticalToCold) {
+  const chip::Chip chip = chip::generateChip(chip::s3Params());
+  const std::string oneShot =
+      core::solutionToString(core::routeChip(chip, serialConfig()));
+
+  serve::Server server(/*jobs=*/1);
+  serve::RequestOptions options;
+  options.metricsPath = testing::TempDir() + "serve_warm_metrics.json";
+  const serve::Response cold = server.route("W", chip, options);
+  ASSERT_TRUE(cold.ok) << cold.error;
+  std::stringstream coldJson;
+  coldJson << std::ifstream(options.metricsPath).rdbuf();
+  EXPECT_EQ(coldJson.str().find("\"escape.flow.cold_builds\": 0"),
+            std::string::npos)
+      << "first request should cold-build the escape session";
+
+  // Second request reuses the persistent session (warm rebind, zero cold
+  // builds) and must still produce byte-identical output.
+  const serve::Response warm = server.route("W", chip, options);
+  ASSERT_TRUE(warm.ok) << warm.error;
+  std::stringstream warmJson;
+  warmJson << std::ifstream(options.metricsPath).rdbuf();
+  EXPECT_NE(warmJson.str().find("\"escape.flow.cold_builds\": 0"),
+            std::string::npos)
+      << warmJson.str();
+  EXPECT_EQ(cold.solutionText, oneShot);
+  EXPECT_EQ(warm.solutionText, oneShot);
+}
+
+TEST(ServeEco, EcoRequestAdvancesTheDesign) {
+  const chip::Chip base = chip::generateChip(chip::s2Params());
+  const core::PacorResult oneShot = core::routeChip(base, serialConfig());
+  ASSERT_TRUE(oneShot.complete);
+
+  serve::Server server(/*jobs=*/2);
+  serve::DesignContext& ctx = server.context("E", [&] { return base; });
+  const serve::Response before = server.route(ctx, serve::RequestOptions{});
+  ASSERT_TRUE(before.ok) << before.error;
+
+  // An obstacle on free ground: identity -- the previous result carries.
+  chip::ChipDelta d;
+  d.addObstacle(freeCellOf(base, oneShot));
+  const serve::Response eco = server.eco(ctx, d, serve::RequestOptions{});
+  ASSERT_TRUE(eco.ok) << eco.error;
+  EXPECT_EQ(eco.ecoMode, "identity");
+  EXPECT_EQ(eco.solutionHash, before.solutionHash);
+
+  // The context now holds the edited chip: a later plain route must match
+  // a one-shot of the edited design, not of the base.
+  const chip::Chip edited = chip::apply(base, d);
+  const serve::Response after = server.route(ctx, serve::RequestOptions{});
+  ASSERT_TRUE(after.ok) << after.error;
+  EXPECT_EQ(after.solutionText,
+            core::solutionToString(core::routeChip(edited, serialConfig())));
+}
+
+TEST(ServeEco, ConcurrentRouteAndEcoStayConsistent) {
+  const chip::Chip base = chip::generateChip(chip::s2Params());
+  const core::PacorResult oneShot = core::routeChip(base, serialConfig());
+  ASSERT_TRUE(oneShot.complete);
+  chip::ChipDelta d;
+  d.addObstacle(freeCellOf(base, oneShot));
+  const chip::Chip edited = chip::apply(base, d);
+
+  serve::Server server(/*jobs=*/2);
+  serve::DesignContext& ctx = server.context("C", [&] { return base; });
+
+  // Routers race the eco edit: each response must match a one-shot of
+  // whichever design state its request observed.
+  const std::string baseText = core::solutionToString(oneShot);
+  const std::string editedText =
+      core::solutionToString(core::routeChip(edited, serialConfig()));
+  constexpr int kRouteThreads = 3;
+  std::vector<serve::Response> routed(kRouteThreads * 2);
+  serve::Response ecoResp;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kRouteThreads; ++t)
+    threads.emplace_back([&, t] {
+      for (int r = 0; r < 2; ++r)
+        routed[t * 2 + r] = server.route(ctx, serve::RequestOptions{});
+    });
+  threads.emplace_back(
+      [&] { ecoResp = server.eco(ctx, d, serve::RequestOptions{}); });
+  for (std::thread& t : threads) t.join();
+
+  ASSERT_TRUE(ecoResp.ok) << ecoResp.error;
+  for (const serve::Response& resp : routed) {
+    ASSERT_TRUE(resp.ok) << resp.error;
+    EXPECT_TRUE(resp.solutionText == baseText || resp.solutionText == editedText);
+  }
+  const serve::Response final = server.route(ctx, serve::RequestOptions{});
+  ASSERT_TRUE(final.ok) << final.error;
+  EXPECT_EQ(final.solutionText, editedText);
+}
+
+TEST(ServeBatch, EcoVerbRoutesAndReportsMode) {
+  const chip::Chip s1 = chip::generateChip(chip::s1Params());
+  const core::PacorResult oneShot = core::routeChip(s1, serialConfig());
+  ASSERT_TRUE(oneShot.complete);
+  chip::ChipDelta d;
+  d.addObstacle(freeCellOf(s1, oneShot));
+  const std::string deltaPath = testing::TempDir() + "serve_eco.delta";
+  chip::writeDeltaFile(deltaPath, d);
+
+  std::istringstream manifest("S1\neco S1 delta=" + deltaPath +
+                              "\neco S1\n");
+  std::ostringstream out;
+  const int failed = serve::runBatch(manifest, out, serve::BatchOptions{});
+  EXPECT_EQ(failed, 1);  // only the delta-less eco line
+
+  std::istringstream lines(out.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line.rfind("ok S1 sha256=", 0), 0u) << line;
+  EXPECT_EQ(line.find(" eco="), std::string::npos) << line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line.rfind("ok S1 sha256=", 0), 0u) << line;
+  EXPECT_NE(line.find(" eco=identity dirty=0 reused="), std::string::npos) << line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line.rfind("error S1 ", 0), 0u) << line;
 }
 
 TEST(ServeBatch, ManifestRoutesInOrderAndReportsHashes) {

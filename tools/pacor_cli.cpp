@@ -2,6 +2,7 @@
 //
 //   pacor generate <design|params...> <out.chip>   synthesize an instance
 //   pacor route <in.chip> <out.sol> [--variant=pacor|wosel|detour-first]
+//   pacor diff <a.chip> <b.chip> [out.delta]       edit script A -> B
 //   pacor serve [--batch=<manifest>]               long-lived request loop
 //   pacor check <in.chip> <in.sol>                 independent DRC verify
 //   pacor svg <in.chip> <in.sol> <out.svg>         render a routed chip
@@ -18,11 +19,13 @@
 #include <string>
 #include <vector>
 
+#include "chip/delta.hpp"
 #include "chip/generator.hpp"
 #include "chip/io.hpp"
 #include "chip/stats.hpp"
 #include "chip/synth_spec.hpp"
 #include "pacor/drc.hpp"
+#include "pacor/eco.hpp"
 #include "pacor/pipeline.hpp"
 #include "pacor/report.hpp"
 #include "pacor/solution_io.hpp"
@@ -52,13 +55,24 @@ int usage() {
       "              [--fast-escape]   (multi-augmenting escape-flow solver:\n"
       "               same routed count and escape cost, but equal-cost ties\n"
       "               may pick different paths -- validate with `pacor verify`)\n"
+      "              [--eco=DELTA]   (ECO mode: route <in.chip>, apply the edit\n"
+      "               script DELTA, then incrementally re-route only the\n"
+      "               affected clusters; <out.sol> holds the edited chip's\n"
+      "               solution)\n"
+      "              [--eco-from=PREV.sol]   (with --eco: reuse a previous\n"
+      "               solution of <in.chip> instead of routing it first)\n"
+      "  pacor diff <a.chip> <b.chip> [out.delta]\n"
+      "              minimal edit script turning A into B (stdout when no\n"
+      "              output file is given); feed it back via route --eco or\n"
+      "              the serve eco verb\n"
       "  pacor serve [--batch=FILE] [--jobs=N] [--concurrency=N]\n"
       "              long-lived request loop: routes one request per manifest\n"
       "              line (from FILE, or stdin when --batch is omitted or '-'),\n"
       "              reusing one worker pool and per-design contexts across\n"
       "              requests. Line: <design|file.chip> [sol=P] [metrics=P]\n"
       "              [trace=P] [trace-level=L] [variant=V] [no-incremental-escape]\n"
-      "              [fast-escape]\n"
+      "              [fast-escape], or `eco <design> delta=FILE [options]` to\n"
+      "              advance a cached design through an edit script\n"
       "  pacor check <in.chip> <in.sol>\n"
       "  pacor verify <in.chip> <in.sol>   (independent oracle + DRC cross-check)\n"
       "  pacor svg <in.chip> <in.sol> <out.svg>\n"
@@ -106,13 +120,15 @@ int cmdInfo(int argc, char** argv) {
 }
 
 int cmdRoute(int argc, char** argv) {
-  if (argc < 2 || argc > 9) return usage();
+  if (argc < 2 || argc > 11) return usage();
   core::PacorConfig cfg = core::pacorDefaultConfig();
   int jobs = 1;
   bool incrementalEscape = true;
   bool fastEscape = false;
   std::string tracePath;
   std::string metricsPath;
+  std::string ecoDeltaPath;
+  std::string ecoFromPath;
   trace::Level traceLevel = trace::Level::kCluster;
   for (int i = 2; i < argc; ++i) {
     const std::string v = argv[i];
@@ -143,16 +159,42 @@ int cmdRoute(int argc, char** argv) {
                                   // resets cfg wholesale
     } else if (v == "--fast-escape") {
       fastEscape = true;
+    } else if (v.rfind("--eco=", 0) == 0) {
+      ecoDeltaPath = v.substr(6);
+      if (ecoDeltaPath.empty()) return usage();
+    } else if (v.rfind("--eco-from=", 0) == 0) {
+      ecoFromPath = v.substr(11);
+      if (ecoFromPath.empty()) return usage();
     } else {
       return usage();
     }
   }
+  if (!ecoFromPath.empty() && ecoDeltaPath.empty()) return usage();
   cfg.jobs = jobs;
   cfg.incrementalEscape = incrementalEscape;
   cfg.fastEscape = fastEscape;
   const chip::Chip c = chip::readChipFile(argv[0]);
   if (!tracePath.empty()) trace::beginSession(traceLevel);
-  const core::PacorResult result = core::routeChip(c, cfg);
+  core::PacorResult result;
+  if (ecoDeltaPath.empty()) {
+    result = core::routeChip(c, cfg);
+  } else {
+    const chip::ChipDelta delta = chip::readDeltaFile(ecoDeltaPath);
+    const core::PacorResult prev = ecoFromPath.empty()
+                                       ? core::routeChip(c, cfg)
+                                       : core::readSolutionFile(ecoFromPath);
+    core::EcoInfo info;
+    result = core::rerouteChip(c, prev, delta, cfg, {}, &info);
+    const char* mode = info.mode == core::EcoInfo::Mode::kIdentity ? "identity"
+                       : info.mode == core::EcoInfo::Mode::kIncremental
+                           ? "incremental"
+                           : "full";
+    std::cout << "eco: mode " << mode << ", " << info.dirtyClusters
+              << " dirty / " << info.frozenClusters << " reused cluster(s)";
+    if (info.fellBack) std::cout << " (fell back: " << info.fullReason << ")";
+    else if (!info.fullReason.empty()) std::cout << " (" << info.fullReason << ")";
+    std::cout << '\n';
+  }
   if (!tracePath.empty()) {
     const auto events = trace::endSession();
     if (!trace::writeChromeTrace(tracePath, events)) {
@@ -175,6 +217,20 @@ int cmdRoute(int argc, char** argv) {
   std::cout << core::describeResult(result);
   std::cout << "wrote " << argv[1] << '\n';
   return result.complete ? 0 : 1;
+}
+
+int cmdDiff(int argc, char** argv) {
+  if (argc < 2 || argc > 3) return usage();
+  const chip::Chip a = chip::readChipFile(argv[0]);
+  const chip::Chip b = chip::readChipFile(argv[1]);
+  const chip::ChipDelta delta = chip::diff(a, b);
+  if (argc == 3) {
+    chip::writeDeltaFile(argv[2], delta);
+    std::cout << "wrote " << argv[2] << " (" << delta.ops.size() << " op(s))\n";
+  } else {
+    std::cout << chip::deltaToString(delta);
+  }
+  return 0;
 }
 
 int cmdServe(int argc, char** argv) {
@@ -306,6 +362,7 @@ int main(int argc, char** argv) {
     if (cmd == "synth") return cmdSynth(argc - 2, argv + 2);
     if (cmd == "info") return cmdInfo(argc - 2, argv + 2);
     if (cmd == "route") return cmdRoute(argc - 2, argv + 2);
+    if (cmd == "diff") return cmdDiff(argc - 2, argv + 2);
     if (cmd == "serve") return cmdServe(argc - 2, argv + 2);
     if (cmd == "check") return cmdCheck(argc - 2, argv + 2);
     if (cmd == "verify") return cmdVerify(argc - 2, argv + 2);

@@ -22,11 +22,22 @@
 //       claims completion is oracle-clean, and its first escape pass --
 //       the only pass where both solvers see the identical flow network,
 //       before committed paths diverge -- reaches the same lexicographic
-//       (routed count, flow cost) optimum as the classic run.
+//       (routed count, flow cost) optimum as the classic run,
+//   (g) ECO differential: a seeded random edit script (1-8 edits -- valve
+//       moves/adds/removes, obstacle adds/removes, cluster flips) is
+//       applied one delta at a time, chaining each rerouteChip() result
+//       into the next step. Every step must be oracle-clean on the edited
+//       chip; identity-mode answers must equal the previous solution,
+//       full-mode answers must equal a from-scratch routeChip of the
+//       edited chip, and every cluster an incremental answer carries must
+//       be byte-equal to a cluster of the previous step's solution under
+//       the delta's valve renumbering.
 //
-// Any failure dumps a repro (<dump>/fuzz_<seed>.chip + .sol [+ .par.sol])
-// with the seed in the name; checker disagreements are first minimized by
-// greedily deleting clusters while the disagreement persists.
+// Any failure dumps a repro (<dump>/fuzz_<seed>.chip + .sol [+ .par.sol];
+// eco failures dump <dump>/eco_<seed>.chip + .delta + .sol) with the seed
+// in the name; checker disagreements are first minimized by greedily
+// deleting clusters, eco failures by greedily deleting delta ops, while
+// the failure persists.
 //
 //   pacor_fuzz [--designs=N] [--seed=S] [--jobs=J] [--dump=DIR] [--verbose]
 //              [--trace=FILE]
@@ -37,15 +48,22 @@
 //
 // Exit code 0 when every design passed, 1 otherwise, 2 on usage errors.
 
+#include <algorithm>
 #include <cstdint>
 #include <filesystem>
 #include <iostream>
+#include <map>
+#include <random>
+#include <sstream>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
+#include "chip/delta.hpp"
 #include "chip/generator.hpp"
 #include "chip/io.hpp"
 #include "pacor/drc.hpp"
+#include "pacor/eco.hpp"
 #include "pacor/pipeline.hpp"
 #include "pacor/solution_io.hpp"
 #include "serve/serve.hpp"
@@ -100,6 +118,11 @@ struct Tally {
   std::uint32_t complete = 0;
   std::uint32_t failures = 0;
   std::uint64_t clusters = 0;
+  // Property (g) eco-step mode counts -- the summary proves the sweep
+  // exercised all three rerouteChip answers, not just identity.
+  std::uint32_t ecoIdentity = 0;
+  std::uint32_t ecoIncremental = 0;
+  std::uint32_t ecoFull = 0;
 };
 
 core::PacorConfig configForSeed(std::uint32_t seed) {
@@ -146,6 +169,209 @@ core::PacorResult minimizeDisagreement(const chip::Chip& chip,
     }
   }
   return result;
+}
+
+// --------------------------------------------------------------------------
+// Property (g): edit-sequence differential ECO fuzzing.
+
+geom::Point randomFreeCell(const chip::Chip& chip, std::mt19937& rng) {
+  std::unordered_set<geom::Point> used(chip.obstacles.begin(), chip.obstacles.end());
+  for (const chip::Valve& v : chip.valves) used.insert(v.pos);
+  for (const chip::ControlPin& p : chip.pins) used.insert(p.pos);
+  std::vector<geom::Point> free;
+  for (std::int32_t y = 0; y < chip.routingGrid.height(); ++y)
+    for (std::int32_t x = 0; x < chip.routingGrid.width(); ++x)
+      if (!used.count({x, y})) free.push_back({x, y});
+  // A generated chip always leaves free routing cells.
+  return free[rng() % free.size()];
+}
+
+std::vector<chip::ValveId> unclusteredValves(const chip::Chip& chip) {
+  std::vector<bool> clustered(chip.valves.size(), false);
+  for (const chip::ValveCluster& c : chip.givenClusters)
+    for (const chip::ValveId v : c.valves)
+      clustered[static_cast<std::size_t>(v)] = true;
+  std::vector<chip::ValveId> loose;
+  for (std::size_t i = 0; i < clustered.size(); ++i)
+    if (!clustered[i]) loose.push_back(static_cast<chip::ValveId>(i));
+  return loose;
+}
+
+/// A structurally-valid 1..2-op edit script against `base`. Ops are drawn
+/// against the evolving intermediate chip (DeltaOp ids refer to the state
+/// at the moment the op applies), so the script is valid by construction.
+chip::ChipDelta randomDelta(const chip::Chip& base, std::mt19937& rng) {
+  chip::ChipDelta delta;
+  chip::Chip cur = base;
+  const int ops = 1 + static_cast<int>(rng() % 2);
+  for (int i = 0; i < ops; ++i) {
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      chip::ChipDelta op;
+      switch (rng() % 6) {
+        case 0:  // block a free cell
+          op.addObstacle(randomFreeCell(cur, rng));
+          break;
+        case 1:  // unblock an existing obstacle
+          if (cur.obstacles.empty()) continue;
+          op.removeObstacle(cur.obstacles[rng() % cur.obstacles.size()]);
+          break;
+        case 2:  // move a valve onto a free cell
+          if (cur.valves.empty()) continue;
+          op.moveValve(static_cast<chip::ValveId>(rng() % cur.valves.size()),
+                       randomFreeCell(cur, rng));
+          break;
+        case 3:  // drop in a fresh unclustered valve
+          op.addValve(randomFreeCell(cur, rng),
+                      cur.valves.empty() ? "10" : cur.valves.front().sequence.str());
+          break;
+        case 4: {  // remove a valve no given cluster references
+          const std::vector<chip::ValveId> loose = unclusteredValves(cur);
+          if (loose.empty()) continue;
+          op.removeValve(loose[rng() % loose.size()]);
+          break;
+        }
+        default: {  // flip a cluster's length-matching constraint
+          if (cur.givenClusters.empty()) continue;
+          const auto idx = static_cast<std::int32_t>(rng() % cur.givenClusters.size());
+          chip::ValveCluster c = cur.givenClusters[static_cast<std::size_t>(idx)];
+          c.lengthMatched = !c.lengthMatched;
+          op.setCluster(idx, c);
+          break;
+        }
+      }
+      cur = chip::apply(cur, op);
+      delta.ops.push_back(op.ops.front());
+      break;
+    }
+  }
+  return delta;
+}
+
+/// Property (g) verdict for one edit step; empty == pass. Deltas that no
+/// longer apply or yield an invalid chip (the minimizer shrinks into
+/// those) vacuously pass. On pass, `editedOut`/`incOut` receive the edited
+/// chip and the rerouteChip result so the caller can chain the next step.
+std::string ecoStepFailure(const chip::Chip& cur, const core::PacorResult& prev,
+                           const chip::ChipDelta& delta,
+                           const core::PacorConfig& cfg,
+                           chip::Chip* editedOut = nullptr,
+                           core::PacorResult* incOut = nullptr,
+                           core::EcoInfo* infoOut = nullptr) {
+  chip::AppliedDelta applied;
+  try {
+    applied = chip::applyWithMap(cur, delta);
+  } catch (const std::exception&) {
+    return "";
+  }
+  if (applied.chip.validate()) return "";
+  const chip::Chip& edited = applied.chip;
+  if (editedOut) *editedOut = edited;
+
+  core::EcoInfo info;
+  core::PacorResult inc;
+  try {
+    inc = core::rerouteChip(cur, prev, delta, cfg, {}, &info);
+  } catch (const std::exception& e) {
+    return std::string("rerouteChip threw: ") + e.what();
+  }
+  if (incOut) *incOut = inc;
+  if (infoOut) *infoOut = info;
+
+  if (inc.complete) {
+    const verify::OracleReport oracle = verify::verifySolution(edited, inc);
+    if (!oracle.clean())
+      return "eco result claims completion but the oracle found violations:\n" +
+             oracle.str();
+  }
+
+  switch (info.mode) {
+    case core::EcoInfo::Mode::kFull:
+      if (core::solutionToString(inc) !=
+          core::solutionToString(core::routeChip(edited, cfg)))
+        return "full-mode eco differs from routeChip on the edited chip";
+      break;
+    case core::EcoInfo::Mode::kIdentity:
+      if (core::solutionToString(inc) != core::solutionToString(prev))
+        return "identity-mode eco does not return the previous solution";
+      break;
+    case core::EcoInfo::Mode::kIncremental: {
+      if (!inc.complete)
+        return "incremental-mode eco returned an incomplete solution";
+      // Every carried cluster must be byte-equal to a previous cluster
+      // under the delta's valve renumbering.
+      std::map<std::vector<chip::ValveId>, const core::RoutedCluster*> byValves;
+      for (const core::RoutedCluster& rc : prev.clusters) {
+        std::vector<chip::ValveId> key = rc.valves;
+        std::sort(key.begin(), key.end());
+        byValves[std::move(key)] = &rc;
+      }
+      std::vector<chip::ValveId> invMap(edited.valves.size(), -1);
+      for (std::size_t old = 0; old < applied.valveMap.size(); ++old)
+        if (applied.valveMap[old] >= 0)
+          invMap[static_cast<std::size_t>(applied.valveMap[old])] =
+              static_cast<chip::ValveId>(old);
+      int carried = 0;
+      for (const core::RoutedCluster& rc : inc.clusters) {
+        if (!rc.ecoCarried) continue;
+        ++carried;
+        std::vector<chip::ValveId> key;
+        for (const chip::ValveId v : rc.valves) {
+          const chip::ValveId old = invMap.at(static_cast<std::size_t>(v));
+          if (old < 0) return "carried cluster contains a valve new in this delta";
+          key.push_back(old);
+        }
+        std::sort(key.begin(), key.end());
+        const auto it = byValves.find(key);
+        if (it == byValves.end())
+          return "carried cluster has no valve-set match in the previous solution";
+        const core::RoutedCluster& was = *it->second;
+        if (rc.pin != was.pin || !(rc.tap == was.tap) ||
+            rc.treePaths != was.treePaths || !(rc.escapePath == was.escapePath) ||
+            rc.valveLengths != was.valveLengths ||
+            rc.lengthMatched != was.lengthMatched ||
+            rc.lengthMatchRequested != was.lengthMatchRequested)
+          return "carried cluster geometry differs from the previous solution";
+      }
+      if (carried != info.frozenClusters) {
+        std::ostringstream why;
+        why << "frozen-cluster count mismatch: " << carried
+            << " carried clusters vs info.frozenClusters=" << info.frozenClusters;
+        return why.str();
+      }
+      break;
+    }
+  }
+  return "";
+}
+
+/// Greedy 1-op deletion while the eco step failure persists.
+chip::ChipDelta minimizeEcoDelta(const chip::Chip& cur, const core::PacorResult& prev,
+                                 chip::ChipDelta delta, const core::PacorConfig& cfg) {
+  bool shrunk = true;
+  while (shrunk && delta.ops.size() > 1) {
+    shrunk = false;
+    for (std::size_t i = 0; i < delta.ops.size(); ++i) {
+      chip::ChipDelta trial = delta;
+      trial.ops.erase(trial.ops.begin() + static_cast<std::ptrdiff_t>(i));
+      if (!ecoStepFailure(cur, prev, trial, cfg).empty()) {
+        delta = std::move(trial);
+        shrunk = true;
+        break;
+      }
+    }
+  }
+  return delta;
+}
+
+void dumpEcoRepro(const Options& opt, std::uint32_t seed, const chip::Chip& cur,
+                  const core::PacorResult& prev, const chip::ChipDelta& delta) {
+  std::filesystem::create_directories(opt.dumpDir);
+  const std::string stem = opt.dumpDir + "/eco_" + std::to_string(seed);
+  chip::writeChipFile(stem + ".chip", cur);
+  chip::writeDeltaFile(stem + ".delta", delta);
+  core::writeSolutionFile(stem + ".sol", prev);
+  std::cerr << "  repro dumped: " << stem << ".chip / .delta / .sol  (seed "
+            << seed << "; base chip + previous solution + edit script)\n";
 }
 
 bool runDesign(const Options& opt, serve::Server& server, std::uint32_t seed,
@@ -262,6 +488,40 @@ bool runDesign(const Options& opt, serve::Server& server, std::uint32_t seed,
     ok = false;
   }
 
+  // (g) edit-sequence differential ECO: a seeded 1-8 edit script applied
+  // one delta at a time, each rerouteChip result chained into the next
+  // step as the previous solution.
+  {
+    std::mt19937 rng(seed ^ 0x9e3779b9u);
+    chip::Chip cur = chip;
+    core::PacorResult prev = serial;
+    const int steps = 1 + static_cast<int>(rng() % 4);
+    for (int step = 0; ok && step < steps; ++step) {
+      const chip::ChipDelta delta = randomDelta(cur, rng);
+      chip::Chip edited;
+      core::PacorResult inc;
+      core::EcoInfo info;
+      const std::string fail =
+          ecoStepFailure(cur, prev, delta, serialCfg, &edited, &inc, &info);
+      if (!fail.empty()) {
+        const chip::ChipDelta minimized = minimizeEcoDelta(cur, prev, delta, serialCfg);
+        std::cerr << "FAIL seed " << seed << " (eco step " << step << ", "
+                  << minimized.ops.size() << "/" << delta.ops.size()
+                  << " op(s) after minimization): " << fail << '\n';
+        dumpEcoRepro(opt, seed, cur, prev, minimized);
+        ok = false;
+        break;
+      }
+      switch (info.mode) {
+        case core::EcoInfo::Mode::kIdentity: ++tally.ecoIdentity; break;
+        case core::EcoInfo::Mode::kIncremental: ++tally.ecoIncremental; break;
+        case core::EcoInfo::Mode::kFull: ++tally.ecoFull; break;
+      }
+      cur = std::move(edited);
+      prev = std::move(inc);
+    }
+  }
+
   if (opt.verbose)
     std::cout << "seed " << seed << ": " << chip.name << " "
               << chip.routingGrid.width() << "x" << chip.routingGrid.height()
@@ -309,6 +569,8 @@ int main(int argc, char** argv) {
   std::cout << "pacor_fuzz: " << tally.designs << " designs (base seed " << opt.seed
             << ", jobs " << opt.jobs << "), " << tally.complete
             << " routed to completion, " << tally.clusters << " clusters total, "
-            << tally.failures << " failure(s)\n";
+            << "eco steps " << tally.ecoIdentity << " identity / "
+            << tally.ecoIncremental << " incremental / " << tally.ecoFull
+            << " full, " << tally.failures << " failure(s)\n";
   return tally.failures == 0 ? 0 : 1;
 }
