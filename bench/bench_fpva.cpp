@@ -1,40 +1,41 @@
-// Reproducible end-to-end routing benchmark: routes every Table-1 design
-// with the full PACOR flow serially (jobs = 1) and with the worker pool
-// (jobs = max(2, hardware threads)), checks that the two results are
-// bit-identical, and writes the timings plus the pipeline's per-stage
-// time / search-effort counters to BENCH_routing.json in the working
-// directory. Intended for before/after comparisons of the routing
-// kernels: routed quality must not move, only the seconds.
+// FPVA scale-sweep benchmark: generates N x N programmable valve arrays
+// with the chip::generateFpvaChip defaults across a ladder of sizes,
+// routes each with the full PACOR flow serially and with the worker pool,
+// and writes per-stage wall time, search-effort counters, and the process
+// peak RSS to BENCH_fpva.json. The JSON shape matches BENCH_routing.json
+// so bench/compare_baseline.py gates it unchanged (run with --golden=none:
+// FPVA instances are not part of the Table-1 golden set).
 //
-// Each design record also carries an "eco" row: the best-of-kRepetitions
-// rerouteChip() latency for the canonical 1-valve-move edit (valve 0 to
-// the nearest free cell) and its speedup over the serial from-scratch
-// time. compare_baseline.py bands the latency and hard-gates the Chip1
-// speedup; bench_eco covers more edit kinds in depth.
+// Every routed solution is re-checked by the independent oracle
+// (verify::verifySolution); an unclean solution fails the run. Peak RSS
+// is a process-global high-water mark, so each row reports the value
+// observed after that size finished -- the column is monotone and the
+// largest size's row is the sweep's peak.
 //
-// Usage: bench_routing [out.json]   (default: BENCH_routing.json)
+// Usage: bench_fpva [out.json] [--sizes=8,16,32,40,64]
+//   out.json  defaults to BENCH_fpva.json
+//   --sizes=  comma-separated square array sizes (rows = cols = N)
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
-#include <unordered_set>
+#include <vector>
 
-#include "chip/delta.hpp"
 #include "chip/generator.hpp"
-#include "pacor/eco.hpp"
 #include "pacor/pipeline.hpp"
 #include "pacor/solution_io.hpp"
 #include "util/rss.hpp"
 #include "util/sha256.hpp"
 #include "util/thread_pool.hpp"
+#include "verify/oracle.hpp"
 
 namespace {
 
 using pacor::core::PacorConfig;
 using pacor::core::PacorResult;
 
-constexpr int kRepetitions = 3;  ///< per design and mode; best time wins
+constexpr int kRepetitions = 2;  ///< per design and mode; best time wins
 
 bool identicalRouting(const PacorResult& a, const PacorResult& b) {
   if (a.complete != b.complete || a.totalChannelLength != b.totalChannelLength ||
@@ -73,38 +74,6 @@ TimedRun bestOf(const pacor::chip::Chip& chip, const PacorConfig& cfg) {
   return best;
 }
 
-/// Free cell closest (Manhattan) to `from`, y-major ties -- deterministic,
-/// so the measured ECO edit is identical run to run.
-pacor::geom::Point nearestFreeCell(const pacor::chip::Chip& chip,
-                                   pacor::geom::Point from) {
-  std::unordered_set<pacor::geom::Point> used(chip.obstacles.begin(),
-                                              chip.obstacles.end());
-  for (const auto& v : chip.valves) used.insert(v.pos);
-  for (const auto& p : chip.pins) used.insert(p.pos);
-  pacor::geom::Point best{-1, -1};
-  std::int64_t bestDist = -1;
-  for (std::int32_t y = 0; y < chip.routingGrid.height(); ++y)
-    for (std::int32_t x = 0; x < chip.routingGrid.width(); ++x) {
-      const pacor::geom::Point p{x, y};
-      if (used.count(p)) continue;
-      const std::int64_t d = pacor::geom::manhattan(from, p);
-      if (bestDist < 0 || d < bestDist) {
-        best = p;
-        bestDist = d;
-      }
-    }
-  return best;
-}
-
-const char* ecoModeName(pacor::core::EcoInfo::Mode mode) {
-  switch (mode) {
-    case pacor::core::EcoInfo::Mode::kIdentity: return "identity";
-    case pacor::core::EcoInfo::Mode::kIncremental: return "incremental";
-    case pacor::core::EcoInfo::Mode::kFull: return "full";
-  }
-  return "?";
-}
-
 void jsonCounters(std::FILE* f, const char* key,
                   const pacor::route::SearchCounters& c, const char* tail) {
   std::fprintf(f,
@@ -115,13 +84,40 @@ void jsonCounters(std::FILE* f, const char* key,
                static_cast<unsigned long long>(c.boundedVisits), tail);
 }
 
+std::vector<int> parseSizes(const std::string& arg) {
+  std::vector<int> sizes;
+  std::size_t pos = 0;
+  while (pos < arg.size()) {
+    const std::size_t comma = arg.find(',', pos);
+    const std::string tok =
+        arg.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    sizes.push_back(std::stoi(tok));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return sizes;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string outPath = argc > 1 ? argv[1] : "BENCH_routing.json";
+  std::string outPath = "BENCH_fpva.json";
+  std::vector<int> sizes = {8, 16, 32, 40, 64};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--sizes=", 0) == 0) {
+      sizes = parseSizes(arg.substr(8));
+      if (sizes.empty()) {
+        std::fprintf(stderr, "empty --sizes list\n");
+        return 2;
+      }
+    } else {
+      outPath = arg;
+    }
+  }
+
   const int parallelJobs =
       std::max(2, static_cast<int>(pacor::util::hardwareJobs()));
-
   PacorConfig serialCfg = pacor::core::pacorDefaultConfig();
   serialCfg.jobs = 1;
   PacorConfig parallelCfg = serialCfg;
@@ -132,7 +128,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot open %s\n", outPath.c_str());
     return 2;
   }
-  std::fprintf(f, "{\n  \"benchmark\": \"routing\",\n");
+  std::fprintf(f, "{\n  \"benchmark\": \"fpva\",\n");
   std::fprintf(f, "  \"repetitions\": %d,\n", kRepetitions);
   std::fprintf(f, "  \"parallel_jobs\": %d,\n  \"designs\": [\n", parallelJobs);
 
@@ -140,27 +136,43 @@ int main(int argc, char** argv) {
   double parallelTotal = 0.0;
   bool allIdentical = true;
   bool allComplete = true;
+  bool allClean = true;
 
-  const auto designs = pacor::chip::table1Designs();
-  std::printf("%-8s %10s %10s %8s  %s   (parallel = %d jobs)\n", "Design",
-              "serial(s)", "par(s)", "speedup", "identical", parallelJobs);
-  for (std::size_t d = 0; d < designs.size(); ++d) {
-    const auto chip = pacor::chip::generateChip(designs[d]);
+  std::printf("%-12s %8s %8s %10s %10s %8s  %s %s   (parallel = %d jobs)\n",
+              "Design", "valves", "clusters", "serial(s)", "par(s)", "rss(MB)",
+              "identical", "oracle", parallelJobs);
+  for (std::size_t d = 0; d < sizes.size(); ++d) {
+    pacor::chip::FpvaParams params;
+    params.rows = sizes[d];
+    params.cols = sizes[d];
+    const auto chip = pacor::chip::generateFpvaChip(params);
+
     const TimedRun serial = bestOf(chip, serialCfg);
     const TimedRun parallel = bestOf(chip, parallelCfg);
     const bool identical = identicalRouting(serial.result, parallel.result);
+    const auto oracle = pacor::verify::verifySolution(chip, serial.result);
+    const std::int64_t rssKb = pacor::util::peakRssKb();
     serialTotal += serial.seconds;
     parallelTotal += parallel.seconds;
     allIdentical &= identical;
     allComplete &= serial.result.complete && parallel.result.complete;
+    allClean &= oracle.clean();
 
-    std::printf("%-8s %10.3f %10.3f %8.2f  %s\n", chip.name.c_str(),
-                serial.seconds, parallel.seconds,
-                parallel.seconds > 0.0 ? serial.seconds / parallel.seconds : 0.0,
-                identical ? "yes" : "NO");
+    std::printf("%-12s %8zu %8zu %10.3f %10.3f %8.1f  %-9s %s\n",
+                chip.name.c_str(), chip.valves.size(),
+                serial.result.clusters.size(), serial.seconds, parallel.seconds,
+                static_cast<double>(rssKb) / 1024.0, identical ? "yes" : "NO",
+                oracle.clean() ? "clean" : "DIRTY");
+    if (!oracle.clean())
+      std::fprintf(stderr, "%s oracle violations:\n%s\n", chip.name.c_str(),
+                   oracle.str().c_str());
 
     const auto& st = serial.result.times;
     std::fprintf(f, "    {\n      \"design\": \"%s\",\n", chip.name.c_str());
+    std::fprintf(f, "      \"valves\": %zu,\n", chip.valves.size());
+    std::fprintf(f, "      \"clusters\": %zu,\n", serial.result.clusters.size());
+    std::fprintf(f, "      \"grid\": [%d, %d],\n", chip.routingGrid.width(),
+                 chip.routingGrid.height());
     std::fprintf(f, "      \"serial_seconds\": %.6f,\n", serial.seconds);
     std::fprintf(f, "      \"parallel_seconds\": %.6f,\n", parallel.seconds);
     std::fprintf(f, "      \"speedup\": %.4f,\n",
@@ -168,14 +180,16 @@ int main(int argc, char** argv) {
     std::fprintf(f, "      \"identical\": %s,\n", identical ? "true" : "false");
     std::fprintf(f, "      \"complete\": %s,\n",
                  serial.result.complete ? "true" : "false");
+    std::fprintf(f, "      \"oracle_clean\": %s,\n",
+                 oracle.clean() ? "true" : "false");
+    std::fprintf(f, "      \"peak_rss_kb\": %lld,\n",
+                 static_cast<long long>(rssKb));
     std::fprintf(f, "      \"total_channel_length\": %lld,\n",
                  static_cast<long long>(serial.result.totalChannelLength));
     std::fprintf(f, "      \"matched_channel_length\": %lld,\n",
                  static_cast<long long>(serial.result.matchedChannelLength));
     std::fprintf(f, "      \"matched_clusters\": %d,\n",
                  serial.result.matchedClusterCount);
-    // Hash of the canonical solution text: lets compare_baseline.py verify
-    // that routed quality only moves together with a golden-hash re-pin.
     std::fprintf(f, "      \"solution_sha256\": \"%s\",\n",
                  pacor::util::sha256Hex(
                      pacor::core::solutionToString(serial.result))
@@ -190,35 +204,9 @@ int main(int argc, char** argv) {
     jsonCounters(f, "escape", serial.result.searchEscape, ",");
     jsonCounters(f, "detour", serial.result.searchDetour, "");
     std::fprintf(f, "      },\n");
-
-    // ECO row: 1-valve-move rerouteChip latency against the serial
-    // from-scratch time (the edited chip's scratch cost is statistically
-    // the base chip's -- one valve moved).
-    {
-      pacor::chip::ChipDelta delta;
-      delta.moveValve(0, nearestFreeCell(chip, chip.valves.front().pos));
-      pacor::core::EcoInfo info;
-      double ecoSeconds = 0.0;
-      for (int rep = 0; rep < kRepetitions; ++rep) {
-        const auto t0 = std::chrono::steady_clock::now();
-        const PacorResult eco = pacor::core::rerouteChip(
-            chip, serial.result, delta, serialCfg, {}, &info);
-        const double s = std::chrono::duration<double>(
-                             std::chrono::steady_clock::now() - t0)
-                             .count();
-        if (rep == 0 || s < ecoSeconds) ecoSeconds = s;
-        allComplete &= eco.complete;
-      }
-      std::fprintf(f,
-                   "      \"eco\": {\"edit\": \"valve_move\", \"mode\": \"%s\", "
-                   "\"seconds\": %.6f, \"speedup\": %.4f},\n",
-                   ecoModeName(info.mode), ecoSeconds,
-                   ecoSeconds > 0.0 ? serial.seconds / ecoSeconds : 0.0);
-    }
-
     std::fprintf(f, "      \"metrics\": %s\n",
                  serial.result.metrics.toJson(/*pretty=*/false).c_str());
-    std::fprintf(f, "    }%s\n", d + 1 < designs.size() ? "," : "");
+    std::fprintf(f, "    }%s\n", d + 1 < sizes.size() ? "," : "");
   }
 
   std::fprintf(f, "  ],\n  \"summary\": {\n");
@@ -229,13 +217,16 @@ int main(int argc, char** argv) {
   std::fprintf(f, "    \"peak_rss_kb\": %lld,\n",
                static_cast<long long>(pacor::util::peakRssKb()));
   std::fprintf(f, "    \"all_identical\": %s,\n", allIdentical ? "true" : "false");
-  std::fprintf(f, "    \"all_complete\": %s\n  }\n}\n",
-               allComplete ? "true" : "false");
+  std::fprintf(f, "    \"all_complete\": %s,\n", allComplete ? "true" : "false");
+  std::fprintf(f, "    \"all_oracle_clean\": %s\n  }\n}\n",
+               allClean ? "true" : "false");
   std::fclose(f);
 
-  std::printf("total: serial %.3fs, parallel %.3fs (%.2fx), wrote %s\n",
+  std::printf("total: serial %.3fs, parallel %.3fs (%.2fx), peak RSS %.1f MB, "
+              "wrote %s\n",
               serialTotal, parallelTotal,
               parallelTotal > 0.0 ? serialTotal / parallelTotal : 0.0,
+              static_cast<double>(pacor::util::peakRssKb()) / 1024.0,
               outPath.c_str());
-  return allIdentical && allComplete ? 0 : 1;
+  return allIdentical && allComplete && allClean ? 0 : 1;
 }

@@ -69,4 +69,60 @@ GeneratorParams stressParams(std::uint32_t seed);
 /// instance; distinct seeds explore the space independently.
 GeneratorParams randomParams(std::uint32_t seed);
 
+/// Parameters of the FPVA (fully programmable valve array) generator.
+///
+/// The FPVA testing paper describes regular N x M grids of thousands of
+/// programmable valves -- 10-100x the valve counts of Table 1. Valves sit
+/// on a `pitch`-spaced lattice inside a `margin`-cell free ring;
+/// neighboring valves form blockRows x blockCols cluster blocks (each
+/// block shares one control pin), a deterministic `lmPercent` share of
+/// the blocks carries the length-matching constraint (the dense-cluster
+/// mix of the storage-synthesis paper), control pins ring the boundary,
+/// and `obstaclePermille` of the interior is sprinkled with short
+/// flow-layer-style obstacle strips. Everything is seeded: the same
+/// params always yield the same chip.
+struct FpvaParams {
+  std::string name;                   ///< defaults to "fpva_<rows>x<cols>"
+  std::int32_t rows = 8;              ///< valve-array rows (N)
+  std::int32_t cols = 8;              ///< valve-array columns (M)
+  /// Lattice pitch in grid cells (>= 3). 0 = auto: scaled with the array
+  /// size so the default instances stay escape-routable (bigger arrays
+  /// need wider routing corridors between valves).
+  std::int32_t pitch = 0;
+  std::int32_t margin = 3;            ///< free ring between array and boundary (>= 2)
+  /// Cluster-block dimensions in valves (block = one control pin). 0 =
+  /// auto: scaled with the array size to keep the escape-cluster count in
+  /// the routable range.
+  std::int32_t blockRows = 0;
+  std::int32_t blockCols = 0;
+  std::int32_t lmPercent = 50;        ///< % of blocks that are length-matched
+  std::int32_t obstaclePermille = 0;  ///< interior obstacle density, per mille
+  std::int32_t extraPins = 16;        ///< pins beyond the one-per-block minimum
+  std::int32_t sequenceLength = 16;
+  std::int64_t delta = 2;             ///< length-matching threshold
+  std::uint32_t seed = 1;
+};
+
+/// Builds an N x M valve-array chip. The result always passes
+/// Chip::validate(); throws std::invalid_argument on infeasible
+/// parameters (including grids whose cell count would overflow int32
+/// indices -- checked arithmetic, never silent truncation).
+Chip generateFpvaChip(const FpvaParams& params);
+
+/// Parses an FPVA spec string: `[fpva:]ROWSxCOLS[<sep>key=value ...]`
+/// with `:` or `,` separators. Keys: pitch, margin, block (RxC), lm (%),
+/// obs (per mille), pins (extra), seq, delta, seed. Examples: "8x8",
+/// "fpva:16x16:pitch=5,obs=20". Throws std::invalid_argument on
+/// malformed specs.
+FpvaParams parseFpvaSpec(const std::string& spec);
+
+/// True when `name` is an FPVA spec token (the "fpva:" prefix); the serve
+/// manifest loop and the CLI use this to route design names to
+/// generateFpvaChip instead of the chip-file reader.
+bool isFpvaSpec(const std::string& name);
+
+/// Randomized small FPVA instance for differential fuzzing; same
+/// seed-determinism contract as randomParams.
+FpvaParams randomFpvaParams(std::uint32_t seed);
+
 }  // namespace pacor::chip

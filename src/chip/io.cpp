@@ -89,6 +89,11 @@ Chip readChip(std::istream& is) {
     std::int32_t w = 0, h = 0;
     ls >> key >> w >> h;
     if (key != "grid" || w <= 0 || h <= 0) fail("bad grid line");
+    // Checked product before constructing: an oversized grid must fail
+    // with a parse error, not corrupt int32 cell indices downstream.
+    if (static_cast<std::int64_t>(w) * h > grid::Grid::kMaxCells)
+      fail("grid " + std::to_string(w) + "x" + std::to_string(h) +
+           " exceeds the int32 cell-index range");
     chip.routingGrid = grid::Grid(w, h);
   }
   {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 
 namespace pacor::graph {
 
@@ -38,8 +40,16 @@ std::vector<std::vector<std::size_t>> cliquePartition(const AdjacencyMatrix& g) 
 std::vector<std::vector<std::size_t>> cliquePartitionExact(const AdjacencyMatrix& g) {
   const std::size_t n = g.size();
   if (n == 0) return {};
-  if (n > 20)  // 3^n subset DP: refuse absurd inputs
-    return cliquePartition(g);
+  // 3^n subset DP: past this the tables alone are tens of MB and the
+  // submask enumeration runs for minutes. A caller asking for *exact*
+  // must not silently receive the greedy heuristic (that bug surfaced at
+  // FPVA cluster counts); use cliquePartitionAuto for size-gated fallback.
+  if (n > kMaxExactCliqueVertices)
+    throw std::invalid_argument(
+        "cliquePartitionExact: " + std::to_string(n) +
+        " vertices exceeds the exact-DP capacity of " +
+        std::to_string(kMaxExactCliqueVertices) +
+        " (use cliquePartitionAuto or cliquePartition for larger graphs)");
 
   // Adjacency as bitmasks.
   std::vector<std::uint32_t> adj(n, 0);
@@ -60,8 +70,10 @@ std::vector<std::vector<std::size_t>> cliquePartitionExact(const AdjacencyMatrix
 
   // f[S] = minimum cliques covering S; branch on the clique containing
   // S's lowest vertex (every cover has one), enumerated as submasks.
-  constexpr std::uint16_t kInf = 0xFFFF;
-  std::vector<std::uint16_t> f(full + 1, kInf);
+  // 32-bit values: clique counts never exceed n, but the arithmetic must
+  // stay wide enough that f[S ^ clique] + 1 can never wrap the sentinel.
+  constexpr std::uint32_t kInf = 0xFFFFFFFFu;
+  std::vector<std::uint32_t> f(full + 1, kInf);
   std::vector<std::uint32_t> pick(full + 1, 0);
   f[0] = 0;
   for (std::uint32_t S = 1; S <= full; ++S) {
@@ -70,8 +82,8 @@ std::vector<std::vector<std::size_t>> cliquePartitionExact(const AdjacencyMatrix
     // Enumerate submasks of withoutV; clique candidate = sub | {v}.
     for (std::uint32_t sub = withoutV;; sub = (sub - 1) & withoutV) {
       const std::uint32_t clique = sub | (1u << v);
-      if (isClique[clique] && f[S ^ clique] + 1 < f[S]) {
-        f[S] = static_cast<std::uint16_t>(f[S ^ clique] + 1);
+      if (isClique[clique] && f[S ^ clique] != kInf && f[S ^ clique] + 1 < f[S]) {
+        f[S] = f[S ^ clique] + 1;
         pick[S] = clique;
       }
       if (sub == 0) break;
@@ -90,7 +102,10 @@ std::vector<std::vector<std::size_t>> cliquePartitionExact(const AdjacencyMatrix
 
 std::vector<std::vector<std::size_t>> cliquePartitionAuto(const AdjacencyMatrix& g,
                                                           std::size_t exactLimit) {
-  return g.size() <= exactLimit ? cliquePartitionExact(g) : cliquePartition(g);
+  // Clamp to the DP capacity so a generous exactLimit degrades to greedy
+  // instead of tripping the cliquePartitionExact capacity throw.
+  const std::size_t limit = std::min(exactLimit, kMaxExactCliqueVertices);
+  return g.size() <= limit ? cliquePartitionExact(g) : cliquePartition(g);
 }
 
 bool isValidCliquePartition(const AdjacencyMatrix& g,

@@ -22,13 +22,22 @@ std::vector<std::vector<std::size_t>> cliquePartition(const AdjacencyMatrix& g);
 bool isValidCliquePartition(const AdjacencyMatrix& g,
                             const std::vector<std::vector<std::size_t>>& partition);
 
+/// Hard capacity of the exact subset DP: beyond this vertex count the
+/// O(3^n) enumeration and the 2^n tables are impractical.
+inline constexpr std::size_t kMaxExactCliqueVertices = 20;
+
 /// Exact minimum clique partition by subset dynamic programming over the
 /// complement coloring (O(3^n) worst case; practical to n ~ 18). Used when
 /// the free-valve count is small enough that the extra control pins saved
 /// by an optimal partition matter; the greedy heuristic covers the rest.
+///
+/// Throws std::invalid_argument when g.size() > kMaxExactCliqueVertices:
+/// a caller asking for an exact answer must not silently receive the
+/// greedy heuristic (use cliquePartitionAuto for size-gated fallback).
 std::vector<std::vector<std::size_t>> cliquePartitionExact(const AdjacencyMatrix& g);
 
-/// Convenience: exact below `exactLimit` vertices, greedy otherwise.
+/// Convenience: exact up to `exactLimit` vertices (itself clamped to
+/// kMaxExactCliqueVertices), greedy otherwise. Never throws on size.
 std::vector<std::vector<std::size_t>> cliquePartitionAuto(const AdjacencyMatrix& g,
                                                           std::size_t exactLimit = 16);
 

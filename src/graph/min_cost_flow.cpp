@@ -842,11 +842,11 @@ MinCostFlow::Result MinCostFlow::run(std::size_t s, std::size_t t,
   if (potentialsDirty_) repairPotentials();
   Result result;
 
-  // Lazy queue storage. Bucket array is distance-indexed (kBucketSpan
+  // Lazy queue storage. Bucket array is distance-indexed (bucketSpan_
   // slots); the bitmap covers node ids and represents the ACTIVE bucket.
   if (useBucketQueue_) {
-    if (buckets_.size() < static_cast<std::size_t>(kBucketSpan))
-      buckets_.resize(static_cast<std::size_t>(kBucketSpan));
+    if (buckets_.size() < static_cast<std::size_t>(bucketSpan_))
+      buckets_.resize(static_cast<std::size_t>(bucketSpan_));
     const std::size_t words = (nodes_.size() + 63) / 64;
     if (bmL0_.size() < words) {
       bmL0_.assign(words, 0);
@@ -863,7 +863,7 @@ MinCostFlow::Result MinCostFlow::run(std::size_t s, std::size_t t,
 
   // Push/pop over the combined Dial-bucket + overflow-heap queue. The
   // pop sequence reproduces the packed-heap comparator order exactly:
-  //   - every bucketed dist is < kBucketSpan <= every heap dist, so the
+  //   - every bucketed dist is < bucketSpan_ <= every heap dist, so the
   //     heap drains strictly after the buckets;
   //   - buckets drain in increasing dist (activeDist_ is monotone within
   //     a pass) and the active bucket's bitmap pops in node-id order,
@@ -873,7 +873,7 @@ MinCostFlow::Result MinCostFlow::run(std::size_t s, std::size_t t,
   // Same-dist pushes during settling (the zero-reduced-cost plateau the
   // sink cut exists for) are O(1) bit-sets instead of heap sift-ups.
   const auto queuePush = [&](std::int64_t nd, std::size_t v) {
-    if (useBucketQueue_ && nd < kBucketSpan) {
+    if (useBucketQueue_ && nd < bucketSpan_) {
       ++nBucketPushes;
       if (nd == activeDist_) {
         bmInsert(v);
@@ -899,7 +899,7 @@ MinCostFlow::Result MinCostFlow::run(std::size_t s, std::size_t t,
       }
       // Advance the cursor to the next non-empty bucket and promote it to
       // the bitmap. The scan segments are disjoint across a pass
-      // (activeDist_ only grows), so the total scan cost is O(kBucketSpan)
+      // (activeDist_ only grows), so the total scan cost is O(bucketSpan_)
       // per pass, dominated by the relaxation work.
       while (activeDist_ < bucketHi_) {
         ++activeDist_;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -58,11 +59,12 @@ namespace pacor::graph {
 ///
 /// Reduced costs under Johnson potentials are small non-negative integers
 /// on the escape networks (unit grid steps plus bounded tap biases), so
-/// the default open list is a Dial/bucket queue: labels below kBucketSpan
-/// go to per-distance buckets, and the *active* bucket is drained through
+/// the default open list is a Dial/bucket queue: labels below the bucket
+/// span (setBucketSpan; callers size it from the grid diameter) go to
+/// per-distance buckets, and the *active* bucket is drained through
 /// a three-level bitmap over node ids, so the frequent case — a zero-
 /// reduced-cost plateau flooding one bucket — pops in O(1) word scans
-/// instead of heap sifts. Labels at or beyond kBucketSpan overflow into
+/// instead of heap sifts. Labels at or beyond the span overflow into
 /// the packed 4-ary heap and drain strictly after every bucket (all
 /// bucket distances are smaller), so the settle sequence is *exactly* the
 /// lexicographic (distance, node) order of the pure-heap implementation,
@@ -131,6 +133,34 @@ class MinCostFlow {
   /// exists for differential tests and the solver microbenchmark.
   void setBucketQueue(bool on) noexcept { useBucketQueue_ = on; }
   bool bucketQueue() const noexcept { return useBucketQueue_; }
+
+  /// Bounds of the Dial bucket span (distance labels below the span go to
+  /// buckets; at or above it, to the overflow heap). The floor keeps the
+  /// bucket path meaningful, the ceiling bounds the bucket array itself.
+  static constexpr std::int64_t kMinBucketSpan = std::int64_t{1} << 6;
+  static constexpr std::int64_t kMaxBucketSpan = std::int64_t{1} << 20;
+  static constexpr std::int64_t kDefaultBucketSpan = std::int64_t{1} << 14;
+
+  /// Sets the Dial bucket span, clamped to [kMinBucketSpan,
+  /// kMaxBucketSpan]. Any span yields the identical settle order (labels
+  /// past the span overflow into the heap, which drains strictly after
+  /// every bucket); the knob trades bucket-array memory against how much
+  /// of the distance range enjoys O(1) pushes. Call between solves.
+  void setBucketSpan(std::int64_t span) noexcept {
+    bucketSpan_ = std::max(kMinBucketSpan, std::min(span, kMaxBucketSpan));
+  }
+  std::int64_t bucketSpan() const noexcept { return bucketSpan_; }
+
+  /// Span recommendation covering distance labels up to
+  /// `maxExpectedDistance` (e.g. a few grid diameters for an escape
+  /// network): the next power of two above it, clamped to the span
+  /// bounds. Labels beyond the estimate still solve correctly via the
+  /// overflow heap.
+  static std::int64_t recommendedBucketSpan(std::int64_t maxExpectedDistance) noexcept {
+    std::int64_t span = kMinBucketSpan;
+    while (span <= maxExpectedDistance && span < kMaxBucketSpan) span <<= 1;
+    return span;
+  }
 
   /// Enables multi-augmentation + the bidirectional last-unit refinement.
   /// The (flow, cost) optimum is unchanged; individual equal-cost paths
@@ -341,13 +371,13 @@ class MinCostFlow {
   static std::uint64_t heapPop(std::vector<std::uint64_t>& heap);
 
   // Open list, Dial part: per-distance buckets of node ids below
-  // kBucketSpan. The bucket being drained ("active") lives in a
+  // bucketSpan_. The bucket being drained ("active") lives in a
   // three-level bitmap over node ids, so pop-min is a handful of word
   // scans and inserting into the active distance (zero-reduced-cost
   // relaxations) is three bit-sets. Future distances append to plain
   // vectors; usedBuckets_ lets a pass that ends on the sink cut clear
   // only what it touched.
-  static constexpr std::int64_t kBucketSpan = std::int64_t{1} << 14;
+  std::int64_t bucketSpan_ = kDefaultBucketSpan;
   bool useBucketQueue_ = true;
   std::vector<std::vector<std::int32_t>> buckets_;
   std::vector<std::int32_t> usedBuckets_;

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cstdint>
 #include <cstdlib>
+#include <limits>
+#include <stdexcept>
 #include <vector>
 
 #include "geom/point.hpp"
@@ -20,9 +22,20 @@ using geom::Point;
 /// [0, W) x [0, H) or by flat index y * W + x.
 class Grid {
  public:
+  /// Largest representable cell count: flat indices are int32
+  /// (y * W + x), so any W x H beyond this silently corrupts every
+  /// index() result. Construction rejects such grids (checked, not
+  /// asserted -- the dimensions come straight from chip files and
+  /// generator parameters).
+  static constexpr std::int64_t kMaxCells =
+      std::numeric_limits<std::int32_t>::max();
+
   Grid() = default;
   Grid(std::int32_t width, std::int32_t height) : w_(width), h_(height) {
     assert(width > 0 && height > 0);
+    if (static_cast<std::int64_t>(width) * height > kMaxCells)
+      throw std::invalid_argument(
+          "grid: width * height overflows the int32 cell-index range");
   }
 
   std::int32_t width() const noexcept { return w_; }

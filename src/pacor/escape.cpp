@@ -57,6 +57,13 @@ EscapeOutcome escapeRoute(const chip::Chip& chip, grid::ObstacleMap& obstacles,
               static_cast<std::size_t>(2 * g.cellCount()) + pendingIdx.size() + 1};
   graph::MinCostFlow flow(ids.sink + 1);
   flow.setFastSsp(fastEscape);
+  // Size the Dial bucket span from the grid diameter: step costs are unit
+  // and tap biases at most two Manhattan diameters, so a few diameters
+  // cover every label this network produces. Small dies get a small
+  // bucket array; FPVA-scale dies keep O(1) pushes instead of degrading
+  // to the overflow heap. Longer labels would still solve correctly.
+  flow.setBucketSpan(graph::MinCostFlow::recommendedBucketSpan(
+      4 * (static_cast<std::int64_t>(g.width()) + g.height())));
 
   // Usable transit cells: free cells only (routed nets and obstacles
   // block; constraint 8 additionally blocks non-pin boundary cells, which
@@ -203,6 +210,10 @@ EscapeFlowSession::EscapeFlowSession(const chip::Chip& chip,
   trace::Span spanBuild("escape.flow_build", "escape", trace::Level::kCluster);
   const auto buildT0 = std::chrono::steady_clock::now();
   const grid::Grid& g = obstacles_->grid();
+  // Same diameter-derived Dial span as escapeRoute(): identical settle
+  // order at any span, so session solves stay byte-identical to scratch.
+  flow_.setBucketSpan(graph::MinCostFlow::recommendedBucketSpan(
+      4 * (static_cast<std::int64_t>(g.width()) + g.height())));
   const auto cellCount = static_cast<std::size_t>(g.cellCount());
   clusterBase_ = 2 * cellCount;
   // One virtual cluster node per pending cluster, renumbered every round in

@@ -339,6 +339,11 @@ Response executeRequest(Server& server, const BatchRequest& req) {
   }
   try {
     DesignContext& ctx = server.context(req.design, [&req]() -> chip::Chip {
+      // FPVA spec tokens (fpva:NxM[:key=val...]) synthesize valve arrays
+      // on demand; the spec string is the cache key, so repeat requests
+      // for the same array hit the warm DesignContext.
+      if (chip::isFpvaSpec(req.design))
+        return chip::generateFpvaChip(chip::parseFpvaSpec(req.design));
       if (const auto params = findTable1Design(req.design))
         return chip::generateChip(*params);
       return chip::readChipFile(req.design);

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdint>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace pacor::util {
+
+/// Peak resident-set size of the calling process in KiB, from
+/// getrusage(RUSAGE_SELF). Monotone over the process lifetime (it is a
+/// high-water mark, not the current RSS); returns 0 on platforms that do
+/// not expose it. The benchmarks report this next to wall time so memory
+/// regressions on the big dies are as visible as slowdowns.
+inline std::int64_t peakRssKb() {
+#if defined(__unix__) || defined(__APPLE__)
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return usage.ru_maxrss / 1024;  // macOS reports bytes
+#else
+  return usage.ru_maxrss;  // Linux reports KiB
+#endif
+#else
+  return 0;
+#endif
+}
+
+}  // namespace pacor::util

@@ -2,6 +2,7 @@
 
 #include <numeric>
 #include <random>
+#include <stdexcept>
 
 #include "graph/adjacency.hpp"
 #include "graph/clique_partition.hpp"
@@ -341,6 +342,34 @@ TEST(CliquePartitionExact, AutoSwitchesToGreedyAboveLimit) {
   AdjacencyMatrix g(24);
   for (std::size_t i = 0; i + 1 < 24; i += 2) g.addEdge(i, i + 1);
   const auto parts = cliquePartitionAuto(g, 16);
+  EXPECT_TRUE(isValidCliquePartition(g, parts));
+}
+
+// Regression: cliquePartitionExact used to silently fall back to the
+// greedy heuristic past the subset-DP capacity, so a caller asking for
+// the exact optimum could get a non-optimal partition with no warning.
+// It must refuse instead.
+TEST(CliquePartitionExact, ThrowsPastDpCapacity) {
+  AdjacencyMatrix g(kMaxExactCliqueVertices + 1);
+  for (std::size_t i = 0; i + 1 < g.size(); i += 2) g.addEdge(i, i + 1);
+  EXPECT_THROW(cliquePartitionExact(g), std::invalid_argument);
+
+  // At the capacity boundary the exact DP still runs and is optimal:
+  // a perfect matching on 20 vertices needs exactly 10 cliques.
+  AdjacencyMatrix boundary(kMaxExactCliqueVertices);
+  for (std::size_t i = 0; i + 1 < boundary.size(); i += 2)
+    boundary.addEdge(i, i + 1);
+  const auto parts = cliquePartitionExact(boundary);
+  EXPECT_TRUE(isValidCliquePartition(boundary, parts));
+  EXPECT_EQ(parts.size(), kMaxExactCliqueVertices / 2);
+}
+
+// Auto clamps the caller's exact limit to the DP capacity instead of
+// forwarding an oversized graph into the throwing exact path.
+TEST(CliquePartitionExact, AutoClampsOversizedExactLimit) {
+  AdjacencyMatrix g(kMaxExactCliqueVertices + 4);
+  for (std::size_t i = 0; i + 1 < g.size(); i += 2) g.addEdge(i, i + 1);
+  const auto parts = cliquePartitionAuto(g, /*exactLimit=*/100);
   EXPECT_TRUE(isValidCliquePartition(g, parts));
 }
 

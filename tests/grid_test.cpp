@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <random>
+#include <stdexcept>
 #include <unordered_set>
 
 #include "grid/grid.hpp"
@@ -69,6 +71,18 @@ TEST(Grid, SingleRowBoundary) {
   const Grid g(5, 1);
   const auto cells = g.boundaryCells();
   EXPECT_EQ(cells.size(), 5u);
+}
+
+// Regression: index() computes y * width + x in int32, so a die whose
+// cell count exceeds INT32_MAX used to wrap and alias distinct cells.
+// The constructor must reject such dimensions outright.
+TEST(Grid, RejectsCellCountPastInt32) {
+  EXPECT_THROW(Grid(65536, 65536), std::invalid_argument);
+  EXPECT_THROW(Grid(2, std::numeric_limits<std::int32_t>::max() / 2 + 1),
+               std::invalid_argument);
+  // The largest representable rectangle is fine.
+  const std::int32_t big = 46340;  // 46340^2 < 2^31 - 1
+  EXPECT_NO_THROW(Grid(big, big));
 }
 
 TEST(ObstacleMap, InitiallyFree) {

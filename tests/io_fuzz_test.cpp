@@ -63,6 +63,26 @@ TEST_P(TruncationFuzz, ChipReaderNeverCrashes) {
   }
 }
 
+// Regression: a chip header like "grid 65536 65536" used to parse
+// "successfully" -- width * height overflows the int32 cell-index range,
+// so every Grid::index() past the wrap point silently corrupted. The
+// reader must reject such dies at parse time.
+TEST(ChipReaderOverflow, RejectsGridsPastInt32CellRange) {
+  const std::string full = chipText();
+  const std::size_t gridPos = full.find("\ngrid ");
+  ASSERT_NE(gridPos, std::string::npos);
+  const std::size_t lineEnd = full.find('\n', gridPos + 1);
+  const std::string huge = full.substr(0, gridPos) + "\ngrid 65536 65536" +
+                           full.substr(lineEnd);
+  std::stringstream is(huge);
+  EXPECT_THROW(chip::readChip(is), std::runtime_error);
+
+  // A big-but-representable die still parses (cells fit in int32); the
+  // original content round-trips unchanged.
+  std::stringstream ok(full);
+  EXPECT_EQ(chip::readChip(ok).validate(), std::nullopt);
+}
+
 TEST_P(TruncationFuzz, SolutionReaderNeverCrashes) {
   const std::string full = solutionText();
   std::mt19937 rng(static_cast<unsigned>(100 + GetParam()));

@@ -121,6 +121,60 @@ TEST_P(SolverEquivalence, BucketMatchesHeapBitForBit) {
   EXPECT_TRUE(heapOverflowSeen);
 }
 
+// Regression: the Dial bucket span was a fixed compile-time 1 << 14, so
+// grids whose distance labels exceeded it pushed every long label through
+// the overflow heap (correct but slow) with no way to widen the window,
+// and small instances paid the full 16K-bucket allocation. The span is
+// now configurable; because the overflow heap drains strictly after the
+// buckets in comparator order, the settle order -- and therefore the
+// routed flow on every edge -- must be bit-identical at ANY span.
+TEST_P(SolverEquivalence, BucketSpanDoesNotChangeTheSolution) {
+  bool overflowSeen = false;
+  bool allInBucketsSeen = false;
+  for (int rep = 0; rep < 25; ++rep) {
+    const auto seed = static_cast<std::uint32_t>(GetParam() * 1000 + rep);
+    const Instance inst = makeInstance(seed);
+
+    MinCostFlow narrow = buildSolver(inst);
+    narrow.setBucketSpan(1);  // clamps to kMinBucketSpan
+    ASSERT_EQ(narrow.bucketSpan(), MinCostFlow::kMinBucketSpan);
+    MinCostFlow wide = buildSolver(inst);
+    wide.setBucketSpan(MinCostFlow::kMaxBucketSpan);
+    MinCostFlow heap = buildSolver(inst);
+    heap.setBucketQueue(false);
+
+    const auto rn = narrow.run(inst.s, inst.t);
+    const auto rw = wide.run(inst.s, inst.t);
+    const auto rh = heap.run(inst.s, inst.t);
+    ASSERT_EQ(rn.flow, rh.flow) << "seed " << seed;
+    ASSERT_EQ(rn.cost, rh.cost) << "seed " << seed;
+    ASSERT_EQ(rw.flow, rh.flow) << "seed " << seed;
+    ASSERT_EQ(rw.cost, rh.cost) << "seed " << seed;
+    for (std::size_t e = 0; e < inst.edges.size(); ++e) {
+      ASSERT_EQ(narrow.flowOn(e), heap.flowOn(e))
+          << "seed " << seed << " edge " << e;
+      ASSERT_EQ(wide.flowOn(e), heap.flowOn(e))
+          << "seed " << seed << " edge " << e;
+    }
+    overflowSeen = overflowSeen || narrow.counters().heapPushes > 0;
+    // The large-cost seeds overflow even the max span; the small-cost
+    // ones must fit entirely inside it.
+    if (seed % 3 != 2 && rw.flow > 0)
+      allInBucketsSeen = allInBucketsSeen || wide.counters().heapPushes == 0;
+  }
+  EXPECT_TRUE(overflowSeen);
+  EXPECT_TRUE(allInBucketsSeen);
+}
+
+TEST(MinCostFlowBucketSpan, RecommendedSpanCoversTheDistanceAndClamps) {
+  // Smallest power of two strictly above the expected distance bound.
+  EXPECT_EQ(MinCostFlow::recommendedBucketSpan(0), MinCostFlow::kMinBucketSpan);
+  EXPECT_EQ(MinCostFlow::recommendedBucketSpan(100), 128);
+  EXPECT_EQ(MinCostFlow::recommendedBucketSpan(128), 256);
+  EXPECT_EQ(MinCostFlow::recommendedBucketSpan(1 << 25),
+            MinCostFlow::kMaxBucketSpan);
+}
+
 TEST_P(SolverEquivalence, FastModeMatchesClassicOptimum) {
   for (int rep = 0; rep < 25; ++rep) {
     const auto seed = static_cast<std::uint32_t>(GetParam() * 1000 + rep);

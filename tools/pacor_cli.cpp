@@ -41,7 +41,13 @@ using namespace pacor;
 int usage() {
   std::cerr <<
       "usage:\n"
-      "  pacor generate <Chip1|Chip2|S1..S5> <out.chip>\n"
+      "  pacor generate <Chip1|Chip2|S1..S5> <out.chip>   (alias: gen)\n"
+      "  pacor gen --fpva=NxM[,key=val...] <out.chip>\n"
+      "              N x M fully programmable valve array; keys: pitch,\n"
+      "              margin, block=RxC (cluster block), lm (% matched),\n"
+      "              obs (per-mille obstacle density), pins (extra), seq,\n"
+      "              delta, seed. `fpva:NxM:key=val` works too, including\n"
+      "              as a design token on serve manifest lines\n"
       "  pacor synth <in.synth> <out.chip>\n"
       "  pacor info <in.chip>\n"
       "  pacor route <in.chip> <out.sol> [--variant=pacor|wosel|detour-first]\n"
@@ -89,15 +95,24 @@ std::optional<chip::GeneratorParams> findDesign(const std::string& name) {
 
 int cmdGenerate(int argc, char** argv) {
   if (argc != 2) return usage();
-  const auto params = findDesign(argv[0]);
-  if (!params) {
-    std::cerr << "unknown design '" << argv[0] << "'\n";
+  const std::string what = argv[0];
+  chip::Chip c;
+  if (what.rfind("--fpva=", 0) == 0 || chip::isFpvaSpec(what)) {
+    const std::string spec =
+        what.rfind("--fpva=", 0) == 0 ? what.substr(7) : what;
+    c = chip::generateFpvaChip(chip::parseFpvaSpec(spec));
+  } else if (const auto params = findDesign(what)) {
+    c = chip::generateChip(*params);
+  } else {
+    std::cerr << "unknown design '" << what
+              << "' (want Chip1|Chip2|S1..S5, --fpva=NxM[...], or fpva:NxM[...])\n";
     return 2;
   }
-  const chip::Chip c = chip::generateChip(*params);
   chip::writeChipFile(argv[1], c);
-  std::cout << "wrote " << argv[1] << " (" << c.valves.size() << " valves, "
-            << c.pins.size() << " pins, " << c.obstacles.size() << " obstacle cells)\n";
+  std::cout << "wrote " << argv[1] << " (" << c.routingGrid.width() << "x"
+            << c.routingGrid.height() << " grid, " << c.valves.size()
+            << " valves, " << c.pins.size() << " pins, " << c.obstacles.size()
+            << " obstacle cells)\n";
   return 0;
 }
 
@@ -358,7 +373,7 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   try {
-    if (cmd == "generate") return cmdGenerate(argc - 2, argv + 2);
+    if (cmd == "generate" || cmd == "gen") return cmdGenerate(argc - 2, argv + 2);
     if (cmd == "synth") return cmdSynth(argc - 2, argv + 2);
     if (cmd == "info") return cmdInfo(argc - 2, argv + 2);
     if (cmd == "route") return cmdRoute(argc - 2, argv + 2);

@@ -123,6 +123,8 @@ struct Tally {
   std::uint32_t ecoIdentity = 0;
   std::uint32_t ecoIncremental = 0;
   std::uint32_t ecoFull = 0;
+  // Property (h): randomized FPVA valve arrays routed differentially.
+  std::uint32_t fpva = 0;
 };
 
 core::PacorConfig configForSeed(std::uint32_t seed) {
@@ -522,6 +524,35 @@ bool runDesign(const Options& opt, serve::Server& server, std::uint32_t seed,
     }
   }
 
+  // (h) FPVA valve arrays: every eighth seed also generates a randomized
+  // N x M array chip (regular lattice, block clusters, boundary pin ring)
+  // and holds it to the core invariants -- oracle-clean when complete and
+  // byte-identical serial vs parallel. Keeps the generator's parameter
+  // space (ragged blocks, obstacle sprinkling, dense lm mixes) under the
+  // same differential harness as the Table-1-style instances.
+  if (seed % 8 == 0) {
+    const chip::Chip array = chip::generateFpvaChip(chip::randomFpvaParams(seed));
+    const core::PacorResult arraySerial = core::routeChip(array, serialCfg);
+    const core::PacorResult arrayParallel = core::routeChip(array, parallelCfg);
+    ++tally.fpva;
+    if (core::solutionToString(arraySerial) !=
+        core::solutionToString(arrayParallel)) {
+      std::cerr << "FAIL seed " << seed << ": FPVA " << array.name
+                << " serial and --jobs=" << opt.jobs << " solutions differ\n";
+      dumpRepro(opt, seed, array, arraySerial, &arrayParallel);
+      ok = false;
+    }
+    if (const verify::OracleReport arrayOracle =
+            verify::verifySolution(array, arraySerial);
+        arraySerial.complete && !arrayOracle.clean()) {
+      std::cerr << "FAIL seed " << seed << ": FPVA " << array.name
+                << " claims completion but the oracle found violations:\n"
+                << arrayOracle.str();
+      dumpRepro(opt, seed, array, arraySerial, nullptr);
+      ok = false;
+    }
+  }
+
   if (opt.verbose)
     std::cout << "seed " << seed << ": " << chip.name << " "
               << chip.routingGrid.width() << "x" << chip.routingGrid.height()
@@ -571,6 +602,7 @@ int main(int argc, char** argv) {
             << " routed to completion, " << tally.clusters << " clusters total, "
             << "eco steps " << tally.ecoIdentity << " identity / "
             << tally.ecoIncremental << " incremental / " << tally.ecoFull
-            << " full, " << tally.failures << " failure(s)\n";
+            << " full, " << tally.fpva << " fpva arrays, " << tally.failures
+            << " failure(s)\n";
   return tally.failures == 0 ? 0 : 1;
 }
