@@ -36,10 +36,28 @@ bench/baseline.json and fails (exit 1) when the run regressed:
     the incremental path losing its edge over routeChip is a regression
     with no tolerance band.
 
+With --serve the inputs are BENCH_serve.json files (bench_serve_net's
+socket replay report) and the gate checks instead:
+
+  * hard invariants -- zero error responses, zero hash mismatches,
+    all_hashes_match true, at least one ok response, and warm repeats:
+    warm_hits == warm_eligible (the per-design FIFO affinity contract --
+    a repeat request that rebuilt its escape session cold is a
+    functional regression, not noise).
+  * ok-latency p99 -- allowed to grow by --time-tolerance over the
+    baseline's p99 (latency is the noisiest number here; CI passes a
+    generous band).
+  * warm_hit_ratio -- may not drop more than --warm-tolerance
+    (default 0.10, absolute) below the baseline's ratio.
+  * golden-hash cross-check -- each design row's sha256 (the one-shot
+    reference hash the replay driver verified every response against)
+    must match tests/golden/solution_hashes.txt in both files.
+
 Usage:
   bench/compare_baseline.py CURRENT.json BASELINE.json \
       [--time-tolerance=1.0] [--stage-time-tolerance=T] \
-      [--counter-tolerance=0.10] [--golden=PATH] [--eco-speedup-min=3.0]
+      [--counter-tolerance=0.10] [--golden=PATH] [--eco-speedup-min=3.0] \
+      [--serve] [--warm-tolerance=0.10]
 """
 
 import json
@@ -92,6 +110,60 @@ def check_golden(golden, label, design, violations):
                                  f"without a golden re-pin; {REPIN_HINT}"))
 
 
+def serve_gate(current, baseline, golden, time_tol, warm_tol):
+    """The --serve mode: gates a BENCH_serve.json against its baseline."""
+    violations = []
+    cur = current["summary"]
+    base = baseline["summary"]
+
+    if cur.get("errors", 1) != 0:
+        violations.append(("summary", f"{cur.get('errors')} error response(s)"))
+    if cur.get("hash_mismatches", 1) != 0 or not cur.get("all_hashes_match"):
+        violations.append(("summary",
+                           f"{cur.get('hash_mismatches')} hash mismatch(es)"))
+    if cur.get("ok", 0) < 1:
+        violations.append(("summary", "no ok responses at all"))
+    if cur.get("warm_hits") != cur.get("warm_eligible"):
+        violations.append(
+            ("summary", f"warm_hits {cur.get('warm_hits')} != warm_eligible "
+                        f"{cur.get('warm_eligible')}: a repeat-design request "
+                        f"rebuilt its escape session cold"))
+
+    ref_p99 = base["latency_ms"]["p99"]
+    got_p99 = cur["latency_ms"]["p99"]
+    if got_p99 > ref_p99 * (1.0 + time_tol):
+        violations.append(
+            ("latency", f"p99: {got_p99:.1f}ms > {ref_p99:.1f}ms "
+                        f"+{time_tol:.0%}"))
+
+    ref_ratio = base.get("warm_hit_ratio", 0.0)
+    got_ratio = cur.get("warm_hit_ratio", 0.0)
+    if got_ratio < ref_ratio - warm_tol:
+        violations.append(
+            ("warm", f"warm_hit_ratio: {got_ratio:.2f} < baseline "
+                     f"{ref_ratio:.2f} - {warm_tol:.2f}"))
+
+    if golden is not None:
+        for label, report in (("current run", current), ("baseline", baseline)):
+            for row in report.get("designs", []):
+                ref = golden.get(row["design"])
+                if ref is not None and row.get("sha256") != ref:
+                    violations.append(
+                        (row["design"],
+                         f"{label} sha256 {row.get('sha256', '')[:12]}... != "
+                         f"golden {ref[:12]}...; {REPIN_HINT}"))
+
+    if violations:
+        return fail(violations)
+    golden_note = ("golden hashes cross-checked" if golden is not None
+                   else "golden cross-check skipped")
+    print(f"PERF GATE: OK (serve: {cur.get('ok')} ok / {cur.get('busy')} busy "
+          f"over {cur.get('requests')} requests, p99 {got_p99:.1f}ms vs "
+          f"baseline {ref_p99:.1f}ms +{time_tol:.0%}, warm ratio "
+          f"{got_ratio:.2f} vs {ref_ratio:.2f} -{warm_tol:.2f}, {golden_note})")
+    return 0
+
+
 def main(argv):
     args = [a for a in argv[1:] if not a.startswith("--")]
     if len(args) != 2:
@@ -101,6 +173,8 @@ def main(argv):
     stage_time_tol = None
     counter_tol = 0.10
     eco_speedup_min = 3.0
+    warm_tol = 0.10
+    serve_mode = False
     golden_path = default_golden_path()
     for a in argv[1:]:
         if a.startswith("--time-tolerance="):
@@ -111,6 +185,10 @@ def main(argv):
             counter_tol = float(a.split("=", 1)[1])
         elif a.startswith("--eco-speedup-min="):
             eco_speedup_min = float(a.split("=", 1)[1])
+        elif a.startswith("--warm-tolerance="):
+            warm_tol = float(a.split("=", 1)[1])
+        elif a == "--serve":
+            serve_mode = True
         elif a.startswith("--golden="):
             golden_path = a.split("=", 1)[1]
         elif a.startswith("--"):
@@ -131,6 +209,9 @@ def main(argv):
         current = json.load(f)
     with open(args[1]) as f:
         baseline = json.load(f)
+
+    if serve_mode:
+        return serve_gate(current, baseline, golden, time_tol, warm_tol)
 
     violations = []
 

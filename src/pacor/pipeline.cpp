@@ -676,10 +676,6 @@ PacorResult routeChipImpl(const chip::Chip& chip, const PacorConfig& config,
 
 }  // namespace
 
-PacorResult routeChip(const chip::Chip& chip, const PacorConfig& config) {
-  return routeChipImpl(chip, config, RouteResources{}, nullptr);
-}
-
 PacorResult routeChip(const chip::Chip& chip, const PacorConfig& config,
                       const RouteResources& resources) {
   return routeChipImpl(chip, config, resources, nullptr);

@@ -68,9 +68,13 @@ grid::ObstacleMap makeRoutingObstacleTemplate(const chip::Chip& chip);
 /// state, search-effort counters are scoped to the request (not diffed
 /// from the process-wide tally), and shared RouteResources are designed
 /// for concurrent use.
-PacorResult routeChip(const chip::Chip& chip, const PacorConfig& config = {});
-PacorResult routeChip(const chip::Chip& chip, const PacorConfig& config,
-                      const RouteResources& resources);
+///
+/// `resources` supplies optional long-lived state (see RouteResources for
+/// the ownership contract); the default-constructed value reproduces the
+/// self-contained one-shot behavior, so `routeChip(chip)` and
+/// `routeChip(chip, config)` keep working unchanged.
+PacorResult routeChip(const chip::Chip& chip, const PacorConfig& config = {},
+                      const RouteResources& resources = {});
 
 /// Convenience configurations for the paper's Table 2 self-comparison.
 PacorConfig pacorDefaultConfig();   ///< the full flow

@@ -1,13 +1,11 @@
 #include "serve/serve.hpp"
 
-#include <atomic>
 #include <chrono>
 #include <fstream>
 #include <istream>
 #include <optional>
 #include <ostream>
 #include <sstream>
-#include <thread>
 #include <vector>
 
 #include "chip/generator.hpp"
@@ -55,6 +53,8 @@ void fillRouteResponse(Response& resp, const core::PacorResult& result,
   resp.solutionHash = util::sha256Hex(resp.solutionText);
   resp.clusterCount = result.clusters.size();
   resp.totalLength = result.totalChannelLength;
+  resp.coldBuilds =
+      static_cast<int>(result.metrics.getInt("escape.flow.cold_builds", -1));
   resp.ok = true;
   if (!options.solutionPath.empty())
     core::writeSolutionFile(options.solutionPath, result);
@@ -71,6 +71,17 @@ void fillRouteResponse(Response& resp, const core::PacorResult& result,
 
 }  // namespace
 
+chip::Chip loadDesign(const std::string& token) {
+  // FPVA spec tokens (fpva:NxM[:key=val...]) synthesize valve arrays on
+  // demand; the spec string is the cache key, so repeat requests for the
+  // same array hit the warm DesignContext.
+  if (chip::isFpvaSpec(token))
+    return chip::generateFpvaChip(chip::parseFpvaSpec(token));
+  for (const auto& params : chip::table1Designs())
+    if (params.name == token) return chip::generateChip(params);
+  return chip::readChipFile(token);
+}
+
 DesignContext::DesignContext(chip::Chip chip)
     : chip_(std::move(chip)),
       obstacleTemplate_(core::makeRoutingObstacleTemplate(chip_)) {}
@@ -78,6 +89,8 @@ DesignContext::DesignContext(chip::Chip chip)
 DesignContext::~DesignContext() = default;
 
 Server::Server(int jobs) : pool_(poolSize(jobs)) {}
+
+Server::~Server() { drainAndStop(); }
 
 DesignContext& Server::context(const std::string& key,
                                const std::function<chip::Chip()>& load) {
@@ -117,7 +130,8 @@ Response Server::route(DesignContext& ctx, const RequestOptions& options) {
   std::shared_lock<std::shared_mutex> state(ctx.stateMutex_);
   // One request at a time drives the persistent escape session; losers of
   // the try-lock route through a request-local session (byte-identical,
-  // just without the cross-request warm start).
+  // just without the cross-request warm start). Requests arriving through
+  // the submit() queue are serialized per design, so they always win.
   std::unique_lock<std::mutex> sessionLock(ctx.escapeMutex_, std::try_to_lock);
   try {
     core::RouteResources resources;
@@ -252,105 +266,29 @@ Response Server::eco(DesignContext& ctx, const chip::ChipDelta& delta,
   return resp;
 }
 
-namespace {
+// --- submit() queue tier -------------------------------------------------
 
-/// One parsed manifest line; `error` non-empty when the line is malformed.
-struct BatchRequest {
-  std::string design;
-  RequestOptions options;
-  std::string error;
-  bool eco = false;       ///< line used the `eco` verb
-  std::string deltaPath;  ///< edit script path (eco requests)
-};
-
-std::optional<chip::GeneratorParams> findTable1Design(const std::string& name) {
-  for (const auto& params : chip::table1Designs())
-    if (params.name == name) return params;
-  return std::nullopt;
-}
-
-BatchRequest parseLine(const std::string& line) {
-  BatchRequest req;
-  std::istringstream is(line);
-  if (!(is >> req.design)) {
-    req.error = "empty request line";
-    return req;
-  }
-  if (req.design == "eco") {
-    req.eco = true;
-    if (!(is >> req.design)) {
-      req.error = "eco request without a design";
-      return req;
-    }
-  }
-  std::string variant = "pacor";
-  bool incrementalEscape = true;
-  bool fastEscape = false;
-  std::string token;
-  while (is >> token) {
-    if (req.eco && token.rfind("delta=", 0) == 0) {
-      req.deltaPath = token.substr(6);
-    } else if (token.rfind("sol=", 0) == 0) {
-      req.options.solutionPath = token.substr(4);
-    } else if (token.rfind("metrics=", 0) == 0) {
-      req.options.metricsPath = token.substr(8);
-    } else if (token.rfind("trace=", 0) == 0) {
-      req.options.tracePath = token.substr(6);
-    } else if (token.rfind("trace-level=", 0) == 0) {
-      const auto level = trace::parseLevel(token.substr(12));
-      if (!level) {
-        req.error = "bad trace-level '" + token.substr(12) + "'";
-        return req;
-      }
-      req.options.traceLevel = *level;
-    } else if (token.rfind("variant=", 0) == 0) {
-      variant = token.substr(8);
-    } else if (token == "no-incremental-escape") {
-      incrementalEscape = false;
-    } else if (token == "fast-escape") {
-      fastEscape = true;
-    } else {
-      req.error = "unknown option '" + token + "'";
-      return req;
-    }
-  }
-  if (variant == "pacor")
-    req.options.config = core::pacorDefaultConfig();
-  else if (variant == "wosel")
-    req.options.config = core::withoutSelectionConfig();
-  else if (variant == "detour-first")
-    req.options.config = core::detourFirstConfig();
-  else {
-    req.error = "unknown variant '" + variant + "'";
-    return req;
-  }
-  req.options.config.incrementalEscape = incrementalEscape;
-  req.options.config.fastEscape = fastEscape;
-  if (req.eco && req.deltaPath.empty()) req.error = "eco request without delta=PATH";
-  return req;
-}
-
-Response executeRequest(Server& server, const BatchRequest& req) {
+Response Server::execute(const Request& req) {
   Response resp;
   resp.design = req.design;
-  if (!req.error.empty()) {
-    resp.error = req.error;
-    return resp;
-  }
   try {
-    DesignContext& ctx = server.context(req.design, [&req]() -> chip::Chip {
-      // FPVA spec tokens (fpva:NxM[:key=val...]) synthesize valve arrays
-      // on demand; the spec string is the cache key, so repeat requests
-      // for the same array hit the warm DesignContext.
-      if (chip::isFpvaSpec(req.design))
-        return chip::generateFpvaChip(chip::parseFpvaSpec(req.design));
-      if (const auto params = findTable1Design(req.design))
-        return chip::generateChip(*params);
-      return chip::readChipFile(req.design);
-    });
-    resp = req.eco ? server.eco(ctx, chip::readDeltaFile(req.deltaPath), req.options)
-                   : server.route(ctx, req.options);
-    resp.design = req.design;  // report the manifest key, not chip.name
+    DesignContext& ctx =
+        context(req.design, [&req] { return loadDesign(req.design); });
+    if (req.verb == Verb::kGen) {
+      // Warm-up only: the context (chip + obstacle template) now exists,
+      // so the first routing request of this design skips the load.
+      std::shared_lock<std::shared_mutex> state(ctx.stateMutex_);
+      resp.ok = true;
+      resp.genValves = static_cast<int>(ctx.chip().valves.size());
+      resp.genPins = static_cast<int>(ctx.chip().pins.size());
+      resp.genObstacles = static_cast<int>(ctx.chip().obstacles.size());
+      return resp;
+    }
+    const RequestOptions options = optionsFor(req);
+    resp = req.verb == Verb::kEco
+               ? eco(ctx, chip::readDeltaFile(req.deltaPath), options)
+               : route(ctx, options);
+    resp.design = req.design;  // report the request token, not chip.name
   } catch (const std::exception& e) {
     resp.ok = false;
     resp.error = e.what();
@@ -358,73 +296,164 @@ Response executeRequest(Server& server, const BatchRequest& req) {
   return resp;
 }
 
-void printResponse(std::ostream& out, const Response& resp) {
-  if (!resp.ok) {
-    out << "error " << resp.design << ' '
-        << (resp.error.empty() ? "unknown failure" : resp.error) << '\n';
-    return;
-  }
-  out << "ok " << resp.design << " sha256=" << resp.solutionHash
-      << " complete=" << (resp.complete ? 1 : 0) << " clusters="
-      << resp.clusterCount << " length=" << resp.totalLength;
-  if (resp.traceSpans >= 0) out << " trace_spans=" << resp.traceSpans;
-  // Only eco responses carry the extra fields: stdout stays byte-stable
-  // for any manifest that predates the verb.
-  if (!resp.ecoMode.empty())
-    out << " eco=" << resp.ecoMode << " dirty=" << resp.ecoDirty
-        << " reused=" << resp.ecoFrozen;
-  out << '\n';
+void Server::startDispatch(const AdmissionOptions& admission) {
+  std::lock_guard<std::mutex> lock(queueMutex_);
+  if (dispatchStarted_) return;
+  dispatchStarted_ = true;
+  admission_ = admission;
+  admission_.maxInflight = std::max(1, admission_.maxInflight);
+  dispatchers_.reserve(static_cast<std::size_t>(admission_.maxInflight));
+  for (int i = 0; i < admission_.maxInflight; ++i)
+    dispatchers_.emplace_back([this] { dispatchLoop(); });
 }
 
-}  // namespace
+std::future<Response> Server::submit(Request req) {
+  startDispatch(AdmissionOptions{});  // no-op when already configured
+  std::unique_lock<std::mutex> lock(queueMutex_);
+  if (draining_ ||
+      (admission_.maxQueue != 0 && waiting_ >= admission_.maxQueue)) {
+    Response busy;
+    busy.design = req.design;
+    busy.busy = true;
+    busy.error = draining_
+                     ? "draining: server is shutting down"
+                     : "queue full (" + std::to_string(waiting_) +
+                           " waiting, max " +
+                           std::to_string(admission_.maxQueue) + ")";
+    lock.unlock();
+    std::promise<Response> ready;
+    std::future<Response> fut = ready.get_future();
+    ready.set_value(std::move(busy));
+    return fut;
+  }
+  const std::string key = req.design;
+  DesignQueue& dq = queues_[key];
+  // Not yet listed runnable and no dispatcher on it: enqueue the design.
+  const bool listDesign = dq.fifo.empty() && !dq.running;
+  dq.fifo.push_back(Pending{std::move(req), {}});
+  std::future<Response> fut = dq.fifo.back().promise.get_future();
+  ++waiting_;
+  if (listDesign) runnable_.push_back(key);
+  workCv_.notify_one();
+  return fut;
+}
+
+void Server::dispatchLoop() {
+  std::unique_lock<std::mutex> lock(queueMutex_);
+  for (;;) {
+    workCv_.wait(lock, [this] { return stopping_ || !runnable_.empty(); });
+    if (runnable_.empty()) {
+      if (stopping_) return;
+      continue;
+    }
+    const std::string key = std::move(runnable_.front());
+    runnable_.pop_front();
+    DesignQueue& dq = queues_[key];  // map nodes are stable
+    dq.running = true;
+    Pending pending = std::move(dq.fifo.front());
+    dq.fifo.pop_front();
+    --waiting_;
+    ++executing_;
+    lock.unlock();
+
+    pending.promise.set_value(execute(pending.req));
+
+    lock.lock();
+    --executing_;
+    dq.running = false;
+    // FIFO across designs too: a design with more work re-queues at the
+    // back, so one hot design cannot starve the others.
+    if (!dq.fifo.empty()) {
+      runnable_.push_back(key);
+      workCv_.notify_one();
+    }
+    if (waiting_ == 0 && executing_ == 0) idleCv_.notify_all();
+  }
+}
+
+void Server::beginDrain() {
+  std::lock_guard<std::mutex> lock(queueMutex_);
+  draining_ = true;
+}
+
+void Server::drainAndStop() {
+  beginDrain();
+  std::vector<std::thread> workers;
+  {
+    std::unique_lock<std::mutex> lock(queueMutex_);
+    idleCv_.wait(lock, [this] { return waiting_ == 0 && executing_ == 0; });
+    stopping_ = true;
+    workCv_.notify_all();
+    workers.swap(dispatchers_);
+  }
+  for (std::thread& t : workers) t.join();
+}
+
+std::size_t Server::queuedRequests() const {
+  std::lock_guard<std::mutex> lock(queueMutex_);
+  return waiting_;
+}
+
+bool Server::draining() const {
+  std::lock_guard<std::mutex> lock(queueMutex_);
+  return draining_;
+}
+
+// --- batch adapter -------------------------------------------------------
 
 int runBatch(std::istream& manifest, std::ostream& out, const BatchOptions& options) {
-  std::vector<BatchRequest> requests;
-  std::string line;
-  while (std::getline(manifest, line)) {
-    const std::size_t first = line.find_first_not_of(" \t\r");
-    if (first == std::string::npos || line[first] == '#') continue;
-    requests.push_back(parseLine(line));
-  }
+  // One slot per manifest request, in manifest order: either an already
+  // rendered parse-error response or the future of a submitted request.
+  struct Slot {
+    std::optional<std::future<Response>> fut;
+    Response immediate;
+  };
 
   Server server(options.jobs);
-  std::vector<Response> responses(requests.size());
-  const auto t0 = std::chrono::steady_clock::now();
+  server.startDispatch(
+      {std::max(1, options.concurrency), /*maxQueue=*/0});
 
-  const std::size_t inFlight = std::min<std::size_t>(
-      static_cast<std::size_t>(std::max(1, options.concurrency)), requests.size());
-  if (inFlight <= 1) {
-    for (std::size_t i = 0; i < requests.size(); ++i)
-      responses[i] = executeRequest(server, requests[i]);
-  } else {
-    std::atomic<std::size_t> next{0};
-    const auto worker = [&] {
-      for (;;) {
-        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= requests.size()) break;
-        responses[i] = executeRequest(server, requests[i]);
-      }
-    };
-    std::vector<std::thread> threads;
-    threads.reserve(inFlight);
-    for (std::size_t t = 0; t < inFlight; ++t) threads.emplace_back(worker);
-    for (std::thread& t : threads) t.join();
+  std::vector<Slot> slots;
+  std::string line;
+  int lineNumber = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  while (std::getline(manifest, line)) {
+    ++lineNumber;
+    const std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    ParseError error;
+    Slot slot;
+    if (std::optional<Request> req = parseRequestLine(line, &error)) {
+      slot.fut = server.submit(std::move(*req));
+    } else {
+      slot.immediate.design = error.design.empty() ? "-" : error.design;
+      slot.immediate.ok = false;
+      slot.immediate.error =
+          "line " + std::to_string(lineNumber) + ": " + error.render();
+    }
+    slots.push_back(std::move(slot));
   }
+
+  // Futures resolve out of order (per-design FIFO, cross-design parallel);
+  // responses still print in request order, stdout byte-stable for a
+  // given manifest.
+  int failed = 0;
+  std::vector<Response> responses;
+  responses.reserve(slots.size());
+  for (Slot& slot : slots)
+    responses.push_back(slot.fut ? slot.fut->get() : std::move(slot.immediate));
   const double seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-
-  // Responses print in request order; timing goes to stderr so stdout is
-  // byte-stable for a given manifest.
-  int failed = 0;
   for (const Response& resp : responses) {
-    printResponse(out, resp);
-    if (!resp.ok || !resp.complete) ++failed;
+    out << formatResponse(resp) << '\n';
+    const bool genOk = resp.ok && resp.genValves >= 0;
+    if (!resp.ok || (!genOk && !resp.complete)) ++failed;
   }
   std::fprintf(stderr,
                "pacor serve: %zu request(s), %zu design context(s), jobs=%u, "
-               "concurrency=%zu, %d failure(s), %.2fs\n",
-               requests.size(), server.designCount(), server.threadCount(),
-               inFlight, failed, seconds);
+               "concurrency=%d, %d failure(s), %.2fs\n",
+               slots.size(), server.designCount(), server.threadCount(),
+               std::max(1, options.concurrency), failed, seconds);
   return failed;
 }
 

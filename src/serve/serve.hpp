@@ -1,13 +1,18 @@
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <future>
 #include <iosfwd>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "chip/chip.hpp"
 #include "chip/delta.hpp"
@@ -15,46 +20,18 @@
 #include "pacor/config.hpp"
 #include "pacor/pipeline.hpp"
 #include "pacor/result.hpp"
+#include "serve/protocol.hpp"
 #include "trace/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace pacor::serve {
 
-/// Options of one routing request. The config carries the flow variant
-/// knobs; config.jobs is ignored -- the server's shared pool decides the
-/// parallelism (the routed output is byte-identical for every value).
-struct RequestOptions {
-  core::PacorConfig config;
-
-  std::string solutionPath;  ///< write the solution file here when set
-  std::string metricsPath;   ///< write the metrics JSON here when set
-
-  /// Per-request Chrome trace. Tracing is a process-wide single-recorder
-  /// facility, so the server runs traced requests exclusively (no other
-  /// request in flight) -- see Server::route.
-  std::string tracePath;
-  trace::Level traceLevel = trace::Level::kCluster;
-};
-
-/// Result of one request, carrying the canonical solution bytes so callers
-/// can assert byte-identity against one-shot routeChip runs.
-struct Response {
-  std::string design;
-  bool ok = false;        ///< request executed without an exception
-  bool complete = false;  ///< 100% routing completion
-  std::string solutionText;  ///< canonical solutionToString bytes
-  std::string solutionHash;  ///< SHA-256 of solutionText
-  std::size_t clusterCount = 0;
-  std::int64_t totalLength = 0;
-  int traceSpans = -1;         ///< recorded spans; -1 = no trace requested
-  bool traceDiscarded = false; ///< trace superseded by a concurrent session
-  std::string error;           ///< non-empty when !ok (or trace/file I/O failed)
-
-  /// ECO responses only (empty / -1 otherwise): how rerouteChip answered.
-  std::string ecoMode;  ///< "identity", "incremental", or "full"
-  int ecoDirty = -1;    ///< clusters re-routed
-  int ecoFrozen = -1;   ///< previous clusters carried verbatim
-};
+/// Resolves a request's design token into a chip: a Table-1 name (Chip1,
+/// Chip2, S1..S5) generates the paper instance, an FPVA spec
+/// (fpva:NxM[:key=val...]) synthesizes a valve array, anything else is
+/// read as a .chip file path. Throws on unknown/unreadable designs. The
+/// token doubles as the server's context (and queue-affinity) key.
+chip::Chip loadDesign(const std::string& token);
 
 /// Per-design state the server keeps alive across requests: the parsed
 /// chip (mutated only by ECO edits), the routing obstacle template (static
@@ -90,7 +67,9 @@ class DesignContext {
   /// Persistent escape-flow session of this design. One request at a time
   /// may drive it: route() try-locks escapeMutex_ and the winner passes
   /// the slot into routeChip (which warm-rebinds or lazily builds it);
-  /// losers route with a request-local session, byte-identical either way.
+  /// losers route with a request-local session, byte-identical either
+  /// way. The submit() queue tier serializes same-design requests, so
+  /// queued traffic always wins this lock and always lands warm.
   std::mutex escapeMutex_;
   std::unique_ptr<core::EscapeFlowSession> escapeSession_;
 
@@ -103,15 +82,42 @@ class DesignContext {
   core::PacorResult lastResult_;
 };
 
+/// Admission-control knobs of the Server::submit queue tier.
+struct AdmissionOptions {
+  /// Dispatcher threads = requests executing at once (distinct designs;
+  /// same-design requests are always serialized FIFO for warm affinity).
+  int maxInflight = 2;
+
+  /// High-water mark on requests WAITING in the per-design queues (the
+  /// executing ones are bounded by maxInflight separately). Submissions
+  /// past it get an immediate `busy` response instead of queueing.
+  /// 0 = unbounded (batch mode: every manifest line is admitted).
+  std::size_t maxQueue = 0;
+};
+
 /// Long-lived request loop state: one shared worker pool, one
 /// DesignContext per distinct design. Requests may be submitted from any
 /// number of threads concurrently; each gets an isolated result (own
 /// MetricsRegistry, request-scoped search counters) that is byte-identical
 /// to a fresh one-shot routeChip of the same chip and config.
+///
+/// Two tiers share the same execution core:
+///  * route()/eco() -- direct, caller-threaded execution against a held
+///    context (concurrent same-design callers race the escape-session
+///    try-lock; losers run a request-local session, byte-identical).
+///  * submit() -- the queued front-end tier: each request joins its
+///    design's FIFO queue, design queues run one request at a time (so
+///    repeat traffic always lands on the warm EscapeFlowSession and
+///    obstacle template), distinct designs run concurrently on up to
+///    AdmissionOptions::maxInflight dispatcher threads, and a bounded
+///    waiting queue sheds load with `busy` responses past the high-water
+///    mark. Both the batch manifest loop and the socket front end are
+///    thin adapters over submit().
 class Server {
  public:
   /// `jobs` sizes the shared routing pool (0 = all hardware threads).
   explicit Server(int jobs = 1);
+  ~Server();
 
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
@@ -141,10 +147,51 @@ class Server {
   Response eco(DesignContext& ctx, const chip::ChipDelta& delta,
                const RequestOptions& options);
 
+  /// Starts the dispatcher threads with the given limits. Idempotent
+  /// (later calls are ignored); submit() starts it with defaults when the
+  /// caller did not.
+  void startDispatch(const AdmissionOptions& admission);
+
+  /// Queues one typed request on its design's FIFO and returns the future
+  /// response. Never blocks on routing work: past the waiting-queue
+  /// high-water mark (or while draining) the returned future is already
+  /// resolved to a `busy` response. Design resolution (generate or .chip
+  /// read) happens on the dispatcher thread; its failure resolves the
+  /// future to an `error` response.
+  std::future<Response> submit(Request req);
+
+  /// Stops admitting: every later submit() resolves to `busy draining`.
+  /// Already-admitted requests keep executing. Non-blocking.
+  void beginDrain();
+
+  /// beginDrain() + waits until every admitted request has resolved, then
+  /// joins the dispatcher threads. Safe to call more than once; the
+  /// destructor calls it. After it returns, submit() still answers (busy).
+  void drainAndStop();
+
+  /// Requests waiting in design queues (excludes the executing ones).
+  std::size_t queuedRequests() const;
+  bool draining() const;
+
   std::size_t designCount() const;
   unsigned threadCount() const noexcept { return pool_.threadCount(); }
 
  private:
+  struct Pending {
+    Request req;
+    std::promise<Response> promise;
+  };
+  /// One design's FIFO. `running` marks a dispatcher executing its head;
+  /// at most one dispatcher per design, ever -- that is the affinity
+  /// guarantee that keeps the warm escape session uncontended.
+  struct DesignQueue {
+    std::deque<Pending> fifo;
+    bool running = false;
+  };
+
+  Response execute(const Request& req);
+  void dispatchLoop();
+
   util::ThreadPool pool_;
   mutable std::mutex contextsMutex_;
   // node-stable map: context references survive later insertions.
@@ -157,27 +204,30 @@ class Server {
   /// request's begin() from discarding another's events -- and keeps
   /// concurrent requests' spans out of the active trace.
   mutable std::shared_mutex traceFence_;
+
+  /// Queue tier state, all under queueMutex_.
+  mutable std::mutex queueMutex_;
+  std::condition_variable workCv_;  ///< dispatchers: runnable work exists
+  std::condition_variable idleCv_;  ///< drainAndStop: everything resolved
+  std::map<std::string, DesignQueue> queues_;
+  std::deque<std::string> runnable_;  ///< designs with work, none executing
+  std::size_t waiting_ = 0;           ///< requests in fifos (not executing)
+  int executing_ = 0;
+  bool draining_ = false;
+  bool stopping_ = false;
+  bool dispatchStarted_ = false;
+  AdmissionOptions admission_;
+  std::vector<std::thread> dispatchers_;
 };
 
-/// Batch/stdin line protocol. Each non-blank, non-'#' manifest line is one
-/// request:
-///
-///   <design> [sol=PATH] [metrics=PATH] [trace=PATH]
-///            [trace-level=stage|cluster|search]
-///            [variant=pacor|wosel|detour-first] [no-incremental-escape]
-///            [fast-escape]
-///   eco <design> delta=PATH [same options]
-///
-/// <design> is a Table-1 name (Chip1, Chip2, S1..S5; generated in-process)
-/// or a path to a .chip file. The `eco` verb applies the edit script at
-/// delta=PATH (chip/delta.hpp text format) to the design's current state
-/// and re-routes incrementally; later requests against the same design see
-/// the edited chip. Responses go to `out` in request order, one line each:
-///
-///   ok <design> sha256=<hash> complete=<0|1> clusters=<n> length=<L> [trace_spans=<n>]
-///       [eco=identity|incremental|full dirty=<n> reused=<n>]
-///   error <design> <message>
-///
+/// Batch/stdin line protocol: one request per non-blank, non-'#' manifest
+/// line, in the shared grammar of serve::parseRequestLine (see
+/// protocol.hpp). A thin adapter over Server::submit: lines are parsed,
+/// queued with per-design FIFO affinity and `concurrency` dispatcher
+/// threads (the waiting queue is unbounded -- batch mode never sheds
+/// load), and the responses printed to `out` in request order, one
+/// serve::formatResponse line each. Malformed lines report
+/// `line N: <reason> (field '<field>')` without aborting the batch.
 /// Timing and throughput go to stderr so stdout stays byte-stable for a
 /// given manifest. Returns the number of failed requests (error responses
 /// plus incomplete routings).

@@ -1,0 +1,364 @@
+// Socket serve tier: framing, protocol grammar, affinity, backpressure,
+// and drain contracts of serve::net.
+//
+//  * Protocol tables: valid request lines round-trip exactly
+//    (format(parse(x)) == canonical(x)); malformed lines report the
+//    offending field, both from parseRequestLine and as structured `err`
+//    responses over a live socket.
+//  * Multi-client byte-identity: concurrent clients hammering mixed
+//    designs get responses whose sha256 -- and sol= file bytes -- equal a
+//    fresh one-shot routeChip of the same design.
+//  * Warm affinity: the per-design FIFO serializes same-design requests
+//    onto the warm EscapeFlowSession, so a repeat request reports
+//    cold_builds=0.
+//  * Backpressure: with maxInflight=1/maxQueue=1 and the executing
+//    request parked on a named-pipe design (the chip bytes arrive only
+//    when the test writes them), the over-limit submit gets an immediate
+//    `busy`, and the queue accepts work again after the block clears.
+//  * Graceful drain: an in-flight request completes and its response is
+//    flushed, frames sent after beginDrain get `busy draining`, and a
+//    late connect is refused.
+
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "chip/generator.hpp"
+#include "chip/io.hpp"
+#include "pacor/pipeline.hpp"
+#include "pacor/solution_io.hpp"
+#include "serve/net.hpp"
+#include "serve/serve.hpp"
+#include "util/sha256.hpp"
+
+namespace pacor {
+namespace {
+
+/// One-shot reference: what any serve path must reproduce byte-for-byte.
+struct Oneshot {
+  std::string text;
+  std::string hash;
+};
+
+Oneshot oneshot(const std::string& design) {
+  const core::PacorResult result =
+      core::routeChip(serve::loadDesign(design), core::pacorDefaultConfig());
+  Oneshot ref;
+  ref.text = core::solutionToString(result);
+  ref.hash = util::sha256Hex(ref.text);
+  return ref;
+}
+
+std::string readFile(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+// --- protocol tables -----------------------------------------------------
+
+TEST(ServeProtocol, ValidLinesRoundTripExactly) {
+  // {input line, canonical form} -- parse then format must yield the
+  // canonical text, and the canonical text must be a fixed point.
+  const std::vector<std::pair<std::string, std::string>> kTable = {
+      {"S1", "S1"},
+      {"  S1   sol=out.sol  ", "S1 sol=out.sol"},
+      {"S2 metrics=m.json sol=a.sol", "S2 sol=a.sol metrics=m.json"},
+      {"fpva:8x8 variant=wosel", "fpva:8x8 variant=wosel"},
+      {"S3 trace=t.json trace-level=search fast-escape",
+       "S3 trace=t.json trace-level=search fast-escape"},
+      {"S1 variant=pacor", "S1"},  // defaults canonicalize away
+      {"S1 trace=t.json trace-level=cluster", "S1 trace=t.json"},
+      {"S4 no-incremental-escape", "S4 no-incremental-escape"},
+      {"eco S1 delta=d.delta", "eco S1 delta=d.delta"},
+      {"eco S1 delta=d.delta variant=detour-first sol=s.sol",
+       "eco S1 delta=d.delta sol=s.sol variant=detour-first"},
+      {"gen fpva:16x16", "gen fpva:16x16"},
+  };
+  for (const auto& [line, canonical] : kTable) {
+    SCOPED_TRACE(line);
+    serve::ParseError error;
+    const auto req = serve::parseRequestLine(line, &error);
+    ASSERT_TRUE(req.has_value()) << error.render();
+    EXPECT_EQ(serve::formatRequestLine(*req), canonical);
+    const auto reparsed = serve::parseRequestLine(canonical, &error);
+    ASSERT_TRUE(reparsed.has_value()) << error.render();
+    EXPECT_EQ(serve::formatRequestLine(*reparsed), canonical);
+  }
+}
+
+TEST(ServeProtocol, MalformedLinesReportTheOffendingField) {
+  // {input line, expected field, expected design token}
+  const std::vector<std::array<std::string, 3>> kTable = {
+      {"", "design", ""},
+      {"   ", "design", ""},
+      {"eco", "design", ""},
+      {"gen", "design", ""},
+      {"eco S1", "delta", "S1"},
+      {"S1 delta=d.delta", "delta", "S1"},
+      {"eco S1 delta=", "delta", "S1"},
+      {"S1 sol=", "sol", "S1"},
+      {"S1 metrics=", "metrics", "S1"},
+      {"S1 trace=", "trace", "S1"},
+      {"S1 trace-level=bogus", "trace-level", "S1"},
+      {"S1 variant=fastest", "variant", "S1"},
+      {"S1 frobnicate", "frobnicate", "S1"},
+      {"S1 frobnicate=2", "frobnicate", "S1"},
+      {"gen S1 sol=out.sol", "sol", "S1"},
+  };
+  for (const auto& [line, field, design] : kTable) {
+    SCOPED_TRACE("'" + line + "'");
+    serve::ParseError error;
+    EXPECT_FALSE(serve::parseRequestLine(line, &error).has_value());
+    EXPECT_EQ(error.field, field);
+    EXPECT_EQ(error.design, design);
+    EXPECT_NE(error.render().find("field '" + field + "'"), std::string::npos);
+  }
+}
+
+TEST(ServeProtocol, BatchModeReportsLineNumbers) {
+  std::istringstream manifest(
+      "# comment\n"
+      "\n"
+      "eco S1\n"
+      "S1 frobnicate\n");
+  std::ostringstream out;
+  serve::BatchOptions options;
+  EXPECT_EQ(serve::runBatch(manifest, out, options), 2);
+  std::istringstream lines(out.str());
+  std::string first, second;
+  ASSERT_TRUE(std::getline(lines, first));
+  ASSERT_TRUE(std::getline(lines, second));
+  // Comments and blanks do not advance the reported request numbering --
+  // the N in `line N` is the manifest line, so editors can jump to it.
+  EXPECT_EQ(first,
+            "error S1 line 3: eco request without delta=PATH (field 'delta')");
+  EXPECT_EQ(second,
+            "error S1 line 4: unknown option 'frobnicate' (field 'frobnicate')");
+}
+
+// --- socket tier ---------------------------------------------------------
+
+serve::net::NetOptions loopback(int jobs = 1) {
+  serve::net::NetOptions options;
+  options.jobs = jobs;
+  return options;  // host 127.0.0.1, port 0 = ephemeral
+}
+
+TEST(ServeNet, MalformedFramesGetStructuredErrResponses) {
+  serve::net::NetServer server(loopback());
+  serve::net::Client client("127.0.0.1", server.port());
+  const std::vector<std::pair<std::string, std::string>> kTable = {
+      {"eco S1", "err S1 field=delta eco request without delta=PATH"},
+      {"S1 trace-level=bogus", "err S1 field=trace-level bad trace-level 'bogus'"},
+      {"S1 frobnicate", "err S1 field=frobnicate unknown option 'frobnicate'"},
+      {"", "err - field=design empty request line"},
+  };
+  for (const auto& [line, expected] : kTable) {
+    SCOPED_TRACE("'" + line + "'");
+    EXPECT_EQ(client.call(line), expected);
+  }
+  // The connection survives malformed frames: a valid request still works.
+  const auto resp = serve::parseResponseLine(client.call("gen S1"));
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, "ok");
+  EXPECT_EQ(resp->design, "S1");
+}
+
+TEST(ServeNet, ConcurrentClientsMatchOneshotByteForByte) {
+  const std::vector<std::string> kDesigns = {"S1", "S2", "S5"};
+  std::map<std::string, Oneshot> expected;
+  for (const std::string& design : kDesigns) expected[design] = oneshot(design);
+
+  serve::net::NetServer server(loopback(/*jobs=*/2));
+  constexpr int kClients = 4;
+  constexpr int kRounds = 3;
+  std::vector<std::string> failures(kClients);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      try {
+        serve::net::Client client("127.0.0.1", server.port());
+        for (int round = 0; round < kRounds; ++round) {
+          const std::string& design = kDesigns[(c + round) % kDesigns.size()];
+          const auto resp = serve::parseResponseLine(client.call(design));
+          if (!resp || resp->status != "ok" || resp->complete != 1 ||
+              resp->sha256 != expected[design].hash) {
+            failures[c] = "design " + design + " round " +
+                          std::to_string(round) + ": bad response";
+            return;
+          }
+        }
+      } catch (const std::exception& e) {
+        failures[c] = e.what();
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  for (int c = 0; c < kClients; ++c) EXPECT_EQ(failures[c], "") << "client " << c;
+
+  // Solution text (not just the hash) is byte-identical: a sol= request's
+  // file equals the one-shot canonical bytes.
+  const std::string solPath = testing::TempDir() + "serve_net_s1.sol";
+  serve::net::Client client("127.0.0.1", server.port());
+  const auto resp = serve::parseResponseLine(client.call("S1 sol=" + solPath));
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, "ok");
+  EXPECT_EQ(readFile(solPath), expected["S1"].text);
+}
+
+TEST(ServeNet, RepeatDesignRequestsLandWarm) {
+  serve::net::NetServer server(loopback());
+  serve::net::Client client("127.0.0.1", server.port());
+  const auto first = serve::parseResponseLine(client.call("S1"));
+  const auto second = serve::parseResponseLine(client.call("S1"));
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  ASSERT_EQ(first->status, "ok");
+  ASSERT_EQ(second->status, "ok");
+  // First request of a design builds its escape-flow session...
+  EXPECT_GT(first->coldBuilds, 0);
+  // ...and the per-design FIFO guarantees every repeat lands warm.
+  EXPECT_EQ(second->coldBuilds, 0);
+  EXPECT_EQ(first->sha256, second->sha256);
+}
+
+TEST(ServeNet, ExecutionErrorsComeBackAsErrorResponses) {
+  serve::net::NetServer server(loopback());
+  serve::net::Client client("127.0.0.1", server.port());
+  const std::string line = client.call("no-such-design.chip");
+  EXPECT_EQ(line.rfind("error no-such-design.chip ", 0), 0u) << line;
+}
+
+/// A design token whose loadDesign blocks until the test supplies the
+/// chip bytes: a named pipe masquerading as a .chip file. Writing the
+/// serialized chip and closing the write end releases the dispatcher.
+class FifoDesign {
+ public:
+  explicit FifoDesign(const std::string& name)
+      : path_(testing::TempDir() + name) {
+    ::unlink(path_.c_str());
+    if (::mkfifo(path_.c_str(), 0600) != 0)
+      ADD_FAILURE() << "mkfifo failed for " << path_;
+  }
+  ~FifoDesign() { ::unlink(path_.c_str()); }
+
+  const std::string& path() const { return path_; }
+
+  /// Spins until the server side is blocked opening/reading the pipe
+  /// (O_NONBLOCK writes fail with ENXIO until a reader exists).
+  int waitForReader() {
+    for (;;) {
+      const int fd = ::open(path_.c_str(), O_WRONLY | O_NONBLOCK);
+      if (fd >= 0) return fd;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+  /// Feeds the chip through the pipe, releasing the blocked request.
+  void release(int fd, const chip::Chip& chip) {
+    const std::string tmp = path_ + ".bytes";
+    chip::writeChipFile(tmp, chip);
+    const std::string bytes = readFile(tmp);
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t w = ::write(fd, bytes.data() + off, bytes.size() - off);
+      if (w < 0) break;
+      off += static_cast<std::size_t>(w);
+    }
+    ::close(fd);
+    ::unlink(tmp.c_str());
+  }
+
+ private:
+  std::string path_;
+};
+
+TEST(ServeNet, FullQueueShedsLoadWithBusyThenRecovers) {
+  // Deterministic at the Server tier: one dispatcher, a one-slot waiting
+  // queue, and the executing request parked on a FifoDesign.
+  FifoDesign fifo("serve_net_busy.chip");
+  serve::Server server(/*jobs=*/1);
+  server.startDispatch({/*maxInflight=*/1, /*maxQueue=*/1});
+
+  serve::Request blocked;
+  blocked.design = fifo.path();
+  auto blockedFut = server.submit(std::move(blocked));
+  const int fifoFd = fifo.waitForReader();  // executing, not waiting
+  ASSERT_EQ(server.queuedRequests(), 0u);
+
+  serve::Request queued;
+  queued.design = "S1";
+  auto queuedFut = server.submit(std::move(queued));
+  ASSERT_EQ(server.queuedRequests(), 1u);
+
+  // The queue is at its high-water mark: the next submit is shed
+  // immediately (the future is already resolved -- nothing to wait on).
+  serve::Request over;
+  over.design = "S2";
+  auto overFut = server.submit(std::move(over));
+  const serve::Response busy = overFut.get();
+  EXPECT_TRUE(busy.busy);
+  EXPECT_EQ(busy.design, "S2");
+  const std::string busyLine = serve::formatResponse(busy);
+  EXPECT_EQ(busyLine.rfind("busy S2 queue full", 0), 0u) << busyLine;
+
+  // Unblock; both admitted requests complete, and the queue takes new
+  // work again.
+  fifo.release(fifoFd, chip::generateChip(chip::table1Designs()[2]));
+  EXPECT_TRUE(blockedFut.get().ok);
+  EXPECT_TRUE(queuedFut.get().ok);
+  serve::Request after;
+  after.design = "S1";
+  const serve::Response recovered = server.submit(std::move(after)).get();
+  EXPECT_FALSE(recovered.busy);
+  EXPECT_TRUE(recovered.ok);
+}
+
+TEST(ServeNet, GracefulDrainFinishesInflightAndRefusesLateConnects) {
+  FifoDesign fifo("serve_net_drain.chip");
+  const chip::Chip chip = chip::generateChip(chip::table1Designs()[0]);
+  const std::string expectedHash =
+      util::sha256Hex(core::solutionToString(
+          core::routeChip(chip, core::pacorDefaultConfig())));
+
+  serve::net::NetServer server(loopback());
+  serve::net::Client inflight("127.0.0.1", server.port());
+  serve::net::Client bystander("127.0.0.1", server.port());
+  ASSERT_TRUE(inflight.send(fifo.path()));
+  const int fifoFd = fifo.waitForReader();  // the request is executing
+
+  server.beginDrain();
+
+  // Frames arriving on open connections after drain began are shed, not
+  // hung: the queue answers busy immediately.
+  const std::string busyLine = bystander.call("S1");
+  EXPECT_EQ(busyLine.rfind("busy S1 draining", 0), 0u) << busyLine;
+
+  // The in-flight request completes and its response is flushed.
+  fifo.release(fifoFd, chip);
+  std::string response;
+  ASSERT_TRUE(inflight.recv(response));
+  const auto parsed = serve::parseResponseLine(response);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->status, "ok");
+  EXPECT_EQ(parsed->sha256, expectedHash);
+
+  server.wait();
+  // The listener is down: late connects are refused outright.
+  EXPECT_THROW(serve::net::Client("127.0.0.1", server.port()),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pacor

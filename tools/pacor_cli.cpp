@@ -4,6 +4,7 @@
 //   pacor route <in.chip> <out.sol> [--variant=pacor|wosel|detour-first]
 //   pacor diff <a.chip> <b.chip> [out.delta]       edit script A -> B
 //   pacor serve [--batch=<manifest>]               long-lived request loop
+//   pacor serve --listen=<host:port>               TCP front end (framed)
 //   pacor check <in.chip> <in.sol>                 independent DRC verify
 //   pacor svg <in.chip> <in.sol> <out.svg>         render a routed chip
 //   pacor table1                                   print Table 1
@@ -29,6 +30,7 @@
 #include "pacor/pipeline.hpp"
 #include "pacor/report.hpp"
 #include "pacor/solution_io.hpp"
+#include "serve/net.hpp"
 #include "serve/serve.hpp"
 #include "trace/trace.hpp"
 #include "verify/oracle.hpp"
@@ -77,8 +79,16 @@ int usage() {
       "              reusing one worker pool and per-design contexts across\n"
       "              requests. Line: <design|file.chip> [sol=P] [metrics=P]\n"
       "              [trace=P] [trace-level=L] [variant=V] [no-incremental-escape]\n"
-      "              [fast-escape], or `eco <design> delta=FILE [options]` to\n"
-      "              advance a cached design through an edit script\n"
+      "              [fast-escape], `eco <design> delta=FILE [options]` to\n"
+      "              advance a cached design through an edit script, or\n"
+      "              `gen <design>` to pre-warm a design context\n"
+      "  pacor serve --listen=HOST:PORT [--jobs=N] [--max-inflight=N]\n"
+      "              [--max-queue=N]\n"
+      "              TCP front end speaking the same request lines, length-\n"
+      "              framed (4-byte big-endian length + line). Per-design FIFO\n"
+      "              queues pin repeat traffic to warm contexts; past the\n"
+      "              --max-queue high-water mark (0 = unbounded) requests get\n"
+      "              `busy` responses; SIGTERM drains gracefully\n"
       "  pacor check <in.chip> <in.sol>\n"
       "  pacor verify <in.chip> <in.sol>   (independent oracle + DRC cross-check)\n"
       "  pacor svg <in.chip> <in.sol> <out.svg>\n"
@@ -250,25 +260,47 @@ int cmdDiff(int argc, char** argv) {
 
 int cmdServe(int argc, char** argv) {
   serve::BatchOptions opt;
+  serve::net::NetOptions netOpt;
   std::string batchPath = "-";
+  std::string listen;
   for (int i = 0; i < argc; ++i) {
     const std::string v = argv[i];
     try {
       if (v.rfind("--batch=", 0) == 0) {
         batchPath = v.substr(8);
         if (batchPath.empty()) return usage();
+      } else if (v.rfind("--listen=", 0) == 0) {
+        listen = v.substr(9);
+        if (listen.empty()) return usage();
       } else if (v.rfind("--jobs=", 0) == 0) {
         opt.jobs = std::stoi(v.substr(7));
         if (opt.jobs < 0) return usage();
       } else if (v.rfind("--concurrency=", 0) == 0) {
         opt.concurrency = std::stoi(v.substr(14));
         if (opt.concurrency < 1) return usage();
+      } else if (v.rfind("--max-inflight=", 0) == 0) {
+        netOpt.admission.maxInflight = std::stoi(v.substr(15));
+        if (netOpt.admission.maxInflight < 1) return usage();
+      } else if (v.rfind("--max-queue=", 0) == 0) {
+        const int maxQueue = std::stoi(v.substr(12));
+        if (maxQueue < 0) return usage();
+        netOpt.admission.maxQueue = static_cast<std::size_t>(maxQueue);
       } else {
         return usage();
       }
     } catch (const std::exception&) {
       return usage();
     }
+  }
+  if (!listen.empty()) {
+    const std::size_t colon = listen.rfind(':');
+    if (colon == std::string::npos) return usage();
+    netOpt.host = listen.substr(0, colon);
+    const int port = std::stoi(listen.substr(colon + 1));
+    if (netOpt.host.empty() || port < 0 || port > 65535) return usage();
+    netOpt.port = static_cast<std::uint16_t>(port);
+    netOpt.jobs = opt.jobs;
+    return serve::net::serveForever(netOpt);
   }
   if (batchPath == "-") return serve::runBatch(std::cin, std::cout, opt) == 0 ? 0 : 1;
   std::ifstream manifest(batchPath);

@@ -31,7 +31,12 @@
 //       full-mode answers must equal a from-scratch routeChip of the
 //       edited chip, and every cluster an incremental answer carries must
 //       be byte-equal to a cluster of the previous step's solution under
-//       the delta's valve renumbering.
+//       the delta's valve renumbering,
+//   (h) FPVA valve arrays (every eighth seed) hold the same invariants,
+//   (i) serve protocol round trip: random valid request lines re-parse to
+//       the same canonical text (format(parse(x)) == x), and arbitrary
+//       byte soup never crashes parseRequestLine / parseResponseLine --
+//       the exact property the socket front end relies on.
 //
 // Any failure dumps a repro (<dump>/fuzz_<seed>.chip + .sol [+ .par.sol];
 // eco failures dump <dump>/eco_<seed>.chip + .delta + .sol) with the seed
@@ -125,7 +130,49 @@ struct Tally {
   std::uint32_t ecoFull = 0;
   // Property (h): randomized FPVA valve arrays routed differentially.
   std::uint32_t fpva = 0;
+  // Property (i): serve protocol lines round-tripped / junk lines survived.
+  std::uint64_t protocolLines = 0;
 };
+
+/// Property (i) generator: a random valid Request. Tokens avoid
+/// whitespace (the grammar's separator) and the verb keywords, which a
+/// design name cannot be.
+serve::Request randomRequest(std::mt19937& rng) {
+  const auto token = [&rng](std::size_t minLen) {
+    static const char kChars[] =
+        "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+        "._:/-";
+    std::string out;
+    const std::size_t len = minLen + rng() % 12;
+    for (std::size_t i = 0; i < len; ++i)
+      out += kChars[rng() % (sizeof kChars - 1)];
+    if (out == "eco" || out == "gen") out += "_";
+    return out;
+  };
+  serve::Request req;
+  const std::uint32_t verb = rng() % 8;
+  req.verb = verb == 0   ? serve::Verb::kGen
+             : verb == 1 ? serve::Verb::kEco
+                         : serve::Verb::kRoute;
+  req.design = token(1);
+  if (req.verb == serve::Verb::kGen) return req;
+  if (req.verb == serve::Verb::kEco) req.deltaPath = token(1);
+  if (rng() % 2) req.solutionPath = token(1);
+  if (rng() % 2) req.metricsPath = token(1);
+  if (rng() % 3 == 0) {
+    req.tracePath = token(1);
+    static const trace::Level kLevels[] = {
+        trace::Level::kStage, trace::Level::kCluster, trace::Level::kSearch};
+    req.traceLevel = kLevels[rng() % 3];
+  }
+  static const serve::Variant kVariants[] = {
+      serve::Variant::kPacor, serve::Variant::kWosel,
+      serve::Variant::kDetourFirst};
+  req.variant = kVariants[rng() % 3];
+  req.incrementalEscape = rng() % 2 == 0;
+  req.fastEscape = rng() % 4 == 0;
+  return req;
+}
 
 core::PacorConfig configForSeed(std::uint32_t seed) {
   switch (seed % 3) {
@@ -553,6 +600,42 @@ bool runDesign(const Options& opt, serve::Server& server, std::uint32_t seed,
     }
   }
 
+  // (i) protocol round trip + junk-tolerance. Round trip: a random valid
+  // request's canonical text re-parses and re-formats to itself. Junk: any
+  // byte soup (including frames a confused client might send) must come
+  // back as a parse error or a parse, never a crash or a throw -- an
+  // exception here propagates to the seed-level catch and fails the seed.
+  {
+    std::mt19937 rng(seed * 2654435761u + 17u);
+    for (int i = 0; i < 32; ++i) {
+      const serve::Request req = randomRequest(rng);
+      const std::string canonical = serve::formatRequestLine(req);
+      serve::ParseError perr;
+      const std::optional<serve::Request> reparsed =
+          serve::parseRequestLine(canonical, &perr);
+      if (!reparsed ||
+          serve::formatRequestLine(*reparsed) != canonical) {
+        std::cerr << "FAIL seed " << seed << ": protocol round trip broke on '"
+                  << canonical << "' ("
+                  << (reparsed ? "'" + serve::formatRequestLine(*reparsed) + "'"
+                               : "parse error: " + perr.render())
+                  << ")\n";
+        ok = false;
+        break;
+      }
+      ++tally.protocolLines;
+    }
+    for (int i = 0; i < 32; ++i) {
+      std::string junk;
+      const std::size_t len = rng() % 64;
+      for (std::size_t j = 0; j < len; ++j)
+        junk += static_cast<char>(rng() % 256);
+      serve::parseRequestLine(junk);
+      serve::parseResponseLine(junk);
+      ++tally.protocolLines;
+    }
+  }
+
   if (opt.verbose)
     std::cout << "seed " << seed << ": " << chip.name << " "
               << chip.routingGrid.width() << "x" << chip.routingGrid.height()
@@ -602,7 +685,8 @@ int main(int argc, char** argv) {
             << " routed to completion, " << tally.clusters << " clusters total, "
             << "eco steps " << tally.ecoIdentity << " identity / "
             << tally.ecoIncremental << " incremental / " << tally.ecoFull
-            << " full, " << tally.fpva << " fpva arrays, " << tally.failures
+            << " full, " << tally.fpva << " fpva arrays, "
+            << tally.protocolLines << " protocol lines, " << tally.failures
             << " failure(s)\n";
   return tally.failures == 0 ? 0 : 1;
 }
