@@ -25,9 +25,18 @@
 // Exit 0 when every non-busy response was ok with matching hashes and
 // repeat traffic landed warm; 1 otherwise.
 //
+// --deadline-ms=D appends deadline_ms=D to every request line (works
+// against external servers too); deadline-expired responses are tallied
+// separately (`deadline_expired` in the JSON) and do not fail the bench --
+// the compare gate requires the nominal run to have zero. --max-designs=N
+// caps the in-process server's warm-context LRU; under eviction pressure
+// the exactly-one-cold affinity check is skipped (hash identity still
+// holds) and the post-drain resident count must stay within the cap.
+//
 // Usage: bench_serve_net [out.json] [--connect=HOST:PORT] [--requests=N]
 //          [--connections=C] [--skew=S] [--jobs=N] [--max-inflight=N]
-//          [--max-queue=N] [--seed=S] [--golden=PATH|none]
+//          [--max-queue=N] [--deadline-ms=D] [--max-designs=N] [--seed=S]
+//          [--golden=PATH|none]
 
 #include <algorithm>
 #include <chrono>
@@ -62,6 +71,8 @@ struct Options {
   int jobs = 2;
   int maxInflight = 2;
   std::size_t maxQueue = 0;
+  std::int64_t deadlineMs = 0;   ///< >0: append deadline_ms= to every request
+  std::size_t maxDesigns = 0;    ///< >0: cap the server's warm-context LRU
   std::uint32_t seed = 42;
   std::string goldenPath;  ///< "" = default lookup, "none" = skip
 };
@@ -70,8 +81,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: bench_serve_net [out.json] [--connect=HOST:PORT] "
                "[--requests=N] [--connections=C] [--skew=S] [--jobs=N] "
-               "[--max-inflight=N] [--max-queue=N] [--seed=S] "
-               "[--golden=PATH|none]\n");
+               "[--max-inflight=N] [--max-queue=N] [--deadline-ms=D] "
+               "[--max-designs=N] [--seed=S] [--golden=PATH|none]\n");
   return 2;
 }
 
@@ -98,6 +109,12 @@ bool parseOptions(int argc, char** argv, Options& opt) {
         opt.maxInflight = std::stoi(v.substr(15));
       } else if (v.rfind("--max-queue=", 0) == 0) {
         opt.maxQueue = static_cast<std::size_t>(std::stoul(v.substr(12)));
+      } else if (v.rfind("--deadline-ms=", 0) == 0) {
+        opt.deadlineMs = std::stoll(v.substr(14));
+        if (opt.deadlineMs < 0 || opt.deadlineMs > serve::kMaxDeadlineMs)
+          return false;
+      } else if (v.rfind("--max-designs=", 0) == 0) {
+        opt.maxDesigns = static_cast<std::size_t>(std::stoul(v.substr(14)));
       } else if (v.rfind("--seed=", 0) == 0) {
         opt.seed = static_cast<std::uint32_t>(std::stoul(v.substr(7)));
       } else if (v.rfind("--golden=", 0) == 0) {
@@ -166,6 +183,7 @@ struct RequestLog {
   std::string design;
   std::string status;  ///< "ok", "busy", ... or "dropped" on conn loss
   std::string sha256;
+  std::string errorField;  ///< err responses: "deadline" marks an expiry
   int coldBuilds = -1;
   double millis = 0.0;
 };
@@ -222,6 +240,7 @@ int main(int argc, char** argv) {
     netOpt.jobs = opt.jobs;
     netOpt.admission.maxInflight = opt.maxInflight;
     netOpt.admission.maxQueue = opt.maxQueue;
+    if (opt.maxDesigns > 0) netOpt.admission.maxDesigns = opt.maxDesigns;
     local = std::make_unique<serve::net::NetServer>(netOpt);
     host = "127.0.0.1";
     port = local->port();
@@ -240,9 +259,12 @@ int main(int argc, char** argv) {
              i += static_cast<std::size_t>(opt.connections)) {
           RequestLog& entry = log[i];
           entry.design = mix[i];
+          std::string request = mix[i];
+          if (opt.deadlineMs > 0)
+            request += " deadline_ms=" + std::to_string(opt.deadlineMs);
           const auto start = std::chrono::steady_clock::now();
           std::string line;
-          if (!client.send(mix[i]) || !client.recv(line)) {
+          if (!client.send(request) || !client.recv(line)) {
             entry.status = "dropped";
             return;
           }
@@ -253,6 +275,7 @@ int main(int argc, char** argv) {
             entry.status = resp->status;
             entry.sha256 = resp->sha256;
             entry.coldBuilds = resp->coldBuilds;
+            entry.errorField = resp->errorField;
           } else {
             entry.status = "unparseable";
           }
@@ -268,6 +291,15 @@ int main(int argc, char** argv) {
           .count();
   if (local != nullptr) local->wait();
 
+  // Server-side liveness counters (in-process runs only; a --connect
+  // server's stats land on its own stderr at drain time).
+  std::uint64_t evictions = 0;
+  std::size_t residentDesigns = 0;
+  if (local != nullptr) {
+    evictions = local->server().stats().evictions;
+    residentDesigns = local->server().designCount();
+  }
+
   int failures = 0;
   for (int c = 0; c < opt.connections; ++c)
     if (!connectionErrors[static_cast<std::size_t>(c)].empty()) {
@@ -281,13 +313,21 @@ int main(int argc, char** argv) {
   // necessarily the lowest request index, connections race to submit);
   // every other ok response must report cold_builds=0. Warm-eligible =
   // ok responses beyond each design's first.
-  std::size_t okCount = 0, busyCount = 0, errorCount = 0, mismatches = 0;
+  std::size_t okCount = 0, busyCount = 0, errorCount = 0, mismatches = 0,
+              deadlineExpired = 0;
   std::vector<double> latencies;
   std::map<std::string, std::size_t> okPerDesign, coldPerDesign,
       requestsPerDesign, busyPerDesign;
   for (const RequestLog& entry : log) {
     if (entry.design.empty()) continue;  // connection died earlier
     ++requestsPerDesign[entry.design];
+    if (entry.status == "err" && entry.errorField == "deadline") {
+      // An expiry is a structured, expected outcome under an aggressive
+      // --deadline-ms; the compare gate decides whether the nominal run
+      // may contain any (it may not).
+      ++deadlineExpired;
+      continue;
+    }
     if (entry.status == "ok") {
       ++okCount;
       latencies.push_back(entry.millis);
@@ -314,12 +354,17 @@ int main(int argc, char** argv) {
   const double p50 = percentile(latencies, 50), p95 = percentile(latencies, 95),
                p99 = percentile(latencies, 99);
   std::size_t warmHits = 0, warmEligible = 0;
+  // With the LRU capped below the design-mix size, evictions legitimately
+  // force re-cold builds; the exactly-one-cold affinity contract only
+  // holds when every design fits resident.
+  const bool evictionPressure =
+      opt.maxDesigns > 0 && opt.maxDesigns < kDesigns.size();
   for (const auto& [design, ok] : okPerDesign) {
     if (ok == 0) continue;
     warmEligible += ok - 1;
     warmHits += ok - coldPerDesign[design];
     // Repeat traffic must land warm -- the affinity contract, not a band.
-    if (coldPerDesign[design] > 1) {
+    if (!evictionPressure && coldPerDesign[design] > 1) {
       std::fprintf(stderr,
                    "bench_serve_net: FAIL %s: %zu of %zu executions built the "
                    "escape session cold (expected exactly 1)\n",
@@ -334,6 +379,16 @@ int main(int argc, char** argv) {
 
   if (mismatches > 0 || errorCount > 0) ++failures;
 
+  // The LRU cap is a hard bound: once traffic drains nothing is pinned, so
+  // the resident set may never exceed --max-designs.
+  if (local != nullptr && opt.maxDesigns > 0 && residentDesigns > opt.maxDesigns) {
+    std::fprintf(stderr,
+                 "bench_serve_net: FAIL %zu resident design context(s) exceed "
+                 "--max-designs=%zu after drain\n",
+                 residentDesigns, opt.maxDesigns);
+    ++failures;
+  }
+
   std::ofstream os(opt.outPath);
   os << "{\n  \"summary\": {\n"
      << "    \"requests\": " << mix.size() << ",\n"
@@ -345,6 +400,10 @@ int main(int argc, char** argv) {
      << "    \"ok\": " << okCount << ",\n"
      << "    \"busy\": " << busyCount << ",\n"
      << "    \"errors\": " << errorCount << ",\n"
+     << "    \"deadline_ms\": " << opt.deadlineMs << ",\n"
+     << "    \"deadline_expired\": " << deadlineExpired << ",\n"
+     << "    \"max_designs\": " << opt.maxDesigns << ",\n"
+     << "    \"evictions\": " << evictions << ",\n"
      << "    \"hash_mismatches\": " << mismatches << ",\n"
      << "    \"warm_hits\": " << warmHits << ",\n"
      << "    \"warm_eligible\": " << warmEligible << ",\n"
@@ -370,13 +429,14 @@ int main(int argc, char** argv) {
 
   std::printf(
       "bench_serve_net: %zu requests over %d connection(s) in %.2fs "
-      "(%.1f ok/s), %zu ok / %zu busy / %zu error, latency ms p50 %.1f "
-      "p95 %.1f p99 %.1f, warm %zu/%zu (%.0f%%), %d golden-checked, "
-      "%s -> %s\n",
+      "(%.1f ok/s), %zu ok / %zu busy / %zu error / %zu deadline-expired, "
+      "%llu eviction(s), latency ms p50 %.1f p95 %.1f p99 %.1f, "
+      "warm %zu/%zu (%.0f%%), %d golden-checked, %s -> %s\n",
       mix.size(), opt.connections, seconds,
       seconds > 0 ? static_cast<double>(okCount) / seconds : 0.0, okCount,
-      busyCount, errorCount, p50, p95, p99, warmHits, warmEligible,
-      warmRatio * 100.0, goldenChecked,
+      busyCount, errorCount, deadlineExpired,
+      static_cast<unsigned long long>(evictions), p50, p95, p99, warmHits,
+      warmEligible, warmRatio * 100.0, goldenChecked,
       failures == 0 ? "PASS" : "FAIL", opt.outPath.c_str());
   return failures == 0 ? 0 : 1;
 }

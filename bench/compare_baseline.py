@@ -118,6 +118,12 @@ def serve_gate(current, baseline, golden, time_tol, warm_tol):
 
     if cur.get("errors", 1) != 0:
         violations.append(("summary", f"{cur.get('errors')} error response(s)"))
+    # Nominal runs carry no aggressive deadline, so any expiry means a
+    # request timed out unexpectedly -- a liveness regression, hard fail.
+    if cur.get("deadline_expired", 0) != 0:
+        violations.append(
+            ("summary", f"{cur.get('deadline_expired')} request(s) expired "
+                        f"past their deadline in the nominal run"))
     if cur.get("hash_mismatches", 1) != 0 or not cur.get("all_hashes_match"):
         violations.append(("summary",
                            f"{cur.get('hash_mismatches')} hash mismatch(es)"))

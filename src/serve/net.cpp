@@ -109,6 +109,7 @@ struct NetServer::Connection {
   std::condition_variable cv;
   std::deque<std::future<Response>> pending;
   bool readerDone = false;
+  bool writeFailed = false;  ///< client went away mid-response
 };
 
 NetServer::NetServer(const NetOptions& options)
@@ -228,9 +229,15 @@ void NetServer::writerLoop(Connection& conn) {
       fut = std::move(conn.pending.front());
       conn.pending.pop_front();
     }
-    // A failed write (client went away) must not stop the loop: every
-    // queued future still has to be consumed so drain can complete.
-    writeFrame(conn.fd, formatResponse(fut.get()));
+    // A failed write (client disconnected mid-response -- EPIPE/ECONNRESET
+    // under MSG_NOSIGNAL, or a short send the writeAll loop could not
+    // finish) must not stop the loop: every queued future still has to be
+    // consumed so the request's result is reaped and drain can complete.
+    // After the first failure the remaining responses are computed but not
+    // sent -- the peer is gone, and other connections are unaffected.
+    const Response resp = fut.get();
+    if (!conn.writeFailed && !writeFrame(conn.fd, formatResponse(resp)))
+      conn.writeFailed = true;
   }
 }
 
@@ -274,6 +281,10 @@ void onShutdownSignal(int) {
 }  // namespace
 
 int serveForever(const NetOptions& options) {
+  // Belt and braces next to the per-send MSG_NOSIGNAL: any stray write to
+  // a dead peer (or a sol=/metrics= side file that turns out to be a
+  // pipe) must error with EPIPE, never kill the server.
+  ::signal(SIGPIPE, SIG_IGN);
   std::unique_ptr<NetServer> server;
   try {
     server = std::make_unique<NetServer>(options);
@@ -292,11 +303,12 @@ int serveForever(const NetOptions& options) {
 
   std::fprintf(stderr,
                "pacor serve: listening on %s:%u (jobs=%u, max-inflight=%d, "
-               "max-queue=%zu)\n",
+               "max-queue=%zu, max-designs=%zu, deadline-ms=%lld)\n",
                options.host.c_str(), server->port(),
                server->server().threadCount(),
                std::max(1, options.admission.maxInflight),
-               options.admission.maxQueue);
+               options.admission.maxQueue, options.admission.maxDesigns,
+               static_cast<long long>(options.admission.defaultDeadlineMs));
 
   char byte;
   while (::read(gSignalPipe[0], &byte, 1) < 0 && errno == EINTR) {
@@ -305,12 +317,18 @@ int serveForever(const NetOptions& options) {
   server->beginDrain();
   server->wait();
   const std::size_t designs = server->server().designCount();
+  const Server::Stats stats = server->server().stats();
   server.reset();
   ::close(gSignalPipe[0]);
   ::close(gSignalPipe[1]);
   gSignalPipe[0] = gSignalPipe[1] = -1;
-  std::fprintf(stderr, "pacor serve: drained, served %zu design context(s)\n",
-               designs);
+  std::fprintf(stderr,
+               "pacor serve: drained, %zu design context(s) resident, "
+               "%llu deadline_expired, %llu eviction(s), %llu dispatcher "
+               "recycle(s)\n",
+               designs, static_cast<unsigned long long>(stats.deadlineExpired),
+               static_cast<unsigned long long>(stats.evictions),
+               static_cast<unsigned long long>(stats.dispatcherRecycles));
   return 0;
 }
 

@@ -100,6 +100,25 @@ std::optional<Request> parseRequestLine(const std::string& line,
       else if (value == "wosel") req.variant = Variant::kWosel;
       else if (value == "detour-first") req.variant = Variant::kDetourFirst;
       else return failParse(error, "variant", "unknown variant '" + value + "'", req.design);
+    } else if (keyedValue(token, "deadline_ms", value)) {
+      // Total validation: digits only (no sign, no suffix), in range.
+      // Junk (`deadline_ms=`, negative, overflow) is a structured parse
+      // error -- fuzz property (i) holds the parser to "never throws".
+      bool digits = !value.empty();
+      for (const char c : value)
+        if (c < '0' || c > '9') digits = false;
+      std::int64_t ms = 0;
+      if (digits && value.size() <= 18) {
+        for (const char c : value) ms = ms * 10 + (c - '0');
+      } else {
+        digits = false;
+      }
+      if (!digits || ms < 1 || ms > kMaxDeadlineMs)
+        return failParse(error, "deadline_ms",
+                         "bad deadline_ms '" + value + "' (want an integer in 1.." +
+                             std::to_string(kMaxDeadlineMs) + ")",
+                         req.design);
+      req.deadlineMs = ms;
     } else if (token == "no-incremental-escape") {
       req.incrementalEscape = false;
     } else if (token == "fast-escape") {
@@ -132,6 +151,7 @@ std::string formatRequestLine(const Request& req) {
     out += std::string(" variant=") + variantName(req.variant);
   if (!req.incrementalEscape) out += " no-incremental-escape";
   if (req.fastEscape) out += " fast-escape";
+  if (req.deadlineMs > 0) out += " deadline_ms=" + std::to_string(req.deadlineMs);
   return out;
 }
 

@@ -43,12 +43,15 @@ enum class Variant { kPacor, kWosel, kDetourFirst };
 ///   [eco|gen ]<design> [delta=PATH] [sol=PATH] [metrics=PATH]
 ///       [trace=PATH] [trace-level=stage|cluster|search]
 ///       [variant=pacor|wosel|detour-first] [no-incremental-escape]
-///       [fast-escape]
+///       [fast-escape] [deadline_ms=N]
 ///
 /// <design> is a Table-1 name (Chip1, Chip2, S1..S5), an FPVA spec
 /// (fpva:NxM[:key=val...]), or a path to a .chip file; it doubles as the
 /// server's context/affinity key. `delta=` is required by (and only legal
 /// on) eco requests; `gen` requests accept no options at all.
+/// `deadline_ms=` is an integer in [1, kMaxDeadlineMs], measured from
+/// admission; a request not answered by then resolves to a structured
+/// `err <design> field=deadline ...` response instead (see serve.hpp).
 struct Request {
   Verb verb = Verb::kRoute;
   std::string design;
@@ -61,7 +64,15 @@ struct Request {
   std::string metricsPath;
   std::string tracePath;
   trace::Level traceLevel = trace::Level::kCluster;
+
+  /// Per-request deadline in milliseconds from admission; 0 = use the
+  /// server's AdmissionOptions::defaultDeadlineMs (itself 0 = none).
+  std::int64_t deadlineMs = 0;
 };
+
+/// Upper bound on deadline_ms= values (24 h): larger values are parse
+/// errors, which keeps the arithmetic on deadline time points overflow-free.
+inline constexpr std::int64_t kMaxDeadlineMs = 86'400'000;
 
 /// Why a request line failed to parse: the offending field (an option
 /// name like "trace-level", "delta", or "design") plus a human reason.
@@ -99,6 +110,11 @@ struct Response {
   /// Protocol-level failure (malformed request line): the offending field
   /// name. Renders as `err <design|-> field=<field> <reason>`.
   std::string errorField;
+
+  /// The request's deadline passed before it finished: the server (or its
+  /// watchdog) answered `err <design> field=deadline deadline expired
+  /// after <D> ms (<queued|executing>)` without (or instead of) a result.
+  bool deadlineExpired = false;
 
   /// ECO responses only (empty / -1 otherwise): how rerouteChip answered.
   std::string ecoMode;  ///< "identity", "incremental", or "full"

@@ -1,6 +1,12 @@
 #include "serve/serve.hpp"
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <chrono>
+#include <cstring>
 #include <fstream>
 #include <istream>
 #include <optional>
@@ -71,7 +77,78 @@ void fillRouteResponse(Response& resp, const core::PacorResult& result,
 
 }  // namespace
 
-chip::Chip loadDesign(const std::string& token) {
+namespace {
+
+bool cancelled(const std::shared_ptr<std::atomic<bool>>& cancel) {
+  return cancel != nullptr && cancel->load(std::memory_order_relaxed);
+}
+
+/// Close-on-scope-exit for raw fds (the read paths below throw).
+struct FdGuard {
+  int fd;
+  ~FdGuard() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+/// Chunked regular-file read, checking the cancel flag between chunks so
+/// an expired request stops holding its dispatcher on a large/slow file.
+std::string readFileCancellable(
+    const std::string& path, const std::shared_ptr<std::atomic<bool>>& cancel) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0)
+    throw std::runtime_error("cannot read chip file " + path + ": " +
+                             std::strerror(errno));
+  FdGuard guard{fd};
+  std::string bytes;
+  char buf[1 << 16];
+  for (;;) {
+    if (cancelled(cancel))
+      throw LoadError("deadline", "design load cancelled: " + path);
+    const ssize_t r = ::read(fd, buf, sizeof buf);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("cannot read chip file " + path + ": " +
+                               std::strerror(errno));
+    }
+    if (r == 0) return bytes;
+    bytes.append(buf, static_cast<std::size_t>(r));
+  }
+}
+
+/// TEST-ONLY FIFO path: parks until a writer supplies the chip bytes,
+/// polling the cancel flag. Opened O_RDONLY|O_NONBLOCK so the open never
+/// blocks; a read of 0 before any byte means "no writer yet" (FIFO
+/// semantics), not EOF -- EOF is a 0 read after at least one byte.
+std::string readFifoCancellable(
+    const std::string& path, const std::shared_ptr<std::atomic<bool>>& cancel) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_NONBLOCK);
+  if (fd < 0)
+    throw std::runtime_error("cannot open fifo design " + path + ": " +
+                             std::strerror(errno));
+  FdGuard guard{fd};
+  std::string bytes;
+  char buf[1 << 16];
+  for (;;) {
+    if (cancelled(cancel))
+      throw LoadError("deadline", "design load cancelled: " + path);
+    const ssize_t r = ::read(fd, buf, sizeof buf);
+    if (r > 0) {
+      bytes.append(buf, static_cast<std::size_t>(r));
+      continue;
+    }
+    if (r == 0 && !bytes.empty()) return bytes;  // writer closed after data
+    if (r < 0 && errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR)
+      throw std::runtime_error("cannot read fifo design " + path + ": " +
+                               std::strerror(errno));
+    // No writer yet (r==0 with nothing read) or momentarily empty: park.
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+}  // namespace
+
+chip::Chip loadDesign(const std::string& token, const LoadOptions& options) {
   // FPVA spec tokens (fpva:NxM[:key=val...]) synthesize valve arrays on
   // demand; the spec string is the cache key, so repeat requests for the
   // same array hit the warm DesignContext.
@@ -79,7 +156,31 @@ chip::Chip loadDesign(const std::string& token) {
     return chip::generateFpvaChip(chip::parseFpvaSpec(token));
   for (const auto& params : chip::table1Designs())
     if (params.name == token) return chip::generateChip(params);
-  return chip::readChipFile(token);
+  // Stat gate: only regular files are read as .chip paths. A FIFO (or a
+  // directory, or a device node) would block the dispatcher or feed it
+  // garbage; reject it with a structured err instead. Missing paths fall
+  // through to the plain error path below, keeping the old message.
+  struct stat st {};
+  if (::stat(token.c_str(), &st) == 0 && !S_ISREG(st.st_mode)) {
+    if (S_ISFIFO(st.st_mode) && options.allowFifoDesigns) {
+      std::istringstream is(readFifoCancellable(token, options.cancel));
+      return chip::readChip(is);
+    }
+    const char* kind = S_ISFIFO(st.st_mode)  ? "a fifo"
+                       : S_ISDIR(st.st_mode) ? "a directory"
+                       : S_ISCHR(st.st_mode) || S_ISBLK(st.st_mode)
+                           ? "a device node"
+                           : "not a regular file";
+    throw LoadError("design",
+                    "design path " + token + " is " + kind +
+                        ", not a regular .chip file");
+  }
+  std::istringstream is(readFileCancellable(token, options.cancel));
+  return chip::readChip(is);
+}
+
+chip::Chip loadDesign(const std::string& token) {
+  return loadDesign(token, LoadOptions{});
 }
 
 DesignContext::DesignContext(chip::Chip chip)
@@ -92,20 +193,83 @@ Server::Server(int jobs) : pool_(poolSize(jobs)) {}
 
 Server::~Server() { drainAndStop(); }
 
-DesignContext& Server::context(const std::string& key,
-                               const std::function<chip::Chip()>& load) {
-  // Holding the map lock through `load` serializes first-touch loads of
-  // the same design (cheap: a generate or one file read, paid once).
+std::shared_ptr<DesignContext> Server::context(
+    const std::string& key, const std::function<chip::Chip()>& load) {
+  {
+    std::lock_guard<std::mutex> lock(contextsMutex_);
+    auto it = contexts_.find(key);
+    if (it != contexts_.end()) {
+      // O(1) LRU touch: splice the key to the most-recent end.
+      lru_.splice(lru_.begin(), lru_, it->second.lruIt);
+      return it->second.ctx;
+    }
+  }
+  // Load WITHOUT the cache lock: a slow or parked load of one design must
+  // never block lookups (or loads) of another. Two first-touch loads of
+  // the same key can race; the first insert wins and the loser's copy is
+  // dropped -- both are built from the same token, so either is correct.
+  auto fresh = std::make_shared<DesignContext>(load());
   std::lock_guard<std::mutex> lock(contextsMutex_);
   auto it = contexts_.find(key);
-  if (it == contexts_.end())
-    it = contexts_.emplace(key, std::make_unique<DesignContext>(load())).first;
-  return *it->second;
+  if (it != contexts_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lruIt);
+    return it->second.ctx;
+  }
+  lru_.push_front(key);
+  contexts_.emplace(key, ContextEntry{fresh, lru_.begin()});
+  maybeEvictLocked();
+  return fresh;
+}
+
+/// Evicts least-recently-used, unpinned contexts until the cache fits
+/// AdmissionOptions::maxDesigns. Pinned entries (use_count > 1: some
+/// request is executing against them, or a caller holds the shared_ptr)
+/// are skipped, so the resident count can transiently exceed the bound by
+/// the number of in-flight designs -- eviction never races a route.
+/// Caller holds contextsMutex_.
+void Server::maybeEvictLocked() {
+  const std::size_t cap = maxDesigns_.load(std::memory_order_relaxed);
+  if (cap == 0) return;  // unlimited
+  auto it = lru_.end();
+  while (contexts_.size() > cap && it != lru_.begin()) {
+    --it;
+    auto entry = contexts_.find(*it);
+    if (entry == contexts_.end()) {  // should not happen; keep lru_ sane
+      it = lru_.erase(it);
+      continue;
+    }
+    // use_count()==1 means the map holds the only reference: no request
+    // is pinned on it. New pins are minted only under contextsMutex_
+    // (this lock), so the check cannot race a fresh pin.
+    if (entry->second.ctx.use_count() > 1) continue;
+    contexts_.erase(entry);
+    it = lru_.erase(it);
+    ++evictions_;
+  }
+}
+
+bool Server::hasContext(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(contextsMutex_);
+  return contexts_.count(key) != 0;
 }
 
 std::size_t Server::designCount() const {
   std::lock_guard<std::mutex> lock(contextsMutex_);
   return contexts_.size();
+}
+
+Server::Stats Server::stats() const {
+  Stats s;
+  {
+    std::lock_guard<std::mutex> lock(queueMutex_);
+    s.deadlineExpired = deadlineExpired_;
+    s.dispatcherRecycles = dispatcherRecycles_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(contextsMutex_);
+    s.evictions = evictions_;
+  }
+  return s;
 }
 
 Response Server::route(DesignContext& ctx, const RequestOptions& options) {
@@ -173,7 +337,10 @@ Response Server::route(DesignContext& ctx, const RequestOptions& options) {
 
 Response Server::route(const std::string& key, const chip::Chip& chip,
                        const RequestOptions& options) {
-  return route(context(key, [&] { return chip; }), options);
+  // The shared_ptr is the pin: the context cannot be evicted-and-freed
+  // while this request routes against it.
+  const std::shared_ptr<DesignContext> ctx = context(key, [&] { return chip; });
+  return route(*ctx, options);
 }
 
 Response Server::eco(DesignContext& ctx, const chip::ChipDelta& delta,
@@ -268,12 +435,44 @@ Response Server::eco(DesignContext& ctx, const chip::ChipDelta& delta,
 
 // --- submit() queue tier -------------------------------------------------
 
-Response Server::execute(const Request& req) {
+namespace {
+
+/// The structured answer for a request whose deadline passed: renders as
+/// `err <design> field=deadline deadline expired after <D> ms (<phase>)`.
+Response deadlineResponse(const std::string& design, std::int64_t deadlineMs,
+                          const char* phase) {
+  Response resp;
+  resp.design = design;
+  resp.ok = false;
+  resp.deadlineExpired = true;
+  resp.errorField = "deadline";
+  resp.error = "deadline expired after " + std::to_string(deadlineMs) +
+               " ms (" + phase + ")";
+  return resp;
+}
+
+}  // namespace
+
+Response Server::execute(const Request& req,
+                         const std::shared_ptr<std::atomic<bool>>& cancel) {
   Response resp;
   resp.design = req.design;
   try {
-    DesignContext& ctx =
-        context(req.design, [&req] { return loadDesign(req.design); });
+    LoadOptions loadOptions;
+    loadOptions.cancel = cancel;
+    // admission_ is written once in startDispatch, before any dispatcher
+    // (the only execute() caller) exists.
+    loadOptions.allowFifoDesigns = admission_.allowFifoDesigns;
+    const std::shared_ptr<DesignContext> pinned = context(
+        req.design, [&req, &loadOptions] { return loadDesign(req.design, loadOptions); });
+    DesignContext& ctx = *pinned;
+    // The watchdog already answered the caller: skip the (discarded)
+    // routing work and free the dispatcher for live requests.
+    if (cancelled(cancel)) {
+      resp.ok = false;
+      resp.error = "request cancelled after its deadline expired";
+      return resp;
+    }
     if (req.verb == Verb::kGen) {
       // Warm-up only: the context (chip + obstacle template) now exists,
       // so the first routing request of this design skips the load.
@@ -289,6 +488,12 @@ Response Server::execute(const Request& req) {
                ? eco(ctx, chip::readDeltaFile(req.deltaPath), options)
                : route(ctx, options);
     resp.design = req.design;  // report the request token, not chip.name
+  } catch (const LoadError& e) {
+    // Structured: the client can tell a bad design token from a routing
+    // failure. Renders as `err <design> field=<field> <reason>`.
+    resp.ok = false;
+    resp.errorField = e.field;
+    resp.error = e.reason;
   } catch (const std::exception& e) {
     resp.ok = false;
     resp.error = e.what();
@@ -302,9 +507,11 @@ void Server::startDispatch(const AdmissionOptions& admission) {
   dispatchStarted_ = true;
   admission_ = admission;
   admission_.maxInflight = std::max(1, admission_.maxInflight);
-  dispatchers_.reserve(static_cast<std::size_t>(admission_.maxInflight));
+  maxDesigns_.store(admission_.maxDesigns, std::memory_order_relaxed);
+  dispatchers_.reserve(static_cast<std::size_t>(admission_.maxInflight) + 1);
   for (int i = 0; i < admission_.maxInflight; ++i)
     dispatchers_.emplace_back([this] { dispatchLoop(); });
+  watchdog_ = std::thread([this] { watchdogLoop(); });
 }
 
 std::future<Response> Server::submit(Request req) {
@@ -327,14 +534,28 @@ std::future<Response> Server::submit(Request req) {
     return fut;
   }
   const std::string key = req.design;
+  Pending pending{std::move(req), {}};
+  // The deadline clock starts at admission: deadline_ms= on the request,
+  // else the server-wide default. gen requests carry no options by
+  // grammar, so they inherit the default like any other.
+  const std::int64_t effectiveMs = pending.req.deadlineMs > 0
+                                       ? pending.req.deadlineMs
+                                       : admission_.defaultDeadlineMs;
+  if (effectiveMs > 0) {
+    pending.hasDeadline = true;
+    pending.deadlineMs = effectiveMs;
+    pending.deadline = Clock::now() + std::chrono::milliseconds(effectiveMs);
+  }
   DesignQueue& dq = queues_[key];
   // Not yet listed runnable and no dispatcher on it: enqueue the design.
   const bool listDesign = dq.fifo.empty() && !dq.running;
-  dq.fifo.push_back(Pending{std::move(req), {}});
+  const bool armWatchdog = pending.hasDeadline;
+  dq.fifo.push_back(std::move(pending));
   std::future<Response> fut = dq.fifo.back().promise.get_future();
   ++waiting_;
   if (listDesign) runnable_.push_back(key);
   workCv_.notify_one();
+  if (armWatchdog) watchdogCv_.notify_one();  // re-aim at the new deadline
   return fut;
 }
 
@@ -349,16 +570,51 @@ void Server::dispatchLoop() {
     const std::string key = std::move(runnable_.front());
     runnable_.pop_front();
     DesignQueue& dq = queues_[key];  // map nodes are stable
-    dq.running = true;
+    if (dq.fifo.empty()) continue;  // watchdog swept the queued request(s)
     Pending pending = std::move(dq.fifo.front());
     dq.fifo.pop_front();
     --waiting_;
+    // Enforcement point 1: already past its deadline when popped --
+    // answer without dispatching (no load, no route, no context touch).
+    if (pending.hasDeadline && Clock::now() >= pending.deadline) {
+      ++deadlineExpired_;
+      if (!dq.fifo.empty()) {
+        runnable_.push_back(key);
+        workCv_.notify_one();
+      }
+      if (waiting_ == 0 && executing_ == 0) idleCv_.notify_all();
+      lock.unlock();
+      pending.promise.set_value(
+          deadlineResponse(pending.req.design, pending.deadlineMs, "queued"));
+      lock.lock();
+      continue;
+    }
+    dq.running = true;
     ++executing_;
+    // Enforcement point 2/3 plumbing: the in-flight record the watchdog
+    // sweeps, carrying the cancel flag the load path polls.
+    auto inflight = std::make_shared<Inflight>();
+    inflight->design = key;
+    inflight->hasDeadline = pending.hasDeadline;
+    inflight->deadlineMs = pending.deadlineMs;
+    inflight->deadline = pending.deadline;
+    inflight->promise = std::move(pending.promise);
+    inflight_.push_back(inflight);
+    if (inflight->hasDeadline) watchdogCv_.notify_one();
     lock.unlock();
 
-    pending.promise.set_value(execute(pending.req));
+    Response resp = execute(pending.req, inflight->cancel);
 
     lock.lock();
+    if (inflight->abandoned) {
+      // The watchdog expired this request mid-execution: it already
+      // answered the caller, released the design slot, and spawned a
+      // replacement dispatcher. This thread's slot is gone -- discard the
+      // result and exit. (Bounded: every blocking step in execute() polls
+      // the cancel flag, so an abandoned thread always gets here.)
+      return;
+    }
+    inflight_.remove(inflight);
     --executing_;
     dq.running = false;
     // FIFO across designs too: a design with more work re-queues at the
@@ -368,6 +624,91 @@ void Server::dispatchLoop() {
       workCv_.notify_one();
     }
     if (waiting_ == 0 && executing_ == 0) idleCv_.notify_all();
+    lock.unlock();
+    inflight->promise.set_value(std::move(resp));
+    lock.lock();
+  }
+}
+
+void Server::watchdogLoop() {
+  std::unique_lock<std::mutex> lock(queueMutex_);
+  for (;;) {
+    if (stopping_) return;
+    // Sleep until the earliest live deadline (queued or executing), or
+    // until submit()/dispatchLoop() arms a new one.
+    bool haveDeadline = false;
+    Clock::time_point next{};
+    const auto consider = [&](bool has, Clock::time_point tp) {
+      if (!has) return;
+      if (!haveDeadline || tp < next) next = tp;
+      haveDeadline = true;
+    };
+    for (const auto& [key, dq] : queues_)
+      for (const Pending& p : dq.fifo) consider(p.hasDeadline, p.deadline);
+    for (const auto& inf : inflight_) consider(inf->hasDeadline, inf->deadline);
+    if (haveDeadline)
+      watchdogCv_.wait_until(lock, next);
+    else
+      watchdogCv_.wait(lock);
+    if (stopping_) return;
+
+    const Clock::time_point now = Clock::now();
+    std::vector<std::promise<Response>> promises;
+    std::vector<Response> answers;
+
+    // Sweep the waiting queues: an expired request queued behind a parked
+    // (or merely busy) design is answered here -- it would otherwise wait
+    // forever on a dispatcher that never frees up.
+    for (auto& [key, dq] : queues_) {
+      for (auto it = dq.fifo.begin(); it != dq.fifo.end();) {
+        if (it->hasDeadline && now >= it->deadline) {
+          ++deadlineExpired_;
+          --waiting_;
+          answers.push_back(
+              deadlineResponse(it->req.design, it->deadlineMs, "queued"));
+          promises.push_back(std::move(it->promise));
+          it = dq.fifo.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+
+    // Sweep the in-flight set: answer the caller, cancel the execution,
+    // and recycle the dispatcher slot -- the stuck thread is decommissioned
+    // (it discards its result and exits when its blocking step notices the
+    // cancel flag), a replacement thread keeps concurrency at maxInflight,
+    // and the design's FIFO resumes draining immediately.
+    for (auto it = inflight_.begin(); it != inflight_.end();) {
+      Inflight& inf = **it;
+      if (inf.hasDeadline && now >= inf.deadline) {
+        inf.abandoned = true;
+        inf.cancel->store(true, std::memory_order_relaxed);
+        ++deadlineExpired_;
+        ++dispatcherRecycles_;
+        --executing_;
+        DesignQueue& dq = queues_[inf.design];
+        dq.running = false;
+        if (!dq.fifo.empty()) {
+          runnable_.push_back(inf.design);
+          workCv_.notify_one();
+        }
+        dispatchers_.emplace_back([this] { dispatchLoop(); });
+        answers.push_back(
+            deadlineResponse(inf.design, inf.deadlineMs, "executing"));
+        promises.push_back(std::move(inf.promise));
+        it = inflight_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+
+    if (waiting_ == 0 && executing_ == 0) idleCv_.notify_all();
+    if (promises.empty()) continue;
+    lock.unlock();
+    for (std::size_t i = 0; i < promises.size(); ++i)
+      promises[i].set_value(std::move(answers[i]));
+    lock.lock();
   }
 }
 
@@ -379,14 +720,20 @@ void Server::beginDrain() {
 void Server::drainAndStop() {
   beginDrain();
   std::vector<std::thread> workers;
+  std::thread watchdog;
   {
     std::unique_lock<std::mutex> lock(queueMutex_);
     idleCv_.wait(lock, [this] { return waiting_ == 0 && executing_ == 0; });
     stopping_ = true;
     workCv_.notify_all();
+    watchdogCv_.notify_all();
     workers.swap(dispatchers_);
+    watchdog.swap(watchdog_);
   }
+  // Joins are bounded even for decommissioned threads: their blocking
+  // steps poll the cancel flag the watchdog set when it abandoned them.
   for (std::thread& t : workers) t.join();
+  if (watchdog.joinable()) watchdog.join();
 }
 
 std::size_t Server::queuedRequests() const {
@@ -410,8 +757,13 @@ int runBatch(std::istream& manifest, std::ostream& out, const BatchOptions& opti
   };
 
   Server server(options.jobs);
-  server.startDispatch(
-      {std::max(1, options.concurrency), /*maxQueue=*/0});
+  AdmissionOptions admission;
+  admission.maxInflight = std::max(1, options.concurrency);
+  admission.maxQueue = 0;
+  admission.defaultDeadlineMs = options.defaultDeadlineMs;
+  admission.maxDesigns = options.maxDesigns;
+  admission.allowFifoDesigns = options.allowFifoDesigns;
+  server.startDispatch(admission);
 
   std::vector<Slot> slots;
   std::string line;

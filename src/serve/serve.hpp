@@ -1,15 +1,19 @@
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <iosfwd>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -26,11 +30,47 @@
 
 namespace pacor::serve {
 
+/// A structured design-load failure (ParseError-style): `field` names the
+/// offending request field (always "design" today), `reason` says why.
+/// The serve tiers render it as `err <design> field=<field> <reason>`
+/// instead of a bare `error` response -- the client can tell a malformed
+/// design token from a routing failure.
+class LoadError : public std::runtime_error {
+ public:
+  LoadError(std::string field, std::string reason)
+      : std::runtime_error(reason), field(std::move(field)),
+        reason(std::move(reason)) {}
+  std::string field;
+  std::string reason;
+};
+
+/// Knobs of the cancellable design-load path.
+struct LoadOptions {
+  /// Per-request cancel flag: checked between read chunks (and while
+  /// parked on a FIFO), so a request whose deadline expired stops
+  /// occupying its dispatcher in bounded time. Null = never cancelled.
+  std::shared_ptr<std::atomic<bool>> cancel;
+
+  /// TEST-ONLY escape hatch: allow a named pipe (FIFO) as a .chip path.
+  /// The read parks until a writer supplies the bytes -- exactly what the
+  /// drain/deadline tests need to hold a dispatcher at a known point.
+  /// Off by default: loadDesign rejects every non-regular file with a
+  /// structured LoadError instead of blocking or reading garbage.
+  bool allowFifoDesigns = false;
+};
+
 /// Resolves a request's design token into a chip: a Table-1 name (Chip1,
 /// Chip2, S1..S5) generates the paper instance, an FPVA spec
 /// (fpva:NxM[:key=val...]) synthesizes a valve array, anything else is
-/// read as a .chip file path. Throws on unknown/unreadable designs. The
-/// token doubles as the server's context (and queue-affinity) key.
+/// read as a .chip file path. The token doubles as the server's context
+/// (and queue-affinity) key.
+///
+/// File paths are stat-gated: only regular files are read (in chunks,
+/// checking `options.cancel` between chunks); FIFOs, directories, and
+/// device nodes throw a structured LoadError -- unless
+/// `options.allowFifoDesigns` admits FIFOs through the cancellable
+/// parked-read path. Unknown/unreadable designs throw.
+chip::Chip loadDesign(const std::string& token, const LoadOptions& options);
 chip::Chip loadDesign(const std::string& token);
 
 /// Per-design state the server keeps alive across requests: the parsed
@@ -93,6 +133,23 @@ struct AdmissionOptions {
   /// past it get an immediate `busy` response instead of queueing.
   /// 0 = unbounded (batch mode: every manifest line is admitted).
   std::size_t maxQueue = 0;
+
+  /// Server-side deadline (ms from admission) applied to requests that
+  /// carry no deadline_ms= of their own. 0 = no default deadline.
+  std::int64_t defaultDeadlineMs = 0;
+
+  /// LRU bound on cached DesignContexts (parsed chip + obstacle template
+  /// + warm escape session + ECO result cache). Past it, the
+  /// least-recently-used context with no in-flight pin is evicted; a
+  /// later request for that design rebuilds it cold, byte-identically.
+  /// Generous by default so steady traffic never rebuilds; 0 = unlimited.
+  /// Pinned (executing) contexts are never evicted, so the resident count
+  /// can transiently exceed the bound by the number of in-flight designs.
+  std::size_t maxDesigns = 256;
+
+  /// TEST-ONLY: forwarded to LoadOptions::allowFifoDesigns for every
+  /// design load this server performs.
+  bool allowFifoDesigns = false;
 };
 
 /// Long-lived request loop state: one shared worker pool, one
@@ -113,6 +170,18 @@ struct AdmissionOptions {
 ///    waiting queue sheds load with `busy` responses past the high-water
 ///    mark. Both the batch manifest loop and the socket front end are
 ///    thin adapters over submit().
+///
+/// Liveness (submit tier only): every request may carry a deadline
+/// (deadline_ms= or AdmissionOptions::defaultDeadlineMs). It is enforced
+/// at three points -- a request already past its deadline when a
+/// dispatcher pops it is answered `err ... field=deadline` without
+/// dispatch; design loads run on a cancellable chunked-read path so a
+/// parked file can be abandoned; and a watchdog thread sweeps both the
+/// waiting queues and the in-flight set, answering expired requests and
+/// recycling a stuck dispatcher's slot (see dispatchLoop) so the
+/// per-design FIFO keeps draining. Cached DesignContexts are LRU-bounded
+/// by AdmissionOptions::maxDesigns with pinned-while-in-use shared_ptr
+/// refcounts, so eviction never races an executing route.
 class Server {
  public:
   /// `jobs` sizes the shared routing pool (0 = all hardware threads).
@@ -122,11 +191,19 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// The context for `key`, constructing it via `load` on first use.
-  /// Construction is serialized; later lookups are a map find. The
-  /// reference stays valid for the server's lifetime.
-  DesignContext& context(const std::string& key,
-                         const std::function<chip::Chip()>& load);
+  /// The context for `key`, constructing it via `load` on first use and
+  /// marking it most-recently-used. The returned shared_ptr is the pin:
+  /// the context outlives any LRU eviction while the caller holds it, and
+  /// a context with an outstanding pin is never chosen for eviction.
+  /// Loads run without the cache lock, so a slow (or parked) load of one
+  /// design never blocks lookups of another; two concurrent first-touch
+  /// loads of the same key race benignly (first insert wins, the loser's
+  /// copy is dropped).
+  std::shared_ptr<DesignContext> context(
+      const std::string& key, const std::function<chip::Chip()>& load);
+
+  /// True while `key` has a live cached context (i.e. not yet evicted).
+  bool hasContext(const std::string& key) const;
 
   /// Routes one request against a held context.
   Response route(DesignContext& ctx, const RequestOptions& options);
@@ -176,26 +253,71 @@ class Server {
   std::size_t designCount() const;
   unsigned threadCount() const noexcept { return pool_.threadCount(); }
 
+  /// Monotonic liveness counters, surfaced by the front ends and
+  /// BENCH_serve.json.
+  struct Stats {
+    std::uint64_t deadlineExpired = 0;  ///< requests answered `err deadline`
+    std::uint64_t evictions = 0;        ///< DesignContexts LRU-evicted
+    std::uint64_t dispatcherRecycles = 0;  ///< stuck slots the watchdog recycled
+  };
+  Stats stats() const;
+
  private:
+  using Clock = std::chrono::steady_clock;
+
   struct Pending {
     Request req;
     std::promise<Response> promise;
+    bool hasDeadline = false;
+    std::int64_t deadlineMs = 0;  ///< the effective value, for the err text
+    Clock::time_point deadline{};
   };
   /// One design's FIFO. `running` marks a dispatcher executing its head;
-  /// at most one dispatcher per design, ever -- that is the affinity
-  /// guarantee that keeps the warm escape session uncontended.
+  /// at most one dispatcher per design at a time -- that is the affinity
+  /// guarantee that keeps the warm escape session uncontended. (The
+  /// watchdog may clear `running` for a stuck execution; the abandoned
+  /// thread's result is discarded, so the guarantee holds for results.)
   struct DesignQueue {
     std::deque<Pending> fifo;
     bool running = false;
   };
+  /// One executing request, visible to the watchdog. `abandoned` is the
+  /// ownership handshake: whoever flips state under queueMutex_ first --
+  /// the dispatcher finishing or the watchdog expiring it -- answers the
+  /// promise; the other side discards.
+  struct Inflight {
+    std::string design;
+    bool hasDeadline = false;
+    std::int64_t deadlineMs = 0;
+    Clock::time_point deadline{};
+    std::shared_ptr<std::atomic<bool>> cancel =
+        std::make_shared<std::atomic<bool>>(false);
+    std::promise<Response> promise;
+    bool abandoned = false;
+  };
 
-  Response execute(const Request& req);
+  Response execute(const Request& req,
+                   const std::shared_ptr<std::atomic<bool>>& cancel);
   void dispatchLoop();
+  void watchdogLoop();
+  void maybeEvictLocked();
 
   util::ThreadPool pool_;
   mutable std::mutex contextsMutex_;
-  // node-stable map: context references survive later insertions.
-  std::map<std::string, std::unique_ptr<DesignContext>> contexts_;
+  /// LRU-bounded context cache. The shared_ptr refcount doubles as the
+  /// pin: evictable entries are exactly those with use_count()==1 (the
+  /// map's own reference). lru_ is most-recent-first; entries hold their
+  /// own list iterator for O(1) touch.
+  struct ContextEntry {
+    std::shared_ptr<DesignContext> ctx;
+    std::list<std::string>::iterator lruIt;
+  };
+  std::map<std::string, ContextEntry> contexts_;
+  std::list<std::string> lru_;
+  std::uint64_t evictions_ = 0;
+  /// Effective cap, mirrored out of AdmissionOptions at startDispatch so
+  /// direct route()/context() callers (no dispatch tier) share it.
+  std::atomic<std::size_t> maxDesigns_{AdmissionOptions{}.maxDesigns};
 
   /// Trace ownership fence: tracing has one process-wide recorder, so a
   /// traced request takes this exclusively (draining in-flight requests
@@ -209,15 +331,20 @@ class Server {
   mutable std::mutex queueMutex_;
   std::condition_variable workCv_;  ///< dispatchers: runnable work exists
   std::condition_variable idleCv_;  ///< drainAndStop: everything resolved
+  std::condition_variable watchdogCv_;  ///< watchdog: new deadline or stop
   std::map<std::string, DesignQueue> queues_;
   std::deque<std::string> runnable_;  ///< designs with work, none executing
+  std::list<std::shared_ptr<Inflight>> inflight_;  ///< executing requests
   std::size_t waiting_ = 0;           ///< requests in fifos (not executing)
   int executing_ = 0;
+  std::uint64_t deadlineExpired_ = 0;
+  std::uint64_t dispatcherRecycles_ = 0;
   bool draining_ = false;
   bool stopping_ = false;
   bool dispatchStarted_ = false;
   AdmissionOptions admission_;
   std::vector<std::thread> dispatchers_;
+  std::thread watchdog_;
 };
 
 /// Batch/stdin line protocol: one request per non-blank, non-'#' manifest
@@ -234,6 +361,12 @@ class Server {
 struct BatchOptions {
   int jobs = 1;         ///< shared routing pool size (0 = all cores)
   int concurrency = 1;  ///< requests in flight at once
+
+  /// Forwarded into the server's AdmissionOptions (the waiting queue
+  /// itself stays unbounded in batch mode).
+  std::int64_t defaultDeadlineMs = 0;
+  std::size_t maxDesigns = AdmissionOptions{}.maxDesigns;
+  bool allowFifoDesigns = false;  ///< test-only, see LoadOptions
 };
 int runBatch(std::istream& manifest, std::ostream& out, const BatchOptions& options);
 

@@ -25,8 +25,13 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
 #include <fstream>
+#include <future>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -84,6 +89,10 @@ TEST(ServeProtocol, ValidLinesRoundTripExactly) {
       {"eco S1 delta=d.delta variant=detour-first sol=s.sol",
        "eco S1 delta=d.delta sol=s.sol variant=detour-first"},
       {"gen fpva:16x16", "gen fpva:16x16"},
+      {"S1 deadline_ms=500", "S1 deadline_ms=500"},
+      {"S1 deadline_ms=250 fast-escape", "S1 fast-escape deadline_ms=250"},
+      {"eco S2 deadline_ms=86400000 delta=d.delta",
+       "eco S2 delta=d.delta deadline_ms=86400000"},
   };
   for (const auto& [line, canonical] : kTable) {
     SCOPED_TRACE(line);
@@ -115,6 +124,13 @@ TEST(ServeProtocol, MalformedLinesReportTheOffendingField) {
       {"S1 frobnicate", "frobnicate", "S1"},
       {"S1 frobnicate=2", "frobnicate", "S1"},
       {"gen S1 sol=out.sol", "sol", "S1"},
+      {"S1 deadline_ms=", "deadline_ms", "S1"},
+      {"S1 deadline_ms=0", "deadline_ms", "S1"},
+      {"S1 deadline_ms=-5", "deadline_ms", "S1"},
+      {"S1 deadline_ms=abc", "deadline_ms", "S1"},
+      {"S1 deadline_ms=1e3", "deadline_ms", "S1"},
+      {"S1 deadline_ms=86400001", "deadline_ms", "S1"},
+      {"S1 deadline_ms=99999999999999999999", "deadline_ms", "S1"},
   };
   for (const auto& [line, field, design] : kTable) {
     SCOPED_TRACE("'" + line + "'");
@@ -265,6 +281,19 @@ class FifoDesign {
     }
   }
 
+  /// Spins until no reader holds the pipe open (an abandoned dispatcher
+  /// has noticed its cancel flag and closed the fd) -- after this, any
+  /// reader that appears belongs to a NEW request, so waitForReader/
+  /// release cannot feed bytes to the cancelled one by mistake.
+  void waitForNoReader() {
+    for (;;) {
+      const int fd = ::open(path_.c_str(), O_WRONLY | O_NONBLOCK);
+      if (fd < 0 && errno == ENXIO) return;
+      if (fd >= 0) ::close(fd);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
   /// Feeds the chip through the pipe, releasing the blocked request.
   void release(int fd, const chip::Chip& chip) {
     const std::string tmp = path_ + ".bytes";
@@ -284,17 +313,47 @@ class FifoDesign {
   std::string path_;
 };
 
+/// Scope guard for the test's write end of a FifoDesign. A request parked
+/// on a FIFO with no deadline legitimately blocks graceful drain forever,
+/// so if a fatal assertion unwinds the test before release(), the server
+/// destructor would hang the whole suite. The guard feeds one junk byte and
+/// closes: the parked reader sees bytes-then-EOF, fails the chip parse, and
+/// the request completes as an ordinary error so drain can finish.
+class FifoUnwedge {
+ public:
+  explicit FifoUnwedge(int fd) : fd_(fd) {}
+  ~FifoUnwedge() {
+    if (fd_ < 0) return;
+    (void)!::write(fd_, "x", 1);
+    ::close(fd_);
+  }
+  /// Hands the fd to FifoDesign::release() for the normal path.
+  int disarm() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+ private:
+  int fd_;
+};
+
 TEST(ServeNet, FullQueueShedsLoadWithBusyThenRecovers) {
   // Deterministic at the Server tier: one dispatcher, a one-slot waiting
   // queue, and the executing request parked on a FifoDesign.
   FifoDesign fifo("serve_net_busy.chip");
   serve::Server server(/*jobs=*/1);
-  server.startDispatch({/*maxInflight=*/1, /*maxQueue=*/1});
+  serve::AdmissionOptions admission;
+  admission.maxInflight = 1;
+  admission.maxQueue = 1;
+  admission.allowFifoDesigns = true;
+  server.startDispatch(admission);
 
   serve::Request blocked;
   blocked.design = fifo.path();
   auto blockedFut = server.submit(std::move(blocked));
   const int fifoFd = fifo.waitForReader();  // executing, not waiting
+  FifoUnwedge unwedge(fifoFd);
   ASSERT_EQ(server.queuedRequests(), 0u);
 
   serve::Request queued;
@@ -315,7 +374,7 @@ TEST(ServeNet, FullQueueShedsLoadWithBusyThenRecovers) {
 
   // Unblock; both admitted requests complete, and the queue takes new
   // work again.
-  fifo.release(fifoFd, chip::generateChip(chip::table1Designs()[2]));
+  fifo.release(unwedge.disarm(), chip::generateChip(chip::table1Designs()[2]));
   EXPECT_TRUE(blockedFut.get().ok);
   EXPECT_TRUE(queuedFut.get().ok);
   serve::Request after;
@@ -332,11 +391,20 @@ TEST(ServeNet, GracefulDrainFinishesInflightAndRefusesLateConnects) {
       util::sha256Hex(core::solutionToString(
           core::routeChip(chip, core::pacorDefaultConfig())));
 
-  serve::net::NetServer server(loopback());
+  serve::net::NetOptions netOptions = loopback();
+  netOptions.admission.allowFifoDesigns = true;
+  serve::net::NetServer server(netOptions);
   serve::net::Client inflight("127.0.0.1", server.port());
   serve::net::Client bystander("127.0.0.1", server.port());
+  // Force both connections through accept() before the drain closes the
+  // listener: a TCP connect completes in the kernel backlog, so without a
+  // round trip the acceptLoop may not have serviced `bystander` yet and the
+  // drain would RST it as a late connect instead of answering busy. A
+  // malformed frame is answered in place (no queue work), so this is cheap.
+  EXPECT_EQ(bystander.call(""), "err - field=design empty request line");
   ASSERT_TRUE(inflight.send(fifo.path()));
   const int fifoFd = fifo.waitForReader();  // the request is executing
+  FifoUnwedge unwedge(fifoFd);
 
   server.beginDrain();
 
@@ -346,7 +414,7 @@ TEST(ServeNet, GracefulDrainFinishesInflightAndRefusesLateConnects) {
   EXPECT_EQ(busyLine.rfind("busy S1 draining", 0), 0u) << busyLine;
 
   // The in-flight request completes and its response is flushed.
-  fifo.release(fifoFd, chip);
+  fifo.release(unwedge.disarm(), chip);
   std::string response;
   ASSERT_TRUE(inflight.recv(response));
   const auto parsed = serve::parseResponseLine(response);
@@ -358,6 +426,284 @@ TEST(ServeNet, GracefulDrainFinishesInflightAndRefusesLateConnects) {
   // The listener is down: late connects are refused outright.
   EXPECT_THROW(serve::net::Client("127.0.0.1", server.port()),
                std::runtime_error);
+}
+
+// --- liveness: deadlines, watchdog, dispatcher recycling ----------------
+
+/// Shorthand: a future resolved within `seconds` (liveness tests must
+/// never hang the suite on the very bug they guard against).
+serve::Response getWithin(std::future<serve::Response>& fut, int seconds) {
+  if (fut.wait_for(std::chrono::seconds(seconds)) !=
+      std::future_status::ready) {
+    ADD_FAILURE() << "response not produced within " << seconds << "s";
+    std::abort();  // blocking on get() would hang the whole suite
+  }
+  return fut.get();
+}
+
+TEST(ServeDeadline, ExpiresWhileQueuedBehindAParkedDesign) {
+  // One dispatcher, parked forever on a FIFO design: the queued S1 can
+  // never pop, so only the watchdog's queue sweep (or the pop-time check,
+  // if the timing lands there) can answer it.
+  FifoDesign fifo("serve_deadline_queued.chip");
+  serve::Server server(/*jobs=*/1);
+  serve::AdmissionOptions admission;
+  admission.maxInflight = 1;
+  admission.allowFifoDesigns = true;
+  server.startDispatch(admission);
+
+  serve::Request parked;
+  parked.design = fifo.path();
+  auto parkedFut = server.submit(std::move(parked));
+  const int fifoFd = fifo.waitForReader();
+  FifoUnwedge unwedge(fifoFd);
+
+  serve::Request queued;
+  queued.design = "S1";
+  queued.deadlineMs = 50;
+  auto queuedFut = server.submit(std::move(queued));
+  const serve::Response expired = getWithin(queuedFut, 10);
+  EXPECT_FALSE(expired.ok);
+  EXPECT_TRUE(expired.deadlineExpired);
+  EXPECT_EQ(expired.errorField, "deadline");
+  EXPECT_EQ(expired.design, "S1");
+  const std::string line = serve::formatResponse(expired);
+  EXPECT_EQ(line.rfind("err S1 field=deadline deadline expired after 50 ms",
+                       0),
+            0u)
+      << line;
+
+  // The parked request had no deadline; releasing it completes normally,
+  // and the freed dispatcher serves new work.
+  fifo.release(unwedge.disarm(), chip::generateChip(chip::table1Designs()[2]));
+  EXPECT_TRUE(getWithin(parkedFut, 60).ok);
+  serve::Request after;
+  after.design = "S1";
+  auto afterFut = server.submit(std::move(after));
+  EXPECT_TRUE(getWithin(afterFut, 60).ok);
+  EXPECT_GE(server.stats().deadlineExpired, 1u);
+}
+
+TEST(ServeDeadline, MidExecutionExpiryRecyclesTheDispatcherSlot) {
+  FifoDesign fifo("serve_deadline_exec.chip");
+  serve::Server server(/*jobs=*/1);
+  serve::AdmissionOptions admission;
+  admission.maxInflight = 1;
+  admission.allowFifoDesigns = true;
+  server.startDispatch(admission);
+
+  // The executing request itself expires: the watchdog answers the caller
+  // and recycles the slot while the abandoned load is still parked.
+  serve::Request stuck;
+  stuck.design = fifo.path();
+  stuck.deadlineMs = 200;
+  auto stuckFut = server.submit(std::move(stuck));
+  const int stuckFd = fifo.waitForReader();
+  const serve::Response expired = getWithin(stuckFut, 10);
+  // Close our write end: a lingering writer would rob the retry below of
+  // its EOF (a FIFO read sees EOF only once EVERY writer is gone).
+  ::close(stuckFd);
+  EXPECT_TRUE(expired.deadlineExpired);
+  EXPECT_EQ(expired.errorField, "deadline");
+  EXPECT_NE(expired.error.find("(executing)"), std::string::npos)
+      << expired.error;
+
+  // The recycled slot keeps serving other designs immediately...
+  serve::Request other;
+  other.design = "S1";
+  auto otherFut = server.submit(std::move(other));
+  EXPECT_TRUE(getWithin(otherFut, 60).ok);
+
+  // ...and once the cancelled reader has let go of the pipe, an identical
+  // request succeeds: the context was never built, so this run is cold.
+  fifo.waitForNoReader();
+  serve::Request retry;
+  retry.design = fifo.path();
+  auto retryFut = server.submit(std::move(retry));
+  const int fifoFd = fifo.waitForReader();
+  fifo.release(fifoFd, chip::generateChip(chip::table1Designs()[2]));
+  const serve::Response ok = getWithin(retryFut, 60);
+  EXPECT_TRUE(ok.ok) << ok.error;
+  EXPECT_GT(ok.coldBuilds, 0);
+
+  const serve::Server::Stats stats = server.stats();
+  EXPECT_GE(stats.deadlineExpired, 1u);
+  EXPECT_GE(stats.dispatcherRecycles, 1u);
+}
+
+TEST(ServeDeadline, ServerDefaultAppliesWhenTheRequestCarriesNone) {
+  FifoDesign fifo("serve_deadline_default.chip");
+  serve::Server server(/*jobs=*/1);
+  serve::AdmissionOptions admission;
+  admission.maxInflight = 1;
+  admission.defaultDeadlineMs = 100;
+  admission.allowFifoDesigns = true;
+  server.startDispatch(admission);
+
+  serve::Request stuck;
+  stuck.design = fifo.path();  // no per-request deadline
+  auto stuckFut = server.submit(std::move(stuck));
+  const int stuckFd = fifo.waitForReader();
+  const serve::Response expired = getWithin(stuckFut, 10);
+  EXPECT_TRUE(expired.deadlineExpired);
+  EXPECT_NE(expired.error.find("after 100 ms"), std::string::npos)
+      << expired.error;
+  ::close(stuckFd);
+  fifo.waitForNoReader();  // let the cancelled load exit before teardown
+}
+
+TEST(ServeDeadline, EcoRequestsHonorGenerousDeadlines) {
+  // A deadline far in the future must not perturb the eco path: an empty
+  // edit script is an identity re-route against the cached result.
+  const std::string deltaPath = testing::TempDir() + "serve_deadline_empty.delta";
+  chip::writeDeltaFile(deltaPath, chip::ChipDelta{});
+
+  serve::Server server(/*jobs=*/1);
+  serve::Request route;
+  route.design = "S1";
+  route.deadlineMs = serve::kMaxDeadlineMs;
+  auto routeFut = server.submit(std::move(route));
+  const serve::Response routed = getWithin(routeFut, 60);
+  ASSERT_TRUE(routed.ok) << routed.error;
+
+  serve::Request eco;
+  eco.verb = serve::Verb::kEco;
+  eco.design = "S1";
+  eco.deltaPath = deltaPath;
+  eco.deadlineMs = serve::kMaxDeadlineMs;
+  auto ecoFut = server.submit(std::move(eco));
+  const serve::Response ecoResp = getWithin(ecoFut, 60);
+  ASSERT_TRUE(ecoResp.ok) << ecoResp.error;
+  EXPECT_EQ(ecoResp.ecoMode, "identity");
+  EXPECT_EQ(ecoResp.solutionHash, routed.solutionHash);
+}
+
+// --- LRU design cache ----------------------------------------------------
+
+TEST(ServeLru, EvictionRebuildsTheDesignByteIdentically) {
+  serve::Server server(/*jobs=*/1);
+  serve::AdmissionOptions admission;
+  admission.maxInflight = 1;
+  admission.maxDesigns = 2;
+  server.startDispatch(admission);
+
+  const auto routeOnce = [&server](const std::string& design) {
+    serve::Request req;
+    req.design = design;
+    auto fut = server.submit(std::move(req));
+    const serve::Response resp = getWithin(fut, 60);
+    EXPECT_TRUE(resp.ok) << resp.error;
+    return resp;
+  };
+
+  const serve::Response first = routeOnce("S1");
+  routeOnce("S2");
+  routeOnce("S3");  // capacity 2: S1 is the LRU victim
+  EXPECT_FALSE(server.hasContext("S1"));
+  EXPECT_TRUE(server.hasContext("S2"));
+  EXPECT_TRUE(server.hasContext("S3"));
+  EXPECT_EQ(server.designCount(), 2u);
+  EXPECT_GE(server.stats().evictions, 1u);
+
+  // The evicted design rebuilds cold -- and byte-identically.
+  const serve::Response again = routeOnce("S1");
+  EXPECT_GT(again.coldBuilds, 0);
+  EXPECT_EQ(again.solutionText, first.solutionText);
+  EXPECT_EQ(again.solutionHash, first.solutionHash);
+}
+
+TEST(ServeLru, PinnedContextsAreNeverEvicted) {
+  serve::Server server(/*jobs=*/1);
+  // The external pin: holding the shared_ptr is exactly what an executing
+  // request does, so this models an in-flight context under pressure.
+  std::shared_ptr<serve::DesignContext> pin = server.context(
+      "pinned", [] { return chip::generateChip(chip::table1Designs()[2]); });
+
+  serve::AdmissionOptions admission;
+  admission.maxInflight = 1;
+  admission.maxDesigns = 1;
+  server.startDispatch(admission);
+
+  serve::Request req;
+  req.design = "S2";
+  auto fut = server.submit(std::move(req));
+  EXPECT_TRUE(getWithin(fut, 60).ok);
+
+  // Over capacity (2 resident > 1), but the pinned context survived: only
+  // unpinned LRU entries are eviction candidates.
+  EXPECT_TRUE(server.hasContext("pinned"));
+
+  // Dropping the pin makes it evictable: the next insert reclaims down to
+  // the cap, and the pinned-era context goes first (it is least recent).
+  pin.reset();
+  serve::Request next;
+  next.design = "S3";
+  auto nextFut = server.submit(std::move(next));
+  EXPECT_TRUE(getWithin(nextFut, 60).ok);
+  EXPECT_FALSE(server.hasContext("pinned"));
+  EXPECT_LE(server.designCount(), 1u);
+}
+
+// --- load hardening ------------------------------------------------------
+
+TEST(ServeLoad, NonRegularDesignFilesGetStructuredErrors) {
+  // A FIFO without the test-only escape hatch, and a directory: both must
+  // answer a structured `err ... field=design` without ever blocking.
+  const std::string fifoPath = testing::TempDir() + "serve_load_reject.chip";
+  ::unlink(fifoPath.c_str());
+  ASSERT_EQ(::mkfifo(fifoPath.c_str(), 0600), 0);
+  const std::string dirPath = testing::TempDir() + "serve_load_dir.chip";
+  ::mkdir(dirPath.c_str(), 0700);
+
+  serve::Server server(/*jobs=*/1);
+  for (const std::string& path : {fifoPath, dirPath}) {
+    SCOPED_TRACE(path);
+    serve::Request req;
+    req.design = path;
+    auto fut = server.submit(std::move(req));
+    const serve::Response resp = getWithin(fut, 10);
+    EXPECT_FALSE(resp.ok);
+    EXPECT_EQ(resp.errorField, "design");
+    EXPECT_EQ(serve::formatResponse(resp).rfind("err " + path + " field=design", 0),
+              0u)
+        << serve::formatResponse(resp);
+  }
+  ::unlink(fifoPath.c_str());
+  ::rmdir(dirPath.c_str());
+
+  // Missing paths keep their historical plain-error shape (see
+  // ExecutionErrorsComeBackAsErrorResponses): reject only what EXISTS and
+  // is the wrong kind of file.
+}
+
+TEST(ServeNet, ClientDisconnectMidResponseKeepsTheServerServing) {
+  // The client vanishes between request and response: the write fails
+  // (EPIPE/ECONNRESET), which must neither kill the process (SIGPIPE) nor
+  // wedge the server for other clients.
+  FifoDesign fifo("serve_net_disconnect.chip");
+  serve::net::NetOptions netOptions = loopback();
+  netOptions.admission.allowFifoDesigns = true;
+  serve::net::NetServer server(netOptions);
+
+  int fifoFd = -1;
+  {
+    serve::net::Client doomed("127.0.0.1", server.port());
+    ASSERT_TRUE(doomed.send(fifo.path()));
+    fifoFd = fifo.waitForReader();  // request admitted and executing
+  }  // ~Client closes the socket with the response still pending
+  FifoUnwedge unwedge(fifoFd);
+
+  // Resolving the request now writes into a dead connection.
+  fifo.release(unwedge.disarm(), chip::generateChip(chip::table1Designs()[2]));
+
+  // The server keeps serving other clients as if nothing happened.
+  serve::net::Client bystander("127.0.0.1", server.port());
+  for (int i = 0; i < 3; ++i) {
+    const auto resp = serve::parseResponseLine(bystander.call("S1"));
+    ASSERT_TRUE(resp.has_value());
+    EXPECT_EQ(resp->status, "ok") << "request " << i;
+  }
+  server.wait();  // drains cleanly despite the dead connection
 }
 
 }  // namespace

@@ -17,6 +17,7 @@
 
 #include <atomic>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -247,14 +248,15 @@ TEST(ServeEco, EcoRequestAdvancesTheDesign) {
   ASSERT_TRUE(oneShot.complete);
 
   serve::Server server(/*jobs=*/2);
-  serve::DesignContext& ctx = server.context("E", [&] { return base; });
-  const serve::Response before = server.route(ctx, serve::RequestOptions{});
+  const std::shared_ptr<serve::DesignContext> ctx =
+      server.context("E", [&] { return base; });
+  const serve::Response before = server.route(*ctx, serve::RequestOptions{});
   ASSERT_TRUE(before.ok) << before.error;
 
   // An obstacle on free ground: identity -- the previous result carries.
   chip::ChipDelta d;
   d.addObstacle(freeCellOf(base, oneShot));
-  const serve::Response eco = server.eco(ctx, d, serve::RequestOptions{});
+  const serve::Response eco = server.eco(*ctx, d, serve::RequestOptions{});
   ASSERT_TRUE(eco.ok) << eco.error;
   EXPECT_EQ(eco.ecoMode, "identity");
   EXPECT_EQ(eco.solutionHash, before.solutionHash);
@@ -262,7 +264,7 @@ TEST(ServeEco, EcoRequestAdvancesTheDesign) {
   // The context now holds the edited chip: a later plain route must match
   // a one-shot of the edited design, not of the base.
   const chip::Chip edited = chip::apply(base, d);
-  const serve::Response after = server.route(ctx, serve::RequestOptions{});
+  const serve::Response after = server.route(*ctx, serve::RequestOptions{});
   ASSERT_TRUE(after.ok) << after.error;
   EXPECT_EQ(after.solutionText,
             core::solutionToString(core::routeChip(edited, serialConfig())));
@@ -277,7 +279,8 @@ TEST(ServeEco, ConcurrentRouteAndEcoStayConsistent) {
   const chip::Chip edited = chip::apply(base, d);
 
   serve::Server server(/*jobs=*/2);
-  serve::DesignContext& ctx = server.context("C", [&] { return base; });
+  const std::shared_ptr<serve::DesignContext> ctx =
+      server.context("C", [&] { return base; });
 
   // Routers race the eco edit: each response must match a one-shot of
   // whichever design state its request observed.
@@ -291,10 +294,10 @@ TEST(ServeEco, ConcurrentRouteAndEcoStayConsistent) {
   for (int t = 0; t < kRouteThreads; ++t)
     threads.emplace_back([&, t] {
       for (int r = 0; r < 2; ++r)
-        routed[t * 2 + r] = server.route(ctx, serve::RequestOptions{});
+        routed[t * 2 + r] = server.route(*ctx, serve::RequestOptions{});
     });
   threads.emplace_back(
-      [&] { ecoResp = server.eco(ctx, d, serve::RequestOptions{}); });
+      [&] { ecoResp = server.eco(*ctx, d, serve::RequestOptions{}); });
   for (std::thread& t : threads) t.join();
 
   ASSERT_TRUE(ecoResp.ok) << ecoResp.error;
@@ -302,7 +305,7 @@ TEST(ServeEco, ConcurrentRouteAndEcoStayConsistent) {
     ASSERT_TRUE(resp.ok) << resp.error;
     EXPECT_TRUE(resp.solutionText == baseText || resp.solutionText == editedText);
   }
-  const serve::Response final = server.route(ctx, serve::RequestOptions{});
+  const serve::Response final = server.route(*ctx, serve::RequestOptions{});
   ASSERT_TRUE(final.ok) << final.error;
   EXPECT_EQ(final.solutionText, editedText);
 }

@@ -74,21 +74,28 @@ int usage() {
       "              output file is given); feed it back via route --eco or\n"
       "              the serve eco verb\n"
       "  pacor serve [--batch=FILE] [--jobs=N] [--concurrency=N]\n"
+      "              [--deadline-ms=D] [--max-designs=N]\n"
       "              long-lived request loop: routes one request per manifest\n"
       "              line (from FILE, or stdin when --batch is omitted or '-'),\n"
       "              reusing one worker pool and per-design contexts across\n"
       "              requests. Line: <design|file.chip> [sol=P] [metrics=P]\n"
       "              [trace=P] [trace-level=L] [variant=V] [no-incremental-escape]\n"
-      "              [fast-escape], `eco <design> delta=FILE [options]` to\n"
-      "              advance a cached design through an edit script, or\n"
-      "              `gen <design>` to pre-warm a design context\n"
+      "              [fast-escape] [deadline_ms=D], `eco <design> delta=FILE\n"
+      "              [options]` to advance a cached design through an edit\n"
+      "              script, or `gen <design>` to pre-warm a design context\n"
       "  pacor serve --listen=HOST:PORT [--jobs=N] [--max-inflight=N]\n"
-      "              [--max-queue=N]\n"
+      "              [--max-queue=N] [--deadline-ms=D] [--max-designs=N]\n"
       "              TCP front end speaking the same request lines, length-\n"
       "              framed (4-byte big-endian length + line). Per-design FIFO\n"
       "              queues pin repeat traffic to warm contexts; past the\n"
       "              --max-queue high-water mark (0 = unbounded) requests get\n"
-      "              `busy` responses; SIGTERM drains gracefully\n"
+      "              `busy` responses; SIGTERM drains gracefully.\n"
+      "              --deadline-ms sets a default per-request deadline (0 =\n"
+      "              none; requests may override via deadline_ms=); expired\n"
+      "              requests answer `err <design> field=deadline ...` and a\n"
+      "              watchdog recycles any dispatcher stuck past its deadline.\n"
+      "              --max-designs bounds the warm-context LRU cache (0 =\n"
+      "              unlimited; in-flight designs are never evicted)\n"
       "  pacor check <in.chip> <in.sol>\n"
       "  pacor verify <in.chip> <in.sol>   (independent oracle + DRC cross-check)\n"
       "  pacor svg <in.chip> <in.sol> <out.svg>\n"
@@ -285,6 +292,21 @@ int cmdServe(int argc, char** argv) {
         const int maxQueue = std::stoi(v.substr(12));
         if (maxQueue < 0) return usage();
         netOpt.admission.maxQueue = static_cast<std::size_t>(maxQueue);
+      } else if (v.rfind("--deadline-ms=", 0) == 0) {
+        const long long ms = std::stoll(v.substr(14));
+        if (ms < 0 || ms > serve::kMaxDeadlineMs) return usage();
+        opt.defaultDeadlineMs = ms;
+        netOpt.admission.defaultDeadlineMs = ms;
+      } else if (v.rfind("--max-designs=", 0) == 0) {
+        const long long cap = std::stoll(v.substr(14));
+        if (cap < 0) return usage();
+        opt.maxDesigns = static_cast<std::size_t>(cap);
+        netOpt.admission.maxDesigns = static_cast<std::size_t>(cap);
+      } else if (v == "--allow-fifo-designs") {
+        // TEST-ONLY: lets liveness smoke tests park a request on a named
+        // pipe; production loads reject non-regular files.
+        opt.allowFifoDesigns = true;
+        netOpt.admission.allowFifoDesigns = true;
       } else {
         return usage();
       }

@@ -171,6 +171,10 @@ serve::Request randomRequest(std::mt19937& rng) {
   req.variant = kVariants[rng() % 3];
   req.incrementalEscape = rng() % 2 == 0;
   req.fastEscape = rng() % 4 == 0;
+  if (rng() % 3 == 0)
+    req.deadlineMs = 1 + static_cast<std::int64_t>(
+                             rng() % static_cast<std::uint64_t>(
+                                         serve::kMaxDeadlineMs));
   return req;
 }
 
@@ -632,6 +636,27 @@ bool runDesign(const Options& opt, serve::Server& server, std::uint32_t seed,
         junk += static_cast<char>(rng() % 256);
       serve::parseRequestLine(junk);
       serve::parseResponseLine(junk);
+      ++tally.protocolLines;
+    }
+    // Junk deadline_ms values: every malformed shape (empty, signed,
+    // non-numeric, zero, overflow past kMaxDeadlineMs, embedded junk) must
+    // come back as a structured error on field "deadline_ms" -- never a
+    // parse that silently clamps, and never a throw.
+    static const char* kJunkDeadlines[] = {
+        "deadline_ms=",          "deadline_ms=-5",
+        "deadline_ms=+5",        "deadline_ms=abc",
+        "deadline_ms=0",         "deadline_ms=86400001",
+        "deadline_ms=99999999999999999999999999", "deadline_ms=12x",
+        "deadline_ms=0x10",      "deadline_ms= 7"};
+    for (const char* junkOpt : kJunkDeadlines) {
+      serve::ParseError perr;
+      if (serve::parseRequestLine(std::string("D1 ") + junkOpt, &perr) ||
+          perr.field != "deadline_ms") {
+        std::cerr << "FAIL seed " << seed << ": junk '" << junkOpt
+                  << "' was not a structured deadline_ms error\n";
+        ok = false;
+        break;
+      }
       ++tally.protocolLines;
     }
   }
