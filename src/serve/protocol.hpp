@@ -1,6 +1,8 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -23,6 +25,15 @@ struct RequestOptions {
   /// request in flight) -- see Server::route.
   std::string tracePath;
   trace::Level traceLevel = trace::Level::kCluster;
+
+  /// Server-side, not part of the wire grammar: the per-request cancel
+  /// flag the watchdog sets when the deadline expires mid-execution. An
+  /// abandoned request's response is discarded, but the flag is also
+  /// checked before every externally visible effect -- side-file writes
+  /// and the eco state commit -- so a request the caller was told timed
+  /// out never mutates files or design state behind a retry's back.
+  /// Null = never cancelled.
+  std::shared_ptr<std::atomic<bool>> cancel;
 };
 
 /// What a request asks the server to do.

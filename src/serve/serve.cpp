@@ -4,6 +4,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -51,6 +52,10 @@ bool configsEquivalent(const core::PacorConfig& a, const core::PacorConfig& b) {
          a.legalizeRadius == b.legalizeRadius;
 }
 
+bool cancelled(const std::shared_ptr<std::atomic<bool>>& cancel) {
+  return cancel != nullptr && cancel->load(std::memory_order_relaxed);
+}
+
 /// Response fields + side files every successful routing request shares.
 void fillRouteResponse(Response& resp, const core::PacorResult& result,
                        const RequestOptions& options) {
@@ -62,6 +67,10 @@ void fillRouteResponse(Response& resp, const core::PacorResult& result,
   resp.coldBuilds =
       static_cast<int>(result.metrics.getInt("escape.flow.cold_builds", -1));
   resp.ok = true;
+  // No side files for a cancelled (watchdog-abandoned) request: the caller
+  // was already answered with a deadline error, so a write here could only
+  // clobber the output of a retry racing this discarded execution.
+  if (cancelled(options.cancel)) return;
   if (!options.solutionPath.empty())
     core::writeSolutionFile(options.solutionPath, result);
   if (!options.metricsPath.empty()) {
@@ -78,10 +87,6 @@ void fillRouteResponse(Response& resp, const core::PacorResult& result,
 }  // namespace
 
 namespace {
-
-bool cancelled(const std::shared_ptr<std::atomic<bool>>& cancel) {
-  return cancel != nullptr && cancel->load(std::memory_order_relaxed);
-}
 
 /// Close-on-scope-exit for raw fds (the read paths below throw).
 struct FdGuard {
@@ -392,6 +397,17 @@ Response Server::eco(DesignContext& ctx, const chip::ChipDelta& delta,
     const core::PacorResult result =
         core::rerouteChip(base, prev, delta, options.config, resources, &info);
 
+    // A watchdog-abandoned eco must not commit: the caller was already
+    // answered `err ... deadline` and may retry the same delta, so
+    // advancing chip_/obstacleTemplate_/lastResult_ here would make that
+    // retry double-apply the edit. The discarded response does not matter;
+    // the state update does. Checked under stateMutex_ (held exclusively
+    // since before the base route), immediately before the commit.
+    if (cancelled(options.cancel))
+      throw LoadError("deadline",
+                      "eco cancelled after its deadline expired; "
+                      "delta not committed");
+
     // Commit the edited design: later requests (route or eco) see it.
     ctx.chip_ = chip::apply(base, delta);
     ctx.obstacleTemplate_ = core::makeRoutingObstacleTemplate(ctx.chip_);
@@ -483,7 +499,8 @@ Response Server::execute(const Request& req,
       resp.genObstacles = static_cast<int>(ctx.chip().obstacles.size());
       return resp;
     }
-    const RequestOptions options = optionsFor(req);
+    RequestOptions options = optionsFor(req);
+    options.cancel = cancel;  // guards side-file writes and the eco commit
     resp = req.verb == Verb::kEco
                ? eco(ctx, chip::readDeltaFile(req.deltaPath), options)
                : route(ctx, options);
@@ -569,8 +586,17 @@ void Server::dispatchLoop() {
     }
     const std::string key = std::move(runnable_.front());
     runnable_.pop_front();
-    DesignQueue& dq = queues_[key];  // map nodes are stable
-    if (dq.fifo.empty()) continue;  // watchdog swept the queued request(s)
+    DesignQueue& dq = queues_[key];  // recreates the node if it was reaped
+    // A dispatcher is already on this design (stale or duplicate listing):
+    // skip WITHOUT dispatching, so same-design requests stay serialized.
+    // No work is lost -- whoever clears `running` (the executing
+    // dispatcher finishing, or the watchdog recycling its slot) re-lists
+    // the key when the fifo still has entries.
+    if (dq.running) continue;
+    if (dq.fifo.empty()) {  // watchdog swept the queued request(s)
+      queues_.erase(key);   // empty + idle: drop the node, see watchdogLoop
+      continue;
+    }
     Pending pending = std::move(dq.fifo.front());
     dq.fifo.pop_front();
     --waiting_;
@@ -581,6 +607,8 @@ void Server::dispatchLoop() {
       if (!dq.fifo.empty()) {
         runnable_.push_back(key);
         workCv_.notify_one();
+      } else {
+        queues_.erase(key);
       }
       if (waiting_ == 0 && executing_ == 0) idleCv_.notify_all();
       lock.unlock();
@@ -609,25 +637,53 @@ void Server::dispatchLoop() {
     if (inflight->abandoned) {
       // The watchdog expired this request mid-execution: it already
       // answered the caller, released the design slot, and spawned a
-      // replacement dispatcher. This thread's slot is gone -- discard the
-      // result and exit. (Bounded: every blocking step in execute() polls
-      // the cancel flag, so an abandoned thread always gets here.)
+      // replacement dispatcher. This thread's slot is gone -- record the
+      // id so the watchdog can join-and-drop the handle (dispatchers_
+      // must not grow by one per recycle forever), discard the result,
+      // and exit. (Bounded: every blocking step in execute() polls the
+      // cancel flag, so an abandoned thread always gets here.)
+      finishedDispatchers_.push_back(std::this_thread::get_id());
+      watchdogCv_.notify_one();  // reap this handle promptly
       return;
     }
     inflight_.remove(inflight);
     --executing_;
     dq.running = false;
     // FIFO across designs too: a design with more work re-queues at the
-    // back, so one hot design cannot starve the others.
+    // back, so one hot design cannot starve the others. An emptied design
+    // drops its queue node, keeping queues_ bounded by live designs
+    // instead of every token ever submitted.
     if (!dq.fifo.empty()) {
       runnable_.push_back(key);
       workCv_.notify_one();
+    } else {
+      queues_.erase(key);
     }
     if (waiting_ == 0 && executing_ == 0) idleCv_.notify_all();
     lock.unlock();
     inflight->promise.set_value(std::move(resp));
     lock.lock();
   }
+}
+
+/// Joins dispatcher threads that exited after a watchdog recycle and drops
+/// their handles from dispatchers_. Each id in finishedDispatchers_ was
+/// recorded by the exiting thread itself under queueMutex_ immediately
+/// before returning, so by the time the watchdog (which also holds
+/// queueMutex_) sees an id, that thread has released the mutex and is in
+/// its exit epilogue -- the join is near-instant and cannot deadlock.
+/// Caller holds queueMutex_.
+void Server::reapDispatchersLocked() {
+  for (const std::thread::id id : finishedDispatchers_) {
+    for (auto it = dispatchers_.begin(); it != dispatchers_.end(); ++it) {
+      if (it->get_id() == id) {
+        it->join();
+        dispatchers_.erase(it);
+        break;
+      }
+    }
+  }
+  finishedDispatchers_.clear();
 }
 
 void Server::watchdogLoop() {
@@ -652,6 +708,11 @@ void Server::watchdogLoop() {
       watchdogCv_.wait(lock);
     if (stopping_) return;
 
+    // Join-and-drop dispatcher handles decommissioned by earlier recycles
+    // (their threads have exited or are about to), so a long-lived server
+    // does not grow dispatchers_ by one thread per recycle forever.
+    reapDispatchersLocked();
+
     const Clock::time_point now = Clock::now();
     std::vector<std::promise<Response>> promises;
     std::vector<Response> answers;
@@ -659,7 +720,8 @@ void Server::watchdogLoop() {
     // Sweep the waiting queues: an expired request queued behind a parked
     // (or merely busy) design is answered here -- it would otherwise wait
     // forever on a dispatcher that never frees up.
-    for (auto& [key, dq] : queues_) {
+    for (auto qit = queues_.begin(); qit != queues_.end();) {
+      DesignQueue& dq = qit->second;
       for (auto it = dq.fifo.begin(); it != dq.fifo.end();) {
         if (it->hasDeadline && now >= it->deadline) {
           ++deadlineExpired_;
@@ -671,6 +733,20 @@ void Server::watchdogLoop() {
         } else {
           ++it;
         }
+      }
+      // A sweep that empties an idle design's fifo must also retract its
+      // runnable_ listing: left behind, a later submit() would see
+      // `fifo.empty() && !running` and list the key a SECOND time, and two
+      // dispatchers could then execute the same design concurrently.
+      // Dropping the empty node keeps queues_ (and this scan) bounded by
+      // live designs rather than every token ever submitted.
+      if (dq.fifo.empty() && !dq.running) {
+        runnable_.erase(
+            std::remove(runnable_.begin(), runnable_.end(), qit->first),
+            runnable_.end());
+        qit = queues_.erase(qit);
+      } else {
+        ++qit;
       }
     }
 
@@ -692,6 +768,8 @@ void Server::watchdogLoop() {
         if (!dq.fifo.empty()) {
           runnable_.push_back(inf.design);
           workCv_.notify_one();
+        } else {
+          queues_.erase(inf.design);
         }
         dispatchers_.emplace_back([this] { dispatchLoop(); });
         answers.push_back(

@@ -301,6 +301,7 @@ class Server {
   void dispatchLoop();
   void watchdogLoop();
   void maybeEvictLocked();
+  void reapDispatchersLocked();
 
   util::ThreadPool pool_;
   mutable std::mutex contextsMutex_;
@@ -332,6 +333,11 @@ class Server {
   std::condition_variable workCv_;  ///< dispatchers: runnable work exists
   std::condition_variable idleCv_;  ///< drainAndStop: everything resolved
   std::condition_variable watchdogCv_;  ///< watchdog: new deadline or stop
+  /// Per-design FIFOs, keyed by design token. Nodes are created on
+  /// submit and erased as soon as a design's fifo is empty with no
+  /// dispatcher running it (cheap to recreate), so the map -- and the
+  /// watchdog's per-wake scan of it -- stays bounded by live designs, not
+  /// by every token (including garbage paths) ever submitted.
   std::map<std::string, DesignQueue> queues_;
   std::deque<std::string> runnable_;  ///< designs with work, none executing
   std::list<std::shared_ptr<Inflight>> inflight_;  ///< executing requests
@@ -344,6 +350,11 @@ class Server {
   bool dispatchStarted_ = false;
   AdmissionOptions admission_;
   std::vector<std::thread> dispatchers_;
+  /// Ids of decommissioned dispatcher threads that have exited (each
+  /// recorded by the exiting thread under queueMutex_); the watchdog
+  /// joins and erases the matching dispatchers_ handles on its next pass,
+  /// so recycles do not accumulate dead thread handles without bound.
+  std::vector<std::thread::id> finishedDispatchers_;
   std::thread watchdog_;
 };
 

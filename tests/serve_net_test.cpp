@@ -552,6 +552,71 @@ TEST(ServeDeadline, ServerDefaultAppliesWhenTheRequestCarriesNone) {
   fifo.waitForNoReader();  // let the cancelled load exit before teardown
 }
 
+TEST(ServeDeadline, SweptQueueCannotDoubleDispatchADesign) {
+  // Regression: the watchdog's queued sweep used to leave the swept
+  // design's key listed in runnable_; a later submit for the same design
+  // then saw an empty, idle fifo and listed the key a SECOND time, so two
+  // freed dispatchers could execute the design concurrently -- breaking
+  // per-design FIFO serialization (and, for eco, commit order). With a
+  // FIFO design as the target the break is directly observable: two
+  // concurrent readers would race one pipe and split the chip bytes.
+  FifoDesign parked1("serve_sweep_p1.chip");
+  FifoDesign parked2("serve_sweep_p2.chip");
+  FifoDesign target("serve_sweep_target.chip");
+  serve::Server server(/*jobs=*/1);
+  serve::AdmissionOptions admission;
+  admission.maxInflight = 2;
+  admission.allowFifoDesigns = true;
+  server.startDispatch(admission);
+
+  // Occupy both dispatchers, so the target request below can only ever be
+  // answered by the watchdog's queued sweep.
+  serve::Request busy1;
+  busy1.design = parked1.path();
+  auto busy1Fut = server.submit(std::move(busy1));
+  serve::Request busy2;
+  busy2.design = parked2.path();
+  auto busy2Fut = server.submit(std::move(busy2));
+  FifoUnwedge unwedge1(parked1.waitForReader());
+  FifoUnwedge unwedge2(parked2.waitForReader());
+
+  serve::Request doomed;
+  doomed.design = target.path();
+  doomed.deadlineMs = 50;
+  auto doomedFut = server.submit(std::move(doomed));
+  const serve::Response expired = getWithin(doomedFut, 10);
+  EXPECT_TRUE(expired.deadlineExpired);
+  ASSERT_EQ(server.queuedRequests(), 0u);
+
+  // Two fresh requests for the swept design, then both dispatchers free
+  // up at once: the design must still run them strictly one at a time.
+  serve::Request first;
+  first.design = target.path();
+  auto firstFut = server.submit(std::move(first));
+  serve::Request second;
+  second.design = target.path();
+  auto secondFut = server.submit(std::move(second));
+  const chip::Chip chip = chip::generateChip(chip::table1Designs()[2]);
+  parked1.release(unwedge1.disarm(), chip);
+  parked2.release(unwedge2.disarm(), chip);
+  EXPECT_TRUE(getWithin(busy1Fut, 60).ok);
+  EXPECT_TRUE(getWithin(busy2Fut, 60).ok);
+
+  // Exactly ONE reader parks on the pipe: the first request loads the
+  // design, and the second -- running strictly after it -- reuses the
+  // freshly built context without touching the pipe again. Under double
+  // dispatch both requests would miss the context cache, park on the pipe
+  // together, and split the single write between them: parse failures
+  // (or a never-released second reader) instead of two ok responses.
+  const int fd = target.waitForReader();
+  target.release(fd, chip);
+  const serve::Response firstResp = getWithin(firstFut, 60);
+  EXPECT_TRUE(firstResp.ok) << firstResp.error;
+  const serve::Response secondResp = getWithin(secondFut, 60);
+  EXPECT_TRUE(secondResp.ok) << secondResp.error;
+  EXPECT_EQ(secondResp.solutionHash, firstResp.solutionHash);
+}
+
 TEST(ServeDeadline, EcoRequestsHonorGenerousDeadlines) {
   // A deadline far in the future must not perturb the eco path: an empty
   // edit script is an identity re-route against the cached result.

@@ -16,6 +16,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -308,6 +309,73 @@ TEST(ServeEco, ConcurrentRouteAndEcoStayConsistent) {
   const serve::Response final = server.route(*ctx, serve::RequestOptions{});
   ASSERT_TRUE(final.ok) << final.error;
   EXPECT_EQ(final.solutionText, editedText);
+}
+
+TEST(ServeEco, AbandonedEcoDoesNotCommitTheDelta) {
+  // The watchdog answers a mid-execution expiry and sets the request's
+  // cancel flag; the abandoned eco's response is discarded -- but it must
+  // also NOT advance the design, because the caller was told the eco did
+  // not happen and may retry the same delta. A committed abandoned eco
+  // plus a retry would double-apply the edit.
+  const chip::Chip base = chip::generateChip(chip::s2Params());
+  const core::PacorResult oneShot = core::routeChip(base, serialConfig());
+  ASSERT_TRUE(oneShot.complete);
+
+  serve::Server server(/*jobs=*/2);
+  const std::shared_ptr<serve::DesignContext> ctx =
+      server.context("A", [&] { return base; });
+  const serve::Response before = server.route(*ctx, serve::RequestOptions{});
+  ASSERT_TRUE(before.ok) << before.error;
+
+  chip::ChipDelta d;
+  d.addObstacle(freeCellOf(base, oneShot));
+  serve::RequestOptions abandonedOptions;
+  abandonedOptions.cancel = std::make_shared<std::atomic<bool>>(true);
+  const serve::Response abandoned = server.eco(*ctx, d, abandonedOptions);
+  EXPECT_FALSE(abandoned.ok);
+  EXPECT_NE(abandoned.error.find("not committed"), std::string::npos)
+      << abandoned.error;
+
+  // The context still routes the base design...
+  const serve::Response after = server.route(*ctx, serve::RequestOptions{});
+  ASSERT_TRUE(after.ok) << after.error;
+  EXPECT_EQ(after.solutionHash, before.solutionHash);
+
+  // ...and a live retry applies the delta exactly once.
+  const serve::Response retry = server.eco(*ctx, d, serve::RequestOptions{});
+  ASSERT_TRUE(retry.ok) << retry.error;
+  const serve::Response edited = server.route(*ctx, serve::RequestOptions{});
+  ASSERT_TRUE(edited.ok) << edited.error;
+  EXPECT_EQ(edited.solutionText,
+            core::solutionToString(
+                core::routeChip(chip::apply(base, d), serialConfig())));
+}
+
+TEST(ServeCancel, AbandonedRequestWritesNoSideFiles) {
+  // An abandoned request's caller was already answered with a deadline
+  // error; its discarded execution must not write sol=/metrics= files
+  // that could clobber the output of a retry racing it.
+  const chip::Chip base = chip::generateChip(chip::s1Params());
+  serve::Server server(/*jobs=*/2);
+  const std::shared_ptr<serve::DesignContext> ctx =
+      server.context("F", [&] { return base; });
+
+  serve::RequestOptions options;
+  options.solutionPath = ::testing::TempDir() + "serve_cancel.sol";
+  options.metricsPath = ::testing::TempDir() + "serve_cancel.json";
+  std::remove(options.solutionPath.c_str());
+  std::remove(options.metricsPath.c_str());
+  options.cancel = std::make_shared<std::atomic<bool>>(true);
+  server.route(*ctx, options);
+  EXPECT_FALSE(std::ifstream(options.solutionPath).good());
+  EXPECT_FALSE(std::ifstream(options.metricsPath).good());
+
+  // The live retry with the same paths writes both.
+  options.cancel = nullptr;
+  const serve::Response live = server.route(*ctx, options);
+  ASSERT_TRUE(live.ok) << live.error;
+  EXPECT_TRUE(std::ifstream(options.solutionPath).good());
+  EXPECT_TRUE(std::ifstream(options.metricsPath).good());
 }
 
 TEST(ServeBatch, EcoVerbRoutesAndReportsMode) {
